@@ -1,0 +1,215 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <target> [--scale X] [--reps N] [--full] [--seed S] [--out DIR]
+//!
+//! targets:
+//!   fig3      best-configuration heat map (Figure 3)
+//!   fig4      emulated-latency heat map (Figure 4)
+//!   fig5      scalability study (Figure 5)
+//!   table7    Corda OS KeyValue-Set          (Tables 7+8)
+//!   table9    Corda Enterprise KeyValue-Set  (Tables 9+10)
+//!   table11   BitShares DoNothing            (Tables 11+12)
+//!   table13   Fabric SendPayment             (Tables 13+14)
+//!   table15   Quorum Balance                 (Tables 15+16)
+//!   table17   Sawtooth CreateAccount         (Tables 17+18)
+//!   table19   Diem KeyValue-Get              (Tables 19+20)
+//!   tables    all of the above tables
+//!   ablations all ablation studies
+//!   all       everything
+//!
+//! flags:
+//!   --scale X   window scale vs the paper's 300 s (default 0.1)
+//!   --reps N    repetitions (default 2; paper: 3)
+//!   --full      sweep the paper's full parameter grid
+//!   --paper     shorthand for --scale 1.0 --reps 3 --full
+//!   --seed S    root seed (default 0xC0C00717)
+//!   --out DIR   also write results as JSON into DIR
+//! ```
+
+use std::path::PathBuf;
+
+use coconut::experiments::ablations::render_arms;
+use coconut::experiments::{
+    ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
+    ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
+    ablation_sawtooth_queue, fig3, fig4, fig5, table11_12, table13_14, table15_16, table17_18,
+    table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
+};
+use coconut::report::{save_csv, save_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let target = args[0].clone();
+    let mut cfg = ExperimentConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                i += 2;
+            }
+            "--reps" => {
+                cfg.repetitions = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs an integer"));
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+                i += 2;
+            }
+            "--full" => {
+                cfg.full_sweep = true;
+                i += 1;
+            }
+            "--paper" => {
+                cfg = ExperimentConfig::paper();
+                i += 1;
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(
+                    args.get(i + 1).unwrap_or_else(|| die("--out needs a path")),
+                ));
+                i += 2;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    eprintln!(
+        "# COCONUT repro: target={target} scale={} reps={} sweep={} seed={:#x}",
+        cfg.scale,
+        cfg.repetitions,
+        if cfg.full_sweep { "full" } else { "reduced" },
+        cfg.seed
+    );
+
+    match target.as_str() {
+        "fig3" => {
+            let f = fig3(&cfg);
+            println!("Figure 3 — best MTPS with corresponding MFLS and Duration\n");
+            println!("{}", f.render());
+            save_grid(&f, &out_dir, "fig3");
+        }
+        "fig4" => {
+            eprintln!("# computing Figure 3 best configurations first ...");
+            let base = fig3(&cfg);
+            let f = fig4(&cfg, Some(&base));
+            println!("Figure 4 — best configurations under netem N(12 ms, 2 ms)\n");
+            println!("{}", f.render());
+            save_grid(&f, &out_dir, "fig4");
+        }
+        "fig5" => {
+            let f = fig5(&cfg, None);
+            println!("Figure 5 — DoNothing MTPS at 8/16/32 nodes\n");
+            println!("{}", f.render());
+        }
+        "table7" => print_table(table7_8(&cfg), &out_dir, "table7_8"),
+        "table9" => print_table(table9_10(&cfg), &out_dir, "table9_10"),
+        "table11" => print_table(table11_12(&cfg), &out_dir, "table11_12"),
+        "table13" => print_table(table13_14(&cfg), &out_dir, "table13_14"),
+        "table15" => print_table(table15_16(&cfg), &out_dir, "table15_16"),
+        "table17" => print_table(table17_18(&cfg), &out_dir, "table17_18"),
+        "table19" => print_table(table19_20(&cfg), &out_dir, "table19_20"),
+        "tables" => {
+            for (name, t) in all_tables(&cfg) {
+                print_table(t, &out_dir, name);
+            }
+        }
+        "ablations" => run_ablations(&cfg),
+        "all" => {
+            for (name, t) in all_tables(&cfg) {
+                print_table(t, &out_dir, name);
+            }
+            run_ablations(&cfg);
+            let base = fig3(&cfg);
+            println!("Figure 3\n\n{}", base.render());
+            save_grid(&base, &out_dir, "fig3");
+            let f4 = fig4(&cfg, Some(&base));
+            println!("Figure 4\n\n{}", f4.render());
+            save_grid(&f4, &out_dir, "fig4");
+            let f5 = fig5(&cfg, Some(&base));
+            println!("Figure 5\n\n{}", f5.render());
+        }
+        other => die(&format!("unknown target {other}")),
+    }
+}
+
+fn all_tables(cfg: &ExperimentConfig) -> Vec<(&'static str, TableResult)> {
+    vec![
+        ("table7_8", table7_8(cfg)),
+        ("table9_10", table9_10(cfg)),
+        ("table11_12", table11_12(cfg)),
+        ("table13_14", table13_14(cfg)),
+        ("table15_16", table15_16(cfg)),
+        ("table17_18", table17_18(cfg)),
+        ("table19_20", table19_20(cfg)),
+    ]
+}
+
+fn run_ablations(cfg: &ExperimentConfig) {
+    println!("{}", render_arms("Ablation: Corda signing discipline", &ablation_corda_signing(cfg)));
+    println!("{}", render_arms("Ablation: Sawtooth queue bound", &ablation_sawtooth_queue(cfg)));
+    println!("{}", render_arms("Ablation: Quorum txpool stall", &ablation_quorum_stall(cfg)));
+    println!("{}", render_arms("Ablation: Diem spiking", &ablation_diem_spiking(cfg)));
+    println!(
+        "{}",
+        render_arms("Ablation: BitShares operations per tx", &ablation_bitshares_ops(cfg))
+    );
+    println!(
+        "{}",
+        render_arms("Ablation: Fabric block cutting", &ablation_fabric_block_cutting(cfg))
+    );
+    println!(
+        "{}",
+        render_arms(
+            "Ablation: end-to-end vs node-side measurement",
+            &ablation_endtoend_vs_node(cfg)
+        )
+    );
+}
+
+fn print_table(t: TableResult, out: &Option<PathBuf>, name: &str) {
+    println!("{}", t.render());
+    if let Some(dir) = out {
+        save_json(&t.rows, &dir.join(format!("{name}.json"))).expect("write json");
+        save_csv(&t.rows, &dir.join(format!("{name}.csv"))).expect("write csv");
+    }
+}
+
+fn save_grid(f: &coconut::experiments::Fig3Result, out: &Option<PathBuf>, name: &str) {
+    if let Some(dir) = out {
+        let rows: Vec<_> = f.grid.iter().flatten().flatten().cloned().collect();
+        save_json(&rows, &dir.join(format!("{name}.json"))).expect("write json");
+        save_csv(&rows, &dir.join(format!("{name}.csv"))).expect("write csv");
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|all> \
+         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--out DIR]"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

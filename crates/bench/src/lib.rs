@@ -1,0 +1,10 @@
+//! Shared helpers for the COCONUT benchmark harness (the `repro` binary
+//! and the Criterion benches live in this crate).
+//!
+//! The substance is in [`coconut`]; this crate only re-exports the pieces
+//! the harness needs so benches and the binary stay thin.
+
+#![forbid(unsafe_code)]
+
+pub use coconut::experiments;
+pub use coconut::prelude;

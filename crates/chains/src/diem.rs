@@ -1,0 +1,451 @@
+//! Diem model: a sequence-numbered account chain over DiemBFT.
+//!
+//! Pipeline: submissions enter the mempool (the DiemBFT engine's pending
+//! set); leaders pull up to `max_block_size` transactions per proposal; at
+//! commit every validator executes the block through the Move VM model and
+//! the client is notified once all validators have persisted.
+//!
+//! Anomalies reproduced:
+//! * **Spiking** (§5.7, after Balster): "validators temporarily stop
+//!   validating further transactions". The model stalls every validator's
+//!   execution pipeline for `spike_duration` every `spike_interval`,
+//!   which keeps blocks from saturating and inflates latency.
+//! * **Admission overhead**: every validator pays CPU to admit each
+//!   gossiped transaction, so higher rate limiters *reduce* throughput
+//!   (Table 19: 64 MTPS at RL = 200 vs 37 at RL = 1600 for BS = 2000).
+//! * **Massive client-side loss**: Diem's service rate sits near 100 tx/s,
+//!   so most of a 200–1600 tx/s workload is still unconfirmed when the
+//!   client stops listening (Table 20: 16,752 of 60,000 received).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+
+use coconut_consensus::diembft::DiemBftCluster;
+use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_iel::WorldState;
+use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_types::{
+    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+};
+
+use crate::ledger::Ledger;
+use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
+
+/// Configuration of the Diem deployment.
+#[derive(Debug, Clone)]
+pub struct DiemConfig {
+    /// Number of validators (paper baseline: 4).
+    pub nodes: u32,
+    /// `max_block_size`: transactions per proposal (paper: 100–2000).
+    pub max_block_size: usize,
+    /// Mempool bound; submissions beyond it are dropped.
+    pub mempool_limit: usize,
+    /// Network characteristics.
+    pub net: NetConfig,
+    /// CPU cost of executing one transaction at each validator.
+    pub exec_per_tx: SimDuration,
+    /// CPU cost per transaction of mempool admission at every validator.
+    pub ingress_per_tx: SimDuration,
+    /// How often validators "spike" (stop validating); `None` disables.
+    pub spike_interval: Option<SimDuration>,
+    /// How long a spike lasts.
+    pub spike_duration: SimDuration,
+    /// Client-set transaction expiration: a transaction not committed
+    /// within this time is discarded by the validators (Diem's
+    /// `expiration_timestamp`); the client never hears about it.
+    pub tx_expiration: SimDuration,
+}
+
+impl Default for DiemConfig {
+    /// The paper's baseline: 4 validators, Diem's default
+    /// `max_block_size` = 3000, spiking enabled.
+    fn default() -> Self {
+        DiemConfig {
+            nodes: 4,
+            max_block_size: 3000,
+            mempool_limit: 50_000,
+            net: NetConfig::lan(),
+            exec_per_tx: SimDuration::from_micros(10_000),
+            ingress_per_tx: SimDuration::from_micros(400),
+            spike_interval: Some(SimDuration::from_secs(25)),
+            spike_duration: SimDuration::from_secs(5),
+            tx_expiration: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// The modelled Diem network (see module docs).
+#[derive(Debug)]
+pub struct Diem {
+    config: DiemConfig,
+    engine: DiemBftCluster,
+    exec_cpu: CpuModel,
+    state: WorldState,
+    txs: HashMap<TxId, ClientTx>,
+    outcomes: EventQueue<TxOutcome>,
+    stats: SystemStats,
+    rng: StdRng,
+    inter: LatencyModel,
+    ledger: Ledger,
+    next_spike: SimTime,
+    spikes: u64,
+    recent_arrivals: VecDeque<(SimTime, u32)>,
+    current_slowdown: f64,
+    expired: u64,
+}
+
+impl Diem {
+    /// Builds a Diem deployment from `config` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero.
+    pub fn new(config: DiemConfig, seed: u64) -> Self {
+        assert!(config.nodes > 0, "need at least one validator");
+        let seeds = SeedDeriver::new(seed);
+        let engine = DiemBftCluster::builder(config.nodes)
+            .seed(seeds.seed("diembft", 0))
+            .net(config.net.clone())
+            .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
+            .batch(BatchConfig::new(config.max_block_size, SimDuration::from_millis(250)))
+            .build();
+        let next_spike = match config.spike_interval {
+            Some(interval) => SimTime::ZERO + interval,
+            None => SimTime::MAX,
+        };
+        Diem {
+            exec_cpu: CpuModel::new(config.nodes),
+            engine,
+            state: WorldState::new(),
+            txs: HashMap::new(),
+            outcomes: EventQueue::new(),
+            stats: SystemStats::default(),
+            rng: seeds.rng("hops", 0),
+            inter: config.net.inter_server,
+            config,
+            ledger: Ledger::new(),
+            next_spike,
+            spikes: 0,
+            recent_arrivals: VecDeque::new(),
+            current_slowdown: 1.0,
+            expired: 0,
+        }
+    }
+
+    /// The committed world state.
+    pub fn world_state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Committed block count.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// The hash-linked ledger (tamper-evident block chain).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of spikes (validator stalls) injected so far.
+    pub fn spikes(&self) -> u64 {
+        self.spikes
+    }
+
+    /// Transactions dropped because they outlived their expiration.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Crashes a validator (fault injection). DiemBFT advances past dead
+    /// leaders via timeout certificates while 2f + 1 validators survive.
+    pub fn crash_validator(&mut self, node: NodeId) {
+        self.engine.crash(node);
+    }
+
+    /// Recovers a crashed validator at the highest known round.
+    pub fn recover_validator(&mut self, node: NodeId) {
+        self.engine.recover(node);
+    }
+
+    fn hop(&mut self) -> SimDuration {
+        self.inter.sample(&mut self.rng)
+    }
+
+    /// Mempool-admission load factor: validators verify and share every
+    /// gossiped transaction, so a higher rate limiter leaves less CPU for
+    /// execution — Table 19's decline from 64 MTPS at RL = 200 to 37 at
+    /// RL = 1600. Modelled as processor sharing (execution × 1/(1 − u)).
+    fn ingress_slowdown(&mut self, now: SimTime, ops: u32) -> f64 {
+        const WINDOW: SimDuration = SimDuration::from_secs(2);
+        self.recent_arrivals.push_back((now, ops));
+        while let Some(&(front, _)) = self.recent_arrivals.front() {
+            if now - front > WINDOW {
+                self.recent_arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
+        let tx_rate = self.recent_arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64
+            / window_secs;
+        let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
+        1.0 / (1.0 - utilization)
+    }
+
+    /// Injects any validator spikes due before `deadline`.
+    fn inject_spikes(&mut self, deadline: SimTime) {
+        let Some(interval) = self.config.spike_interval else {
+            return;
+        };
+        while self.next_spike <= deadline {
+            for v in 0..self.config.nodes {
+                self.exec_cpu
+                    .process(NodeId(v), self.next_spike, self.config.spike_duration);
+            }
+            self.spikes += 1;
+            self.next_spike += interval;
+        }
+    }
+}
+
+impl BlockchainSystem for Diem {
+    fn name(&self) -> &str {
+        "Diem"
+    }
+
+    fn node_count(&self) -> u32 {
+        self.config.nodes
+    }
+
+    fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        if self.engine.pending_len() >= self.config.mempool_limit {
+            self.stats.rejected += 1;
+            return SubmitOutcome::Rejected;
+        }
+        self.stats.accepted += 1;
+        // Mempool admission: every validator verifies and shares the tx.
+        self.current_slowdown = self.ingress_slowdown(now, tx.op_count() as u32);
+        self.txs.insert(tx.id(), tx.clone());
+        self.engine.submit(coconut_consensus::Command::new(
+            tx.id(),
+            tx.op_count() as u32,
+            tx.size_bytes() as u32,
+        ));
+        SubmitOutcome::Accepted
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
+        // Interleave spike injections with consensus so a spike only stalls
+        // execution of blocks committed after it.
+        loop {
+            let upto = self.next_spike.min(deadline);
+            let blocks = self.engine.run_until(upto);
+            self.process_blocks(blocks);
+            if self.next_spike > deadline {
+                break;
+            }
+            self.inject_spikes(upto);
+        }
+        let mut out = Vec::new();
+        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
+            out.push(o);
+        }
+        out
+    }
+
+    fn stats(&self) -> SystemStats {
+        let mut s = self.stats;
+        s.consensus_messages = self.engine.net_stats().messages_sent;
+        s
+    }
+}
+
+impl Diem {
+    fn process_blocks(&mut self, blocks: Vec<coconut_consensus::CommittedBatch>) {
+        for block in blocks {
+            if block.commands.is_empty() {
+                continue;
+            }
+            self.stats.blocks += 1;
+            let height = self.ledger.append(
+                block.proposer,
+                block.committed_at,
+                block.commands.iter().map(|c| c.tx).collect(),
+                None,
+            );
+            let block_id = BlockId(height);
+            let mut results = Vec::with_capacity(block.commands.len());
+            let mut total_cost = SimDuration::ZERO;
+            let slowdown = self.current_slowdown;
+            let mut expired = 0u64;
+            for cmd in &block.commands {
+                let Some(tx) = self.txs.remove(&cmd.tx) else {
+                    continue;
+                };
+                // Expired transactions are discarded with a cheap check —
+                // no execution, no client notification (a lost tx).
+                if block.committed_at - tx.created_at() > self.config.tx_expiration {
+                    expired += 1;
+                    continue;
+                }
+                let n_factor = 1.0 + 0.02 * self.config.nodes.saturating_sub(4) as f64;
+                total_cost +=
+                    (self.config.exec_per_tx * tx.op_count() as u64).mul_f64(slowdown * n_factor);
+                let ok = self.state.apply(&tx.payloads()[0]).is_ok();
+                results.push((cmd.tx, cmd.ops, ok));
+            }
+            self.expired += expired;
+            // Every validator re-executes; the slowest gates notification.
+            let mut persist = SimTime::ZERO;
+            for v in 0..self.config.nodes {
+                let arrive = block.committed_at + self.hop();
+                let done = self.exec_cpu.process(NodeId(v), arrive, total_cost);
+                persist = persist.max(done);
+            }
+            for (txid, ops, ok) in results {
+                let event_at = persist + self.hop();
+                let outcome = if ok {
+                    TxOutcome::committed(txid, block_id, event_at, ops)
+                } else {
+                    TxOutcome::failed(txid, FailReason::ExecutionError, event_at)
+                };
+                self.outcomes.push(event_at, outcome);
+                self.stats.outcomes_emitted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, Payload, ThreadId};
+
+    fn tx(seq: u64, payload: Payload) -> ClientTx {
+        ClientTx::single(TxId::new(ClientId(0), seq), ThreadId(0), payload, SimTime::ZERO)
+    }
+
+    fn no_spike() -> DiemConfig {
+        DiemConfig {
+            spike_interval: None,
+            ..DiemConfig::default()
+        }
+    }
+
+    #[test]
+    fn commits_and_notifies() {
+        let mut d = Diem::new(no_spike(), 1);
+        d.submit(SimTime::ZERO, tx(1, Payload::DoNothing));
+        let outcomes = d.run_until(SimTime::from_secs(10));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_committed());
+    }
+
+    #[test]
+    fn max_block_size_bounds_blocks() {
+        let mut cfg = no_spike();
+        cfg.max_block_size = 10;
+        let mut d = Diem::new(cfg, 2);
+        for s in 0..35 {
+            d.submit(SimTime::ZERO, tx(s, Payload::DoNothing));
+        }
+        let outcomes = d.run_until(SimTime::from_secs(60));
+        assert_eq!(outcomes.iter().filter(|o| o.is_committed()).count(), 35);
+        assert!(d.height() >= 4, "10-tx blocks → at least 4 blocks");
+    }
+
+    #[test]
+    fn mempool_limit_drops_excess() {
+        let mut cfg = no_spike();
+        cfg.mempool_limit = 20;
+        let mut d = Diem::new(cfg, 3);
+        let mut rejected = 0;
+        for s in 0..50 {
+            if !d.submit(SimTime::ZERO, tx(s, Payload::DoNothing)).is_accepted() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 30);
+    }
+
+    #[test]
+    fn spiking_delays_confirmations() {
+        // Sustained load across several spikes: count what confirms within
+        // a fixed horizon. Spikes stall execution, so the spiky run must
+        // confirm strictly less.
+        let run = |spike: Option<SimDuration>| {
+            let mut cfg = DiemConfig::default();
+            cfg.spike_interval = spike;
+            cfg.spike_duration = SimDuration::from_secs(5);
+            cfg.tx_expiration = SimDuration::from_secs(600); // isolate spiking
+            let mut d = Diem::new(cfg, 4);
+            let mut outcomes = Vec::new();
+            // 50/s for 60 s — within the ~100/s service rate when calm.
+            for i in 0..3000u64 {
+                let at = SimTime::from_millis(i * 20);
+                outcomes.extend(d.run_until(at));
+                d.submit(at, tx(i, Payload::DoNothing));
+            }
+            outcomes.extend(d.run_until(SimTime::from_secs(62)));
+            outcomes.len()
+        };
+        let calm = run(None);
+        let spiky = run(Some(SimDuration::from_secs(10)));
+        assert!(
+            spiky < calm,
+            "spikes must reduce on-time confirmations: {calm} vs {spiky}"
+        );
+    }
+
+    #[test]
+    fn spike_counter_advances() {
+        let mut d = Diem::new(DiemConfig::default(), 5);
+        d.run_until(SimTime::from_secs(60));
+        assert_eq!(d.spikes(), 2, "spikes at 25 s and 50 s");
+    }
+
+    #[test]
+    fn execution_failures_are_reported() {
+        let mut d = Diem::new(no_spike(), 6);
+        d.submit(SimTime::ZERO, tx(1, Payload::key_value_get(404)));
+        let outcomes = d.run_until(SimTime::from_secs(10));
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].is_committed());
+    }
+
+    #[test]
+    fn overload_leaves_backlog_unconfirmed() {
+        // 2000/s against a ~100/s service: most of the work must still be
+        // in flight when we stop looking shortly after the send window.
+        let mut d = Diem::new(no_spike(), 7);
+        let mut outcomes = Vec::new();
+        for i in 0..2000u64 {
+            let at = SimTime::from_micros(i * 500);
+            outcomes.extend(d.run_until(at));
+            d.submit(at, tx(i, Payload::DoNothing));
+        }
+        outcomes.extend(d.run_until(SimTime::from_secs(5)));
+        assert!(
+            outcomes.len() < 1000,
+            "service ≈ 100/s cannot confirm {} of 2000 in 5 s",
+            outcomes.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut d = Diem::new(DiemConfig::default(), seed);
+            for s in 0..20 {
+                d.submit(SimTime::ZERO, tx(s, Payload::key_value_set(s, s)));
+            }
+            d.run_until(SimTime::from_secs(30))
+                .iter()
+                .map(|o| (o.tx, o.finalized_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(8), run(8));
+    }
+}

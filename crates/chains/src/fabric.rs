@@ -1,0 +1,537 @@
+//! Hyperledger Fabric model: execute-order-validate over a Raft ordering
+//! service.
+//!
+//! Pipeline (matching Fabric 2.2.1 as benchmarked in the paper):
+//!
+//! 1. **Endorse** — the client's peer simulates the transaction against its
+//!    world state, producing a read/write set ([`coconut_iel::simulate`]).
+//! 2. **Order** — the endorsed transaction goes to the three-orderer Raft
+//!    cluster ([`coconut_consensus::raft`]); blocks are cut at
+//!    `MaxMessageCount` transactions or the batch timeout.
+//! 3. **Validate & commit** — every peer receives the block, MVCC-validates
+//!    each transaction's read set, applies valid writes, and appends the
+//!    block. *Invalid transactions are appended too* and their block events
+//!    still reach the client — the paper explicitly counts them (§5.4).
+//!
+//! Anomalies reproduced:
+//! * under overload the peers' validation backlog grows and late block
+//!   events are dropped, losing transactions from the client's view
+//!   (Table 14: 408,749 of 480,000 received at RL = 1600);
+//! * at 16 or more peers the block-event delivery to clients breaks
+//!   entirely — nodes and orderers keep finalizing, but "the clients do not
+//!   receive any confirmation" (§5.8.2).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use coconut_consensus::raft::RaftCluster;
+use coconut_consensus::{BatchConfig, Command, CpuModel};
+use coconut_iel::{simulate, validate_and_apply, RwSet, WorldState};
+use coconut_simnet::{EventQueue, LatencyModel, NetConfig};
+use coconut_types::{
+    BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+};
+
+use crate::ledger::Ledger;
+use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
+use crate::util::WorkerPool;
+
+/// Configuration of the Fabric deployment.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of peers (the paper's baseline: 4, one per server).
+    pub peers: u32,
+    /// Number of Raft orderers (the paper: 3, on servers 1–3).
+    pub orderers: u32,
+    /// `MaxMessageCount`: transactions per block before a cut.
+    pub max_message_count: usize,
+    /// `BatchTimeout`: maximum wait before a partial block is cut.
+    pub batch_timeout: SimDuration,
+    /// Network characteristics (set [`NetConfig::emulated_latency`] for the
+    /// §5.8.1 experiments).
+    pub net: NetConfig,
+    /// CPU cost of endorsing one transaction at a peer.
+    pub endorse_cost: SimDuration,
+    /// CPU cost of validating one transaction at each peer.
+    pub validate_cost: SimDuration,
+    /// Block events whose peer-side validation lag exceeds this are dropped
+    /// before reaching the client (overload loss).
+    pub event_drop_backlog: SimDuration,
+    /// Peer count at which the client event service breaks (§5.8.2
+    /// observes 16); `None` disables the anomaly.
+    pub event_break_at: Option<u32>,
+    /// Concurrent endorsement (gRPC) slots per peer. Each endorsement
+    /// holds a slot for its CPU time *plus* the response round-trip, so
+    /// added network latency throttles endorsement throughput — the §5.8.1
+    /// finding that Fabric loses 33–40% under netem.
+    pub endorse_workers: u32,
+}
+
+impl Default for FabricConfig {
+    /// The paper's baseline: 4 peers, 3 orderers, Fabric's default block
+    /// cutting (500 messages / 2 s) on a LAN.
+    fn default() -> Self {
+        FabricConfig {
+            peers: 4,
+            orderers: 3,
+            max_message_count: 500,
+            batch_timeout: SimDuration::from_secs(2),
+            net: NetConfig::lan(),
+            endorse_cost: SimDuration::from_micros(550),
+            validate_cost: SimDuration::from_micros(600),
+            event_drop_backlog: SimDuration::from_secs(8),
+            event_break_at: Some(16),
+            endorse_workers: 6,
+        }
+    }
+}
+
+/// A pending transaction: endorsed, waiting to enter the orderer.
+#[derive(Debug)]
+struct EndorsedTx {
+    command: Command,
+}
+
+/// Bookkeeping for a transaction between endorsement and validation.
+#[derive(Debug)]
+struct InFlight {
+    rwset: RwSet,
+    ops: u32,
+}
+
+/// The modelled Fabric network (see module docs).
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    raft: RaftCluster,
+    peer_cpu: CpuModel,
+    endorse_pool: Vec<WorkerPool>,
+    state: WorldState,
+    in_flight: HashMap<TxId, InFlight>,
+    /// Endorsement completions waiting to be injected into the orderer.
+    injections: EventQueue<EndorsedTx>,
+    outcomes: Vec<TxOutcome>,
+    stats: SystemStats,
+    rng: StdRng,
+    inter: LatencyModel,
+    ledger: Ledger,
+    valid_txs: u64,
+    invalid_txs: u64,
+}
+
+impl Fabric {
+    /// Builds a Fabric deployment from `config` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.peers` or `config.orderers` is zero.
+    pub fn new(config: FabricConfig, seed: u64) -> Self {
+        assert!(config.peers > 0, "need at least one peer");
+        assert!(config.orderers > 0, "need at least one orderer");
+        let seeds = SeedDeriver::new(seed);
+        let raft = RaftCluster::builder(config.orderers)
+            .seed(seeds.seed("orderers", 0))
+            .net(config.net.clone())
+            .batch(BatchConfig::new(config.max_message_count, config.batch_timeout))
+            .build();
+        Fabric {
+            peer_cpu: CpuModel::new(config.peers),
+            endorse_pool: (0..config.peers)
+                .map(|_| WorkerPool::new(config.endorse_workers))
+                .collect(),
+            raft,
+            state: WorldState::new(),
+            in_flight: HashMap::new(),
+            injections: EventQueue::new(),
+            outcomes: Vec::new(),
+            stats: SystemStats::default(),
+            rng: seeds.rng("hops", 0),
+            inter: config.net.inter_server,
+            config,
+            ledger: Ledger::new(),
+            valid_txs: 0,
+            invalid_txs: 0,
+        }
+    }
+
+    /// Transactions whose write sets survived MVCC validation.
+    pub fn valid_txs(&self) -> u64 {
+        self.valid_txs
+    }
+
+    /// Transactions appended to the chain but invalidated by MVCC.
+    pub fn invalid_txs(&self) -> u64 {
+        self.invalid_txs
+    }
+
+    /// The committed world state (for semantic assertions in tests).
+    pub fn world_state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// The hash-linked ledger (tamper-evident block chain).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Crashes one of the Raft orderers (fault injection). The ordering
+    /// service keeps running while a majority survives.
+    pub fn crash_orderer(&mut self, orderer: NodeId) {
+        self.raft.crash(orderer);
+    }
+
+    /// Recovers a crashed orderer; it rejoins as a follower and catches up.
+    pub fn recover_orderer(&mut self, orderer: NodeId) {
+        self.raft.recover(orderer);
+    }
+
+    fn hop(&mut self) -> SimDuration {
+        self.inter.sample(&mut self.rng)
+    }
+
+    fn process_batches(&mut self, batches: Vec<coconut_consensus::CommittedBatch>) {
+        for batch in batches {
+            self.stats.blocks += 1;
+            let tb = batch.committed_at;
+            let height = self.ledger.append(
+                batch.proposer,
+                tb,
+                batch.commands.iter().map(|c| c.tx).collect(),
+                None,
+            );
+            let block = BlockId(height);
+            // Every peer receives and validates the whole block.
+            let mut persist = SimTime::ZERO;
+            let validation = self.config.validate_cost * batch.commands.len() as u64;
+            for p in 0..self.config.peers {
+                let arrive = tb + self.hop();
+                let done = self.peer_cpu.process(NodeId(p), arrive, validation);
+                persist = persist.max(done);
+            }
+            let lag = persist - tb;
+            let events_broken = self
+                .config
+                .event_break_at
+                .is_some_and(|n| self.config.peers >= n);
+            let events_dropped = lag > self.config.event_drop_backlog;
+            for cmd in &batch.commands {
+                let Some(fl) = self.in_flight.remove(&cmd.tx) else {
+                    continue;
+                };
+                // MVCC validation in commit order; invalid txs stay on the
+                // chain (and in the client's received count) but do not
+                // touch the world state.
+                if validate_and_apply(&fl.rwset, &mut self.state) {
+                    self.valid_txs += 1;
+                } else {
+                    self.invalid_txs += 1;
+                }
+                if events_broken || events_dropped {
+                    continue; // client never learns
+                }
+                let event_at = persist + self.hop();
+                self.outcomes
+                    .push(TxOutcome::committed(cmd.tx, block, event_at, fl.ops));
+                self.stats.outcomes_emitted += 1;
+            }
+        }
+    }
+}
+
+impl BlockchainSystem for Fabric {
+    fn name(&self) -> &str {
+        "Fabric"
+    }
+
+    fn node_count(&self) -> u32 {
+        self.config.peers
+    }
+
+    fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        self.stats.accepted += 1;
+        // Endorsement at the client's peer: the simulation consumes peer
+        // CPU (shared with block validation), and the gRPC slot stays held
+        // from request arrival through the response round-trip — so added
+        // network latency throttles endorsement throughput (§5.8.1).
+        let peer = NodeId(tx.id().client().0 % self.config.peers);
+        let arrive = now + self.hop();
+        let cpu = self.config.endorse_cost * tx.op_count() as u64;
+        let cpu_done = self.peer_cpu.process(peer, arrive, cpu);
+        // The slot is held for the endorsement service time plus the
+        // request/response legs (not the CPU queueing delay, which gRPC
+        // concurrency hides).
+        let hold = cpu + self.hop() + self.hop();
+        let done = self.endorse_pool[peer.0 as usize].process(arrive, hold).max(cpu_done);
+        // Simulate against the committed state as of submission; conflicts
+        // appear when the state moves before validation.
+        let payload = &tx.payloads()[0];
+        let sim = match simulate(payload, &self.state) {
+            Ok(sim) => sim,
+            Err(_) => {
+                // Endorsement failure: the client learns immediately after
+                // the endorsement round-trip and the tx never reaches the
+                // orderer. (Rare in the paper's workloads.)
+                let event_at = done + self.hop();
+                self.outcomes.push(TxOutcome::failed(
+                    tx.id(),
+                    coconut_types::tx::FailReason::ExecutionError,
+                    event_at,
+                ));
+                self.stats.outcomes_emitted += 1;
+                return SubmitOutcome::Accepted;
+            }
+        };
+        self.in_flight.insert(
+            tx.id(),
+            InFlight {
+                rwset: sim.rwset,
+                ops: tx.op_count() as u32,
+            },
+        );
+        let command = Command::new(tx.id(), tx.op_count() as u32, tx.size_bytes() as u32);
+        let inject_at = done + self.hop();
+        self.injections.push(inject_at, EndorsedTx { command });
+        SubmitOutcome::Accepted
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
+        loop {
+            match self.injections.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (at, endorsed) = self.injections.pop().expect("peeked");
+                    let batches = self.raft.run_until(at);
+                    self.process_batches(batches);
+                    self.raft.submit(endorsed.command);
+                }
+                _ => break,
+            }
+        }
+        let batches = self.raft.run_until(deadline);
+        self.process_batches(batches);
+        self.stats.consensus_messages = self.raft.net_stats().messages_sent;
+        let mut out = std::mem::take(&mut self.outcomes);
+        out.sort_by_key(|o| o.finalized_at);
+        out
+    }
+
+    fn stats(&self) -> SystemStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{AccountId, ClientId, Payload, ThreadId};
+
+    fn tx(seq: u64, payload: Payload) -> ClientTx {
+        ClientTx::single(TxId::new(ClientId(0), seq), ThreadId(0), payload, SimTime::ZERO)
+    }
+
+    fn warmed(seed: u64) -> Fabric {
+        let mut f = Fabric::new(FabricConfig::default(), seed);
+        // Let the orderers elect a leader before traffic arrives.
+        f.run_until(SimTime::from_secs(2));
+        f
+    }
+
+    #[test]
+    fn commits_a_do_nothing_tx() {
+        let mut f = warmed(1);
+        let now = SimTime::from_secs(2);
+        f.submit(now, tx(1, Payload::DoNothing));
+        let outcomes = f.run_until(SimTime::from_secs(10));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_committed());
+        assert!(outcomes[0].finalized_at > now);
+        assert_eq!(f.height(), 1);
+    }
+
+    #[test]
+    fn block_cut_by_max_message_count() {
+        let mut cfg = FabricConfig::default();
+        cfg.max_message_count = 10;
+        let mut f = Fabric::new(cfg, 2);
+        f.run_until(SimTime::from_secs(2));
+        for s in 0..30 {
+            f.submit(SimTime::from_secs(2), tx(s, Payload::DoNothing));
+        }
+        let outcomes = f.run_until(SimTime::from_secs(12));
+        assert_eq!(outcomes.len(), 30);
+        assert_eq!(f.height(), 3, "30 txs at MM=10 → 3 blocks");
+    }
+
+    #[test]
+    fn latency_at_moderate_load_is_subsecond() {
+        // Table 13: RL=800, MM=100 → MFLS 0.22 s.
+        let mut cfg = FabricConfig::default();
+        cfg.max_message_count = 100;
+        let mut f = Fabric::new(cfg, 3);
+        f.run_until(SimTime::from_secs(2));
+        // 0.5 s of traffic at 800/s.
+        let mut sent = Vec::new();
+        let mut outcomes = Vec::new();
+        for i in 0..400u64 {
+            let at = SimTime::from_secs(2) + SimDuration::from_micros(i * 1250);
+            outcomes.extend(f.run_until(at));
+            f.submit(at, tx(i, Payload::DoNothing));
+            sent.push(at);
+        }
+        outcomes.extend(f.run_until(SimTime::from_secs(20)));
+        outcomes.sort_by_key(|o| o.tx.seq());
+        assert_eq!(outcomes.len(), 400);
+        let mean_latency_us: u64 = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.finalized_at - sent[i]).as_micros())
+            .sum::<u64>()
+            / 400;
+        assert!(
+            (50_000..700_000).contains(&mean_latency_us),
+            "mean latency {mean_latency_us}µs should be a few hundred ms"
+        );
+    }
+
+    #[test]
+    fn mvcc_conflicts_are_appended_but_not_applied() {
+        let mut f = warmed(4);
+        let t = SimTime::from_secs(2);
+        f.submit(t, tx(1, Payload::create_account(AccountId(1), 100, 0)));
+        f.submit(t, tx(2, Payload::create_account(AccountId(2), 100, 0)));
+        f.run_until(SimTime::from_secs(8));
+        // Two concurrent payments endorsed against the same snapshot:
+        let t2 = f.raft.now();
+        f.submit(t2, tx(3, Payload::send_payment(AccountId(1), AccountId(2), 10)));
+        f.submit(t2, tx(4, Payload::send_payment(AccountId(1), AccountId(2), 20)));
+        let outcomes = f.run_until(t2 + SimDuration::from_secs(8));
+        // Both are received by the client (appended to the chain)...
+        assert_eq!(outcomes.iter().filter(|o| o.is_committed()).count(), 2);
+        // ...but only one touched the world state.
+        assert_eq!(f.invalid_txs(), 1);
+        assert_eq!(f.valid_txs(), 3); // 2 creates + 1 payment
+        use coconut_iel::StateKey;
+        let b1 = f.world_state().get(&StateKey::Checking(AccountId(1))).unwrap();
+        assert!(b1 == 90 || b1 == 80, "exactly one payment applied, got {b1}");
+    }
+
+    #[test]
+    fn event_service_breaks_at_sixteen_peers() {
+        let mut cfg = FabricConfig::default();
+        cfg.peers = 16;
+        let mut f = Fabric::new(cfg, 5);
+        f.run_until(SimTime::from_secs(2));
+        for s in 0..10 {
+            f.submit(SimTime::from_secs(2), tx(s, Payload::DoNothing));
+        }
+        let outcomes = f.run_until(SimTime::from_secs(12));
+        assert!(outcomes.is_empty(), "clients receive nothing at n ≥ 16");
+        assert!(f.height() > 0, "yet the chain itself advanced");
+    }
+
+    #[test]
+    fn overload_grows_latency() {
+        let mut cfg = FabricConfig::default();
+        cfg.max_message_count = 100;
+        let mut f = Fabric::new(cfg, 6);
+        f.run_until(SimTime::from_secs(2));
+        // 2500/s for 4 s: beyond the validation service rate.
+        let mut sent = HashMap::new();
+        let mut outcomes = Vec::new();
+        for i in 0..10_000u64 {
+            let at = SimTime::from_secs(2) + SimDuration::from_micros(i * 400);
+            outcomes.extend(f.run_until(at));
+            f.submit(at, tx(i, Payload::DoNothing));
+            sent.insert(i, at);
+        }
+        outcomes.extend(f.run_until(SimTime::from_secs(60)));
+        outcomes.sort_by_key(|o| o.tx.seq());
+        let latencies: Vec<u64> = outcomes
+            .iter()
+            .map(|o| (o.finalized_at - sent[&o.tx.seq()]).as_micros())
+            .collect();
+        let first = latencies.iter().take(100).sum::<u64>() / 100;
+        let last = latencies.iter().rev().take(100).sum::<u64>() / 100;
+        assert!(
+            last > first * 2,
+            "latency must grow under overload: first {first}µs → last {last}µs"
+        );
+    }
+
+    #[test]
+    fn severe_overload_loses_events() {
+        let mut cfg = FabricConfig::default();
+        cfg.max_message_count = 100;
+        cfg.event_drop_backlog = SimDuration::from_millis(500);
+        let mut f = Fabric::new(cfg, 7);
+        f.run_until(SimTime::from_secs(2));
+        let mut outcomes = Vec::new();
+        for i in 0..20_000u64 {
+            let at = SimTime::from_secs(2) + SimDuration::from_micros(i * 250); // 4000/s
+            outcomes.extend(f.run_until(at));
+            f.submit(at, tx(i, Payload::DoNothing));
+        }
+        outcomes.extend(f.run_until(SimTime::from_secs(120)));
+        assert!(
+            outcomes.len() < 20_000,
+            "some events must be dropped, got all {}",
+            outcomes.len()
+        );
+        assert!(!outcomes.is_empty(), "but not everything");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut f = warmed(seed);
+            for s in 0..50 {
+                f.submit(SimTime::from_secs(2), tx(s, Payload::key_value_set(s, s)));
+            }
+            f.run_until(SimTime::from_secs(15))
+                .iter()
+                .map(|o| (o.tx, o.finalized_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn stats_track_accept_and_blocks() {
+        let mut f = warmed(9);
+        for s in 0..5 {
+            f.submit(SimTime::from_secs(2), tx(s, Payload::DoNothing));
+        }
+        f.run_until(SimTime::from_secs(10));
+        let st = f.stats();
+        assert_eq!(st.accepted, 5);
+        assert!(st.blocks >= 1);
+        assert_eq!(st.outcomes_emitted, 5);
+        assert!(st.consensus_messages > 0);
+    }
+
+    #[test]
+    fn emulated_latency_slows_finalization() {
+        let run = |net: NetConfig| {
+            let mut cfg = FabricConfig::default();
+            cfg.net = net;
+            cfg.max_message_count = 10;
+            let mut f = Fabric::new(cfg, 10);
+            f.run_until(SimTime::from_secs(3));
+            let t = f.raft.now();
+            for s in 0..10 {
+                f.submit(t, tx(s, Payload::DoNothing));
+            }
+            let outcomes = f.run_until(t + SimDuration::from_secs(20));
+            assert_eq!(outcomes.len(), 10);
+            outcomes.iter().map(|o| (o.finalized_at - t).as_micros()).sum::<u64>() / 10
+        };
+        let lan = run(NetConfig::lan());
+        let wan = run(NetConfig::emulated_latency());
+        assert!(wan > lan + 20_000, "netem must add tens of ms: {lan} vs {wan}");
+    }
+}

@@ -1,0 +1,481 @@
+//! Hyperledger Sawtooth model: atomic batches over PBFT with a bounded
+//! validator queue.
+//!
+//! Pipeline: a COCONUT submission is an *atomic batch* of transactions
+//! (the paper runs 1, 50 and 100 transactions per batch). Batches enter a
+//! bounded validator queue — "a queue that rejects new incoming
+//! transactions if the occupancy of the queue is too high" (§5.6), the
+//! decisive factor behind Sawtooth's lost transactions. Accepted batches
+//! are ordered by PBFT (`block_publishing_delay` paces proposals), and at
+//! commit every validator executes the batch's transactions through the
+//! transaction processor; if any inner transaction fails, the *whole batch*
+//! is discarded (atomicity, §5.6).
+//!
+//! Two further behaviours from the paper:
+//! * submission handling itself costs validator CPU (every validator
+//!   verifies every gossiped batch), so raising the rate limiter *starves
+//!   execution* — reproducing the throughput collapse from 66.7 MTPS at
+//!   RL = 200 to 14.3 at RL = 1600 (Table 17);
+//! * at 16 or more nodes, batches "remain in the pending state without
+//!   being finalized" (§5.8.2) — the queue accepts but consensus never
+//!   includes them.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+
+use coconut_consensus::pbft::PbftCluster;
+use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_iel::WorldState;
+use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_types::{
+    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+};
+
+use crate::ledger::Ledger;
+use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
+
+/// Configuration of the Sawtooth deployment.
+#[derive(Debug, Clone)]
+pub struct SawtoothConfig {
+    /// Number of validators (paper baseline: 4).
+    pub nodes: u32,
+    /// `sawtooth.consensus.pbft.block_publishing_delay`.
+    pub publishing_delay: SimDuration,
+    /// Maximum batches per block.
+    pub batches_per_block: usize,
+    /// Validator queue bound, in batches; beyond it submissions are
+    /// rejected.
+    pub queue_limit: usize,
+    /// Network characteristics.
+    pub net: NetConfig,
+    /// CPU cost of executing one inner transaction at each validator.
+    pub exec_per_tx: SimDuration,
+    /// CPU cost per inner transaction of admitting a gossiped batch at
+    /// *every* validator (signature checks) — the load that starves
+    /// execution at high rate limiters.
+    pub ingress_per_tx: SimDuration,
+    /// Node count at which batches stay pending forever (§5.8.2 observes
+    /// 16); `None` disables the anomaly.
+    pub pending_stall_at: Option<u32>,
+}
+
+impl Default for SawtoothConfig {
+    /// The paper's baseline: 4 validators, 1 s publishing delay.
+    fn default() -> Self {
+        SawtoothConfig {
+            nodes: 4,
+            publishing_delay: SimDuration::from_secs(1),
+            batches_per_block: 100,
+            queue_limit: 100,
+            net: NetConfig::lan(),
+            exec_per_tx: SimDuration::from_micros(7_500),
+            ingress_per_tx: SimDuration::from_micros(800),
+            pending_stall_at: Some(16),
+        }
+    }
+}
+
+/// The modelled Sawtooth network (see module docs).
+#[derive(Debug)]
+pub struct Sawtooth {
+    config: SawtoothConfig,
+    pbft: PbftCluster,
+    exec_cpu: CpuModel,
+    state: WorldState,
+    batches: HashMap<TxId, ClientTx>,
+    outcomes: EventQueue<TxOutcome>,
+    stats: SystemStats,
+    rng: StdRng,
+    inter: LatencyModel,
+    ledger: Ledger,
+    aborted_batches: u64,
+    /// Per-block (execution-finished-at, batch count): committed batches
+    /// still occupying the validator until the transaction processors are
+    /// done with them.
+    executing: VecDeque<(SimTime, u32)>,
+    /// Recent submission arrivals (time, inner-tx count) for the
+    /// admission-load estimator.
+    recent_arrivals: VecDeque<(SimTime, u32)>,
+    /// Latest admission slowdown factor, applied to block execution.
+    current_slowdown: f64,
+}
+
+impl Sawtooth {
+    /// Builds a Sawtooth deployment from `config` with a deterministic
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero.
+    pub fn new(config: SawtoothConfig, seed: u64) -> Self {
+        assert!(config.nodes > 0, "need at least one validator");
+        let seeds = SeedDeriver::new(seed);
+        let pbft = PbftCluster::builder(config.nodes)
+            .seed(seeds.seed("pbft", 0))
+            .net(config.net.clone())
+            .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
+            .publishing_delay(config.publishing_delay)
+            // The view-change timeout must comfortably exceed the
+            // publishing cadence, or idle gaps between slow blocks would
+            // look like a dead primary.
+            .commit_timeout((config.publishing_delay * 3).max(SimDuration::from_secs(4)))
+            .batch(BatchConfig::new(config.batches_per_block, config.publishing_delay))
+            .build();
+        Sawtooth {
+            exec_cpu: CpuModel::new(config.nodes),
+            pbft,
+            state: WorldState::new(),
+            batches: HashMap::new(),
+            outcomes: EventQueue::new(),
+            stats: SystemStats::default(),
+            rng: seeds.rng("hops", 0),
+            inter: config.net.inter_server,
+            config,
+            ledger: Ledger::new(),
+            aborted_batches: 0,
+            executing: VecDeque::new(),
+            recent_arrivals: VecDeque::new(),
+            current_slowdown: 1.0,
+        }
+    }
+
+    /// The committed world state.
+    pub fn world_state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Chain height.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// The hash-linked ledger (tamper-evident block chain).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Batches discarded atomically because an inner transaction failed.
+    pub fn aborted_batches(&self) -> u64 {
+        self.aborted_batches
+    }
+
+    /// Crashes a validator (fault injection). PBFT keeps committing while
+    /// 2f + 1 validators survive; view changes replace a dead primary.
+    pub fn crash_validator(&mut self, node: NodeId) {
+        self.pbft.crash(node);
+    }
+
+    /// Recovers a crashed validator.
+    pub fn recover_validator(&mut self, node: NodeId) {
+        self.pbft.recover(node);
+    }
+
+    fn hop(&mut self) -> SimDuration {
+        self.inter.sample(&mut self.rng)
+    }
+
+    /// Admission load factor: every validator deserializes and
+    /// signature-checks every gossiped batch, sharing CPU with the
+    /// transaction processors. At high rate limiters the admission flood
+    /// starves execution — modelled as processor sharing, stretching
+    /// execution by 1/(1 − u). This is what collapses Sawtooth from 66.7
+    /// MTPS at RL = 200 to 14.3 at RL = 1600 (Table 17).
+    fn ingress_slowdown(&mut self, now: SimTime, ops: u32) -> f64 {
+        const WINDOW: SimDuration = SimDuration::from_secs(2);
+        self.recent_arrivals.push_back((now, ops));
+        while let Some(&(front, _)) = self.recent_arrivals.front() {
+            if now - front > WINDOW {
+                self.recent_arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
+        let tx_rate = self.recent_arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64
+            / window_secs;
+        let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
+        1.0 / (1.0 - utilization)
+    }
+
+    /// Validator queue occupancy in batches: batches waiting for a block
+    /// plus batches whose execution has not finished by `now`. This is what
+    /// Sawtooth's back-pressure looks at — blocks drain the *consensus*
+    /// queue, but the transaction processors are the slow stage.
+    fn occupancy(&mut self, now: SimTime) -> usize {
+        while let Some(&(done, _)) = self.executing.front() {
+            if done <= now {
+                self.executing.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.pbft.pending_len() + self.executing.iter().map(|&(_, n)| n as usize).sum::<usize>()
+    }
+
+    fn pending_stalled(&self) -> bool {
+        self.config
+            .pending_stall_at
+            .is_some_and(|n| self.config.nodes >= n)
+    }
+}
+
+impl BlockchainSystem for Sawtooth {
+    fn name(&self) -> &str {
+        "Sawtooth"
+    }
+
+    fn node_count(&self) -> u32 {
+        self.config.nodes
+    }
+
+    fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        // Admission work is paid even for batches the full queue turns
+        // away — feed the load estimator before the queue decides.
+        let slowdown = self.ingress_slowdown(now, tx.op_count() as u32);
+        self.current_slowdown = slowdown;
+        // The bounded validator queue is the decisive Sawtooth behaviour:
+        // a full queue rejects, and the client must re-send (COCONUT does
+        // not, so the batch is lost).
+        if self.occupancy(now) >= self.config.queue_limit {
+            self.stats.rejected += 1;
+            return SubmitOutcome::Rejected;
+        }
+        self.stats.accepted += 1;
+        if self.pending_stalled() {
+            // §5.8.2: at 16/32 nodes everything stays pending forever.
+            return SubmitOutcome::Accepted;
+        }
+        self.batches.insert(tx.id(), tx.clone());
+        self.pbft.submit(coconut_consensus::Command::new(
+            tx.id(),
+            tx.op_count() as u32,
+            tx.size_bytes() as u32,
+        ));
+        SubmitOutcome::Accepted
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
+        let blocks = self.pbft.run_until(deadline);
+        for block in blocks {
+            if block.commands.is_empty() {
+                continue;
+            }
+            self.stats.blocks += 1;
+            let ops: u64 = block.commands.iter().map(|c| c.ops as u64).sum();
+            let height = self.ledger.append(
+                block.proposer,
+                block.committed_at,
+                block.commands.iter().map(|c| c.tx).collect(),
+                Some(ops),
+            );
+            let block_id = BlockId(height);
+            // Execute every batch at every validator (transaction
+            // processors run per node); atomic batches roll back wholesale.
+            let mut results = Vec::with_capacity(block.commands.len());
+            let mut total_cost = SimDuration::ZERO;
+            let slowdown = self.current_slowdown;
+            for cmd in &block.commands {
+                let Some(batch) = self.batches.remove(&cmd.tx) else {
+                    continue;
+                };
+                total_cost += (self.config.exec_per_tx * batch.op_count() as u64).mul_f64(slowdown);
+                // Dry-run the batch atomically: all payloads must succeed.
+                let mut scratch = self.state.clone();
+                let mut ok = true;
+                for p in batch.payloads() {
+                    if scratch.apply(p).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.state = scratch;
+                } else {
+                    self.aborted_batches += 1;
+                }
+                results.push((cmd.tx, cmd.ops, ok));
+            }
+            let mut persist = SimTime::ZERO;
+            for v in 0..self.config.nodes {
+                let arrive = block.committed_at + self.hop();
+                let done = self.exec_cpu.process(NodeId(v), arrive, total_cost);
+                persist = persist.max(done);
+            }
+            self.executing.push_back((persist, results.len() as u32));
+            for (txid, ops, ok) in results {
+                let event_at = persist + self.hop();
+                let outcome = if ok {
+                    TxOutcome::committed(txid, block_id, event_at, ops)
+                } else {
+                    TxOutcome::failed(txid, FailReason::Conflict, event_at)
+                };
+                self.outcomes.push(event_at, outcome);
+                self.stats.outcomes_emitted += 1;
+            }
+        }
+        let mut out = Vec::new();
+        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
+            out.push(o);
+        }
+        out
+    }
+
+    fn stats(&self) -> SystemStats {
+        let mut s = self.stats;
+        s.consensus_messages = self.pbft.net_stats().messages_sent;
+        s
+    }
+
+    fn is_live(&self) -> bool {
+        !self.pending_stalled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, Payload, ThreadId};
+
+    fn batch(seq: u64, payloads: Vec<Payload>) -> ClientTx {
+        ClientTx::new(TxId::new(ClientId(0), seq), ThreadId(0), payloads, SimTime::ZERO)
+    }
+
+    fn single(seq: u64, p: Payload) -> ClientTx {
+        batch(seq, vec![p])
+    }
+
+    #[test]
+    fn commits_a_batch() {
+        let mut s = Sawtooth::new(SawtoothConfig::default(), 1);
+        s.submit(SimTime::ZERO, batch(1, vec![Payload::key_value_set(1, 1); 10]));
+        let outcomes = s.run_until(SimTime::from_secs(10));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_committed());
+        assert_eq!(outcomes[0].ops_confirmed(), 10);
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let mut cfg = SawtoothConfig::default();
+        cfg.queue_limit = 5;
+        let mut s = Sawtooth::new(cfg, 2);
+        let mut rejected = 0;
+        for i in 0..20 {
+            if !s.submit(SimTime::ZERO, single(i, Payload::DoNothing)).is_accepted() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 15, "queue_limit=5 admits only the first five");
+        assert_eq!(s.stats().rejected, 15);
+    }
+
+    #[test]
+    fn queue_drains_between_blocks() {
+        let mut cfg = SawtoothConfig::default();
+        cfg.queue_limit = 5;
+        cfg.publishing_delay = SimDuration::from_millis(200);
+        let mut s = Sawtooth::new(cfg, 3);
+        for i in 0..5 {
+            s.submit(SimTime::ZERO, single(i, Payload::DoNothing));
+        }
+        let first = s.run_until(SimTime::from_secs(5));
+        assert_eq!(first.len(), 5);
+        // After draining, new submissions are accepted again.
+        assert!(s.submit(s.pbft.now(), single(9, Payload::DoNothing)).is_accepted());
+    }
+
+    #[test]
+    fn atomic_batch_aborts_on_single_failure() {
+        let mut s = Sawtooth::new(SawtoothConfig::default(), 4);
+        // 9 good writes + 1 read of a missing key → whole batch dies.
+        let mut payloads: Vec<Payload> = (0..9).map(|k| Payload::key_value_set(k, k)).collect();
+        payloads.push(Payload::key_value_get(999));
+        s.submit(SimTime::ZERO, batch(1, payloads));
+        let outcomes = s.run_until(SimTime::from_secs(10));
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].is_committed());
+        assert_eq!(s.aborted_batches(), 1);
+        // None of the nine writes survive:
+        assert!(s.world_state().is_empty());
+    }
+
+    #[test]
+    fn publishing_delay_paces_blocks() {
+        let mut cfg = SawtoothConfig::default();
+        cfg.publishing_delay = SimDuration::from_secs(2);
+        cfg.batches_per_block = 1;
+        let mut s = Sawtooth::new(cfg, 5);
+        for i in 0..3 {
+            s.submit(SimTime::ZERO, single(i, Payload::DoNothing));
+        }
+        let outcomes = s.run_until(SimTime::from_secs(30));
+        assert_eq!(outcomes.len(), 3);
+        for w in outcomes.windows(2) {
+            assert!(w[1].finalized_at - w[0].finalized_at >= SimDuration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn sixteen_nodes_leave_batches_pending() {
+        let mut cfg = SawtoothConfig::default();
+        cfg.nodes = 16;
+        let mut s = Sawtooth::new(cfg, 6);
+        assert!(!s.is_live());
+        for i in 0..10 {
+            assert!(s.submit(SimTime::ZERO, single(i, Payload::DoNothing)).is_accepted());
+        }
+        let outcomes = s.run_until(SimTime::from_secs(20));
+        assert!(outcomes.is_empty(), "batches stay pending forever");
+        assert_eq!(s.height(), 0);
+    }
+
+    #[test]
+    fn high_rate_ingress_starves_execution() {
+        // Submit the same number of batches either instantly spread over a
+        // long window (low rate) or in a dense burst (high rate): the dense
+        // burst's admission work delays execution completions.
+        let run = |gap_us: u64| {
+            let mut s = Sawtooth::new(SawtoothConfig::default(), 7);
+            let mut last = SimTime::ZERO;
+            let mut outcomes = Vec::new();
+            for i in 0..50u64 {
+                let at = SimTime::from_micros(i * gap_us);
+                outcomes.extend(s.run_until(at));
+                s.submit(at, batch(i, vec![Payload::DoNothing; 100]));
+                last = at;
+            }
+            outcomes.extend(s.run_until(last + SimDuration::from_secs(600)));
+            let committed = outcomes.iter().filter(|o| o.is_committed()).count();
+            assert!(committed > 0);
+            outcomes
+                .iter()
+                .map(|o| o.finalized_at.as_micros())
+                .max()
+                .unwrap()
+        };
+        let relaxed = run(500_000); // 2 batches/s
+        let burst = run(1_000); // 1000 batches/s
+        // The burst finishes its last confirmation later relative to its
+        // last submission (50 × 0.5 s head start for relaxed).
+        assert!(
+            burst + 25_000_000 > relaxed,
+            "ingress starvation must slow the burst: {burst} vs {relaxed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut s = Sawtooth::new(SawtoothConfig::default(), seed);
+            for i in 0..10 {
+                s.submit(SimTime::ZERO, batch(i, vec![Payload::key_value_set(i, i); 5]));
+            }
+            s.run_until(SimTime::from_secs(20))
+                .iter()
+                .map(|o| (o.tx, o.finalized_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(8), run(8));
+    }
+}

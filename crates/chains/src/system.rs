@@ -1,0 +1,93 @@
+//! The common interface every modelled blockchain system implements.
+
+use coconut_types::{ClientTx, SimTime, TxOutcome};
+
+/// What happened to a submission at the system's ingress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The system accepted the transaction; its fate arrives later as a
+    /// [`TxOutcome`] from [`BlockchainSystem::run_until`].
+    Accepted,
+    /// The system rejected the transaction at the door (e.g. Sawtooth's
+    /// full validator queue). No further outcome will be produced; from the
+    /// client's perspective the transaction is lost unless re-sent.
+    Rejected,
+}
+
+impl SubmitOutcome {
+    /// `true` if the transaction entered the system.
+    pub fn is_accepted(self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
+
+/// Aggregate counters a system reports after (or during) a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Transactions accepted at ingress.
+    pub accepted: u64,
+    /// Transactions rejected at ingress.
+    pub rejected: u64,
+    /// Blocks (or finality rounds) produced.
+    pub blocks: u64,
+    /// Client-visible outcomes emitted.
+    pub outcomes_emitted: u64,
+    /// Consensus-level network messages sent.
+    pub consensus_messages: u64,
+}
+
+/// A blockchain system under test: the COCONUT framework submits
+/// transactions and drives virtual time, collecting end-to-end outcomes.
+///
+/// The contract mirrors the paper's end-to-end methodology: an outcome's
+/// [`TxOutcome::finalized_at`] is the instant the *client* learns the
+/// transaction's fate — after the transaction is persisted on all nodes and
+/// the notification has crossed the network back to the client.
+pub trait BlockchainSystem {
+    /// A short stable name ("Fabric", "Corda OS", ...).
+    fn name(&self) -> &str;
+
+    /// Number of blockchain nodes in the deployment.
+    fn node_count(&self) -> u32;
+
+    /// Submits `tx` at virtual time `now`.
+    ///
+    /// Implementations must tolerate `now` values at or after the time of
+    /// the last event they processed; the framework always drives
+    /// `run_until(now)` before submitting at `now`.
+    fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome;
+
+    /// Advances the system to `deadline`, returning the outcomes whose
+    /// client notification fired in this window (ordering follows
+    /// notification time; an implementation may return outcomes stamped
+    /// slightly past `deadline` when a commit straddles it).
+    fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome>;
+
+    /// Aggregate counters.
+    fn stats(&self) -> SystemStats;
+
+    /// `false` once the system has ceased serving confirmations — the
+    /// paper's liveness violation (e.g. Quorum's stalled txpool).
+    fn is_live(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_outcome_predicates() {
+        assert!(SubmitOutcome::Accepted.is_accepted());
+        assert!(!SubmitOutcome::Rejected.is_accepted());
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = SystemStats::default();
+        assert_eq!(s.accepted, 0);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.blocks, 0);
+    }
+}

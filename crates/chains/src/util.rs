@@ -1,0 +1,68 @@
+//! Small shared helpers for the chain models.
+
+use coconut_types::{SimDuration, SimTime};
+
+/// A pool of identical workers on one node: each job occupies the
+/// earliest-free worker for its full duration (an M/G/k service station).
+/// Used for Corda flow workers and Fabric endorsement (gRPC) slots.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerPool {
+    free: Vec<SimTime>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: u32) -> Self {
+        WorkerPool {
+            free: vec![SimTime::ZERO; workers.max(1) as usize],
+        }
+    }
+
+    /// Reserves a worker for `cost` starting no earlier than `arrival`;
+    /// returns the completion time.
+    pub(crate) fn process(&mut self, arrival: SimTime, cost: SimDuration) -> SimTime {
+        let i = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("pool is never empty");
+        let start = arrival.max(self.free[i]);
+        let done = start + cost;
+        self.free[i] = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_serializes() {
+        let mut p = WorkerPool::new(1);
+        let a = p.process(SimTime::ZERO, SimDuration::from_millis(10));
+        let b = p.process(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(a, SimTime::from_millis(10));
+        assert_eq!(b, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn k_workers_run_in_parallel() {
+        let mut p = WorkerPool::new(4);
+        let done: Vec<SimTime> = (0..4)
+            .map(|_| p.process(SimTime::ZERO, SimDuration::from_millis(10)))
+            .collect();
+        assert!(done.iter().all(|&d| d == SimTime::from_millis(10)));
+        // The fifth job queues behind the earliest.
+        assert_eq!(p.process(SimTime::ZERO, SimDuration::from_millis(10)), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn idle_gap_resets() {
+        let mut p = WorkerPool::new(1);
+        p.process(SimTime::ZERO, SimDuration::from_millis(5));
+        let late = p.process(SimTime::from_secs(1), SimDuration::from_millis(5));
+        assert_eq!(late, SimTime::from_secs(1) + SimDuration::from_millis(5));
+    }
+}

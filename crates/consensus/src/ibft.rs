@@ -1,0 +1,736 @@
+//! Istanbul BFT — the consensus of the modelled Quorum (the paper runs
+//! ConsenSys Quorum with `istanbul.blockperiod` ∈ {1, 2, 5, 10} s, Table 6).
+//!
+//! IBFT is a three-phase BFT protocol with a rotating proposer: the proposer
+//! of height *h*, round *r* is node `(h + r) mod n`. Like the real Quorum,
+//! the modelled cluster produces a block every `blockperiod` *even when the
+//! transaction pool is empty* — empty blocks are exactly what the paper
+//! observes during Quorum's liveness anomaly (§5.5), so the engine must be
+//! able to emit them.
+//!
+//! A round change (`RoundChange` messages, 2f + 1 quorum) replaces a
+//! non-performing proposer.
+
+use std::collections::HashMap;
+
+use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
+
+use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+
+/// IBFT protocol messages and timers.
+#[derive(Debug, Clone)]
+enum IbftMsg {
+    /// Proposer cadence timer for a height/round.
+    ProposeTimer { height: u64, round: u64 },
+    /// Round-progress timer at a validator.
+    RoundTimeout { height: u64, round: u64 },
+    PrePrepare {
+        height: u64,
+        round: u64,
+        digest: u64,
+        batch: Vec<Command>,
+    },
+    Prepare {
+        height: u64,
+        round: u64,
+        digest: u64,
+        from: NodeId,
+    },
+    Commit {
+        height: u64,
+        round: u64,
+        digest: u64,
+        from: NodeId,
+    },
+    RoundChange {
+        height: u64,
+        round: u64,
+        from: NodeId,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct SlotState {
+    digest: Option<u64>,
+    batch: Option<Vec<Command>>,
+    prepares: u32,
+    commits: u32,
+    prepared: bool,
+    committed: bool,
+}
+
+#[derive(Debug)]
+struct IbftNode {
+    height: u64,
+    round: u64,
+    slots: HashMap<(u64, u64), SlotState>,
+    round_change_votes: HashMap<(u64, u64), u32>,
+    voted_round: HashMap<u64, u64>,
+    alive: bool,
+}
+
+impl IbftNode {
+    fn new() -> Self {
+        IbftNode {
+            height: 0,
+            round: 0,
+            slots: HashMap::new(),
+            round_change_votes: HashMap::new(),
+            voted_round: HashMap::new(),
+            alive: true,
+        }
+    }
+}
+
+/// Configuration for an [`IbftCluster`]; build with [`IbftCluster::builder`].
+#[derive(Debug, Clone)]
+pub struct IbftBuilder {
+    nodes: u32,
+    topology: Option<Topology>,
+    net: NetConfig,
+    seed: u64,
+    batch: BatchConfig,
+    block_period: SimDuration,
+    round_timeout: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+}
+
+impl IbftBuilder {
+    /// Node placement (defaults to one node per server).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Network characteristics.
+    pub fn net(mut self, c: NetConfig) -> Self {
+        self.net = c;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Maximum transactions per block.
+    pub fn batch(mut self, b: BatchConfig) -> Self {
+        self.batch = b;
+        self
+    }
+
+    /// Quorum's `istanbul.blockperiod`: minimum time between consecutive
+    /// blocks.
+    pub fn block_period(mut self, d: SimDuration) -> Self {
+        self.block_period = d;
+        self
+    }
+
+    /// Round-change timeout.
+    pub fn round_timeout(mut self, d: SimDuration) -> Self {
+        self.round_timeout = d;
+        self
+    }
+
+    /// Fixed CPU cost of handling any protocol message.
+    pub fn proc_per_msg(mut self, d: SimDuration) -> Self {
+        self.proc_per_msg = d;
+        self
+    }
+
+    /// Additional CPU cost per command in a proposal.
+    pub fn proc_per_command(mut self, d: SimDuration) -> Self {
+        self.proc_per_command = d;
+        self
+    }
+
+    /// Builds the cluster; the first proposal fires after one block period.
+    pub fn build(self) -> IbftCluster {
+        let n = self.nodes;
+        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
+        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let mut net = NetSim::new(topology, self.net, self.seed);
+        net.timer(
+            NodeId(0),
+            self.block_period,
+            IbftMsg::ProposeTimer { height: 0, round: 0 },
+        );
+        // Every validator watches height 0 so a dead first proposer is
+        // detected (Quorum keeps minting blocks via round changes).
+        for i in 0..n {
+            net.timer(
+                NodeId(i),
+                self.round_timeout,
+                IbftMsg::RoundTimeout { height: 0, round: 0 },
+            );
+        }
+        IbftCluster {
+            nodes: (0..n).map(|_| IbftNode::new()).collect(),
+            net,
+            cpu: CpuModel::new(n),
+            batch: self.batch,
+            pending: Vec::new(),
+            committed: Vec::new(),
+            next_height: 0,
+            block_period: self.block_period,
+            round_timeout: self.round_timeout,
+            proc_per_msg: self.proc_per_msg,
+            proc_per_command: self.proc_per_command,
+            commit_quorum: HashMap::new(),
+            emit_empty_blocks: true,
+        }
+    }
+}
+
+/// A simulated Istanbul BFT validator set.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::{ibft::IbftCluster, Command};
+/// use coconut_types::{ClientId, SimDuration, SimTime, TxId};
+///
+/// let mut ibft = IbftCluster::builder(4)
+///     .seed(5)
+///     .block_period(SimDuration::from_secs(1))
+///     .build();
+/// ibft.submit(Command::unit(TxId::new(ClientId(0), 1)));
+/// let blocks = ibft.run_until(SimTime::from_secs(3));
+/// assert!(blocks.iter().any(|b| !b.commands.is_empty()));
+/// ```
+#[derive(Debug)]
+pub struct IbftCluster {
+    nodes: Vec<IbftNode>,
+    net: NetSim<IbftMsg>,
+    cpu: CpuModel,
+    batch: BatchConfig,
+    pending: Vec<Command>,
+    committed: Vec<CommittedBatch>,
+    next_height: u64,
+    block_period: SimDuration,
+    round_timeout: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+    commit_quorum: HashMap<(u64, u64), Vec<(NodeId, SimTime)>>,
+    emit_empty_blocks: bool,
+}
+
+impl IbftCluster {
+    /// Starts building an IBFT cluster of `nodes` validators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn builder(nodes: u32) -> IbftBuilder {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        IbftBuilder {
+            nodes,
+            topology: None,
+            net: NetConfig::lan(),
+            seed: 0,
+            batch: BatchConfig::new(1000, SimDuration::from_secs(1)),
+            block_period: SimDuration::from_secs(1),
+            round_timeout: SimDuration::from_secs(4),
+            proc_per_msg: SimDuration::from_micros(30),
+            proc_per_command: SimDuration::from_micros(4),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Number of validators.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Whether empty blocks are emitted to the caller (Quorum's behaviour).
+    /// Disable to only surface non-empty blocks.
+    pub fn set_emit_empty_blocks(&mut self, emit: bool) {
+        self.emit_empty_blocks = emit;
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Commands accepted but not yet included in a block.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a command to the transaction pool.
+    pub fn submit(&mut self, cmd: Command) {
+        self.pending.push(cmd);
+    }
+
+    /// Removes every queued command (models a txpool flush).
+    pub fn drop_pending(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        n
+    }
+
+    /// Crashes a validator.
+    pub fn crash(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = false;
+    }
+
+    /// Recovers a crashed validator.
+    pub fn recover(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = true;
+    }
+
+    /// Runs the protocol until `deadline`, returning blocks committed in
+    /// this window (empty blocks included when enabled).
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<CommittedBatch> {
+        while let Some(ev) = self.net.pop_at_or_before(deadline) {
+            self.dispatch(ev.dst, ev.at, ev.msg);
+        }
+        self.net.advance_to(deadline);
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Due time of the next internal event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.net.next_event_time()
+    }
+
+    fn quorum(&self) -> u32 {
+        bft_quorum(self.nodes.len() as u32)
+    }
+
+    fn proposer_of(&self, height: u64, round: u64) -> NodeId {
+        NodeId(((height + round) % self.nodes.len() as u64) as u32)
+    }
+
+    fn dispatch(&mut self, me: NodeId, at: SimTime, msg: IbftMsg) {
+        if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        match msg {
+            IbftMsg::ProposeTimer { height, round } => self.on_propose_timer(me, height, round),
+            IbftMsg::RoundTimeout { height, round } => self.on_round_timeout(me, height, round),
+            IbftMsg::PrePrepare { height, round, digest, batch } => {
+                self.on_pre_prepare(me, at, height, round, digest, batch)
+            }
+            IbftMsg::Prepare { height, round, digest, from } => {
+                self.on_prepare(me, at, height, round, digest, from)
+            }
+            IbftMsg::Commit { height, round, digest, from } => {
+                self.on_commit(me, at, height, round, digest, from)
+            }
+            IbftMsg::RoundChange { height, round, from } => {
+                self.on_round_change(me, at, height, round, from)
+            }
+        }
+    }
+
+    fn on_propose_timer(&mut self, me: NodeId, height: u64, round: u64) {
+        {
+            let node = &self.nodes[me.0 as usize];
+            if height != self.next_height || node.round != round || self.proposer_of(height, round) != me {
+                return;
+            }
+            if node
+                .slots
+                .get(&(height, round))
+                .is_some_and(|s| s.digest.is_some())
+            {
+                return; // already proposed this slot
+            }
+        }
+        // Unlike PBFT/Sawtooth, IBFT proposes on cadence even with an empty
+        // pool — Quorum mints empty blocks.
+        let take = self.pending.len().min(self.batch.max_commands);
+        let batch: Vec<Command> = self.pending.drain(..take).collect();
+        let digest = digest_of(&batch, height, round);
+        let bytes = 64 + batch.iter().map(|c| c.bytes as usize).sum::<usize>();
+        let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
+        let now = self.net.now();
+        let done = self.cpu.process(me, now, cost);
+        {
+            let slot = self.nodes[me.0 as usize].slots.entry((height, round)).or_default();
+            slot.digest = Some(digest);
+            slot.batch = Some(batch.clone());
+            slot.prepares = 1;
+        }
+        self.net.broadcast_delayed(me, done - now, bytes, |_| IbftMsg::PrePrepare {
+            height,
+            round,
+            digest,
+            batch: batch.clone(),
+        });
+        self.net
+            .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        height: u64,
+        round: u64,
+        digest: u64,
+        batch: Vec<Command>,
+    ) {
+        let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
+        let done = self.cpu.process(me, at, cost);
+        let extra = done - at;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if height != node.height || round != node.round {
+                return;
+            }
+            let slot = node.slots.entry((height, round)).or_default();
+            if slot.batch.is_some() {
+                return;
+            }
+            slot.digest = Some(digest);
+            slot.batch = Some(batch);
+            slot.prepares += 2; // the proposer's implicit prepare + our own
+        }
+        self.net.broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
+            height,
+            round,
+            digest,
+            from: me,
+        });
+        self.net
+            .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+        self.check_prepared(me, height, round, digest);
+    }
+
+    fn on_prepare(&mut self, me: NodeId, at: SimTime, height: u64, round: u64, digest: u64, _from: NodeId) {
+        let _ = self.cpu.process(me, at, self.proc_per_msg);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if height != node.height || round != node.round {
+                return;
+            }
+            let slot = node.slots.entry((height, round)).or_default();
+            if slot.digest.is_some() && slot.digest != Some(digest) {
+                return;
+            }
+            slot.prepares += 1;
+        }
+        self.check_prepared(me, height, round, digest);
+    }
+
+    fn check_prepared(&mut self, me: NodeId, height: u64, round: u64, digest: u64) {
+        let quorum = self.quorum();
+        let now = self.net.now();
+        let should_commit;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            let slot = node.slots.entry((height, round)).or_default();
+            should_commit =
+                !slot.prepared && slot.digest == Some(digest) && slot.prepares >= quorum;
+            if should_commit {
+                slot.prepared = true;
+                slot.commits += 1;
+            }
+        }
+        if should_commit {
+            let done = self.cpu.process(me, now, self.proc_per_msg);
+            self.net.broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
+                height,
+                round,
+                digest,
+                from: me,
+            });
+            self.check_committed(me, height, round, digest);
+        }
+    }
+
+    fn on_commit(&mut self, me: NodeId, at: SimTime, height: u64, round: u64, digest: u64, _from: NodeId) {
+        let _ = self.cpu.process(me, at, self.proc_per_msg);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if height != node.height || round != node.round {
+                return;
+            }
+            let slot = node.slots.entry((height, round)).or_default();
+            if slot.digest.is_some() && slot.digest != Some(digest) {
+                return;
+            }
+            slot.commits += 1;
+        }
+        self.check_committed(me, height, round, digest);
+    }
+
+    fn check_committed(&mut self, me: NodeId, height: u64, round: u64, digest: u64) {
+        let quorum = self.quorum();
+        let now = self.net.now();
+        let locally_committed;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            let slot = node.slots.entry((height, round)).or_default();
+            locally_committed = !slot.committed
+                && slot.prepared
+                && slot.digest == Some(digest)
+                && slot.commits >= quorum;
+            if locally_committed {
+                slot.committed = true;
+                node.height = node.height.max(height + 1);
+                node.round = 0;
+            }
+        }
+        if !locally_committed {
+            return;
+        }
+        // Watch the next height: its proposer might be dead.
+        self.net.timer(
+            me,
+            self.block_period + self.round_timeout,
+            IbftMsg::RoundTimeout {
+                height: height + 1,
+                round: 0,
+            },
+        );
+        let entry = self.commit_quorum.entry((height, round)).or_default();
+        if !entry.iter().any(|(n, _)| *n == me) {
+            entry.push((me, now));
+        }
+        if entry.len() as u32 >= quorum && height == self.next_height {
+            let committed_at = entry.iter().map(|&(_, t)| t).max().unwrap_or(now);
+            let batch = self
+                .nodes
+                .iter()
+                .find_map(|n| n.slots.get(&(height, round)).and_then(|s| s.batch.clone()))
+                .unwrap_or_default();
+            self.next_height = height + 1;
+            if !batch.is_empty() || self.emit_empty_blocks {
+                self.committed.push(CommittedBatch {
+                    commands: batch,
+                    proposer: self.proposer_of(height, round),
+                    round: height,
+                    committed_at,
+                });
+            }
+            let next_proposer = self.proposer_of(height + 1, 0);
+            self.net.timer(
+                next_proposer,
+                self.block_period,
+                IbftMsg::ProposeTimer {
+                    height: height + 1,
+                    round: 0,
+                },
+            );
+        }
+    }
+
+    fn on_round_timeout(&mut self, me: NodeId, height: u64, round: u64) {
+        let should_complain;
+        {
+            let node = &self.nodes[me.0 as usize];
+            should_complain = node.height == height
+                && node.round == round
+                && node.slots.get(&(height, round)).map_or(true, |s| !s.committed);
+        }
+        if !should_complain {
+            return;
+        }
+        let new_round = round + 1;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            let voted = node.voted_round.entry(height).or_insert(0);
+            if *voted >= new_round {
+                return;
+            }
+            *voted = new_round;
+        }
+        let now = self.net.now();
+        let done = self.cpu.process(me, now, self.proc_per_msg);
+        self.net.broadcast_delayed(me, done - now, 48, |_| IbftMsg::RoundChange {
+            height,
+            round: new_round,
+            from: me,
+        });
+        self.on_round_change(me, now, height, new_round, me);
+    }
+
+    fn on_round_change(&mut self, me: NodeId, _at: SimTime, height: u64, round: u64, _from: NodeId) {
+        let quorum = self.quorum();
+        let reached;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if node.height != height || round <= node.round {
+                return;
+            }
+            let votes = node.round_change_votes.entry((height, round)).or_insert(0);
+            *votes += 1;
+            reached = *votes >= quorum;
+        }
+        if reached {
+            {
+                let node = &mut self.nodes[me.0 as usize];
+                node.round = round;
+            }
+            if self.proposer_of(height, round) == me {
+                self.net.timer(
+                    me,
+                    SimDuration::from_millis(10),
+                    IbftMsg::ProposeTimer { height, round },
+                );
+            }
+            self.net
+                .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+        }
+    }
+}
+
+/// Deterministic digest of a block proposal.
+fn digest_of(batch: &[Command], height: u64, round: u64) -> u64 {
+    let mut h = Hasher64::with_key(height.wrapping_mul(31).wrapping_add(round));
+    for c in batch {
+        h.write_u64(c.tx.as_u64());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, TxId};
+
+    fn tx(seq: u64) -> Command {
+        Command::unit(TxId::new(ClientId(0), seq))
+    }
+
+    #[test]
+    fn commits_transactions_in_blocks() {
+        let mut c = IbftCluster::builder(4).seed(1).build();
+        for s in 0..5 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(4));
+        let total: usize = blocks.iter().map(|b| b.commands.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn produces_empty_blocks_on_cadence() {
+        let mut c = IbftCluster::builder(4)
+            .seed(2)
+            .block_period(SimDuration::from_secs(1))
+            .build();
+        let blocks = c.run_until(SimTime::from_secs(10));
+        assert!(
+            blocks.len() >= 8,
+            "expected ~1 block/s even with no transactions, got {}",
+            blocks.len()
+        );
+        assert!(blocks.iter().all(|b| b.commands.is_empty()));
+    }
+
+    #[test]
+    fn empty_block_emission_can_be_disabled() {
+        let mut c = IbftCluster::builder(4).seed(3).build();
+        c.set_emit_empty_blocks(false);
+        let blocks = c.run_until(SimTime::from_secs(5));
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn block_period_paces_production() {
+        for period_s in [1u64, 2] {
+            let mut c = IbftCluster::builder(4)
+                .seed(4)
+                .block_period(SimDuration::from_secs(period_s))
+                .build();
+            let blocks = c.run_until(SimTime::from_secs(20));
+            for w in blocks.windows(2) {
+                let gap = w[1].committed_at - w[0].committed_at;
+                assert!(
+                    gap >= SimDuration::from_secs(period_s),
+                    "gap {gap} < block period {period_s}s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proposers_rotate() {
+        let mut c = IbftCluster::builder(4).seed(5).build();
+        let blocks = c.run_until(SimTime::from_secs(8));
+        let proposers: Vec<NodeId> = blocks.iter().map(|b| b.proposer).collect();
+        // Height h proposer = h mod 4, so the sequence cycles.
+        for (i, p) in proposers.iter().enumerate() {
+            assert_eq!(p.0, (i % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn proposer_crash_triggers_round_change() {
+        let mut c = IbftCluster::builder(4).seed(6).build();
+        // Proposer of height 0 is node 0; crash it before anything happens.
+        c.crash(NodeId(0));
+        c.submit(tx(1));
+        let blocks = c.run_until(SimTime::from_secs(30));
+        let non_empty: Vec<_> = blocks.iter().filter(|b| !b.commands.is_empty()).collect();
+        assert_eq!(non_empty.len(), 1, "round change must rescue the stalled height");
+        assert_ne!(non_empty[0].proposer, NodeId(0));
+    }
+
+    #[test]
+    fn no_progress_without_quorum() {
+        let mut c = IbftCluster::builder(4).seed(7).build();
+        c.crash(NodeId(2));
+        c.crash(NodeId(3));
+        c.submit(tx(1));
+        let blocks = c.run_until(SimTime::from_secs(20));
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn submission_order_is_preserved() {
+        let mut c = IbftCluster::builder(4)
+            .seed(8)
+            .batch(BatchConfig::new(3, SimDuration::from_secs(1)))
+            .block_period(SimDuration::from_millis(500))
+            .build();
+        for s in 0..12 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(20));
+        let seqs: Vec<u64> = blocks
+            .iter()
+            .flat_map(|b| b.commands.iter().map(|cmd| cmd.tx.seq()))
+            .collect();
+        assert_eq!(seqs.len(), 12);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut c = IbftCluster::builder(4).seed(seed).build();
+            for s in 0..6 {
+                c.submit(tx(s));
+            }
+            c.run_until(SimTime::from_secs(10))
+                .iter()
+                .map(|b| (b.round, b.committed_at, b.commands.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(12), run(12));
+    }
+
+    #[test]
+    fn drop_pending_flushes_pool() {
+        let mut c = IbftCluster::builder(4).seed(9).build();
+        for s in 0..10 {
+            c.submit(tx(s));
+        }
+        assert_eq!(c.pending_len(), 10);
+        assert_eq!(c.drop_pending(), 10);
+        assert_eq!(c.pending_len(), 0);
+    }
+}

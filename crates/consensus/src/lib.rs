@@ -1,0 +1,298 @@
+//! Message-level consensus engines for the modelled blockchain systems.
+//!
+//! The paper's seven systems span five consensus families plus Corda's
+//! notary-based finality (Table 2). This crate implements each of them as a
+//! deterministic state machine over the [`coconut_simnet`] discrete-event
+//! network:
+//!
+//! | Engine | Used by | Module |
+//! |---|---|---|
+//! | Raft (leader election + log replication) | Fabric ordering service | [`raft`] |
+//! | PBFT (pre-prepare/prepare/commit + view change) | Sawtooth | [`pbft`] |
+//! | Istanbul BFT (3-phase, proposer rotation, block period) | Quorum | [`ibft`] |
+//! | DiemBFT (chained rounds, quorum certificates, pacemaker) | Diem | [`diembft`] |
+//! | Delegated Proof-of-Stake (witness schedule, slots) | BitShares | [`dpos`] |
+//! | Notary uniqueness service (consumed-state checking) | Corda | [`notary`] |
+//!
+//! Engines share a vocabulary — [`Command`]s go in, [`CommittedBatch`]es come
+//! out — and a per-node CPU queue model ([`CpuModel`]) so that the quadratic
+//! message complexity of the BFT protocols translates into the scalability
+//! degradation the paper measures in §5.8.2.
+//!
+//! # Example
+//!
+//! ```
+//! use coconut_consensus::{raft::RaftCluster, Command};
+//! use coconut_types::{ClientId, SimTime, TxId};
+//!
+//! let mut raft = RaftCluster::builder(3).seed(7).build();
+//! raft.run_until(SimTime::from_secs(2)); // elect a leader
+//! raft.submit(Command::unit(TxId::new(ClientId(0), 1)));
+//! let batches = raft.run_until(SimTime::from_secs(6));
+//! assert_eq!(batches.iter().map(|b| b.commands.len()).sum::<usize>(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diembft;
+pub mod dpos;
+pub mod ibft;
+pub mod notary;
+pub mod pbft;
+pub mod raft;
+
+use coconut_types::{NodeId, SimDuration, SimTime, TxId};
+
+/// A client command handed to a consensus engine for ordering.
+///
+/// Commands carry just enough metadata for the engines to model batching and
+/// transmission cost: the transaction id, its operation count (BitShares
+/// operations / Sawtooth inner transactions), and its serialized size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// The transaction being ordered.
+    pub tx: TxId,
+    /// Operations carried (≥ 1).
+    pub ops: u32,
+    /// Serialized size in bytes.
+    pub bytes: u32,
+}
+
+impl Command {
+    /// A single-operation command with a default envelope size.
+    pub fn unit(tx: TxId) -> Self {
+        Command {
+            tx,
+            ops: 1,
+            bytes: 96,
+        }
+    }
+
+    /// Creates a command with explicit operation count and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is zero.
+    pub fn new(tx: TxId, ops: u32, bytes: u32) -> Self {
+        assert!(ops > 0, "a command carries at least one operation");
+        Command { tx, ops, bytes }
+    }
+}
+
+/// A batch of commands finalized by consensus — the engine-level analogue of
+/// a block body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedBatch {
+    /// Commands in commit order.
+    pub commands: Vec<Command>,
+    /// The node that proposed the batch (leader / primary / witness).
+    pub proposer: NodeId,
+    /// Consensus round / height / slot the batch committed in.
+    pub round: u64,
+    /// Virtual time at which the batch was committed by a quorum.
+    pub committed_at: SimTime,
+}
+
+impl CommittedBatch {
+    /// Total operations across the batch's commands.
+    pub fn op_count(&self) -> u64 {
+        self.commands.iter().map(|c| c.ops as u64).sum()
+    }
+
+    /// Total serialized bytes across the batch's commands.
+    pub fn byte_size(&self) -> u64 {
+        self.commands.iter().map(|c| c.bytes as u64).sum()
+    }
+}
+
+/// Batch-formation policy: cut a batch when `max_commands` accumulate or
+/// when `max_wait` elapses since the first pending command, whichever comes
+/// first.
+///
+/// This is Fabric's `MaxMessageCount`/`BatchTimeout` pair; the other systems
+/// use one of the two dimensions (Diem: `max_block_size`; Quorum/Sawtooth/
+/// BitShares: a pure time trigger with an upper size bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum commands per batch.
+    pub max_commands: usize,
+    /// Maximum time the oldest pending command waits before a cut.
+    pub max_wait: SimDuration,
+}
+
+impl BatchConfig {
+    /// Creates a batch policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_commands` is zero.
+    pub fn new(max_commands: usize, max_wait: SimDuration) -> Self {
+        assert!(max_commands > 0, "batches must allow at least one command");
+        BatchConfig {
+            max_commands,
+            max_wait,
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    /// Fabric's defaults: 500 messages or 2 s, whichever first.
+    fn default() -> Self {
+        BatchConfig::new(500, SimDuration::from_secs(2))
+    }
+}
+
+/// Per-node CPU queue: serializes message processing on each node so that
+/// message complexity shows up as throughput loss at scale.
+///
+/// When a message arrives at `t`, its processing *starts* at
+/// `max(t, node_free)` and completes `cost` later; the node is busy until
+/// then. This is what makes an O(n²) BFT protocol degrade as n grows, as
+/// the paper observes for Diem, Quorum and Sawtooth in §5.8.2.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    free_at: Vec<SimTime>,
+}
+
+impl CpuModel {
+    /// A CPU model for `nodes` nodes, all initially idle.
+    pub fn new(nodes: u32) -> Self {
+        CpuModel {
+            free_at: vec![SimTime::ZERO; nodes as usize],
+        }
+    }
+
+    /// Reserves `cost` of CPU on `node` for work arriving at `arrival`;
+    /// returns the completion time.
+    pub fn process(&mut self, node: NodeId, arrival: SimTime, cost: SimDuration) -> SimTime {
+        let start = arrival.max(self.free_at[node.0 as usize]);
+        let done = start + cost;
+        self.free_at[node.0 as usize] = done;
+        done
+    }
+
+    /// The time at which `node` next becomes idle.
+    pub fn free_at(&self, node: NodeId) -> SimTime {
+        self.free_at[node.0 as usize]
+    }
+
+    /// Current backlog of `node` relative to `now`.
+    pub fn backlog(&self, node: NodeId, now: SimTime) -> SimDuration {
+        self.free_at[node.0 as usize].saturating_since(now)
+    }
+}
+
+/// Size of a Byzantine quorum (2f + 1) for `n = 3f + 1` nodes; for other
+/// `n` the largest tolerated `f = (n - 1) / 3` is used.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::bft_quorum;
+///
+/// assert_eq!(bft_quorum(4), 3);
+/// assert_eq!(bft_quorum(7), 5);
+/// assert_eq!(bft_quorum(32), 21);
+/// ```
+pub fn bft_quorum(n: u32) -> u32 {
+    let f = (n.saturating_sub(1)) / 3;
+    2 * f + 1
+}
+
+/// Size of a crash-fault majority quorum.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::majority_quorum;
+///
+/// assert_eq!(majority_quorum(3), 2);
+/// assert_eq!(majority_quorum(4), 3);
+/// assert_eq!(majority_quorum(5), 3);
+/// ```
+pub fn majority_quorum(n: u32) -> u32 {
+    n / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::ClientId;
+
+    #[test]
+    fn command_constructors() {
+        let tx = TxId::new(ClientId(0), 1);
+        let c = Command::unit(tx);
+        assert_eq!((c.ops, c.bytes), (1, 96));
+        let c2 = Command::new(tx, 100, 9_600);
+        assert_eq!(c2.ops, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn zero_ops_rejected() {
+        let _ = Command::new(TxId::new(ClientId(0), 1), 0, 10);
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let tx = |s| TxId::new(ClientId(0), s);
+        let b = CommittedBatch {
+            commands: vec![Command::new(tx(1), 3, 100), Command::new(tx(2), 2, 50)],
+            proposer: NodeId(0),
+            round: 1,
+            committed_at: SimTime::ZERO,
+        };
+        assert_eq!(b.op_count(), 5);
+        assert_eq!(b.byte_size(), 150);
+    }
+
+    #[test]
+    fn quorums() {
+        assert_eq!(bft_quorum(1), 1);
+        assert_eq!(bft_quorum(4), 3);
+        assert_eq!(bft_quorum(8), 5);
+        assert_eq!(bft_quorum(16), 11);
+        assert_eq!(majority_quorum(1), 1);
+        assert_eq!(majority_quorum(2), 2);
+        assert_eq!(majority_quorum(7), 4);
+    }
+
+    #[test]
+    fn cpu_model_serializes_work() {
+        let mut cpu = CpuModel::new(2);
+        let n0 = NodeId(0);
+        let t0 = SimTime::from_millis(10);
+        let cost = SimDuration::from_millis(5);
+        let first = cpu.process(n0, t0, cost);
+        assert_eq!(first, SimTime::from_millis(15));
+        // Second arrival during the first job queues behind it:
+        let second = cpu.process(n0, SimTime::from_millis(12), cost);
+        assert_eq!(second, SimTime::from_millis(20));
+        // Other nodes are unaffected:
+        assert_eq!(cpu.free_at(NodeId(1)), SimTime::ZERO);
+        assert_eq!(cpu.backlog(n0, SimTime::from_millis(10)), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn cpu_idle_gap_resets_start_time() {
+        let mut cpu = CpuModel::new(1);
+        cpu.process(NodeId(0), SimTime::from_millis(1), SimDuration::from_millis(1));
+        let done = cpu.process(NodeId(0), SimTime::from_secs(10), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime::from_secs(10) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn batch_config_default_is_fabric() {
+        let c = BatchConfig::default();
+        assert_eq!(c.max_commands, 500);
+        assert_eq!(c.max_wait, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one command")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchConfig::new(0, SimDuration::ZERO);
+    }
+}

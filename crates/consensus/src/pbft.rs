@@ -1,0 +1,768 @@
+//! Practical Byzantine Fault Tolerance — the consensus of the modelled
+//! Hyperledger Sawtooth (the paper runs Sawtooth 1.2.6 with `sawtooth-pbft`,
+//! Table 2).
+//!
+//! Message-level three-phase PBFT: the primary broadcasts a `PrePrepare`
+//! carrying the block (batch), replicas exchange `Prepare` and `Commit`
+//! messages, and a batch finalizes when 2f + 1 nodes have committed. A view
+//! change (new primary) is triggered when replicas see no progress on an
+//! outstanding proposal within the commit timeout.
+//!
+//! Sawtooth's `sawtooth.consensus.pbft.block_publishing_delay` maps to
+//! [`PbftBuilder::publishing_delay`]: the primary waits this long after the
+//! previous block before publishing the next one.
+
+use std::collections::HashMap;
+
+use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
+
+use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+
+/// PBFT protocol messages and local timers.
+#[derive(Debug, Clone)]
+enum PbftMsg {
+    /// Primary cadence timer: publish the next block.
+    PublishTimer { view: u64, seq: u64 },
+    /// Replica progress timer for an outstanding proposal.
+    CommitTimeout { view: u64, seq: u64 },
+    PrePrepare {
+        view: u64,
+        seq: u64,
+        digest: u64,
+        batch: Vec<Command>,
+    },
+    Prepare {
+        view: u64,
+        seq: u64,
+        digest: u64,
+        from: NodeId,
+    },
+    Commit {
+        view: u64,
+        seq: u64,
+        digest: u64,
+        from: NodeId,
+    },
+    ViewChange {
+        new_view: u64,
+        from: NodeId,
+    },
+    NewView {
+        view: u64,
+    },
+}
+
+/// Per-sequence consensus progress at one node.
+#[derive(Debug, Default, Clone)]
+struct SlotState {
+    digest: Option<u64>,
+    batch: Option<Vec<Command>>,
+    prepares: u32,
+    commits: u32,
+    prepared: bool,
+    committed: bool,
+}
+
+#[derive(Debug)]
+struct PbftNode {
+    view: u64,
+    /// Next sequence this node expects to commit.
+    low_water: u64,
+    slots: HashMap<(u64, u64), SlotState>,
+    view_change_votes: HashMap<u64, u32>,
+    voted_view: u64,
+    alive: bool,
+}
+
+impl PbftNode {
+    fn new() -> Self {
+        PbftNode {
+            view: 0,
+            low_water: 0,
+            slots: HashMap::new(),
+            view_change_votes: HashMap::new(),
+            voted_view: 0,
+            alive: true,
+        }
+    }
+}
+
+/// Configuration for a [`PbftCluster`]; build with [`PbftCluster::builder`].
+#[derive(Debug, Clone)]
+pub struct PbftBuilder {
+    nodes: u32,
+    topology: Option<Topology>,
+    net: NetConfig,
+    seed: u64,
+    batch: BatchConfig,
+    publishing_delay: SimDuration,
+    commit_timeout: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+}
+
+impl PbftBuilder {
+    /// Node placement (defaults to one node per server).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Network characteristics.
+    pub fn net(mut self, c: NetConfig) -> Self {
+        self.net = c;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Batch-cut policy (block size bound).
+    pub fn batch(mut self, b: BatchConfig) -> Self {
+        self.batch = b;
+        self
+    }
+
+    /// Sawtooth's `block_publishing_delay`: the pause between a commit and
+    /// the next proposal.
+    pub fn publishing_delay(mut self, d: SimDuration) -> Self {
+        self.publishing_delay = d;
+        self
+    }
+
+    /// How long replicas wait for an outstanding proposal to commit before
+    /// voting for a view change.
+    pub fn commit_timeout(mut self, d: SimDuration) -> Self {
+        self.commit_timeout = d;
+        self
+    }
+
+    /// Fixed CPU cost of handling any protocol message.
+    pub fn proc_per_msg(mut self, d: SimDuration) -> Self {
+        self.proc_per_msg = d;
+        self
+    }
+
+    /// Additional CPU cost per command in a `PrePrepare`.
+    pub fn proc_per_command(mut self, d: SimDuration) -> Self {
+        self.proc_per_command = d;
+        self
+    }
+
+    /// Builds the cluster. The initial primary (view 0 → node 0) arms its
+    /// publish timer immediately.
+    pub fn build(self) -> PbftCluster {
+        let n = self.nodes;
+        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
+        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let mut net = NetSim::new(topology, self.net, self.seed);
+        net.timer(NodeId(0), self.publishing_delay, PbftMsg::PublishTimer { view: 0, seq: 0 });
+        // Every replica watches the first sequence so a dead initial
+        // primary is detected even though it never sends a pre-prepare.
+        for i in 0..n {
+            net.timer(
+                NodeId(i),
+                self.commit_timeout,
+                PbftMsg::CommitTimeout { view: 0, seq: 0 },
+            );
+        }
+        PbftCluster {
+            nodes: (0..n).map(|_| PbftNode::new()).collect(),
+            net,
+            cpu: CpuModel::new(n),
+            batch: self.batch,
+            pending: Vec::new(),
+            committed: Vec::new(),
+            next_commit_seq: 0,
+            publishing_delay: self.publishing_delay,
+            commit_timeout: self.commit_timeout,
+            proc_per_msg: self.proc_per_msg,
+            proc_per_command: self.proc_per_command,
+            commit_quorum_times: HashMap::new(),
+        }
+    }
+}
+
+/// A simulated PBFT cluster.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::{pbft::PbftCluster, Command};
+/// use coconut_types::{ClientId, SimTime, TxId};
+///
+/// let mut pbft = PbftCluster::builder(4).seed(3).build();
+/// pbft.submit(Command::unit(TxId::new(ClientId(0), 1)));
+/// let batches = pbft.run_until(SimTime::from_secs(5));
+/// assert_eq!(batches.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PbftCluster {
+    nodes: Vec<PbftNode>,
+    net: NetSim<PbftMsg>,
+    cpu: CpuModel,
+    batch: BatchConfig,
+    pending: Vec<Command>,
+    committed: Vec<CommittedBatch>,
+    next_commit_seq: u64,
+    publishing_delay: SimDuration,
+    commit_timeout: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+    /// (view, seq) → nodes that reached local commit, for quorum detection.
+    commit_quorum_times: HashMap<(u64, u64), Vec<(NodeId, SimTime)>>,
+}
+
+impl PbftCluster {
+    /// Starts building a PBFT cluster of `nodes` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn builder(nodes: u32) -> PbftBuilder {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        PbftBuilder {
+            nodes,
+            topology: None,
+            net: NetConfig::lan(),
+            seed: 0,
+            batch: BatchConfig::new(200, SimDuration::from_secs(1)),
+            publishing_delay: SimDuration::from_secs(1),
+            commit_timeout: SimDuration::from_secs(4),
+            proc_per_msg: SimDuration::from_micros(30),
+            proc_per_command: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Number of replicas.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The primary of the current highest view.
+    pub fn primary(&self) -> NodeId {
+        let view = self.nodes.iter().filter(|n| n.alive).map(|n| n.view).max().unwrap_or(0);
+        self.primary_of(view)
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Commands accepted but not yet proposed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a command for ordering.
+    pub fn submit(&mut self, cmd: Command) {
+        self.pending.push(cmd);
+    }
+
+    /// Crashes a replica (it stops processing messages).
+    pub fn crash(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = false;
+    }
+
+    /// Recovers a crashed replica in its old view.
+    pub fn recover(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = true;
+    }
+
+    /// Runs the protocol until `deadline`, returning batches that reached
+    /// commit quorum in this window.
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<CommittedBatch> {
+        while let Some(ev) = self.net.pop_at_or_before(deadline) {
+            self.dispatch(ev.dst, ev.at, ev.msg);
+        }
+        self.net.advance_to(deadline);
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Due time of the next internal event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.net.next_event_time()
+    }
+
+    fn quorum(&self) -> u32 {
+        bft_quorum(self.nodes.len() as u32)
+    }
+
+    fn dispatch(&mut self, me: NodeId, at: SimTime, msg: PbftMsg) {
+        if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        match msg {
+            PbftMsg::PublishTimer { view, seq } => self.on_publish_timer(me, view, seq),
+            PbftMsg::CommitTimeout { view, seq } => self.on_commit_timeout(me, view, seq),
+            PbftMsg::PrePrepare { view, seq, digest, batch } => {
+                self.on_pre_prepare(me, at, view, seq, digest, batch)
+            }
+            PbftMsg::Prepare { view, seq, digest, from } => {
+                self.on_prepare(me, at, view, seq, digest, from)
+            }
+            PbftMsg::Commit { view, seq, digest, from } => {
+                self.on_commit(me, at, view, seq, digest, from)
+            }
+            PbftMsg::ViewChange { new_view, from } => self.on_view_change(me, at, new_view, from),
+            PbftMsg::NewView { view } => self.on_new_view(me, view),
+        }
+    }
+
+    fn on_publish_timer(&mut self, me: NodeId, view: u64, seq: u64) {
+        {
+            let node = &self.nodes[me.0 as usize];
+            if node.view != view || seq != self.next_commit_seq || self.primary_of(view) != me {
+                return;
+            }
+        }
+        if self.pending.is_empty() {
+            // Nothing to propose; retry a publishing-delay later.
+            self.net
+                .timer(me, self.publishing_delay, PbftMsg::PublishTimer { view, seq });
+            return;
+        }
+        let take = self.pending.len().min(self.batch.max_commands);
+        let batch: Vec<Command> = self.pending.drain(..take).collect();
+        let digest = digest_of(&batch, view, seq);
+        let bytes = 64 + batch.iter().map(|c| c.bytes as usize).sum::<usize>();
+        let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
+        let now = self.net.now();
+        let done = self.cpu.process(me, now, cost);
+        // Primary pre-prepares locally.
+        let slot = self.nodes[me.0 as usize]
+            .slots
+            .entry((view, seq))
+            .or_default();
+        slot.digest = Some(digest);
+        slot.batch = Some(batch.clone());
+        slot.prepares = 1; // own implicit prepare
+        self.net.broadcast_delayed(me, done - now, bytes, |_| PbftMsg::PrePrepare {
+            view,
+            seq,
+            digest,
+            batch: batch.clone(),
+        });
+        // Arm the primary's own progress timer.
+        self.net
+            .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+    }
+
+    fn on_pre_prepare(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, batch: Vec<Command>) {
+        let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
+        let done = self.cpu.process(me, at, cost);
+        let extra = done - at;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if view != node.view || seq < node.low_water {
+                return;
+            }
+            let slot = node.slots.entry((view, seq)).or_default();
+            if slot.batch.is_some() {
+                return; // duplicate pre-prepare
+            }
+            slot.digest = Some(digest);
+            slot.batch = Some(batch);
+            slot.prepares += 2; // the primary's implicit prepare + our own
+        }
+        self.net.broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
+            view,
+            seq,
+            digest,
+            from: me,
+        });
+        self.net
+            .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+        self.check_prepared(me, view, seq, digest);
+    }
+
+    fn on_prepare(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, _from: NodeId) {
+        let _ = self.cpu.process(me, at, self.proc_per_msg);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if view != node.view {
+                return;
+            }
+            let slot = node.slots.entry((view, seq)).or_default();
+            if slot.digest.is_some() && slot.digest != Some(digest) {
+                return;
+            }
+            slot.prepares += 1;
+        }
+        self.check_prepared(me, view, seq, digest);
+    }
+
+    fn check_prepared(&mut self, me: NodeId, view: u64, seq: u64, digest: u64) {
+        let quorum = self.quorum();
+        let now = self.net.now();
+        let should_commit;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            let slot = node.slots.entry((view, seq)).or_default();
+            should_commit =
+                !slot.prepared && slot.digest == Some(digest) && slot.prepares >= quorum;
+            if should_commit {
+                slot.prepared = true;
+                slot.commits += 1; // own commit
+            }
+        }
+        if should_commit {
+            let done = self.cpu.process(me, now, self.proc_per_msg);
+            self.net.broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                from: me,
+            });
+            self.check_committed(me, view, seq, digest);
+        }
+    }
+
+    fn on_commit(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, _from: NodeId) {
+        let _ = self.cpu.process(me, at, self.proc_per_msg);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if view != node.view {
+                return;
+            }
+            let slot = node.slots.entry((view, seq)).or_default();
+            if slot.digest.is_some() && slot.digest != Some(digest) {
+                return;
+            }
+            slot.commits += 1;
+        }
+        self.check_committed(me, view, seq, digest);
+    }
+
+    fn check_committed(&mut self, me: NodeId, view: u64, seq: u64, digest: u64) {
+        let quorum = self.quorum();
+        let now = self.net.now();
+        let locally_committed;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            let slot = node.slots.entry((view, seq)).or_default();
+            locally_committed = !slot.committed
+                && slot.prepared
+                && slot.digest == Some(digest)
+                && slot.commits >= quorum;
+            if locally_committed {
+                slot.committed = true;
+                node.low_water = node.low_water.max(seq + 1);
+            }
+        }
+        if !locally_committed {
+            return;
+        }
+        // Watch the next sequence so a primary that dies between blocks is
+        // detected.
+        self.net.timer(
+            me,
+            self.commit_timeout,
+            PbftMsg::CommitTimeout { view, seq: seq + 1 },
+        );
+        // Record this node's local commit; on quorum, finalize cluster-wide.
+        let entry = self.commit_quorum_times.entry((view, seq)).or_default();
+        if !entry.iter().any(|(n, _)| *n == me) {
+            entry.push((me, now));
+        }
+        if entry.len() as u32 >= quorum && seq == self.next_commit_seq {
+            let committed_at = self.commit_quorum_times[&(view, seq)]
+                .iter()
+                .map(|&(_, t)| t)
+                .max()
+                .unwrap_or(now);
+            let batch = self
+                .nodes
+                .iter()
+                .find_map(|n| n.slots.get(&(view, seq)).and_then(|s| s.batch.clone()))
+                .unwrap_or_default();
+            self.next_commit_seq = seq + 1;
+            self.committed.push(CommittedBatch {
+                commands: batch,
+                proposer: self.primary_of(view),
+                round: seq,
+                committed_at,
+            });
+            // Schedule the next publication at the (possibly new) primary.
+            let next_primary = self.primary_of(view);
+            self.net.timer(
+                next_primary,
+                self.publishing_delay,
+                PbftMsg::PublishTimer {
+                    view,
+                    seq: seq + 1,
+                },
+            );
+        }
+    }
+
+    fn on_commit_timeout(&mut self, me: NodeId, view: u64, seq: u64) {
+        let has_proposal;
+        {
+            let node = &self.nodes[me.0 as usize];
+            if node.view != view || seq < self.next_commit_seq {
+                return; // stale timer
+            }
+            if node.slots.get(&(view, seq)).is_some_and(|s| s.committed) {
+                return;
+            }
+            has_proposal = node.slots.contains_key(&(view, seq));
+        }
+        // Only complain when there is actually stalled work: an outstanding
+        // proposal, or queued commands nobody is proposing. Otherwise keep
+        // watching.
+        if !has_proposal && self.pending.is_empty() {
+            self.net
+                .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+            return;
+        }
+        let new_view = view + 1;
+        let now = self.net.now();
+        let done = self.cpu.process(me, now, self.proc_per_msg);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if node.voted_view >= new_view {
+                return;
+            }
+            node.voted_view = new_view;
+        }
+        self.net.broadcast_delayed(me, done - now, 48, |_| PbftMsg::ViewChange {
+            new_view,
+            from: me,
+        });
+        // Count own vote.
+        self.on_view_change(me, now, new_view, me);
+    }
+
+    fn on_view_change(&mut self, me: NodeId, _at: SimTime, new_view: u64, _from: NodeId) {
+        let quorum = self.quorum();
+        let is_new_primary = self.primary_of(new_view) == me;
+        let reached;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if new_view <= node.view {
+                return;
+            }
+            let votes = node.view_change_votes.entry(new_view).or_insert(0);
+            *votes += 1;
+            reached = *votes >= quorum;
+        }
+        if reached && is_new_primary {
+            let now = self.net.now();
+            let done = self.cpu.process(me, now, self.proc_per_msg);
+            self.adopt_view(me, new_view);
+            self.net
+                .broadcast_delayed(me, done - now, 48, |_| PbftMsg::NewView { view: new_view });
+            // The new primary re-proposes pending work.
+            self.net.timer(
+                me,
+                self.publishing_delay,
+                PbftMsg::PublishTimer {
+                    view: new_view,
+                    seq: self.next_commit_seq,
+                },
+            );
+        }
+    }
+
+    fn on_new_view(&mut self, me: NodeId, view: u64) {
+        if view > self.nodes[me.0 as usize].view {
+            self.adopt_view(me, view);
+            let seq = self.next_commit_seq;
+            self.net
+                .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+        }
+    }
+
+    fn adopt_view(&mut self, me: NodeId, view: u64) {
+        let node = &mut self.nodes[me.0 as usize];
+        node.view = view;
+        node.voted_view = node.voted_view.max(view);
+        // Outstanding uncommitted slots from older views are abandoned; the
+        // new primary re-proposes pending commands.
+        node.slots.retain(|&(v, _), s| v >= view || s.committed);
+    }
+
+    fn primary_of(&self, view: u64) -> NodeId {
+        NodeId((view % self.nodes.len() as u64) as u32)
+    }
+}
+
+/// Deterministic digest of a batch proposal.
+fn digest_of(batch: &[Command], view: u64, seq: u64) -> u64 {
+    let mut h = Hasher64::with_key(view ^ (seq << 32));
+    for c in batch {
+        h.write_u64(c.tx.as_u64()).write_u64(c.ops as u64);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, TxId};
+
+    fn tx(seq: u64) -> Command {
+        Command::unit(TxId::new(ClientId(0), seq))
+    }
+
+    #[test]
+    fn commits_one_batch() {
+        let mut c = PbftCluster::builder(4).seed(1).build();
+        c.submit(tx(1));
+        let batches = c.run_until(SimTime::from_secs(5));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].commands.len(), 1);
+        assert_eq!(batches[0].proposer, NodeId(0));
+    }
+
+    #[test]
+    fn respects_publishing_delay() {
+        let mut c = PbftCluster::builder(4)
+            .seed(2)
+            .publishing_delay(SimDuration::from_secs(2))
+            .batch(BatchConfig::new(1, SimDuration::from_secs(1)))
+            .build();
+        for s in 0..3 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(30));
+        assert_eq!(batches.len(), 3);
+        for w in batches.windows(2) {
+            let gap = w[1].committed_at - w[0].committed_at;
+            assert!(
+                gap >= SimDuration::from_secs(2),
+                "blocks must be ≥ publishing_delay apart, got {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_size_bounds_block_content() {
+        let mut c = PbftCluster::builder(4)
+            .seed(3)
+            .batch(BatchConfig::new(5, SimDuration::from_secs(1)))
+            .publishing_delay(SimDuration::from_millis(100))
+            .build();
+        for s in 0..17 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(20));
+        let total: usize = batches.iter().map(|b| b.commands.len()).sum();
+        assert_eq!(total, 17);
+        assert!(batches.iter().all(|b| b.commands.len() <= 5));
+    }
+
+    #[test]
+    fn commit_order_matches_submission_order() {
+        let mut c = PbftCluster::builder(4)
+            .seed(4)
+            .publishing_delay(SimDuration::from_millis(50))
+            .batch(BatchConfig::new(8, SimDuration::from_millis(100)))
+            .build();
+        for s in 0..40 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(30));
+        let seqs: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.commands.iter().map(|cmd| cmd.tx.seq()))
+            .collect();
+        assert_eq!(seqs.len(), 40);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.round, i as u64, "rounds are consecutive");
+        }
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change_and_progress() {
+        let mut c = PbftCluster::builder(4).seed(5).build();
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(5));
+        assert_eq!(first.len(), 1);
+        // Kill the primary (node 0, view 0).
+        c.crash(NodeId(0));
+        c.submit(tx(2));
+        let batches = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert_eq!(batches.len(), 1, "view change must allow progress");
+        assert_ne!(batches[0].proposer, NodeId(0));
+    }
+
+    #[test]
+    fn no_progress_beyond_f_faults() {
+        let mut c = PbftCluster::builder(4).seed(6).build();
+        // f = 1 for n = 4; crashing two nodes destroys the quorum.
+        c.crash(NodeId(2));
+        c.crash(NodeId(3));
+        c.submit(tx(1));
+        let batches = c.run_until(SimTime::from_secs(30));
+        assert!(batches.is_empty(), "2f+1 quorum is unreachable with 2 of 4 down");
+    }
+
+    #[test]
+    fn tolerates_exactly_f_faults() {
+        let mut c = PbftCluster::builder(4).seed(7).build();
+        c.crash(NodeId(3)); // f = 1
+        c.submit(tx(1));
+        let batches = c.run_until(SimTime::from_secs(10));
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut c = PbftCluster::builder(4)
+                .seed(seed)
+                .publishing_delay(SimDuration::from_millis(200))
+                .build();
+            for s in 0..10 {
+                c.submit(tx(s));
+            }
+            c.run_until(SimTime::from_secs(20))
+                .iter()
+                .map(|b| (b.round, b.committed_at, b.commands.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn empty_cluster_produces_no_blocks() {
+        let mut c = PbftCluster::builder(4).seed(8).build();
+        let batches = c.run_until(SimTime::from_secs(10));
+        assert!(batches.is_empty(), "no commands, no blocks");
+    }
+
+    #[test]
+    fn larger_clusters_commit_slower() {
+        let latency = |n: u32| {
+            let mut c = PbftCluster::builder(n)
+                .seed(10)
+                .proc_per_msg(SimDuration::from_micros(200))
+                .publishing_delay(SimDuration::from_millis(10))
+                .build();
+            let t0 = c.now();
+            c.submit(tx(1));
+            let batches = c.run_until(SimTime::from_secs(30));
+            assert_eq!(batches.len(), 1, "n={n}");
+            batches[0].committed_at - t0
+        };
+        let small = latency(4);
+        let large = latency(32);
+        assert!(
+            large > small,
+            "32 nodes ({large}) must be slower than 4 ({small}): O(n²) messages"
+        );
+    }
+}

@@ -1,0 +1,976 @@
+//! Raft consensus — the ordering service behind the modelled Hyperledger
+//! Fabric (the paper benchmarks Fabric 2.2.1 with Raft orderers, Table 2).
+//!
+//! This is a message-level Raft implementation over the simulated network:
+//! randomized election timeouts, `RequestVote`/`AppendEntries` RPCs, log
+//! matching, majority commit, and leader heartbeats. Batches of client
+//! commands form log entries (one entry per cut batch, mirroring Fabric's
+//! block-per-entry use of etcd/raft).
+//!
+//! Crash-stop faults can be injected with [`RaftCluster::crash`]; the
+//! remaining nodes elect a new leader and keep committing as long as a
+//! majority is alive.
+
+use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_types::{NodeId, SimDuration, SimTime};
+
+use crate::{majority_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+
+/// Raft protocol messages plus local timers.
+#[derive(Debug, Clone)]
+enum RaftMsg {
+    /// Follower/candidate election timer. `generation` invalidates stale timers.
+    ElectionTimeout { generation: u64 },
+    /// Leader heartbeat timer.
+    HeartbeatTimer { generation: u64 },
+    /// Batch-cut timer at the leader.
+    BatchTimer { deadline_for_len: usize },
+    RequestVote {
+        term: u64,
+        candidate: NodeId,
+        last_log_index: u64,
+        last_log_term: u64,
+    },
+    Vote {
+        term: u64,
+        from: NodeId,
+        granted: bool,
+    },
+    AppendEntries {
+        term: u64,
+        leader: NodeId,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    },
+    AppendResp {
+        term: u64,
+        from: NodeId,
+        success: bool,
+        match_index: u64,
+    },
+}
+
+/// One replicated log entry: a batch of commands cut by the leader.
+#[derive(Debug, Clone)]
+struct LogEntry {
+    term: u64,
+    batch: Vec<Command>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+#[derive(Debug)]
+struct RaftNode {
+    role: Role,
+    term: u64,
+    voted_for: Option<NodeId>,
+    votes: u32,
+    log: Vec<LogEntry>,
+    commit_index: u64,
+    timer_generation: u64,
+    // leader state
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    alive: bool,
+}
+
+impl RaftNode {
+    fn new(n: usize) -> Self {
+        RaftNode {
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            votes: 0,
+            log: Vec::new(),
+            commit_index: 0,
+            timer_generation: 0,
+            next_index: vec![1; n],
+            match_index: vec![0; n],
+            alive: true,
+        }
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            self.log[(index - 1) as usize].term
+        }
+    }
+}
+
+/// Configuration for a [`RaftCluster`]; build with [`RaftCluster::builder`].
+#[derive(Debug, Clone)]
+pub struct RaftBuilder {
+    nodes: u32,
+    topology: Option<Topology>,
+    net: NetConfig,
+    seed: u64,
+    batch: BatchConfig,
+    election_timeout_min: SimDuration,
+    heartbeat_interval: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+}
+
+impl RaftBuilder {
+    /// Node placement (defaults to round-robin over `nodes` servers).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Network characteristics (defaults to [`NetConfig::lan`]).
+    pub fn net(mut self, c: NetConfig) -> Self {
+        self.net = c;
+        self
+    }
+
+    /// RNG seed for election jitter and link latency.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Batch-cut policy for log entries.
+    pub fn batch(mut self, b: BatchConfig) -> Self {
+        self.batch = b;
+        self
+    }
+
+    /// Lower bound of the randomized election timeout (upper bound is 2×).
+    pub fn election_timeout(mut self, d: SimDuration) -> Self {
+        self.election_timeout_min = d;
+        self
+    }
+
+    /// Leader heartbeat interval.
+    pub fn heartbeat_interval(mut self, d: SimDuration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Fixed CPU cost of handling any protocol message.
+    pub fn proc_per_msg(mut self, d: SimDuration) -> Self {
+        self.proc_per_msg = d;
+        self
+    }
+
+    /// Additional CPU cost per command carried in an `AppendEntries`.
+    pub fn proc_per_command(mut self, d: SimDuration) -> Self {
+        self.proc_per_command = d;
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> RaftCluster {
+        let n = self.nodes;
+        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
+        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let mut net = NetSim::new(topology, self.net, self.seed);
+        let mut nodes: Vec<RaftNode> = (0..n).map(|_| RaftNode::new(n as usize)).collect();
+        // Arm initial election timers with per-node jitter.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.timer_generation = 1;
+            let jitter = SimDuration::from_micros(
+                self.election_timeout_min.as_micros() * (i as u64 + 1) / n as u64,
+            );
+            net.timer(
+                NodeId(i as u32),
+                self.election_timeout_min + jitter,
+                RaftMsg::ElectionTimeout { generation: 1 },
+            );
+        }
+        RaftCluster {
+            nodes,
+            net,
+            cpu: CpuModel::new(n),
+            batch: self.batch,
+            pending: Vec::new(),
+            pending_since: None,
+            committed: Vec::new(),
+            emitted_index: 0,
+            election_timeout_min: self.election_timeout_min,
+            heartbeat_interval: self.heartbeat_interval,
+            proc_per_msg: self.proc_per_msg,
+            proc_per_command: self.proc_per_command,
+            round: 0,
+        }
+    }
+}
+
+/// A simulated Raft cluster.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::{raft::RaftCluster, Command};
+/// use coconut_types::{ClientId, SimTime, TxId};
+///
+/// let mut cluster = RaftCluster::builder(3).seed(1).build();
+/// cluster.run_until(SimTime::from_secs(2));
+/// assert!(cluster.leader().is_some());
+/// cluster.submit(Command::unit(TxId::new(ClientId(0), 0)));
+/// let committed = cluster.run_until(SimTime::from_secs(5));
+/// assert_eq!(committed.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RaftCluster {
+    nodes: Vec<RaftNode>,
+    net: NetSim<RaftMsg>,
+    cpu: CpuModel,
+    batch: BatchConfig,
+    pending: Vec<Command>,
+    pending_since: Option<SimTime>,
+    committed: Vec<CommittedBatch>,
+    emitted_index: u64,
+    election_timeout_min: SimDuration,
+    heartbeat_interval: SimDuration,
+    proc_per_msg: SimDuration,
+    proc_per_command: SimDuration,
+    round: u64,
+}
+
+impl RaftCluster {
+    /// Starts building a cluster of `nodes` Raft nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn builder(nodes: u32) -> RaftBuilder {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        RaftBuilder {
+            nodes,
+            topology: None,
+            net: NetConfig::lan(),
+            seed: 0,
+            batch: BatchConfig::default(),
+            election_timeout_min: SimDuration::from_millis(150),
+            heartbeat_interval: SimDuration::from_millis(50),
+            proc_per_msg: SimDuration::from_micros(20),
+            proc_per_command: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The current leader, if one is established.
+    pub fn leader(&self) -> Option<NodeId> {
+        let max_term = self.nodes.iter().map(|n| n.term).max()?;
+        self.nodes
+            .iter()
+            .position(|n| n.alive && n.role == Role::Leader && n.term == max_term)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Commands accepted but not yet committed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a command for ordering. Commands queue at the cluster and
+    /// are cut into log entries by the current leader.
+    pub fn submit(&mut self, cmd: Command) {
+        self.pending.push(cmd);
+        if self.pending_since.is_none() {
+            self.pending_since = Some(self.net.now());
+            if let Some(leader) = self.leader() {
+                self.net.timer(
+                    leader,
+                    self.batch.max_wait,
+                    RaftMsg::BatchTimer {
+                        deadline_for_len: self.pending.len(),
+                    },
+                );
+            }
+        }
+        if self.pending.len() >= self.batch.max_commands {
+            if let Some(leader) = self.leader() {
+                self.cut_batch(leader);
+            }
+        }
+    }
+
+    /// Crashes a node (crash-stop: it drops all traffic until recovered).
+    pub fn crash(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = false;
+    }
+
+    /// Recovers a crashed node as a follower.
+    pub fn recover(&mut self, node: NodeId) {
+        let gen;
+        {
+            let n = &mut self.nodes[node.0 as usize];
+            n.alive = true;
+            n.role = Role::Follower;
+            n.timer_generation += 1;
+            gen = n.timer_generation;
+        }
+        self.net.timer(
+            node,
+            self.election_timeout_min * 2,
+            RaftMsg::ElectionTimeout { generation: gen },
+        );
+    }
+
+    /// Runs the protocol until `deadline`, returning batches committed in
+    /// this window (in commit order).
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<CommittedBatch> {
+        while let Some(ev) = self.net.pop_at_or_before(deadline) {
+            self.dispatch(ev.dst, ev.at, ev.msg);
+        }
+        self.net.advance_to(deadline);
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Due time of the next internal event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.net.next_event_time()
+    }
+
+    fn dispatch(&mut self, me: NodeId, at: SimTime, msg: RaftMsg) {
+        if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        match msg {
+            RaftMsg::ElectionTimeout { generation } => self.on_election_timeout(me, generation),
+            RaftMsg::HeartbeatTimer { generation } => self.on_heartbeat_timer(me, generation),
+            RaftMsg::BatchTimer { deadline_for_len } => {
+                if self.nodes[me.0 as usize].role == Role::Leader
+                    && !self.pending.is_empty()
+                    && self.pending.len() <= deadline_for_len.max(1)
+                {
+                    self.cut_batch(me);
+                } else if !self.pending.is_empty()
+                    && self.nodes[me.0 as usize].role == Role::Leader
+                {
+                    self.cut_batch(me);
+                }
+            }
+            RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(me, at, term, candidate, last_log_index, last_log_term),
+            RaftMsg::Vote { term, from, granted } => self.on_vote(me, at, term, from, granted),
+            RaftMsg::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(me, at, term, leader, prev_index, prev_term, entries, leader_commit),
+            RaftMsg::AppendResp {
+                term,
+                from,
+                success,
+                match_index,
+            } => self.on_append_resp(me, at, term, from, success, match_index),
+        }
+    }
+
+    fn arm_election_timer(&mut self, me: NodeId) {
+        let gen;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            node.timer_generation += 1;
+            gen = node.timer_generation;
+        }
+        // Deterministic jitter derived from node id and generation.
+        let base = self.election_timeout_min.as_micros();
+        let jitter = (me.0 as u64 * 7919 + gen * 104_729) % base;
+        self.net.timer(
+            me,
+            SimDuration::from_micros(base + jitter),
+            RaftMsg::ElectionTimeout { generation: gen },
+        );
+    }
+
+    fn on_election_timeout(&mut self, me: NodeId, generation: u64) {
+        {
+            let node = &self.nodes[me.0 as usize];
+            if node.timer_generation != generation || node.role == Role::Leader {
+                return;
+            }
+        }
+        // Become candidate.
+        let (term, last_log_index, last_log_term);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            node.role = Role::Candidate;
+            node.term += 1;
+            node.voted_for = Some(me);
+            node.votes = 1;
+            term = node.term;
+            last_log_index = node.last_log_index();
+            last_log_term = node.last_log_term();
+        }
+        self.arm_election_timer(me);
+        if self.nodes.len() == 1 {
+            self.become_leader(me);
+            return;
+        }
+        let proc = self.proc_per_msg;
+        self.net.broadcast_delayed(me, proc, 64, |_| RaftMsg::RequestVote {
+            term,
+            candidate: me,
+            last_log_index,
+            last_log_term,
+        });
+    }
+
+    fn on_request_vote(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        term: u64,
+        candidate: NodeId,
+        last_log_index: u64,
+        last_log_term: u64,
+    ) {
+        let done = self.cpu.process(me, at, self.proc_per_msg);
+        let extra = done - at;
+        let granted;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if term > node.term {
+                node.term = term;
+                node.role = Role::Follower;
+                node.voted_for = None;
+            }
+            let log_ok = last_log_term > node.last_log_term()
+                || (last_log_term == node.last_log_term() && last_log_index >= node.last_log_index());
+            granted = term == node.term
+                && log_ok
+                && (node.voted_for.is_none() || node.voted_for == Some(candidate));
+            if granted {
+                node.voted_for = Some(candidate);
+            }
+            if granted || term > node.term {
+                // reset election timer on grant
+            }
+        }
+        if granted {
+            self.arm_election_timer(me);
+        }
+        let reply_term = self.nodes[me.0 as usize].term;
+        self.net.send_delayed(
+            me,
+            candidate,
+            extra,
+            32,
+            RaftMsg::Vote {
+                term: reply_term,
+                from: me,
+                granted,
+            },
+        );
+    }
+
+    fn on_vote(&mut self, me: NodeId, _at: SimTime, term: u64, _from: NodeId, granted: bool) {
+        let should_lead;
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if term > node.term {
+                node.term = term;
+                node.role = Role::Follower;
+                node.voted_for = None;
+                return;
+            }
+            if node.role != Role::Candidate || term != node.term || !granted {
+                return;
+            }
+            node.votes += 1;
+            should_lead = node.votes >= majority_quorum(self.nodes.len() as u32);
+        }
+        if should_lead {
+            self.become_leader(me);
+        }
+    }
+
+    fn become_leader(&mut self, me: NodeId) {
+        let gen;
+        {
+            let last = self.nodes[me.0 as usize].last_log_index();
+            let node = &mut self.nodes[me.0 as usize];
+            node.role = Role::Leader;
+            node.timer_generation += 1;
+            gen = node.timer_generation;
+            for v in &mut node.next_index {
+                *v = last + 1;
+            }
+            for v in &mut node.match_index {
+                *v = 0;
+            }
+            node.match_index[me.0 as usize] = last;
+        }
+        self.net
+            .timer(me, SimDuration::ZERO, RaftMsg::HeartbeatTimer { generation: gen });
+        // Any queued client work can now be cut.
+        if !self.pending.is_empty() {
+            self.net.timer(
+                me,
+                self.batch.max_wait,
+                RaftMsg::BatchTimer {
+                    deadline_for_len: self.pending.len(),
+                },
+            );
+        }
+    }
+
+    fn on_heartbeat_timer(&mut self, me: NodeId, generation: u64) {
+        {
+            let node = &self.nodes[me.0 as usize];
+            if node.role != Role::Leader || node.timer_generation != generation {
+                return;
+            }
+        }
+        self.replicate(me);
+        self.net
+            .timer(me, self.heartbeat_interval, RaftMsg::HeartbeatTimer { generation });
+    }
+
+    /// Cuts the pending queue into a log entry at the leader and replicates.
+    fn cut_batch(&mut self, leader: NodeId) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let take = self.pending.len().min(self.batch.max_commands);
+        let batch: Vec<Command> = self.pending.drain(..take).collect();
+        self.pending_since = if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.net.now())
+        };
+        {
+            let term = self.nodes[leader.0 as usize].term;
+            let node = &mut self.nodes[leader.0 as usize];
+            node.log.push(LogEntry { term, batch });
+            let last = node.last_log_index();
+            node.match_index[leader.0 as usize] = last;
+        }
+        // Re-arm the batch timer for what remains.
+        if !self.pending.is_empty() {
+            self.net.timer(
+                leader,
+                self.batch.max_wait,
+                RaftMsg::BatchTimer {
+                    deadline_for_len: self.pending.len(),
+                },
+            );
+        }
+        self.replicate(leader);
+        // Single-node cluster commits instantly.
+        if self.nodes.len() == 1 {
+            self.try_advance_commit(leader);
+        }
+    }
+
+    fn replicate(&mut self, leader: NodeId) {
+        let n = self.nodes.len();
+        let now = self.net.now();
+        for peer in 0..n {
+            let peer_id = NodeId(peer as u32);
+            if peer_id == leader {
+                continue;
+            }
+            let (term, prev_index, prev_term, entries, leader_commit, bytes);
+            {
+                let node = &self.nodes[leader.0 as usize];
+                let next = node.next_index[peer];
+                prev_index = next - 1;
+                prev_term = node.term_at(prev_index);
+                entries = node.log[(next - 1) as usize..].to_vec();
+                term = node.term;
+                leader_commit = node.commit_index;
+                bytes = 64 + entries
+                    .iter()
+                    .flat_map(|e| e.batch.iter())
+                    .map(|c| c.bytes as usize)
+                    .sum::<usize>();
+            }
+            let cmds: usize = entries.iter().map(|e| e.batch.len()).sum();
+            let cost = self.proc_per_msg + self.proc_per_command * cmds as u64;
+            let done = self.cpu.process(leader, now, cost);
+            self.net.send_delayed(
+                leader,
+                peer_id,
+                done - now,
+                bytes,
+                RaftMsg::AppendEntries {
+                    term,
+                    leader,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        term: u64,
+        leader: NodeId,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    ) {
+        let cmds: usize = entries.iter().map(|e| e.batch.len()).sum();
+        let cost = self.proc_per_msg + self.proc_per_command * cmds as u64;
+        let done = self.cpu.process(me, at, cost);
+        let extra = done - at;
+
+        let (success, match_index, reply_term);
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if term > node.term {
+                node.term = term;
+                node.voted_for = None;
+            }
+            if term == node.term {
+                node.role = Role::Follower;
+            }
+            let log_ok = term == node.term
+                && prev_index <= node.last_log_index()
+                && node.term_at(prev_index) == prev_term;
+            if log_ok {
+                // Truncate any conflicting suffix and append.
+                let mut idx = prev_index as usize;
+                for entry in entries {
+                    if node.log.len() > idx {
+                        if node.log[idx].term != entry.term {
+                            node.log.truncate(idx);
+                            node.log.push(entry);
+                        }
+                    } else {
+                        node.log.push(entry);
+                    }
+                    idx += 1;
+                }
+                node.commit_index = node.commit_index.max(leader_commit.min(node.last_log_index()));
+                success = true;
+                match_index = node.last_log_index();
+            } else {
+                success = false;
+                match_index = 0;
+            }
+            reply_term = node.term;
+        }
+        if term == self.nodes[me.0 as usize].term {
+            self.arm_election_timer(me);
+        }
+        self.net.send_delayed(
+            me,
+            leader,
+            extra,
+            32,
+            RaftMsg::AppendResp {
+                term: reply_term,
+                from: me,
+                success,
+                match_index,
+            },
+        );
+    }
+
+    fn on_append_resp(
+        &mut self,
+        me: NodeId,
+        _at: SimTime,
+        term: u64,
+        from: NodeId,
+        success: bool,
+        match_index: u64,
+    ) {
+        {
+            let node = &mut self.nodes[me.0 as usize];
+            if term > node.term {
+                node.term = term;
+                node.role = Role::Follower;
+                node.voted_for = None;
+                return;
+            }
+            if node.role != Role::Leader || term != node.term {
+                return;
+            }
+            let peer = from.0 as usize;
+            if success {
+                node.match_index[peer] = node.match_index[peer].max(match_index);
+                node.next_index[peer] = node.match_index[peer] + 1;
+            } else {
+                node.next_index[peer] = node.next_index[peer].saturating_sub(1).max(1);
+            }
+        }
+        self.try_advance_commit(me);
+    }
+
+    fn try_advance_commit(&mut self, leader: NodeId) {
+        let quorum = majority_quorum(self.nodes.len() as u32) as usize;
+        let new_commit;
+        {
+            let node = &self.nodes[leader.0 as usize];
+            let mut sorted = node.match_index.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let candidate = sorted[quorum - 1];
+            if candidate > node.commit_index && node.term_at(candidate) == node.term {
+                new_commit = candidate;
+            } else {
+                return;
+            }
+        }
+        self.nodes[leader.0 as usize].commit_index = new_commit;
+        // Emit newly committed batches exactly once, in order.
+        let now = self.net.now();
+        while self.emitted_index < new_commit {
+            self.emitted_index += 1;
+            self.round += 1;
+            let entry = &self.nodes[leader.0 as usize].log[(self.emitted_index - 1) as usize];
+            self.committed.push(CommittedBatch {
+                commands: entry.batch.clone(),
+                proposer: leader,
+                round: self.round,
+                committed_at: now,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, TxId};
+
+    fn tx(seq: u64) -> Command {
+        Command::unit(TxId::new(ClientId(0), seq))
+    }
+
+    fn settled(nodes: u32, seed: u64) -> RaftCluster {
+        let mut c = RaftCluster::builder(nodes).seed(seed).build();
+        c.run_until(SimTime::from_secs(3));
+        assert!(c.leader().is_some(), "a leader must emerge");
+        c
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        let c = settled(3, 42);
+        let leaders = (0..3)
+            .filter(|&i| c.nodes[i].role == Role::Leader && c.nodes[i].alive)
+            .count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn commits_a_single_command() {
+        let mut c = settled(3, 1);
+        c.submit(tx(1));
+        let batches = c.run_until(SimTime::from_secs(6));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].commands.len(), 1);
+        assert_eq!(batches[0].commands[0].tx.seq(), 1);
+    }
+
+    #[test]
+    fn commits_respect_batch_size() {
+        let mut c = RaftCluster::builder(3)
+            .seed(2)
+            .batch(BatchConfig::new(10, SimDuration::from_millis(500)))
+            .build();
+        c.run_until(SimTime::from_secs(3));
+        for s in 0..25 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(10));
+        let total: usize = batches.iter().map(|b| b.commands.len()).sum();
+        assert_eq!(total, 25);
+        assert!(batches.iter().all(|b| b.commands.len() <= 10));
+        // First two batches are full-size cuts:
+        assert_eq!(batches[0].commands.len(), 10);
+        assert_eq!(batches[1].commands.len(), 10);
+    }
+
+    #[test]
+    fn batch_timeout_flushes_partial_batches() {
+        let mut c = RaftCluster::builder(3)
+            .seed(3)
+            .batch(BatchConfig::new(1000, SimDuration::from_millis(200)))
+            .build();
+        c.run_until(SimTime::from_secs(3));
+        c.submit(tx(1));
+        c.submit(tx(2));
+        let start = c.now();
+        let batches = c.run_until(start + SimDuration::from_secs(2));
+        assert_eq!(batches.len(), 1, "timeout must cut the partial batch");
+        assert_eq!(batches[0].commands.len(), 2);
+    }
+
+    #[test]
+    fn commit_order_preserves_submission_order() {
+        let mut c = settled(5, 4);
+        for s in 0..50 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(20));
+        let seqs: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.commands.iter().map(|cmd| cmd.tx.seq()))
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+        assert_eq!(seqs.len(), 50);
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection_and_progress() {
+        let mut c = settled(3, 5);
+        let old_leader = c.leader().unwrap();
+        c.crash(old_leader);
+        c.run_until(c.now() + SimDuration::from_secs(5));
+        let new_leader = c.leader().expect("new leader after crash");
+        assert_ne!(new_leader, old_leader);
+        c.submit(tx(9));
+        let batches = c.run_until(c.now() + SimDuration::from_secs(5));
+        assert_eq!(batches.iter().map(|b| b.commands.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn no_progress_without_majority() {
+        let mut c = settled(3, 6);
+        let leader = c.leader().unwrap();
+        for i in 0..3 {
+            if NodeId(i) != leader {
+                c.crash(NodeId(i));
+            }
+        }
+        c.submit(tx(1));
+        let batches = c.run_until(c.now() + SimDuration::from_secs(10));
+        assert!(batches.is_empty(), "minority must not commit");
+    }
+
+    #[test]
+    fn recovered_follower_catches_up() {
+        let mut c = settled(3, 7);
+        let leader = c.leader().unwrap();
+        let follower = NodeId((0..3).find(|&i| NodeId(i) != leader).unwrap());
+        c.crash(follower);
+        for s in 0..5 {
+            c.submit(tx(s));
+        }
+        c.run_until(c.now() + SimDuration::from_secs(5));
+        c.recover(follower);
+        c.run_until(c.now() + SimDuration::from_secs(5));
+        let f = &c.nodes[follower.0 as usize];
+        assert_eq!(f.last_log_index(), c.nodes[leader.0 as usize].last_log_index());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut c = RaftCluster::builder(4).seed(seed).build();
+            c.run_until(SimTime::from_secs(3));
+            for s in 0..20 {
+                c.submit(tx(s));
+            }
+            let batches = c.run_until(SimTime::from_secs(10));
+            batches
+                .iter()
+                .map(|b| (b.round, b.committed_at, b.commands.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn single_node_cluster_commits_immediately() {
+        let mut c = RaftCluster::builder(1).seed(8).build();
+        c.run_until(SimTime::from_secs(1));
+        assert!(c.leader().is_some());
+        c.submit(tx(1));
+        let batches = c.run_until(c.now() + SimDuration::from_secs(3));
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn logs_agree_across_alive_nodes() {
+        let mut c = settled(5, 9);
+        for s in 0..30 {
+            c.submit(tx(s));
+        }
+        c.run_until(SimTime::from_secs(30));
+        // All nodes that are alive must have prefix-consistent logs up to
+        // the minimum commit index.
+        let min_commit = c
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.commit_index)
+            .min()
+            .unwrap();
+        assert!(min_commit > 0);
+        for idx in 1..=min_commit {
+            let terms: Vec<u64> = c
+                .nodes
+                .iter()
+                .filter(|n| n.alive && n.last_log_index() >= idx)
+                .map(|n| n.term_at(idx))
+                .collect();
+            assert!(terms.windows(2).all(|w| w[0] == w[1]), "log divergence at {idx}");
+        }
+    }
+
+    #[test]
+    fn commit_latency_is_subsecond_on_lan() {
+        let mut c = RaftCluster::builder(3)
+            .seed(10)
+            .batch(BatchConfig::new(500, SimDuration::from_millis(100)))
+            .build();
+        c.run_until(SimTime::from_secs(3));
+        assert!(c.leader().is_some());
+        let submit_at = c.now();
+        c.submit(tx(1));
+        let batches = c.run_until(c.now() + SimDuration::from_secs(5));
+        assert_eq!(batches.len(), 1);
+        let latency = batches[0].committed_at - submit_at;
+        assert!(
+            latency < SimDuration::from_secs(1),
+            "commit took {latency}, expected < 1 s on a LAN"
+        );
+    }
+}

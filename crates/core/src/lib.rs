@@ -1,0 +1,57 @@
+//! COCONUT — an automati**C** bl**O**ck**C**hain perf**O**rma**N**ce
+//! eval**U**ation sys**T**em.
+//!
+//! This crate is the benchmarking framework of the paper: it generates the
+//! paper's workloads (DoNothing, KeyValue, BankingApp), runs them through
+//! the COCONUT client model (four client applications with four workload
+//! threads each, rate-limited, sending for 300 virtual seconds and
+//! listening for 330), collects finalization notifications *on the client
+//! side* (the end-to-end methodology of §4.5), and computes the paper's
+//! metrics — MTPS, MFLS, Duration, and the number of transactions — with
+//! SD / SEM / 95% CI statistics over repetitions.
+//!
+//! The [`experiments`] module regenerates every figure and table of the
+//! paper's evaluation section; the [`report`] module renders them.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use coconut::prelude::*;
+//!
+//! // Benchmark the modelled Fabric with the DoNothing workload for two
+//! // virtual seconds at 200 tx/s, one repetition. Small blocks keep the
+//! // short window from ending before Fabric's 2 s batch timeout.
+//! let spec = BenchmarkSpec::new(SystemKind::Fabric, PayloadKind::DoNothing)
+//!     .rate(200.0)
+//!     .block_param(BlockParam::MaxMessageCount(20))
+//!     .send_duration(SimDuration::from_secs(2))
+//!     .repetitions(1);
+//! let result = run_benchmark(&spec, 42);
+//! assert!(result.mtps.mean > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod experiments;
+pub mod params;
+pub mod report;
+pub mod runner;
+pub mod saturation;
+pub mod stats;
+pub mod workload;
+
+pub use params::{BlockParam, SystemKind, SystemSetup};
+pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
+pub use saturation::{SaturationResult, SaturationSearch};
+pub use stats::Stats;
+
+/// Everything most users need, in one import.
+pub mod prelude {
+    pub use crate::params::{BlockParam, SystemKind, SystemSetup};
+    pub use crate::report::{heatmap, table};
+    pub use crate::runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
+    pub use crate::stats::Stats;
+    pub use coconut_types::{PayloadKind, SimDuration, SimTime};
+}

@@ -1,0 +1,306 @@
+//! Rendering benchmark results: the paper's table rows and heat maps.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::runner::BenchmarkResult;
+
+/// Renders results as a paper-style table with MTPS / MFLS statistics and
+/// transaction counts (the layout of Tables 7–20).
+///
+/// # Example
+///
+/// ```
+/// use coconut::prelude::*;
+///
+/// let spec = BenchmarkSpec::new(SystemKind::Fabric, PayloadKind::DoNothing)
+///     .rate(100.0)
+///     .block_param(BlockParam::MaxMessageCount(20))
+///     .send_duration(SimDuration::from_secs(2))
+///     .repetitions(1);
+/// let result = run_benchmark(&spec, 1);
+/// let rendered = table(&[result]);
+/// assert!(rendered.contains("MTPS"));
+/// assert!(rendered.contains("Fabric"));
+/// ```
+pub fn table(results: &[BenchmarkResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| System | Benchmark | RL | Param | Ops | MTPS | SD | SEM | 95% CI | MFLS | SD | SEM | 95% CI | D | Received | Expected |\n",
+    );
+    out.push_str(
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | ±{:.2} | {:.2} | {:.2} | {:.2} | ±{:.2} | {:.2} | {:.2} | {:.0} |\n",
+            r.system,
+            r.benchmark,
+            r.rate,
+            r.block_param,
+            r.ops_per_tx,
+            r.mtps.mean,
+            r.mtps.sd,
+            r.mtps.sem,
+            r.mtps.ci95,
+            r.mfls.mean,
+            r.mfls.sd,
+            r.mfls.sem,
+            r.mfls.ci95,
+            r.duration.mean,
+            r.received.mean,
+            r.expected,
+        ));
+    }
+    out
+}
+
+/// Renders the Figure 3 / Figure 4 heat map: the best-MTPS cell per
+/// (benchmark, system) with the corresponding MFLS and Duration.
+///
+/// `grid[b][s]` must hold the best result of benchmark `b` on system `s`
+/// (or `None` if the cell failed completely); `benchmarks` and `systems`
+/// are the axis labels.
+pub fn heatmap(
+    benchmarks: &[&str],
+    systems: &[&str],
+    grid: &[Vec<Option<BenchmarkResult>>],
+) -> String {
+    assert_eq!(grid.len(), benchmarks.len(), "one row per benchmark");
+    let width = 26;
+    let mut out = String::new();
+    out.push_str(&format!("{:24}", ""));
+    for s in systems {
+        out.push_str(&format!("{s:^width$}"));
+    }
+    out.push('\n');
+    for (bi, b) in benchmarks.iter().enumerate() {
+        assert_eq!(grid[bi].len(), systems.len(), "one column per system");
+        let mut lines = vec![format!("{b:<24}"), format!("{:24}", ""), format!("{:24}", "")];
+        for cell in &grid[bi] {
+            match cell {
+                Some(r) => {
+                    lines[0].push_str(&format!("{:^width$}", format!("MTPS={:.2}", r.mtps.mean)));
+                    lines[1].push_str(&format!("{:^width$}", format!("MFLS={:.2}s", r.mfls.mean)));
+                    lines[2].push_str(&format!("{:^width$}", format!("D={:.2}s ({})", r.duration.mean, r.block_param)));
+                }
+                None => {
+                    lines[0].push_str(&format!("{:^width$}", "MTPS=0.00"));
+                    lines[1].push_str(&format!("{:^width$}", "MFLS=0.00s"));
+                    lines[2].push_str(&format!("{:^width$}", "D=0.00s"));
+                }
+            }
+        }
+        out.push_str(&lines.join("\n"));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Renders a latency-distribution table (mean / p50 / p95 / p99) — an
+/// extension beyond the paper's mean-only reporting.
+pub fn latency_table(results: &[BenchmarkResult]) -> String {
+    let mut out = String::new();
+    out.push_str("| System | Benchmark | RL | MFLS | p50 | p95 | p99 |\n|---|---|---|---|---|---|---|\n");
+    for r in results {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            r.system, r.benchmark, r.rate, r.mfls.mean, r.p50.mean, r.p95.mean, r.p99.mean
+        ));
+    }
+    out
+}
+
+/// Renders a log-scale series table for Figure 5 (MTPS vs node count).
+pub fn scalability_table(systems: &[&str], node_counts: &[u32], grid: &[Vec<f64>]) -> String {
+    assert_eq!(grid.len(), systems.len(), "one row per system");
+    let mut out = String::new();
+    out.push_str("| System |");
+    for n in node_counts {
+        out.push_str(&format!(" {n} nodes |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in node_counts {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (si, s) in systems.iter().enumerate() {
+        assert_eq!(grid[si].len(), node_counts.len());
+        out.push_str(&format!("| {s} |"));
+        for v in &grid[si] {
+            if *v == 0.0 {
+                out.push_str(" fail |");
+            } else {
+                out.push_str(&format!(" {v:.2} |"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders results as CSV (header + one row per result), the format most
+/// plotting pipelines ingest directly.
+pub fn to_csv(results: &[BenchmarkResult]) -> String {
+    let mut out = String::from(
+        "system,benchmark,rate,block_param,ops_per_tx,mtps_mean,mtps_sd,mtps_sem,mtps_ci95,\
+         mfls_mean,mfls_sd,p50,p95,p99,duration_mean,received_mean,expected,live\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.0},{}\n",
+            r.system,
+            r.benchmark,
+            r.rate,
+            r.block_param,
+            r.ops_per_tx,
+            r.mtps.mean,
+            r.mtps.sd,
+            r.mtps.sem,
+            r.mtps.ci95,
+            r.mfls.mean,
+            r.mfls.sd,
+            r.p50.mean,
+            r.p95.mean,
+            r.p99.mean,
+            r.duration.mean,
+            r.received.mean,
+            r.expected,
+            r.live,
+        ));
+    }
+    out
+}
+
+/// Persists results as CSV (see [`to_csv`]).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_csv(results: &[BenchmarkResult], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(results))
+}
+
+/// Persists results as pretty JSON (the paper persists all collected
+/// evaluation data; we use a file per experiment).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_json(results: &[BenchmarkResult], path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(results)?;
+    file.write_all(json.as_bytes())
+}
+
+/// Loads results saved by [`save_json`].
+///
+/// # Errors
+///
+/// Returns I/O or deserialization errors.
+pub fn load_json(path: &Path) -> std::io::Result<Vec<BenchmarkResult>> {
+    let data = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn dummy(system: &str, benchmark: &str, mtps: f64) -> BenchmarkResult {
+        BenchmarkResult {
+            system: system.into(),
+            benchmark: benchmark.into(),
+            rate: 200.0,
+            block_param: "MM=100".into(),
+            ops_per_tx: 1,
+            mtps: Stats::from_samples(&[mtps]),
+            mfls: Stats::from_samples(&[1.5]),
+            p50: Stats::from_samples(&[1.2]),
+            p95: Stats::from_samples(&[3.0]),
+            p99: Stats::from_samples(&[4.5]),
+            duration: Stats::from_samples(&[30.0]),
+            received: Stats::from_samples(&[6000.0]),
+            expected: 6000.0,
+            live: true,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_columns() {
+        let t = table(&[dummy("Fabric", "DoNothing", 800.0)]);
+        for needle in ["MTPS", "MFLS", "95% CI", "Fabric", "DoNothing", "800.00", "MM=100"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn heatmap_renders_cells_and_failures() {
+        let grid = vec![
+            vec![Some(dummy("Fabric", "DoNothing", 1400.0)), None],
+        ];
+        let h = heatmap(&["DoNothing"], &["Fabric", "Quorum"], &grid);
+        assert!(h.contains("MTPS=1400.00"));
+        assert!(h.contains("MTPS=0.00"), "failed cells show zeroes");
+        assert!(h.contains("DoNothing"));
+    }
+
+    #[test]
+    fn latency_table_shows_percentiles() {
+        let t = latency_table(&[dummy("Quorum", "Balance", 300.0)]);
+        assert!(t.contains("p95"));
+        assert!(t.contains("3.00"));
+        assert!(t.contains("4.50"));
+    }
+
+    #[test]
+    fn scalability_marks_failures() {
+        let t = scalability_table(&["Fabric"], &[8, 16, 32], &[vec![700.0, 0.0, 0.0]]);
+        assert!(t.contains("700.00"));
+        assert!(t.contains("fail"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[dummy("Fabric", "DoNothing", 800.0), dummy("Diem", "Balance", 64.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("system,benchmark,rate"));
+        assert!(lines[1].starts_with("Fabric,DoNothing,200,MM=100,1,800.0000"));
+        assert!(lines[2].contains("Diem,Balance"));
+        assert!(lines[1].ends_with(",true"));
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("coconut-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.csv");
+        save_csv(&[dummy("Quorum", "Balance", 365.0)], &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("Quorum,Balance"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("coconut-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.json");
+        let original = vec![dummy("Diem", "Balance", 64.0)];
+        save_json(&original, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].system, "Diem");
+        assert_eq!(loaded[0].mtps.mean, 64.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per benchmark")]
+    fn heatmap_validates_shape() {
+        let _ = heatmap(&["A", "B"], &["S"], &[vec![None]]);
+    }
+}

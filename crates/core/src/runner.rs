@@ -1,0 +1,497 @@
+//! Benchmark execution: drives a modelled blockchain with the COCONUT
+//! client schedule and computes the paper's metrics.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use coconut_chains::BlockchainSystem;
+use coconut_types::{PayloadKind, SeedDeriver, SimDuration, SimTime, TxId};
+
+use crate::client::{build_schedule, Windows};
+use crate::params::{build_system, BlockParam, SystemKind, SystemSetup};
+use crate::stats::{percentile, Stats};
+use crate::workload::BenchmarkUnit;
+
+/// Everything needed to run one benchmark (§4.1's combination of a client
+/// workload and an interface execution layer, plus parameters).
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// The system under test.
+    pub system: SystemKind,
+    /// The benchmark (IEL function) to drive.
+    pub benchmark: PayloadKind,
+    /// Deployment settings (nodes, network, block parameter).
+    pub setup: SystemSetup,
+    /// Aggregate payload rate across all four clients (the rate limiter).
+    pub rate: f64,
+    /// Operations per transaction (BitShares) / batch (Sawtooth).
+    pub ops_per_tx: u32,
+    /// Send/listen windows.
+    pub windows: Windows,
+    /// Repetitions to average over (the paper uses 3).
+    pub repetitions: u32,
+}
+
+impl BenchmarkSpec {
+    /// A spec with the paper's defaults: baseline deployment, 200 payloads
+    /// per second, one operation per transaction, full windows, three
+    /// repetitions.
+    pub fn new(system: SystemKind, benchmark: PayloadKind) -> Self {
+        BenchmarkSpec {
+            system,
+            benchmark,
+            setup: SystemSetup::default(),
+            rate: 200.0,
+            ops_per_tx: 1,
+            windows: Windows::paper(),
+            repetitions: 3,
+        }
+    }
+
+    /// Sets the aggregate rate limiter.
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets operations per transaction/batch.
+    pub fn ops_per_tx(mut self, ops: u32) -> Self {
+        self.ops_per_tx = ops;
+        self
+    }
+
+    /// Sets the deployment.
+    pub fn setup(mut self, setup: SystemSetup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Sets the block parameter on the current setup.
+    pub fn block_param(mut self, param: BlockParam) -> Self {
+        self.setup.block_param = param;
+        self
+    }
+
+    /// Sets the send window, keeping the paper's 10% listen margin.
+    pub fn send_duration(mut self, send: SimDuration) -> Self {
+        self.windows = Windows {
+            send,
+            listen: send + send / 10,
+        };
+        self
+    }
+
+    /// Sets both windows.
+    pub fn windows(mut self, windows: Windows) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn repetitions(mut self, r: u32) -> Self {
+        assert!(r > 0, "need at least one repetition");
+        self.repetitions = r;
+        self
+    }
+}
+
+/// The raw measurements of one repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepMeasurement {
+    /// Mean transactions per second (operations for BitShares; formula 2).
+    pub mtps: f64,
+    /// Mean finalization latency in seconds (formula 1).
+    pub mfls: f64,
+    /// Benchmark duration `t_lrtx − t_fstx` in seconds (formula 3).
+    pub duration: f64,
+    /// Median finalization latency in seconds (extension beyond the paper,
+    /// which reports only means).
+    pub p50: f64,
+    /// 95th-percentile finalization latency in seconds.
+    pub p95: f64,
+    /// 99th-percentile finalization latency in seconds.
+    pub p99: f64,
+    /// Confirmed payloads received by the clients in the listen window.
+    pub received: f64,
+    /// Payloads sent.
+    pub expected: f64,
+    /// Whether the system still served confirmations at the end.
+    pub live: bool,
+}
+
+/// Aggregated results of a benchmark across repetitions — one row of the
+/// paper's tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkResult {
+    /// System label ("Fabric", "Corda OS", ...).
+    pub system: String,
+    /// Benchmark label ("KeyValue-Set", ...).
+    pub benchmark: String,
+    /// Aggregate rate limiter.
+    pub rate: f64,
+    /// Block parameter description ("MM=100", "-").
+    pub block_param: String,
+    /// Operations per transaction.
+    pub ops_per_tx: u32,
+    /// Throughput statistics.
+    pub mtps: Stats,
+    /// Finalization-latency statistics (seconds).
+    pub mfls: Stats,
+    /// Median-latency statistics (seconds; extension).
+    pub p50: Stats,
+    /// Tail-latency statistics: 95th percentile (seconds; extension).
+    pub p95: Stats,
+    /// Tail-latency statistics: 99th percentile (seconds; extension).
+    pub p99: Stats,
+    /// Duration statistics (seconds).
+    pub duration: Stats,
+    /// Received-payload statistics.
+    pub received: Stats,
+    /// Expected payloads per repetition.
+    pub expected: f64,
+    /// `false` if any repetition ended with the system stalled.
+    pub live: bool,
+}
+
+impl BenchmarkResult {
+    fn from_reps(spec: &BenchmarkSpec, reps: &[RepMeasurement]) -> Self {
+        let collect = |f: fn(&RepMeasurement) -> f64| -> Stats {
+            Stats::from_samples(&reps.iter().map(f).collect::<Vec<_>>())
+        };
+        BenchmarkResult {
+            system: spec.system.label().to_string(),
+            benchmark: spec.benchmark.label().to_string(),
+            rate: spec.rate,
+            block_param: spec.setup.block_param.to_string(),
+            ops_per_tx: spec.ops_per_tx,
+            mtps: collect(|r| r.mtps),
+            mfls: collect(|r| r.mfls),
+            p50: collect(|r| r.p50),
+            p95: collect(|r| r.p95),
+            p99: collect(|r| r.p99),
+            duration: collect(|r| r.duration),
+            received: collect(|r| r.received),
+            expected: reps.first().map_or(0.0, |r| r.expected),
+            live: reps.iter().all(|r| r.live),
+        }
+    }
+
+    /// Fraction of sent payloads confirmed (`received / expected`).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expected == 0.0 {
+            0.0
+        } else {
+            self.received.mean / self.expected
+        }
+    }
+}
+
+/// Results of a whole benchmark unit (§4.1), in benchmark order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// Per-benchmark results in unit order.
+    pub benchmarks: Vec<BenchmarkResult>,
+}
+
+/// Runs one benchmark of `spec.benchmark` against `system`, with the
+/// client schedule offset to start at `base`. Returns the repetition
+/// measurement computed from client-side observations only.
+pub fn run_one(
+    system: &mut (dyn BlockchainSystem + Send),
+    spec: &BenchmarkSpec,
+    base: SimTime,
+    run_tag: u64,
+    seed: u64,
+) -> RepMeasurement {
+    let schedule = build_schedule(
+        spec.benchmark,
+        spec.rate,
+        spec.ops_per_tx,
+        spec.windows,
+        seed,
+    );
+    let expected: u64 = schedule.iter().map(|s| s.tx.op_count() as u64).sum();
+    let mut my_ids: HashSet<TxId> = HashSet::with_capacity(schedule.len());
+    let mut created = std::collections::HashMap::with_capacity(schedule.len());
+    let listen_end = base + spec.windows.listen;
+    let mut t_fstx: Option<SimTime> = None;
+    let mut outcomes = Vec::new();
+
+    for sched in schedule {
+        let at = base + (sched.at - SimTime::ZERO);
+        // Re-tag the id so different benchmarks of a unit never collide.
+        let id = TxId::new(
+            sched.tx.id().client(),
+            sched.tx.id().seq() | (run_tag << 40),
+        );
+        let tx = coconut_types::ClientTx::new(
+            id,
+            sched.tx.thread(),
+            sched.tx.payloads().to_vec(),
+            at,
+        );
+        outcomes.extend(system.run_until(at));
+        t_fstx.get_or_insert(at);
+        my_ids.insert(id);
+        created.insert(id, at);
+        system.submit(at, tx);
+    }
+    outcomes.extend(system.run_until(listen_end));
+
+    // Client-side filtering: only this benchmark's confirmations, only
+    // inside the listen window.
+    let mut received_ops: u64 = 0;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut t_lrtx: Option<SimTime> = None;
+    for o in &outcomes {
+        if !o.is_committed() || !my_ids.contains(&o.tx) || o.finalized_at > listen_end {
+            continue;
+        }
+        received_ops += o.ops_confirmed() as u64;
+        let start = created[&o.tx];
+        latencies.push((o.finalized_at - start).as_secs_f64());
+        t_lrtx = Some(t_lrtx.map_or(o.finalized_at, |t| t.max(o.finalized_at)));
+    }
+
+    let (mtps, duration) = match (t_fstx, t_lrtx) {
+        (Some(first), Some(last)) if last > first => {
+            let d = (last - first).as_secs_f64();
+            (received_ops as f64 / d, d)
+        }
+        _ => (0.0, 0.0),
+    };
+    let mfls = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    RepMeasurement {
+        mtps,
+        mfls,
+        duration,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        received: received_ops as f64,
+        expected: expected as f64,
+        live: system.is_live(),
+    }
+}
+
+/// Runs `spec` on a freshly provisioned system per repetition and
+/// aggregates the statistics (the paper's per-table rows).
+pub fn run_benchmark(spec: &BenchmarkSpec, seed: u64) -> BenchmarkResult {
+    let seeds = SeedDeriver::new(seed);
+    let mut reps = Vec::with_capacity(spec.repetitions as usize);
+    for rep in 0..spec.repetitions {
+        let rep_seeds = seeds.for_repetition(rep);
+        let mut system = build_system(spec.system, &spec.setup, rep_seeds.seed("system", 0));
+        reps.push(run_one(
+            system.as_mut(),
+            spec,
+            SimTime::ZERO,
+            0,
+            rep_seeds.seed("schedule", 0),
+        ));
+    }
+    BenchmarkResult::from_reps(spec, &reps)
+}
+
+/// Runs a whole benchmark unit (§4.1): the unit's benchmarks execute
+/// back-to-back on the *same* deployed system; only the clients are
+/// re-provisioned in between. The system is re-provisioned per repetition.
+pub fn run_unit(
+    system: SystemKind,
+    unit: BenchmarkUnit,
+    template: &BenchmarkSpec,
+    seed: u64,
+) -> UnitResult {
+    let seeds = SeedDeriver::new(seed);
+    let benchmarks = unit.benchmarks();
+    // reps[b][rep]
+    let mut measurements: Vec<Vec<RepMeasurement>> = vec![Vec::new(); benchmarks.len()];
+    // The paper's client lifecycle: terminate at 420 s for a 300 s send
+    // window; scale that proportionally.
+    let term = template.windows.listen + (template.windows.listen - template.windows.send) * 3;
+
+    for rep in 0..template.repetitions {
+        let rep_seeds = seeds.for_repetition(rep);
+        let mut sys = build_system(system, &template.setup, rep_seeds.seed("system", 0));
+        let mut base = SimTime::ZERO;
+        for (i, &benchmark) in benchmarks.iter().enumerate() {
+            let spec = BenchmarkSpec {
+                system,
+                benchmark,
+                ..template.clone()
+            };
+            let m = run_one(
+                sys.as_mut(),
+                &spec,
+                base,
+                i as u64 + 1,
+                rep_seeds.seed("schedule", i as u64),
+            );
+            measurements[i].push(m);
+            base += term;
+        }
+    }
+
+    let results = benchmarks
+        .iter()
+        .zip(&measurements)
+        .map(|(&benchmark, reps)| {
+            let spec = BenchmarkSpec {
+                system,
+                benchmark,
+                ..template.clone()
+            };
+            BenchmarkResult::from_reps(&spec, reps)
+        })
+        .collect();
+    UnitResult { benchmarks: results }
+}
+
+/// Runs many independent benchmarks on a thread pool (one thread per CPU,
+/// capped at the number of specs). Results come back in input order.
+pub fn run_many(specs: &[BenchmarkSpec], seed: u64) -> Vec<BenchmarkResult> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let mut results: Vec<Option<BenchmarkResult>> = vec![None; specs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = run_benchmark(&specs[i], seed.wrapping_add(i as u64 * 0x9E37_79B9));
+                results_mutex.lock()[i] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker finished")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(system: SystemKind, benchmark: PayloadKind) -> BenchmarkSpec {
+        BenchmarkSpec::new(system, benchmark)
+            .rate(100.0)
+            .windows(Windows::scaled(0.01)) // 3 s send window
+            .repetitions(2)
+    }
+
+    /// At tiny window scales Fabric's 2 s batch timeout would straddle the
+    /// listen window, so tests cut blocks by size instead.
+    fn quick_fabric(benchmark: PayloadKind) -> BenchmarkSpec {
+        quick(SystemKind::Fabric, benchmark).block_param(BlockParam::MaxMessageCount(25))
+    }
+
+    #[test]
+    fn fabric_do_nothing_confirms_everything() {
+        let r = run_benchmark(&quick_fabric(PayloadKind::DoNothing), 1);
+        assert!(r.delivery_ratio() > 0.95, "got {}", r.delivery_ratio());
+        assert!(r.mtps.mean > 50.0, "mtps {}", r.mtps.mean);
+        assert!(r.mfls.mean < 3.0, "mfls {}", r.mfls.mean);
+        assert!(r.live);
+    }
+
+    #[test]
+    fn metrics_are_client_side() {
+        // MFLS must include queueing before consensus, not just block time:
+        // overload Quorum lightly and check latency exceeds the block period.
+        let spec = quick(SystemKind::Quorum, PayloadKind::DoNothing).rate(400.0);
+        let r = run_benchmark(&spec, 2);
+        assert!(r.mfls.mean >= 0.5, "client-side latency {}", r.mfls.mean);
+    }
+
+    #[test]
+    fn repetitions_feed_statistics() {
+        let r = run_benchmark(&quick_fabric(PayloadKind::KeyValueSet), 3);
+        assert_eq!(r.mtps.n, 2);
+        // Different repetition seeds → some (tiny) spread is typical, but
+        // never negative values:
+        assert!(r.mtps.sd >= 0.0);
+    }
+
+    #[test]
+    fn unit_shares_the_system_instance() {
+        // KeyValue unit on Fabric: the Get benchmark must find the keys the
+        // Set benchmark wrote — only possible on the same instance.
+        let template = quick_fabric(PayloadKind::KeyValueSet);
+        let unit = run_unit(SystemKind::Fabric, BenchmarkUnit::KeyValue, &template, 4);
+        assert_eq!(unit.benchmarks.len(), 2);
+        let set = &unit.benchmarks[0];
+        let get = &unit.benchmarks[1];
+        assert!(set.delivery_ratio() > 0.9, "set {}", set.delivery_ratio());
+        assert!(get.delivery_ratio() > 0.9, "get {}", get.delivery_ratio());
+        assert_eq!(get.benchmark, "KeyValue-Get");
+    }
+
+    #[test]
+    fn banking_unit_runs_all_three() {
+        let template = quick(SystemKind::Quorum, PayloadKind::CreateAccount).rate(50.0);
+        let unit = run_unit(SystemKind::Quorum, BenchmarkUnit::BankingApp, &template, 5);
+        assert_eq!(unit.benchmarks.len(), 3);
+        assert!(unit.benchmarks[0].delivery_ratio() > 0.9);
+        // Payments read accounts created in phase 1:
+        assert!(unit.benchmarks[1].delivery_ratio() > 0.5);
+    }
+
+    #[test]
+    fn failed_benchmark_reports_zeroes() {
+        // Quorum BP=2s under heavy load: the liveness anomaly → 0 received.
+        let spec = quick(SystemKind::Quorum, PayloadKind::DoNothing)
+            .rate(1600.0)
+            .block_param(BlockParam::BlockPeriod(SimDuration::from_secs(2)))
+            .windows(Windows::scaled(0.05));
+        let r = run_benchmark(&spec, 6);
+        assert_eq!(r.received.mean, 0.0);
+        assert_eq!(r.mtps.mean, 0.0);
+        assert_eq!(r.duration.mean, 0.0);
+        assert!(!r.live);
+    }
+
+    #[test]
+    fn bitshares_counts_operations() {
+        let spec = quick(SystemKind::Bitshares, PayloadKind::DoNothing)
+            .rate(800.0)
+            .ops_per_tx(100)
+            .windows(Windows::scaled(0.02));
+        let r = run_benchmark(&spec, 7);
+        // 800 payloads/s → MTPS must be near 800, far beyond the tx rate 8/s.
+        assert!(r.mtps.mean > 400.0, "ops must count: {}", r.mtps.mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = quick(SystemKind::Sawtooth, PayloadKind::DoNothing);
+        let a = run_benchmark(&spec, 8);
+        let b = run_benchmark(&spec, 8);
+        assert_eq!(a.mtps.mean, b.mtps.mean);
+        assert_eq!(a.received.mean, b.received.mean);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let specs = vec![
+            quick(SystemKind::Fabric, PayloadKind::DoNothing).repetitions(1),
+            quick(SystemKind::Quorum, PayloadKind::DoNothing).repetitions(1),
+        ];
+        let results = run_many(&specs, 9);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].system, "Fabric");
+        assert_eq!(results[1].system, "Quorum");
+    }
+}

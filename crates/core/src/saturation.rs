@@ -1,0 +1,238 @@
+//! Saturation search: find the highest rate limiter a system can sustain.
+//!
+//! The paper picks its rate limiters empirically ("The minimum rate limiter
+//! value of 50 per COCONUT client is an empirical value resulting from
+//! experiments", §4.4). This module automates that search: a geometric
+//! ramp-up followed by a binary search for the largest rate at which the
+//! system still confirms at least [`SaturationSearch::target_delivery`] of
+//! the offered payloads within the listen window.
+
+use coconut_types::PayloadKind;
+
+use crate::client::Windows;
+use crate::params::{BlockParam, SystemKind, SystemSetup};
+use crate::runner::{run_benchmark, BenchmarkResult, BenchmarkSpec};
+
+/// Configuration of a saturation search; build with
+/// [`SaturationSearch::new`].
+#[derive(Debug, Clone)]
+pub struct SaturationSearch {
+    system: SystemKind,
+    benchmark: PayloadKind,
+    setup: SystemSetup,
+    ops_per_tx: u32,
+    windows: Windows,
+    target_delivery: f64,
+    min_rate: f64,
+    max_rate: f64,
+    tolerance: f64,
+    seed: u64,
+}
+
+/// The result of a saturation search.
+#[derive(Debug, Clone)]
+pub struct SaturationResult {
+    /// The highest sustainable aggregate rate found (payloads/s).
+    pub rate: f64,
+    /// The benchmark result at that rate.
+    pub at_rate: BenchmarkResult,
+    /// Rates probed, in order, with their delivery ratios.
+    pub probes: Vec<(f64, f64)>,
+}
+
+impl SaturationSearch {
+    /// Creates a search with sensible defaults: 90% delivery target,
+    /// rates 10–10,000, 10% resolution, 6-second windows.
+    pub fn new(system: SystemKind, benchmark: PayloadKind) -> Self {
+        SaturationSearch {
+            system,
+            benchmark,
+            setup: SystemSetup::default(),
+            ops_per_tx: 1,
+            windows: Windows::scaled(0.02),
+            target_delivery: 0.9,
+            min_rate: 10.0,
+            max_rate: 10_000.0,
+            tolerance: 0.1,
+            seed: 0x5A7,
+        }
+    }
+
+    /// Sets the deployment (block parameter, nodes, network).
+    pub fn setup(mut self, setup: SystemSetup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Sets the block parameter on the current setup.
+    pub fn block_param(mut self, param: BlockParam) -> Self {
+        self.setup.block_param = param;
+        self
+    }
+
+    /// Sets operations per transaction / batch.
+    pub fn ops_per_tx(mut self, ops: u32) -> Self {
+        self.ops_per_tx = ops;
+        self
+    }
+
+    /// Sets the client windows used per probe.
+    pub fn windows(mut self, windows: Windows) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the delivery ratio that counts as "sustained".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < target <= 1.0`.
+    pub fn target_delivery(mut self, target: f64) -> Self {
+        assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1]");
+        self.target_delivery = target;
+        self
+    }
+
+    /// Sets the search range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min < max`.
+    pub fn rate_range(mut self, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min < max, "need 0 < min < max");
+        self.min_rate = min;
+        self.max_rate = max;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn probe(&self, rate: f64, probes: &mut Vec<(f64, f64)>) -> (BenchmarkResult, bool) {
+        let spec = BenchmarkSpec::new(self.system, self.benchmark)
+            .setup(self.setup.clone())
+            .rate(rate)
+            .ops_per_tx(self.ops_per_tx)
+            .windows(self.windows)
+            .repetitions(1);
+        let result = run_benchmark(&spec, self.seed);
+        let delivery = result.delivery_ratio();
+        probes.push((rate, delivery));
+        let sustained = delivery >= self.target_delivery && result.live;
+        (result, sustained)
+    }
+
+    /// Runs the search: double from `min_rate` until delivery drops below
+    /// the target (or `max_rate` is hit), then binary-search the boundary.
+    ///
+    /// Returns `None` when even `min_rate` cannot be sustained.
+    pub fn run(&self) -> Option<SaturationResult> {
+        let mut probes = Vec::new();
+
+        // Ramp up geometrically.
+        let mut good_rate = None;
+        let mut good_result = None;
+        let mut bad_rate = None;
+        let mut rate = self.min_rate;
+        while rate <= self.max_rate {
+            let (result, sustained) = self.probe(rate, &mut probes);
+            if sustained {
+                good_rate = Some(rate);
+                good_result = Some(result);
+                rate *= 2.0;
+            } else {
+                bad_rate = Some(rate);
+                break;
+            }
+        }
+        let mut lo = good_rate?;
+        let mut best = good_result.expect("result recorded with rate");
+        let Some(mut hi) = bad_rate else {
+            // Sustained everything up to max_rate.
+            return Some(SaturationResult {
+                rate: lo,
+                at_rate: best,
+                probes,
+            });
+        };
+
+        // Binary search to the requested resolution.
+        while hi / lo > 1.0 + self.tolerance {
+            let mid = (lo * hi).sqrt();
+            let (result, sustained) = self.probe(mid, &mut probes);
+            if sustained {
+                lo = mid;
+                best = result;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(SaturationResult {
+            rate: lo,
+            at_rate: best,
+            probes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::SimDuration;
+
+    #[test]
+    fn finds_fabric_knee_in_plausible_range() {
+        let result = SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing)
+            .block_param(BlockParam::MaxMessageCount(50))
+            .rate_range(100.0, 6400.0)
+            .run()
+            .expect("fabric sustains the minimum rate");
+        // The model's validation stage serves ≈ 1,500–1,700 tx/s.
+        assert!(
+            (400.0..4000.0).contains(&result.rate),
+            "knee at {} tx/s",
+            result.rate
+        );
+        assert!(result.at_rate.delivery_ratio() >= 0.9);
+        // The ramp recorded both sustained and failed probes.
+        assert!(result.probes.len() >= 3);
+        assert!(result.probes.iter().any(|&(_, d)| d < 0.9));
+    }
+
+    #[test]
+    fn corda_os_knee_is_tiny() {
+        let result = SaturationSearch::new(SystemKind::CordaOs, PayloadKind::DoNothing)
+            .rate_range(2.0, 400.0)
+            .windows(crate::client::Windows::scaled(0.05))
+            .run()
+            .expect("corda sustains a trickle");
+        assert!(result.rate < 100.0, "Corda OS knee at {}", result.rate);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        // Quorum with blockperiod 5 s cannot confirm anything inside a
+        // 3-second listen window, so even the minimum rate fails.
+        let result = SaturationSearch::new(SystemKind::Quorum, PayloadKind::DoNothing)
+            .block_param(BlockParam::BlockPeriod(SimDuration::from_secs(5)))
+            .windows(crate::client::Windows::scaled(0.01))
+            .rate_range(10.0, 100.0)
+            .run();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in (0, 1]")]
+    fn invalid_target_rejected() {
+        let _ = SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).target_delivery(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < min < max")]
+    fn invalid_range_rejected() {
+        let _ = SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).rate_range(5.0, 5.0);
+    }
+}

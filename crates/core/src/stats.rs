@@ -1,0 +1,244 @@
+//! Descriptive statistics over benchmark repetitions: mean, standard
+//! deviation, standard error of the mean, and the 95% confidence interval —
+//! exactly the columns of the paper's Tables 7–20.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one metric across repetitions.
+///
+/// # Example
+///
+/// ```
+/// use coconut::Stats;
+///
+/// let s = Stats::from_samples(&[4.0, 5.0, 6.0]);
+/// assert_eq!(s.mean, 5.0);
+/// assert!((s.sd - 1.0).abs() < 1e-9);
+/// assert!(s.ci95 > s.sem, "95% CI half-width exceeds the SEM");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub sd: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Half-width of the 95% confidence interval (Student's t).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics from repetition samples.
+    ///
+    /// With a single sample, SD/SEM/CI are zero (no dispersion estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Stats {
+                mean,
+                sd: 0.0,
+                sem: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let sd = var.sqrt();
+        let sem = sd / (n as f64).sqrt();
+        let ci95 = t_975(n - 1) * sem;
+        Stats {
+            mean,
+            sd,
+            sem,
+            ci95,
+            n,
+        }
+    }
+
+    /// A zero-valued statistic (used for benchmarks that received nothing,
+    /// which the paper reports as 0.00 ± 0).
+    pub fn zero() -> Self {
+        Stats {
+            mean: 0.0,
+            sd: 0.0,
+            sem: 0.0,
+            ci95: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} (SD {:.2}, SEM {:.2}, ±{:.2})", self.mean, self.sd, self.sem, self.ci95)
+    }
+}
+
+/// Two-sided 97.5th percentile of Student's t with `df` degrees of freedom
+/// (exact small-sample values; 1.96 beyond the table). The paper's
+/// repetition count is 3 → df = 2 → t = 4.303, which is what reproduces
+/// the ratio between its SEM and CI columns.
+fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Computes the `q`-quantile (0.0–1.0) of `samples` using the
+/// nearest-rank method on a sorted copy.
+///
+/// Returns 0.0 for an empty slice (a benchmark that confirmed nothing).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= q <= 1.0`.
+///
+/// # Example
+///
+/// ```
+/// use coconut::stats::percentile;
+///
+/// let latencies = [1.0, 2.0, 3.0, 4.0, 100.0];
+/// assert_eq!(percentile(&latencies, 0.5), 3.0);
+/// assert_eq!(percentile(&latencies, 1.0), 100.0);
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[7.5]);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.sd - 2.0).abs() < 1e-12);
+        assert!((s.sem - 2.0 / 3f64.sqrt()).abs() < 1e-12);
+        // df = 2 → t = 4.303, the paper's repetition count.
+        assert!((s.ci95 - 4.303 * s.sem).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn zero_stat() {
+        let z = Stats::zero();
+        assert_eq!(z.mean, 0.0);
+        assert_eq!(z.n, 0);
+    }
+
+    #[test]
+    fn t_table_monotone_decreasing() {
+        assert!(t_975(1) > t_975(2));
+        assert!(t_975(2) > t_975(3));
+        assert!(t_975(29) > t_975(31));
+        assert_eq!(t_975(100), 1.96);
+        assert!(t_975(0).is_infinite());
+    }
+
+    #[test]
+    fn identical_samples_have_no_spread() {
+        let s = Stats::from_samples(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0]);
+        let out = s.to_string();
+        assert!(out.contains("2.00"));
+        assert!(out.contains("SD"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.2), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn percentile_is_monotone_in_q(
+            samples in proptest::collection::vec(0f64..1e3, 1..50),
+            q1 in 0f64..1.0,
+            q2 in 0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            proptest::prop_assert!(percentile(&samples, lo) <= percentile(&samples, hi));
+        }
+
+        #[test]
+        fn mean_within_minmax(samples in proptest::collection::vec(-1e6f64..1e6, 1..20)) {
+            let s = Stats::from_samples(&samples);
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            proptest::prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+            proptest::prop_assert!(s.sd >= 0.0 && s.sem >= 0.0 && s.ci95 >= 0.0);
+        }
+
+        #[test]
+        fn shift_invariance(samples in proptest::collection::vec(0f64..100.0, 2..10), shift in -50f64..50.0) {
+            let a = Stats::from_samples(&samples);
+            let shifted: Vec<f64> = samples.iter().map(|s| s + shift).collect();
+            let b = Stats::from_samples(&shifted);
+            proptest::prop_assert!((a.sd - b.sd).abs() < 1e-6);
+            proptest::prop_assert!(((a.mean + shift) - b.mean).abs() < 1e-6);
+        }
+    }
+}

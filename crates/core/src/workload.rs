@@ -1,0 +1,270 @@
+//! Workload generation: the payload streams of the three interface
+//! execution layers.
+//!
+//! The generator is deterministic and stateless: payload *i* of workload
+//! thread *(client, thread)* is a pure function of those coordinates. This
+//! lets the KeyValue-Get benchmark read exactly the keys the preceding
+//! KeyValue-Set benchmark wrote (§4.1: benchmarks form units) without any
+//! shared state, and it makes the BankingApp-SendPayment benchmark pay from
+//! account *n* to account *n + 1* as the paper prescribes — deliberately
+//! provoking overwrite conflicts.
+
+use coconut_types::{AccountId, ClientId, Payload, PayloadKind, ThreadId};
+
+/// Builds a globally unique 64-bit key for `(client, thread, seq)`.
+///
+/// Bits: `client` in the top 12, `thread` in the next 12, `seq` below —
+/// collision-free for any realistic experiment size.
+pub fn unique_key(client: ClientId, thread: ThreadId, seq: u64) -> u64 {
+    ((client.0 as u64) << 52) | ((thread.0 as u64) << 40) | (seq & 0xFF_FFFF_FFFF)
+}
+
+/// The account a workload thread's `seq`-th banking payload refers to.
+pub fn account(client: ClientId, thread: ThreadId, seq: u64) -> AccountId {
+    AccountId(unique_key(client, thread, seq))
+}
+
+/// Opening balance for created checking and saving accounts.
+pub const OPENING_BALANCE: u64 = 1_000_000;
+
+/// Workload threads per client; payments interleave across them.
+const THREADS: u32 = 4;
+
+/// Accounts per thread that the payment workload cycles over. Payments
+/// revisit this bounded pool instead of marching through fresh accounts,
+/// so conflicts persist for the whole benchmark — the sustained
+/// serializability pressure behind the paper's SendPayment findings.
+pub const PAYMENT_POOL: u64 = 64;
+
+/// The `s`-th payment of thread `t` pays from the `((t + s) mod 4)`-th
+/// thread's pool account `s mod PAYMENT_POOL` to the *next* account in the
+/// client-wide interleaved order. Concurrent threads of one client
+/// therefore form payment chains over overlapping accounts — the
+/// "account *n* pays account *n + 1*" interference the paper's SendPayment
+/// is designed to provoke, across the whole client rather than within
+/// isolated per-thread silos.
+fn payment_endpoints(client: ClientId, thread: ThreadId, seq: u64) -> (AccountId, AccountId) {
+    let idx = seq % PAYMENT_POOL;
+    let u = (thread.0 + (seq % THREADS as u64) as u32) % THREADS;
+    let from = account(client, ThreadId(u), idx);
+    let to = if u + 1 < THREADS {
+        account(client, ThreadId(u + 1), idx)
+    } else {
+        account(client, ThreadId(0), (idx + 1) % PAYMENT_POOL)
+    };
+    (from, to)
+}
+
+/// Payment amount used by BankingApp-SendPayment.
+pub const PAYMENT_AMOUNT: u64 = 1;
+
+/// Generates the `seq`-th payload of benchmark `kind` for a workload
+/// thread.
+///
+/// # Example
+///
+/// ```
+/// use coconut::workload::payload_for;
+/// use coconut_types::{ClientId, PayloadKind, ThreadId};
+///
+/// let set = payload_for(PayloadKind::KeyValueSet, ClientId(0), ThreadId(1), 7);
+/// let get = payload_for(PayloadKind::KeyValueGet, ClientId(0), ThreadId(1), 7);
+/// // The Get benchmark reads what the Set benchmark wrote:
+/// match (set, get) {
+///     (coconut_types::Payload::KeyValueSet { key: k1, .. },
+///      coconut_types::Payload::KeyValueGet { key: k2 }) => assert_eq!(k1, k2),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub fn payload_for(kind: PayloadKind, client: ClientId, thread: ThreadId, seq: u64) -> Payload {
+    match kind {
+        PayloadKind::DoNothing => Payload::DoNothing,
+        PayloadKind::KeyValueSet => Payload::key_value_set(unique_key(client, thread, seq), seq),
+        PayloadKind::KeyValueGet => Payload::key_value_get(unique_key(client, thread, seq)),
+        PayloadKind::CreateAccount => Payload::create_account(
+            account(client, thread, seq),
+            OPENING_BALANCE,
+            OPENING_BALANCE,
+        ),
+        // The paper: "SendPayment sends a payment from account_n to
+        // account_{n+1}", which makes concurrent payments interact.
+        PayloadKind::SendPayment => {
+            let (from, to) = payment_endpoints(client, thread, seq);
+            Payload::send_payment(from, to, PAYMENT_AMOUNT)
+        }
+        PayloadKind::Balance => {
+            let (from, _) = payment_endpoints(client, thread, seq);
+            Payload::balance(from)
+        }
+    }
+}
+
+/// The benchmark units of §4.1: benchmarks that run back-to-back on the
+/// *same* deployed system (only clients are re-provisioned in between).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkUnit {
+    /// `DoNothing` alone.
+    DoNothing,
+    /// `KeyValue-Set` followed by `KeyValue-Get`.
+    KeyValue,
+    /// `CreateAccount`, then `SendPayment`, then `Balance`.
+    BankingApp,
+}
+
+impl BenchmarkUnit {
+    /// All three units in the paper's execution order.
+    pub const ALL: [BenchmarkUnit; 3] = [
+        BenchmarkUnit::DoNothing,
+        BenchmarkUnit::KeyValue,
+        BenchmarkUnit::BankingApp,
+    ];
+
+    /// The benchmarks of this unit, in order.
+    pub fn benchmarks(self) -> &'static [PayloadKind] {
+        match self {
+            BenchmarkUnit::DoNothing => &[PayloadKind::DoNothing],
+            BenchmarkUnit::KeyValue => &[PayloadKind::KeyValueSet, PayloadKind::KeyValueGet],
+            BenchmarkUnit::BankingApp => &[
+                PayloadKind::CreateAccount,
+                PayloadKind::SendPayment,
+                PayloadKind::Balance,
+            ],
+        }
+    }
+
+    /// The unit a benchmark belongs to.
+    pub fn containing(kind: PayloadKind) -> BenchmarkUnit {
+        match kind {
+            PayloadKind::DoNothing => BenchmarkUnit::DoNothing,
+            PayloadKind::KeyValueSet | PayloadKind::KeyValueGet => BenchmarkUnit::KeyValue,
+            _ => BenchmarkUnit::BankingApp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_unique_across_threads_and_clients() {
+        let mut seen = HashSet::new();
+        for c in 0..4u32 {
+            for t in 0..4u32 {
+                for s in 0..500u64 {
+                    assert!(seen.insert(unique_key(ClientId(c), ThreadId(t), s)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_reads_what_set_wrote() {
+        for s in 0..100 {
+            let set = payload_for(PayloadKind::KeyValueSet, ClientId(2), ThreadId(3), s);
+            let get = payload_for(PayloadKind::KeyValueGet, ClientId(2), ThreadId(3), s);
+            let (Payload::KeyValueSet { key: k1, .. }, Payload::KeyValueGet { key: k2 }) = (set, get)
+            else {
+                panic!("wrong payload kinds");
+            };
+            assert_eq!(k1, k2);
+        }
+    }
+
+    #[test]
+    fn payments_chain_across_threads() {
+        // Thread 0's 5th payment starts at thread (0+5)%4 = 1's account 5
+        // and pays the next thread's account 5.
+        let p = payload_for(PayloadKind::SendPayment, ClientId(0), ThreadId(0), 5);
+        let Payload::SendPayment { from, to, amount } = p else {
+            panic!("wrong kind");
+        };
+        assert_eq!(from, account(ClientId(0), ThreadId(1), 5));
+        assert_eq!(to, account(ClientId(0), ThreadId(2), 5));
+        assert_eq!(amount, PAYMENT_AMOUNT);
+        // The pool wraps: payment 69 (seq 5 + 64) reuses pool slot 5.
+        let wrapped = payload_for(PayloadKind::SendPayment, ClientId(0), ThreadId(0), 5 + PAYMENT_POOL);
+        let Payload::SendPayment { from: f2, .. } = wrapped else {
+            panic!("wrong kind");
+        };
+        assert_eq!(f2, from, "same pool slot after wrapping");
+    }
+
+    #[test]
+    fn concurrent_threads_form_interfering_chains() {
+        // At the same seq, the four threads' payments touch overlapping
+        // accounts: thread t pays u → u+1, thread t+1 pays u+1 → u+2, ...
+        let c = ClientId(2);
+        let seq = 8;
+        let mut touched: Vec<AccountId> = Vec::new();
+        for t in 0..4u32 {
+            let Payload::SendPayment { from, to, .. } =
+                payload_for(PayloadKind::SendPayment, c, ThreadId(t), seq)
+            else {
+                panic!("wrong kind");
+            };
+            touched.push(from);
+            touched.push(to);
+        }
+        let n = touched.len();
+        touched.sort();
+        touched.dedup();
+        assert!(touched.len() < n, "the chains must share accounts");
+    }
+
+    #[test]
+    fn payments_and_balances_reference_created_accounts() {
+        // Every account a payment or balance references at seq s must have
+        // been created by some thread's CreateAccount at seq s or s+1.
+        let c = ClientId(1);
+        for t in 0..4u32 {
+            for s in 0..40u64 {
+                let Payload::SendPayment { from, to, .. } =
+                    payload_for(PayloadKind::SendPayment, c, ThreadId(t), s)
+                else {
+                    panic!("wrong kind");
+                };
+                for a in [from, to] {
+                    let covered = (0..4u32).any(|u| {
+                        (0..PAYMENT_POOL).any(|k| account(c, ThreadId(u), k) == a)
+                    });
+                    assert!(covered, "payment references an account outside the pool: {a}");
+                }
+                let Payload::Balance { account: b } =
+                    payload_for(PayloadKind::Balance, c, ThreadId(t), s)
+                else {
+                    panic!("wrong kind");
+                };
+                assert_eq!(b, from, "balance reads the payment's source account");
+            }
+        }
+    }
+
+    #[test]
+    fn units_cover_all_benchmarks_in_order() {
+        let all: Vec<PayloadKind> = BenchmarkUnit::ALL
+            .iter()
+            .flat_map(|u| u.benchmarks().iter().copied())
+            .collect();
+        assert_eq!(all, PayloadKind::ALL.to_vec());
+        assert_eq!(
+            BenchmarkUnit::containing(PayloadKind::Balance),
+            BenchmarkUnit::BankingApp
+        );
+        assert_eq!(
+            BenchmarkUnit::containing(PayloadKind::KeyValueGet),
+            BenchmarkUnit::KeyValue
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in PayloadKind::ALL {
+            assert_eq!(
+                payload_for(kind, ClientId(3), ThreadId(1), 42),
+                payload_for(kind, ClientId(3), ThreadId(1), 42)
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Interface execution layers (IELs) — the paper's Table 3 smart-contract
+//! workloads — plus the ledger state models they execute against.
+//!
+//! The paper standardizes "chaincode" / "smart contract" / "operation" /
+//! "transaction processor" under the term *interface execution layer* and
+//! benchmarks three of them:
+//!
+//! * **DoNothing** — an empty function; isolates consensus + networking.
+//! * **KeyValue** — `Set`/`Get` over a key/value store; targets storage.
+//! * **BankingApp** — `CreateAccount`/`SendPayment`/`Balance`; deliberately
+//!   creates overwrite conflicts (`SendPayment` pays account *n* → *n+1*).
+//!
+//! Because the seven systems execute differently, this crate provides three
+//! state models:
+//!
+//! * [`WorldState`] — versioned account/KV state for order-execute systems
+//!   (Quorum, BitShares, Sawtooth, Diem) executed via [`WorldState::apply`];
+//! * [`rwset`] — execute-order-validate simulation/validation (Fabric's
+//!   MVCC) producing [`RwSet`]s;
+//! * [`vault`] — Corda's UTXO vault with unconsumed states and the linear
+//!   scan that makes Corda OS reads slow (§5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rwset;
+pub mod state;
+pub mod vault;
+
+pub use rwset::{simulate, validate_and_apply, RwSet, SimulatedTx};
+pub use state::{ExecEffect, ExecError, StateKey, WorldState};
+pub use vault::{CordaTx, Vault, VaultQuery};

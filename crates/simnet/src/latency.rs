@@ -1,0 +1,206 @@
+//! Link latency distributions.
+//!
+//! The paper controls latency two ways: a low-latency data-center LAN for the
+//! baseline experiments (§4.2), and `netem`-injected normally distributed
+//! latency (μ = 12 ms, σ = 2 ms, derived from WonderNetwork's European
+//! inter-city pings) for the latency-impact study (§5.8.1). [`LatencyModel`]
+//! covers both plus the distributions useful for ablations.
+
+use rand::Rng;
+
+use coconut_types::SimDuration;
+
+/// A one-way link latency distribution, sampled per message.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::LatencyModel;
+/// use coconut_types::SimDuration;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let netem = LatencyModel::netem_paper();
+/// let sample = netem.sample(&mut rng);
+/// // Normally distributed around 12ms, essentially never below 2ms:
+/// assert!(sample >= SimDuration::from_millis(2));
+/// assert!(sample <= SimDuration::from_millis(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// No latency at all (loopback within a process).
+    Zero,
+    /// A fixed latency.
+    Constant(SimDuration),
+    /// Uniformly distributed between the two bounds (inclusive).
+    Uniform(SimDuration, SimDuration),
+    /// Normally distributed latency, the `netem` emulation of §5.8.1.
+    /// Samples are truncated at zero.
+    Normal {
+        /// Mean latency.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// In-data-center LAN latency for the baseline setting: a constant
+    /// 200 µs one-way delay between servers in the same facility.
+    pub const fn lan() -> Self {
+        LatencyModel::Constant(SimDuration::from_micros(200))
+    }
+
+    /// Latency between containers on the *same* server (loopback bridge).
+    pub const fn local() -> Self {
+        LatencyModel::Constant(SimDuration::from_micros(30))
+    }
+
+    /// The paper's netem setting: normal distribution with μ = 12 ms and
+    /// σ = 2 ms (§5.8.1, derived from WonderNetwork European pings).
+    pub const fn netem_paper() -> Self {
+        LatencyModel::Normal {
+            mean: SimDuration::from_millis(12),
+            std_dev: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            LatencyModel::Zero => SimDuration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                SimDuration::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+            }
+            LatencyModel::Normal { mean, std_dev } => {
+                let z = sample_standard_normal(rng);
+                let us = mean.as_micros() as f64 + z * std_dev.as_micros() as f64;
+                SimDuration::from_micros(us.max(0.0) as u64)
+            }
+        }
+    }
+
+    /// The distribution mean, used by models that need an a-priori latency
+    /// estimate (e.g. consensus timeout configuration).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Zero => SimDuration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => SimDuration::from_micros((lo.as_micros() + hi.as_micros()) / 2),
+            LatencyModel::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+/// Box–Muller transform over the RNG's open unit interval.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would make ln(0) = -inf.
+    let u1: f64 = loop {
+        let v = rng.gen::<f64>();
+        if v > f64::EPSILON {
+            break v;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_and_constant() {
+        let mut r = rng();
+        assert_eq!(LatencyModel::Zero.sample(&mut r), SimDuration::ZERO);
+        let c = LatencyModel::Constant(SimDuration::from_millis(3));
+        assert_eq!(c.sample(&mut r), SimDuration::from_millis(3));
+        assert_eq!(c.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut r = rng();
+        let lo = SimDuration::from_millis(1);
+        let hi = SimDuration::from_millis(5);
+        let m = LatencyModel::Uniform(lo, hi);
+        for _ in 0..1000 {
+            let s = m.sample(&mut r);
+            assert!(s >= lo && s <= hi);
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_swapped_bounds_are_normalized() {
+        let mut r = rng();
+        let m = LatencyModel::Uniform(SimDuration::from_millis(5), SimDuration::from_millis(1));
+        let s = m.sample(&mut r);
+        assert!(s >= SimDuration::from_millis(1) && s <= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn netem_matches_paper_parameters() {
+        let m = LatencyModel::netem_paper();
+        assert_eq!(m.mean(), SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn normal_sample_statistics() {
+        let mut r = rng();
+        let m = LatencyModel::netem_paper();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut r).as_secs_f64() * 1e3).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 12.0).abs() < 0.1, "mean {mean} should be ≈ 12 ms");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "σ {} should be ≈ 2 ms", var.sqrt());
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let mut r = rng();
+        let m = LatencyModel::Normal {
+            mean: SimDuration::from_micros(10),
+            std_dev: SimDuration::from_millis(10),
+        };
+        for _ in 0..1000 {
+            let _ = m.sample(&mut r); // must not panic / underflow
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = LatencyModel::netem_paper();
+        let a: Vec<_> = {
+            let mut r = StdRng::seed_from_u64(3);
+            (0..16).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = StdRng::seed_from_u64(3);
+            (0..16).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(LatencyModel::lan().mean(), SimDuration::from_micros(200));
+        assert_eq!(LatencyModel::local().mean(), SimDuration::from_micros(30));
+        assert_eq!(LatencyModel::default(), LatencyModel::lan());
+    }
+}

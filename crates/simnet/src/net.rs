@@ -1,0 +1,473 @@
+//! The network overlay: latency, bandwidth, loss, partitions, statistics.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use coconut_types::{NodeId, SimDuration, SimTime};
+
+use crate::latency::LatencyModel;
+use crate::sim::{Event, Sim};
+use crate::topology::Topology;
+
+/// Network configuration: per-link latency distributions, bandwidth, and
+/// loss probability.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::{LatencyModel, NetConfig};
+///
+/// // Baseline LAN, then the paper's netem overlay for §5.8.1:
+/// let base = NetConfig::lan();
+/// let emulated = NetConfig::lan().with_inter_server(LatencyModel::netem_paper());
+/// assert!(emulated.inter_server.mean() > base.inter_server.mean());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Latency between containers on the same server.
+    pub intra_server: LatencyModel,
+    /// Latency between different servers.
+    pub inter_server: LatencyModel,
+    /// Link bandwidth in bits per second (the paper's servers have a
+    /// 1 Gbit/s uplink); transmission delay = message bits / bandwidth.
+    pub bandwidth_bps: u64,
+    /// Probability that any given message is silently dropped.
+    pub loss_probability: f64,
+}
+
+impl NetConfig {
+    /// The paper's baseline data-center LAN: 200 µs inter-server, 30 µs
+    /// intra-server, 1 Gbit/s, no loss.
+    pub fn lan() -> Self {
+        NetConfig {
+            intra_server: LatencyModel::local(),
+            inter_server: LatencyModel::lan(),
+            bandwidth_bps: 1_000_000_000,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// The §5.8.1 latency-emulation setting: netem N(12 ms, 2 ms) between
+    /// servers, on top of the baseline LAN characteristics.
+    pub fn emulated_latency() -> Self {
+        NetConfig::lan().with_inter_server(LatencyModel::netem_paper())
+    }
+
+    /// Replaces the inter-server latency model.
+    pub fn with_inter_server(mut self, model: LatencyModel) -> Self {
+        self.inter_server = model;
+        self
+    }
+
+    /// Replaces the intra-server latency model.
+    pub fn with_intra_server(mut self, model: LatencyModel) -> Self {
+        self.intra_server = model;
+        self
+    }
+
+    /// Sets the link bandwidth in bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is zero.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_loss_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.loss_probability = p;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::lan()
+    }
+}
+
+/// Counters kept by [`NetSim`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages actually delivered (sent − dropped − partitioned).
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub messages_dropped: u64,
+    /// Messages suppressed by an active partition.
+    pub messages_partitioned: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+}
+
+/// A simulated message-passing network between blockchain nodes.
+///
+/// Combines the event queue ([`Sim`]), node placement ([`Topology`]), and
+/// link characteristics ([`NetConfig`]). All randomness comes from one
+/// seeded RNG, so runs are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::{NetConfig, NetSim, Topology};
+/// use coconut_types::{NodeId, SimTime};
+///
+/// let mut net = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 1);
+/// net.broadcast(NodeId(0), 256, |_dst| "hello");
+/// let mut delivered = 0;
+/// while net.pop_before(SimTime::MAX).is_some() {
+///     delivered += 1;
+/// }
+/// assert_eq!(delivered, 3, "broadcast reaches the other three nodes");
+/// ```
+#[derive(Debug)]
+pub struct NetSim<M> {
+    sim: Sim<M>,
+    topology: Topology,
+    config: NetConfig,
+    rng: StdRng,
+    stats: NetStats,
+    partitioned: HashSet<(NodeId, NodeId)>,
+}
+
+impl<M> NetSim<M> {
+    /// Creates a network over `topology` with the given `config` and RNG
+    /// `seed`.
+    pub fn new(topology: Topology, config: NetConfig, seed: u64) -> Self {
+        NetSim {
+            sim: Sim::new(),
+            topology,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            partitioned: HashSet::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The node placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Network counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Sends `msg` of `bytes` payload size from `src` to `dst`.
+    ///
+    /// The message is subject to partition suppression, random loss, link
+    /// latency, and transmission delay. Self-sends are delivered with
+    /// loopback latency and are never lost.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, msg: M) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if src != dst {
+            if self.is_partitioned(src, dst) {
+                self.stats.messages_partitioned += 1;
+                return;
+            }
+            if self.config.loss_probability > 0.0 && self.rng.gen::<f64>() < self.config.loss_probability {
+                self.stats.messages_dropped += 1;
+                return;
+            }
+        }
+        let delay = self.link_delay(src, dst, bytes);
+        self.stats.messages_delivered += 1;
+        self.sim.schedule(delay, dst, msg);
+    }
+
+    /// Like [`NetSim::send`] but with an additional sender-side delay before
+    /// the message enters the link (e.g. CPU processing time before the
+    /// reply is produced).
+    pub fn send_delayed(&mut self, src: NodeId, dst: NodeId, extra: SimDuration, bytes: usize, msg: M) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if src != dst {
+            if self.is_partitioned(src, dst) {
+                self.stats.messages_partitioned += 1;
+                return;
+            }
+            if self.config.loss_probability > 0.0 && self.rng.gen::<f64>() < self.config.loss_probability {
+                self.stats.messages_dropped += 1;
+                return;
+            }
+        }
+        let delay = extra + self.link_delay(src, dst, bytes);
+        self.stats.messages_delivered += 1;
+        self.sim.schedule(delay, dst, msg);
+    }
+
+    /// Broadcasts to every node except `src`; `make_msg` builds the
+    /// (possibly distinct) message per destination.
+    pub fn broadcast<F>(&mut self, src: NodeId, bytes: usize, mut make_msg: F)
+    where
+        F: FnMut(NodeId) -> M,
+    {
+        for dst in 0..self.topology.node_count() {
+            let dst = NodeId(dst);
+            if dst != src {
+                self.send(src, dst, bytes, make_msg(dst));
+            }
+        }
+    }
+
+    /// Broadcast with an additional sender-side delay (see
+    /// [`NetSim::send_delayed`]).
+    pub fn broadcast_delayed<F>(&mut self, src: NodeId, extra: SimDuration, bytes: usize, mut make_msg: F)
+    where
+        F: FnMut(NodeId) -> M,
+    {
+        for dst in 0..self.topology.node_count() {
+            let dst = NodeId(dst);
+            if dst != src {
+                self.send_delayed(src, dst, extra, bytes, make_msg(dst));
+            }
+        }
+    }
+
+    /// Schedules a local timer at `dst` after `delay` (no network involved).
+    pub fn timer(&mut self, dst: NodeId, delay: SimDuration, msg: M) {
+        self.sim.schedule(delay, dst, msg);
+    }
+
+    /// Schedules a local event at an absolute time.
+    pub fn timer_at(&mut self, dst: NodeId, at: SimTime, msg: M) {
+        self.sim.schedule_at(at, dst, msg);
+    }
+
+    /// Pops the next due event strictly before `deadline`, advancing the
+    /// clock (see [`Sim::pop_before`]).
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
+        self.sim.pop_before(deadline)
+    }
+
+    /// Pops the next due event at or before `deadline`.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
+        self.sim.pop_at_or_before(deadline)
+    }
+
+    /// Due time of the next event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.sim.next_event_time()
+    }
+
+    /// Advances the clock without processing (driver interleaving).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sim.advance_to(t);
+    }
+
+    /// Number of in-flight events.
+    pub fn pending(&self) -> usize {
+        self.sim.pending()
+    }
+
+    /// Cuts bidirectional connectivity between `a` and `b`.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitioned.insert(ordered(a, b));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitioned.remove(&ordered(a, b));
+    }
+
+    /// `true` if a partition currently suppresses `a` ↔ `b` traffic.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitioned.contains(&ordered(a, b))
+    }
+
+    /// One-way delay for a message of `bytes` from `src` to `dst`:
+    /// propagation (sampled from the link's latency model) plus
+    /// transmission (bytes at the configured bandwidth).
+    fn link_delay(&mut self, src: NodeId, dst: NodeId, bytes: usize) -> SimDuration {
+        let model = if src == dst || self.topology.same_server(src, dst) {
+            self.config.intra_server
+        } else {
+            self.config.inter_server
+        };
+        let propagation = model.sample(&mut self.rng);
+        let transmission_us = (bytes as u64 * 8).saturating_mul(1_000_000) / self.config.bandwidth_bps;
+        propagation + SimDuration::from_micros(transmission_us)
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan_net() -> NetSim<u32> {
+        NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 9)
+    }
+
+    #[test]
+    fn send_delivers_after_latency() {
+        let mut net = lan_net();
+        net.send(NodeId(0), NodeId(1), 100, 7);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!(ev.dst, NodeId(1));
+        assert_eq!(ev.msg, 7);
+        // 200µs propagation + 100B*8/1Gbps ≈ 0.8µs transmission
+        assert!(ev.at >= SimTime::from_micros(200));
+        assert!(ev.at < SimTime::from_micros(300));
+    }
+
+    #[test]
+    fn intra_server_is_faster_than_inter_server() {
+        let topo = Topology::explicit(vec![0, 0, 1]);
+        let mut net: NetSim<u32> = NetSim::new(topo, NetConfig::lan(), 1);
+        net.send(NodeId(0), NodeId(1), 0, 1); // same server
+        net.send(NodeId(0), NodeId(2), 0, 2); // cross server
+        let first = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!(first.msg, 1, "loopback message arrives first");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let mut net = lan_net();
+        net.broadcast(NodeId(2), 10, |dst| dst.0);
+        let mut dsts = Vec::new();
+        while let Some(ev) = net.pop_before(SimTime::MAX) {
+            dsts.push(ev.dst);
+        }
+        dsts.sort();
+        assert_eq!(dsts, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(net.stats().messages_sent, 3);
+        assert_eq!(net.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn partition_suppresses_and_heal_restores() {
+        let mut net = lan_net();
+        net.partition(NodeId(0), NodeId(1));
+        assert!(net.is_partitioned(NodeId(1), NodeId(0)), "partitions are symmetric");
+        net.send(NodeId(0), NodeId(1), 10, 1);
+        assert!(net.pop_before(SimTime::MAX).is_none());
+        assert_eq!(net.stats().messages_partitioned, 1);
+
+        net.heal(NodeId(1), NodeId(0));
+        net.send(NodeId(0), NodeId(1), 10, 2);
+        assert!(net.pop_before(SimTime::MAX).is_some());
+    }
+
+    #[test]
+    fn loss_probability_drops_messages() {
+        let cfg = NetConfig::lan().with_loss_probability(1.0);
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), cfg, 5);
+        net.send(NodeId(0), NodeId(1), 10, 1);
+        assert!(net.pop_before(SimTime::MAX).is_none());
+        assert_eq!(net.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn self_send_is_never_lost() {
+        let cfg = NetConfig::lan().with_loss_probability(1.0);
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), cfg, 5);
+        net.send(NodeId(0), NodeId(0), 10, 1);
+        assert!(net.pop_before(SimTime::MAX).is_some());
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let cfg = NetConfig::lan().with_bandwidth_bps(8_000_000); // 1 MB/s
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), cfg, 5);
+        net.send(NodeId(0), NodeId(1), 1_000_000, 1); // 1 MB → 1 s transmission
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert!(ev.at >= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn timers_fire_locally() {
+        let mut net = lan_net();
+        net.timer(NodeId(3), SimDuration::from_millis(10), 42);
+        net.timer_at(NodeId(2), SimTime::from_millis(5), 41);
+        let first = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!((first.dst, first.msg), (NodeId(2), 41));
+        let second = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!((second.dst, second.msg), (NodeId(3), 42));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed| {
+            let mut net: NetSim<u32> =
+                NetSim::new(Topology::paper_baseline(), NetConfig::emulated_latency(), seed);
+            for i in 0..50 {
+                net.send(NodeId(i % 4), NodeId((i + 1) % 4), 64, i.into());
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = net.pop_before(SimTime::MAX) {
+                log.push((ev.at, ev.dst, ev.msg));
+            }
+            log
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn config_builder_validation() {
+        let c = NetConfig::lan()
+            .with_bandwidth_bps(10)
+            .with_loss_probability(0.5)
+            .with_intra_server(LatencyModel::Zero);
+        assert_eq!(c.bandwidth_bps, 10);
+        assert_eq!(c.loss_probability, 0.5);
+        assert_eq!(c.intra_server, LatencyModel::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_probability_rejected() {
+        let _ = NetConfig::lan().with_loss_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetConfig::lan().with_bandwidth_bps(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn all_unpartitioned_lossless_messages_deliver(
+            sends in proptest::collection::vec((0u32..4, 0u32..4, 0usize..4096), 1..100)
+        ) {
+            let mut net: NetSim<usize> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 11);
+            for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
+                net.send(NodeId(src), NodeId(dst), bytes, i);
+            }
+            let mut count = 0;
+            while net.pop_before(SimTime::MAX).is_some() {
+                count += 1;
+            }
+            proptest::prop_assert_eq!(count, sends.len());
+            proptest::prop_assert_eq!(net.stats().messages_delivered, sends.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic event priority queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use coconut_types::SimTime;
+
+/// A priority queue of timestamped items with deterministic FIFO
+/// tie-breaking: items scheduled for the same instant pop in insertion
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::EventQueue;
+/// use coconut_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` at time `at`.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, item }));
+    }
+
+    /// Removes and returns the earliest item, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.item))
+    }
+
+    /// Removes and returns the earliest item only if it is due strictly
+    /// before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t < deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the earliest item only if it is due at or before
+    /// `deadline`.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The due time of the earliest item, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every queued item.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for i in (0..10u64).rev() {
+            q.push(SimTime::from_secs(i), i);
+        }
+        let mut last = None;
+        while let Some((t, _)) = q.pop() {
+            if let Some(prev) = last {
+                assert!(t >= prev);
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "x");
+        assert_eq!(q.pop_before(SimTime::from_secs(5)), None);
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(5)), Some((SimTime::from_secs(5), "x")));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO + SimDuration::from_secs(1), 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn pops_are_globally_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut popped = Vec::new();
+            while let Some((t, _)) = q.pop() {
+                popped.push(t);
+            }
+            let mut sorted = popped.clone();
+            sorted.sort();
+            proptest::prop_assert_eq!(popped, sorted);
+        }
+
+        #[test]
+        fn equal_times_preserve_insertion_order(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(SimTime::from_secs(1), i);
+            }
+            for i in 0..n {
+                proptest::prop_assert_eq!(q.pop().unwrap().1, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Node-to-server placement.
+//!
+//! The paper's baseline deployment (§4.2) places four blockchain nodes on
+//! four dedicated servers; the scalability study (§5.8.2) distributes 8, 16
+//! and 32 nodes round-robin across eight servers with at most four nodes per
+//! server. Placement matters because containers on the same server talk over
+//! loopback while cross-server traffic crosses the LAN (and the emulated
+//! netem latency).
+
+use coconut_types::NodeId;
+
+/// Placement of blockchain nodes onto physical servers.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::Topology;
+/// use coconut_types::NodeId;
+///
+/// // The paper's scalability placement: 8 nodes round-robin on 8 servers.
+/// let t = Topology::round_robin(8, 8);
+/// assert_eq!(t.node_count(), 8);
+/// assert_eq!(t.server_of(NodeId(3)), 3);
+/// assert!(!t.same_server(NodeId(0), NodeId(1)));
+///
+/// // 32 nodes on 8 servers: nodes 0 and 8 share server 0.
+/// let t = Topology::round_robin(32, 8);
+/// assert!(t.same_server(NodeId(0), NodeId(8)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    server_of: Vec<u32>,
+    server_count: u32,
+}
+
+impl Topology {
+    /// Places `nodes` round-robin across `servers` servers (node *i* goes to
+    /// server *i mod servers*), the procedure of §5.8.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `servers` is zero.
+    pub fn round_robin(nodes: u32, servers: u32) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(servers > 0, "topology needs at least one server");
+        Topology {
+            server_of: (0..nodes).map(|i| i % servers).collect(),
+            server_count: servers.min(nodes),
+        }
+    }
+
+    /// The paper's baseline: four nodes, one per server.
+    pub fn paper_baseline() -> Self {
+        Topology::round_robin(4, 4)
+    }
+
+    /// Builds a topology from an explicit node → server assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_of` is empty.
+    pub fn explicit(server_of: Vec<u32>) -> Self {
+        assert!(!server_of.is_empty(), "topology needs at least one node");
+        let server_count = server_of.iter().copied().max().unwrap() + 1;
+        Topology {
+            server_of,
+            server_count,
+        }
+    }
+
+    /// Number of blockchain nodes.
+    pub fn node_count(&self) -> u32 {
+        self.server_of.len() as u32
+    }
+
+    /// Number of distinct servers in use.
+    pub fn server_count(&self) -> u32 {
+        self.server_count
+    }
+
+    /// The server hosting `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the topology.
+    pub fn server_of(&self, node: NodeId) -> u32 {
+        self.server_of[node.0 as usize]
+    }
+
+    /// `true` when both nodes share a server (loopback latency applies).
+    pub fn same_server(&self, a: NodeId, b: NodeId) -> bool {
+        self.server_of(a) == self.server_of(b)
+    }
+
+    /// Iterates over all node ids in the topology.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Maximum number of nodes co-located on any single server.
+    pub fn max_nodes_per_server(&self) -> u32 {
+        let mut counts = vec![0u32; self.server_count as usize + 1];
+        for &s in &self.server_of {
+            counts[s as usize] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl Default for Topology {
+    /// The paper's baseline four-node deployment.
+    fn default() -> Self {
+        Topology::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_one_node_per_server() {
+        let t = Topology::paper_baseline();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.server_count(), 4);
+        assert_eq!(t.max_nodes_per_server(), 1);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a != b {
+                    assert!(!t.same_server(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalability_placements_cap_at_four_per_server() {
+        // §5.8.2: 8/16/32 nodes over eight servers, max four per server.
+        for n in [8u32, 16, 32] {
+            let t = Topology::round_robin(n, 8);
+            assert_eq!(t.node_count(), n);
+            assert!(t.max_nodes_per_server() <= 4);
+            assert_eq!(t.max_nodes_per_server(), n / 8);
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let t = Topology::round_robin(10, 4);
+        assert_eq!(t.server_of(NodeId(0)), 0);
+        assert_eq!(t.server_of(NodeId(4)), 0);
+        assert_eq!(t.server_of(NodeId(9)), 1);
+        assert!(t.same_server(NodeId(1), NodeId(5)));
+    }
+
+    #[test]
+    fn explicit_topology() {
+        let t = Topology::explicit(vec![0, 0, 1]);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.server_count(), 2);
+        assert!(t.same_server(NodeId(0), NodeId(1)));
+        assert!(!t.same_server(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::round_robin(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = Topology::round_robin(4, 0);
+    }
+
+    #[test]
+    fn more_servers_than_nodes() {
+        let t = Topology::round_robin(2, 8);
+        assert_eq!(t.server_count(), 2);
+        assert_eq!(t.max_nodes_per_server(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Strongly typed identifiers.
+//!
+//! Each entity in a COCONUT experiment — blockchain node, client application,
+//! workload thread, transaction, block, account, UTXO state — gets its own
+//! newtype so identifiers cannot be mixed up across domains (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a blockchain node (peer, validator, witness, orderer or
+/// notary, depending on the modelled system).
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::NodeId;
+///
+/// let n = NodeId(2);
+/// assert_eq!(n.to_string(), "node-2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a COCONUT client application.
+///
+/// The paper runs four client applications (two per client server), each of
+/// which starts four workload threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// Identifier of a workload thread within a client application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+/// Globally unique transaction identifier.
+///
+/// A transaction is identified by the client that created it and a
+/// per-client sequence number; this mirrors how the COCONUT client
+/// correlates finalization notifications with submitted requests.
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::{ClientId, TxId};
+///
+/// let id = TxId::new(ClientId(1), 7);
+/// assert_eq!(id.client(), ClientId(1));
+/// assert_eq!(id.seq(), 7);
+/// assert_eq!(id.to_string(), "tx-1.7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId {
+    client: ClientId,
+    seq: u64,
+}
+
+impl TxId {
+    /// Creates a transaction id from its issuing client and sequence number.
+    pub const fn new(client: ClientId, seq: u64) -> Self {
+        TxId { client, seq }
+    }
+
+    /// The client application that issued the transaction.
+    pub const fn client(self) -> ClientId {
+        self.client
+    }
+
+    /// The per-client sequence number.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// A stable 64-bit key for hashing and vault lookups.
+    pub const fn as_u64(self) -> u64 {
+        (self.client.0 as u64) << 48 | (self.seq & 0xFFFF_FFFF_FFFF)
+    }
+}
+
+/// Identifier of a block in a modelled blockchain (height-scoped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+/// Reference to a UTXO state: the transaction that produced it and the
+/// output index within that transaction (Corda / UTXO-model systems).
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::{ClientId, StateRef, TxId};
+///
+/// let s = StateRef::new(TxId::new(ClientId(0), 3), 1);
+/// assert_eq!(s.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateRef {
+    tx: TxId,
+    index: u32,
+}
+
+impl StateRef {
+    /// Creates a state reference from a producing transaction and output index.
+    pub const fn new(tx: TxId, index: u32) -> Self {
+        StateRef { tx, index }
+    }
+
+    /// The transaction that produced this state.
+    pub const fn tx(self) -> TxId {
+        self.tx
+    }
+
+    /// The output index within the producing transaction.
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+}
+
+/// Identifier of a banking account used by the BankingApp interface
+/// execution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct AccountId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread-{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx-{}.{}", self.client.0, self.seq)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block-{}", self.0)
+    }
+}
+
+impl fmt::Display for StateRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.tx, self.index)
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "account-{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+impl From<u64> for AccountId {
+    fn from(v: u64) -> Self {
+        AccountId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tx_id_round_trip() {
+        let id = TxId::new(ClientId(9), 123);
+        assert_eq!(id.client(), ClientId(9));
+        assert_eq!(id.seq(), 123);
+    }
+
+    #[test]
+    fn tx_id_as_u64_is_injective_for_realistic_ranges() {
+        let mut seen = HashSet::new();
+        for c in 0..8u32 {
+            for s in 0..1000u64 {
+                assert!(seen.insert(TxId::new(ClientId(c), s).as_u64()));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(4).to_string(), "node-4");
+        assert_eq!(ClientId(0).to_string(), "client-0");
+        assert_eq!(ThreadId(2).to_string(), "thread-2");
+        assert_eq!(BlockId(17).to_string(), "block-17");
+        assert_eq!(AccountId(5).to_string(), "account-5");
+        let sr = StateRef::new(TxId::new(ClientId(1), 2), 0);
+        assert_eq!(sr.to_string(), "tx-1.2#0");
+    }
+
+    #[test]
+    fn state_ref_accessors() {
+        let tx = TxId::new(ClientId(1), 5);
+        let s = StateRef::new(tx, 3);
+        assert_eq!(s.tx(), tx);
+        assert_eq!(s.index(), 3);
+    }
+
+    #[test]
+    fn ids_order_naturally() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(TxId::new(ClientId(0), 5) < TxId::new(ClientId(1), 0));
+        assert!(TxId::new(ClientId(1), 1) < TxId::new(ClientId(1), 2));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(ClientId::from(2u32), ClientId(2));
+        assert_eq!(AccountId::from(8u64), AccountId(8));
+    }
+}

@@ -1,0 +1,300 @@
+//! Client payloads: the interface-execution-layer invocations the COCONUT
+//! clients wrap into transactions.
+//!
+//! The paper defines three interface execution layers (IELs) with six
+//! functions in total (Table 3): `DoNothing`, `KeyValue::{Set, Get}` and
+//! `BankingApp::{CreateAccount, SendPayment, Balance}`. The *semantics* of
+//! executing a payload live in `coconut-iel`; this module only defines the
+//! wire representation shared by clients and chains.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::AccountId;
+
+/// The six interface-execution-layer functions of the paper's Table 3,
+/// without arguments. Useful as a workload selector and map key.
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::PayloadKind;
+///
+/// assert_eq!(PayloadKind::ALL.len(), 6);
+/// assert!(PayloadKind::KeyValueSet.is_write());
+/// assert!(!PayloadKind::KeyValueGet.is_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// The empty function; measures everything but execution.
+    DoNothing,
+    /// Writes a key/value pair.
+    KeyValueSet,
+    /// Reads a value by key.
+    KeyValueGet,
+    /// Creates checking and saving accounts with defined money.
+    CreateAccount,
+    /// Sends a payment from one account to the next.
+    SendPayment,
+    /// Checks an account balance.
+    Balance,
+}
+
+impl PayloadKind {
+    /// All six payload kinds in the paper's benchmark-unit order.
+    pub const ALL: [PayloadKind; 6] = [
+        PayloadKind::DoNothing,
+        PayloadKind::KeyValueSet,
+        PayloadKind::KeyValueGet,
+        PayloadKind::CreateAccount,
+        PayloadKind::SendPayment,
+        PayloadKind::Balance,
+    ];
+
+    /// `true` for functions that mutate ledger state.
+    pub const fn is_write(self) -> bool {
+        matches!(
+            self,
+            PayloadKind::KeyValueSet | PayloadKind::CreateAccount | PayloadKind::SendPayment
+        )
+    }
+
+    /// `true` for functions that read ledger state (SendPayment both reads
+    /// and writes).
+    pub const fn is_read(self) -> bool {
+        matches!(
+            self,
+            PayloadKind::KeyValueGet | PayloadKind::Balance | PayloadKind::SendPayment
+        )
+    }
+
+    /// A short stable name used in reports and file names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PayloadKind::DoNothing => "DoNothing",
+            PayloadKind::KeyValueSet => "KeyValue-Set",
+            PayloadKind::KeyValueGet => "KeyValue-Get",
+            PayloadKind::CreateAccount => "BankingApp-CreateAccount",
+            PayloadKind::SendPayment => "BankingApp-SendPayment",
+            PayloadKind::Balance => "BankingApp-Balance",
+        }
+    }
+}
+
+impl std::fmt::Display for PayloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single interface-execution-layer invocation with its arguments.
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::{Payload, PayloadKind};
+///
+/// let p = Payload::key_value_set(17, 1234);
+/// assert_eq!(p.kind(), PayloadKind::KeyValueSet);
+/// assert!(p.size_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// The empty function.
+    DoNothing,
+    /// Write `value` under `key`. Keys are unique per benchmark run
+    /// ("designed in such a way that no duplicates occur during writing").
+    KeyValueSet {
+        /// The key to write.
+        key: u64,
+        /// The value to store.
+        value: u64,
+    },
+    /// Read the value stored under `key`.
+    KeyValueGet {
+        /// The key to look up.
+        key: u64,
+    },
+    /// Create a checking and a saving account with the given opening balances.
+    CreateAccount {
+        /// The account to create.
+        account: AccountId,
+        /// Opening checking balance.
+        checking: u64,
+        /// Opening saving balance.
+        saving: u64,
+    },
+    /// Send `amount` from `from` to `to` (the paper sends from account *n*
+    /// to account *n + 1*, deliberately creating overwrite conflicts).
+    SendPayment {
+        /// Paying account.
+        from: AccountId,
+        /// Receiving account.
+        to: AccountId,
+        /// Payment amount.
+        amount: u64,
+    },
+    /// Read the balance of `account`.
+    Balance {
+        /// The account to query.
+        account: AccountId,
+    },
+}
+
+impl Payload {
+    /// Convenience constructor for [`Payload::KeyValueSet`].
+    pub const fn key_value_set(key: u64, value: u64) -> Self {
+        Payload::KeyValueSet { key, value }
+    }
+
+    /// Convenience constructor for [`Payload::KeyValueGet`].
+    pub const fn key_value_get(key: u64) -> Self {
+        Payload::KeyValueGet { key }
+    }
+
+    /// Convenience constructor for [`Payload::CreateAccount`].
+    pub const fn create_account(account: AccountId, checking: u64, saving: u64) -> Self {
+        Payload::CreateAccount {
+            account,
+            checking,
+            saving,
+        }
+    }
+
+    /// Convenience constructor for [`Payload::SendPayment`].
+    pub const fn send_payment(from: AccountId, to: AccountId, amount: u64) -> Self {
+        Payload::SendPayment { from, to, amount }
+    }
+
+    /// Convenience constructor for [`Payload::Balance`].
+    pub const fn balance(account: AccountId) -> Self {
+        Payload::Balance { account }
+    }
+
+    /// The function this payload invokes.
+    pub const fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::DoNothing => PayloadKind::DoNothing,
+            Payload::KeyValueSet { .. } => PayloadKind::KeyValueSet,
+            Payload::KeyValueGet { .. } => PayloadKind::KeyValueGet,
+            Payload::CreateAccount { .. } => PayloadKind::CreateAccount,
+            Payload::SendPayment { .. } => PayloadKind::SendPayment,
+            Payload::Balance { .. } => PayloadKind::Balance,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the network model to
+    /// account for transmission cost.
+    pub const fn size_bytes(&self) -> usize {
+        // envelope (signature, ids, framing) + arguments
+        const ENVELOPE: usize = 96;
+        ENVELOPE
+            + match self {
+                Payload::DoNothing => 0,
+                Payload::KeyValueSet { .. } => 16,
+                Payload::KeyValueGet { .. } => 8,
+                Payload::CreateAccount { .. } => 24,
+                Payload::SendPayment { .. } => 24,
+                Payload::Balance { .. } => 8,
+            }
+    }
+
+    /// Serializes the payload into bytes for hashing/fingerprinting.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        match self {
+            Payload::DoNothing => out.push(0),
+            Payload::KeyValueSet { key, value } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Payload::KeyValueGet { key } => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Payload::CreateAccount {
+                account,
+                checking,
+                saving,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&account.0.to_le_bytes());
+                out.extend_from_slice(&checking.to_le_bytes());
+                out.extend_from_slice(&saving.to_le_bytes());
+            }
+            Payload::SendPayment { from, to, amount } => {
+                out.push(4);
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&to.0.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            Payload::Balance { account } => {
+                out.push(5);
+                out.extend_from_slice(&account.0.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trip() {
+        assert_eq!(Payload::DoNothing.kind(), PayloadKind::DoNothing);
+        assert_eq!(Payload::key_value_set(1, 2).kind(), PayloadKind::KeyValueSet);
+        assert_eq!(Payload::key_value_get(1).kind(), PayloadKind::KeyValueGet);
+        assert_eq!(
+            Payload::create_account(AccountId(1), 10, 10).kind(),
+            PayloadKind::CreateAccount
+        );
+        assert_eq!(
+            Payload::send_payment(AccountId(1), AccountId(2), 5).kind(),
+            PayloadKind::SendPayment
+        );
+        assert_eq!(Payload::balance(AccountId(1)).kind(), PayloadKind::Balance);
+    }
+
+    #[test]
+    fn write_read_classification_matches_paper() {
+        // Table 3: Set writes, Get reads; CreateAccount writes; SendPayment
+        // reads balances and writes them; Balance reads.
+        assert!(PayloadKind::KeyValueSet.is_write() && !PayloadKind::KeyValueSet.is_read());
+        assert!(PayloadKind::KeyValueGet.is_read() && !PayloadKind::KeyValueGet.is_write());
+        assert!(PayloadKind::SendPayment.is_read() && PayloadKind::SendPayment.is_write());
+        assert!(PayloadKind::DoNothing.is_read() == false && !PayloadKind::DoNothing.is_write());
+    }
+
+    #[test]
+    fn sizes_are_envelope_plus_args() {
+        assert_eq!(Payload::DoNothing.size_bytes(), 96);
+        assert_eq!(Payload::key_value_set(1, 2).size_bytes(), 112);
+        assert_eq!(Payload::balance(AccountId(1)).size_bytes(), 104);
+    }
+
+    #[test]
+    fn to_bytes_distinguishes_payloads() {
+        let a = Payload::key_value_set(1, 2).to_bytes();
+        let b = Payload::key_value_set(1, 3).to_bytes();
+        let c = Payload::key_value_get(1).to_bytes();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PayloadKind::DoNothing.label(), "DoNothing");
+        assert_eq!(PayloadKind::SendPayment.label(), "BankingApp-SendPayment");
+        assert_eq!(PayloadKind::KeyValueGet.to_string(), "KeyValue-Get");
+    }
+
+    #[test]
+    fn all_lists_each_kind_once() {
+        let mut kinds = PayloadKind::ALL.to_vec();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 6);
+    }
+}

@@ -1,0 +1,31 @@
+//! Quickstart: benchmark one system with one workload and print the
+//! paper-style result row.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coconut::prelude::*;
+
+fn main() {
+    // Benchmark the modelled Hyperledger Fabric with the DoNothing
+    // workload: 4 COCONUT clients × 4 workload threads at an aggregate
+    // 800 payloads/s, a 30-second (scaled) send window, 2 repetitions.
+    let spec = BenchmarkSpec::new(SystemKind::Fabric, PayloadKind::DoNothing)
+        .rate(800.0)
+        .block_param(BlockParam::MaxMessageCount(500))
+        .windows(coconut::client::Windows::scaled(0.1))
+        .repetitions(2);
+
+    println!("running {} / {} at {} tx/s ...", spec.system, spec.benchmark, spec.rate);
+    let result = run_benchmark(&spec, 42);
+
+    println!("\n{}", table(std::slice::from_ref(&result)));
+    println!(
+        "throughput {:.1} tx/s, finalization latency {:.3} s, {} of {} payloads confirmed",
+        result.mtps.mean,
+        result.mfls.mean,
+        result.received.mean as u64,
+        result.expected as u64,
+    );
+}

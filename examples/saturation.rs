@@ -1,0 +1,39 @@
+//! Saturation search: automatically find the highest rate limiter each
+//! system sustains — the paper picked its rate limiters empirically (§4.4);
+//! this automates the search.
+//!
+//! ```sh
+//! cargo run --release --example saturation
+//! ```
+
+use coconut::prelude::*;
+use coconut::SaturationSearch;
+
+fn main() {
+    println!("| System | knee (tx/s) | MFLS at knee (s) | probes |");
+    println!("|---|---|---|---|");
+    for (system, param, max) in [
+        (SystemKind::Fabric, BlockParam::MaxMessageCount(100), 6400.0),
+        (SystemKind::Quorum, BlockParam::BlockPeriod(SimDuration::from_secs(1)), 3200.0),
+        (SystemKind::Bitshares, BlockParam::BlockInterval(SimDuration::from_secs(1)), 3200.0),
+        (SystemKind::CordaEnterprise, BlockParam::None, 800.0),
+        (SystemKind::CordaOs, BlockParam::None, 400.0),
+    ] {
+        let search = SaturationSearch::new(system, PayloadKind::DoNothing)
+            .block_param(param)
+            .rate_range(5.0, max)
+            .windows(coconut::client::Windows::scaled(0.03));
+        match search.run() {
+            Some(result) => println!(
+                "| {} | {:.0} | {:.2} | {} |",
+                system,
+                result.rate,
+                result.at_rate.mfls.mean,
+                result.probes.len()
+            ),
+            None => println!("| {system} | below the minimum probe | - | - |"),
+        }
+    }
+    println!("\nExpected ordering (paper Figure 3): Fabric ≫ BitShares/Quorum ≫");
+    println!("Corda Enterprise ≫ Corda OS.");
+}

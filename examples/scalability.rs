@@ -1,0 +1,57 @@
+//! The §5.8.2 scalability study in miniature: DoNothing throughput at
+//! 4, 8, 16 and 32 nodes, reproducing which systems fail outright.
+//!
+//! ```sh
+//! cargo run --release --example scalability
+//! ```
+
+use coconut::prelude::*;
+use coconut_simnet::NetConfig;
+
+fn main() {
+    let windows = coconut::client::Windows::scaled(0.03);
+    let node_counts = [4u32, 8, 16, 32];
+
+    println!("DoNothing MTPS by network size (0 = benchmark fails):\n");
+    print!("{:18}", "system");
+    for n in node_counts {
+        print!("{:>10}", format!("n={n}"));
+    }
+    println!();
+
+    for system in [
+        SystemKind::CordaEnterprise,
+        SystemKind::Bitshares,
+        SystemKind::Fabric,
+        SystemKind::Quorum,
+        SystemKind::Sawtooth,
+        SystemKind::Diem,
+    ] {
+        print!("{:18}", system.to_string());
+        for n in node_counts {
+            let (rate, param, ops) = match system {
+                SystemKind::CordaEnterprise => (160.0, BlockParam::None, 1),
+                SystemKind::Bitshares => (800.0, BlockParam::BlockInterval(SimDuration::from_secs(1)), 100),
+                SystemKind::Fabric => (800.0, BlockParam::MaxMessageCount(500), 1),
+                SystemKind::Quorum => (400.0, BlockParam::BlockPeriod(SimDuration::from_secs(5)), 1),
+                SystemKind::Sawtooth => (200.0, BlockParam::PublishingDelay(SimDuration::from_secs(1)), 100),
+                _ => (200.0, BlockParam::MaxBlockSize(1000), 1),
+            };
+            let spec = BenchmarkSpec::new(system, PayloadKind::DoNothing)
+                .rate(rate)
+                .ops_per_tx(ops)
+                .setup(
+                    SystemSetup::with_block_param(param)
+                        .with_nodes(n)
+                        .with_net(NetConfig::emulated_latency()),
+                )
+                .windows(windows)
+                .repetitions(1);
+            let r = run_benchmark(&spec, 123);
+            print!("{:>10.1}", r.mtps.mean);
+        }
+        println!();
+    }
+    println!("\nExpected shape (paper §5.8.2): Fabric and Sawtooth fail at n ≥ 16,");
+    println!("BitShares stays flat, the BFT systems decline with n.");
+}

@@ -1,0 +1,94 @@
+//! Reproducibility: the paper's central promise is that COCONUT makes
+//! benchmarks fully reproducible. With the same seed, every system must
+//! produce byte-identical metrics; different seeds must (generically)
+//! differ.
+
+use coconut::client::Windows;
+use coconut::prelude::*;
+
+fn spec(system: SystemKind) -> BenchmarkSpec {
+    let (rate, param) = match system {
+        SystemKind::CordaOs | SystemKind::CordaEnterprise => (20.0, BlockParam::None),
+        SystemKind::Bitshares => (200.0, BlockParam::BlockInterval(SimDuration::from_secs(1))),
+        SystemKind::Fabric => (200.0, BlockParam::MaxMessageCount(50)),
+        SystemKind::Quorum => (200.0, BlockParam::BlockPeriod(SimDuration::from_secs(1))),
+        SystemKind::Sawtooth => (200.0, BlockParam::PublishingDelay(SimDuration::from_secs(1))),
+        SystemKind::Diem => (50.0, BlockParam::MaxBlockSize(500)),
+    };
+    BenchmarkSpec::new(system, PayloadKind::KeyValueSet)
+        .rate(rate)
+        .block_param(param)
+        .windows(Windows::scaled(0.02))
+        .repetitions(2)
+}
+
+#[test]
+fn identical_seeds_give_identical_metrics_for_every_system() {
+    for system in SystemKind::ALL {
+        let a = run_benchmark(&spec(system), 0xDEAD);
+        let b = run_benchmark(&spec(system), 0xDEAD);
+        assert_eq!(a.mtps.mean, b.mtps.mean, "{system} MTPS");
+        assert_eq!(a.mfls.mean, b.mfls.mean, "{system} MFLS");
+        assert_eq!(a.duration.mean, b.duration.mean, "{system} duration");
+        assert_eq!(a.received.mean, b.received.mean, "{system} received");
+        assert_eq!(a.mtps.sd, b.mtps.sd, "{system} MTPS SD");
+    }
+}
+
+#[test]
+fn different_seeds_perturb_at_least_latency() {
+    // The phase offsets and link jitter depend on the seed; at least one
+    // metric must differ for a system with stochastic latency.
+    let a = run_benchmark(&spec(SystemKind::Fabric), 1);
+    let b = run_benchmark(&spec(SystemKind::Fabric), 2);
+    assert!(
+        a.mfls.mean != b.mfls.mean || a.mtps.mean != b.mtps.mean,
+        "different seeds should not be bit-identical"
+    );
+}
+
+#[test]
+fn repetitions_use_distinct_seeds() {
+    // With 2 repetitions the SD is generically nonzero for a system with
+    // randomized link latency under netem.
+    let mut s = spec(SystemKind::Fabric);
+    s.setup = s
+        .setup
+        .clone()
+        .with_net(coconut_simnet::NetConfig::emulated_latency());
+    let r = run_benchmark(&s, 3);
+    assert!(
+        r.mfls.sd > 0.0,
+        "netem jitter must differ across repetitions (SD = {})",
+        r.mfls.sd
+    );
+}
+
+#[test]
+fn unit_runs_are_deterministic_too() {
+    use coconut::workload::BenchmarkUnit;
+    let template = spec(SystemKind::Sawtooth);
+    let a = run_unit(SystemKind::Sawtooth, BenchmarkUnit::KeyValue, &template, 7);
+    let b = run_unit(SystemKind::Sawtooth, BenchmarkUnit::KeyValue, &template, 7);
+    for (x, y) in a.benchmarks.iter().zip(&b.benchmarks) {
+        assert_eq!(x.mtps.mean, y.mtps.mean);
+        assert_eq!(x.received.mean, y.received.mean);
+    }
+}
+
+#[test]
+fn parallel_and_serial_execution_agree() {
+    // run_many distributes work across threads; thread scheduling must not
+    // leak into the results.
+    let specs = vec![spec(SystemKind::Quorum), spec(SystemKind::Bitshares)];
+    let parallel = coconut::runner::run_many(&specs, 11);
+    let serial: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| run_benchmark(s, 11u64.wrapping_add(i as u64 * 0x9E37_79B9)))
+        .collect();
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.mtps.mean, s.mtps.mean, "{}", p.system);
+        assert_eq!(p.received.mean, s.received.mean, "{}", p.system);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fault injection across the modelled systems: node crashes mid-benchmark
+//! and the recovery behaviour of each consensus family. The paper only
+//! studies fault-free runs; these tests pin down that the substrates react
+//! to faults the way their protocols prescribe.
+
+use coconut_chains::bitshares::{Bitshares, BitsharesConfig};
+use coconut_chains::diem::{Diem, DiemConfig};
+use coconut_chains::fabric::{Fabric, FabricConfig};
+use coconut_chains::quorum::{Quorum, QuorumConfig};
+use coconut_chains::sawtooth::{Sawtooth, SawtoothConfig};
+use coconut_chains::BlockchainSystem;
+use coconut_types::{ClientId, ClientTx, NodeId, Payload, SimDuration, SimTime, ThreadId, TxId};
+
+fn tx(seq: u64, payload: Payload, at: SimTime) -> ClientTx {
+    ClientTx::single(TxId::new(ClientId((seq % 4) as u32), seq), ThreadId(0), payload, at)
+}
+
+#[test]
+fn fabric_survives_one_orderer_crash() {
+    let mut cfg = FabricConfig::default();
+    cfg.max_message_count = 20;
+    let mut f = Fabric::new(cfg, 1);
+    f.run_until(SimTime::from_secs(2));
+    // Crash one of the three orderers: Raft still has a majority.
+    f.crash_orderer(NodeId(2));
+    f.run_until(SimTime::from_secs(8)); // allow re-election if the leader died
+    let gap = SimDuration::from_millis(10); // 100 tx/s
+    let mut at = SimTime::from_secs(8);
+    let mut committed = 0;
+    for i in 0..100u64 {
+        committed += f.run_until(at).iter().filter(|o| o.is_committed()).count();
+        f.submit(at, tx(i, Payload::DoNothing, at));
+        at += gap;
+    }
+    committed += f
+        .run_until(SimTime::from_secs(20))
+        .iter()
+        .filter(|o| o.is_committed())
+        .count();
+    assert_eq!(committed, 100, "a 2/3 Raft majority must keep ordering");
+}
+
+#[test]
+fn fabric_halts_without_orderer_majority_and_recovers() {
+    let mut cfg = FabricConfig::default();
+    cfg.max_message_count = 10;
+    let mut f = Fabric::new(cfg, 2);
+    f.run_until(SimTime::from_secs(2));
+    f.crash_orderer(NodeId(1));
+    f.crash_orderer(NodeId(2));
+    let t0 = SimTime::from_secs(3);
+    for i in 0..20u64 {
+        f.run_until(t0);
+        f.submit(t0, tx(i, Payload::DoNothing, t0));
+    }
+    let stalled = f.run_until(SimTime::from_secs(20));
+    assert!(
+        stalled.iter().filter(|o| o.is_committed()).count() == 0,
+        "one of three orderers cannot commit"
+    );
+    // Recovery restores the pipeline (queued transactions flush).
+    f.recover_orderer(NodeId(1));
+    let recovered = f.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        recovered.iter().filter(|o| o.is_committed()).count(),
+        20,
+        "the queued transactions must commit after recovery"
+    );
+}
+
+#[test]
+fn quorum_tolerates_f_and_halts_at_f_plus_one() {
+    // n = 4 → f = 1.
+    let mut q = Quorum::new(QuorumConfig::default(), 3);
+    q.crash_validator(NodeId(3));
+    let t = SimTime::ZERO;
+    for i in 0..10u64 {
+        q.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let one_down = q.run_until(SimTime::from_secs(30));
+    assert_eq!(
+        one_down.iter().filter(|o| o.is_committed()).count(),
+        10,
+        "IBFT tolerates one fault out of four"
+    );
+
+    let mut q2 = Quorum::new(QuorumConfig::default(), 4);
+    q2.crash_validator(NodeId(2));
+    q2.crash_validator(NodeId(3));
+    for i in 0..10u64 {
+        q2.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let two_down = q2.run_until(SimTime::from_secs(30));
+    assert!(
+        two_down.iter().filter(|o| o.is_committed()).count() == 0,
+        "two faults out of four exceed the BFT quorum"
+    );
+}
+
+#[test]
+fn sawtooth_view_change_replaces_dead_primary_mid_run() {
+    let mut s = Sawtooth::new(SawtoothConfig::default(), 4);
+    let t = SimTime::ZERO;
+    for i in 0..5u64 {
+        s.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let before = s.run_until(SimTime::from_secs(10));
+    assert_eq!(before.iter().filter(|o| o.is_committed()).count(), 5);
+    // Kill the current primary; later work must still finalize.
+    s.crash_validator(NodeId(0));
+    let t2 = SimTime::from_secs(10);
+    for i in 100..105u64 {
+        s.submit(t2, tx(i, Payload::DoNothing, t2));
+    }
+    let after = s.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        after.iter().filter(|o| o.is_committed()).count(),
+        5,
+        "PBFT view change must rescue the pending batches"
+    );
+}
+
+#[test]
+fn diem_advances_past_dead_leaders() {
+    let mut cfg = DiemConfig::default();
+    cfg.spike_interval = None;
+    let mut d = Diem::new(cfg, 5);
+    let t = SimTime::ZERO;
+    for i in 0..5u64 {
+        d.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let before = d.run_until(SimTime::from_secs(10));
+    assert_eq!(before.iter().filter(|o| o.is_committed()).count(), 5);
+    d.crash_validator(NodeId(1));
+    let t2 = SimTime::from_secs(10);
+    for i in 100..105u64 {
+        d.submit(t2, tx(i, Payload::DoNothing, t2));
+    }
+    let after = d.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        after.iter().filter(|o| o.is_committed()).count(),
+        5,
+        "timeout certificates must route around the dead validator"
+    );
+}
+
+#[test]
+fn bitshares_skips_dead_witness_slots() {
+    let mut b = Bitshares::new(BitsharesConfig::default(), 6);
+    b.crash_witness(NodeId(0));
+    let t = SimTime::ZERO;
+    for i in 0..30u64 {
+        b.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let outcomes = b.run_until(SimTime::from_secs(10));
+    assert_eq!(
+        outcomes.iter().filter(|o| o.is_committed()).count(),
+        30,
+        "remaining witnesses pack everything, just later"
+    );
+    // Recovery brings the witness back into the schedule.
+    b.recover_witness(NodeId(0));
+    let t2 = SimTime::from_secs(10);
+    for i in 100..130u64 {
+        b.submit(t2, tx(i, Payload::DoNothing, t2));
+    }
+    let after = b.run_until(SimTime::from_secs(20));
+    assert_eq!(after.iter().filter(|o| o.is_committed()).count(), 30);
+}
+
+#[test]
+fn crash_recover_is_deterministic() {
+    let run = || {
+        let mut f = Fabric::new(FabricConfig::default(), 7);
+        f.run_until(SimTime::from_secs(2));
+        f.crash_orderer(NodeId(0));
+        f.run_until(SimTime::from_secs(6));
+        let t = SimTime::from_secs(6);
+        for i in 0..20u64 {
+            f.submit(t, tx(i, Payload::key_value_set(i, i), t));
+        }
+        f.run_until(SimTime::from_secs(30))
+            .iter()
+            .map(|o| (o.tx, o.finalized_at))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
