@@ -1,13 +1,12 @@
-//! Criterion benches for the ablation studies of DESIGN.md: each bench
+//! Wall-clock benches for the ablation studies of DESIGN.md: each bench
 //! regenerates one paired comparison.
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use coconut::experiments::{
     ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
     ablation_sawtooth_queue, ExperimentConfig,
 };
+use coconut_bench::harness::Group;
 
 fn bench_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -18,49 +17,37 @@ fn bench_cfg() -> ExperimentConfig {
     }
 }
 
-fn ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
+fn main() {
+    let mut group = Group::new("ablations");
     group.sample_size(10);
 
-    group.bench_function("ablation_corda_signing", |b| {
-        b.iter(|| {
-            let arms = ablation_corda_signing(&bench_cfg());
-            assert!(arms[0].measurement.mtps > arms[1].measurement.mtps);
-            arms
-        })
+    group.bench_function("ablation_corda_signing", || {
+        let arms = ablation_corda_signing(&bench_cfg());
+        assert!(arms[0].measurement.mtps > arms[1].measurement.mtps);
+        arms
     });
-    group.bench_function("ablation_sawtooth", |b| {
-        b.iter(|| ablation_sawtooth_queue(&bench_cfg()))
+    group.bench_function(
+        "ablation_sawtooth",
+        || ablation_sawtooth_queue(&bench_cfg()),
+    );
+    group.bench_function("ablation_quorum", || {
+        let arms = ablation_quorum_stall(&bench_cfg());
+        assert_eq!(arms[0].measurement.received, 0.0);
+        arms
     });
-    group.bench_function("ablation_quorum", |b| {
-        b.iter(|| {
-            let arms = ablation_quorum_stall(&bench_cfg());
-            assert_eq!(arms[0].measurement.received, 0.0);
-            arms
-        })
+    group.bench_function("ablation_diem", || ablation_diem_spiking(&bench_cfg()));
+    group.bench_function("ablation_bitshares", || {
+        let arms = ablation_bitshares_ops(&bench_cfg());
+        assert_eq!(arms.len(), 3);
+        arms
     });
-    group.bench_function("ablation_diem", |b| {
-        b.iter(|| ablation_diem_spiking(&bench_cfg()))
+    group.bench_function("ablation_fabric", || {
+        ablation_fabric_block_cutting(&bench_cfg())
     });
-    group.bench_function("ablation_bitshares", |b| {
-        b.iter(|| {
-            let arms = ablation_bitshares_ops(&bench_cfg());
-            assert_eq!(arms.len(), 3);
-            arms
-        })
-    });
-    group.bench_function("ablation_fabric", |b| {
-        b.iter(|| ablation_fabric_block_cutting(&bench_cfg()))
-    });
-    group.bench_function("ablation_endtoend", |b| {
-        b.iter(|| {
-            let arms = ablation_endtoend_vs_node(&bench_cfg());
-            assert_eq!(arms[0].measurement.received, 0.0);
-            arms
-        })
+    group.bench_function("ablation_endtoend", || {
+        let arms = ablation_endtoend_vs_node(&bench_cfg());
+        assert_eq!(arms[0].measurement.received, 0.0);
+        arms
     });
     group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

@@ -3,96 +3,86 @@
 //! statistics. These quantify the cost per simulated event, which bounds
 //! how much virtual time a full experiment can cover per host second.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use coconut::client::{build_schedule, Windows};
 use coconut::stats::Stats;
+use coconut_bench::harness::{black_box, Group};
 use coconut_consensus::raft::RaftCluster;
 use coconut_consensus::{BatchConfig, Command};
 use coconut_simnet::{EventQueue, LatencyModel, NetConfig, NetSim, Topology};
-use coconut_types::{chain_hash, ClientId, Hash256, NodeId, PayloadKind, SimDuration, SimTime, TxId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use coconut_types::{
+    chain_hash, ClientId, Hash256, NodeId, PayloadKind, SimDuration, SimRng, SimTime, TxId,
+};
 
-fn microbench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("microbench");
+fn main() {
+    let mut group = Group::new("microbench");
 
-    group.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(SimTime::from_micros(i * 37 % 997), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+    group.bench_function("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime::from_micros(i * 37 % 997), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum)
     });
 
-    group.bench_function("netsim_send_deliver_1k", |b| {
-        b.iter(|| {
-            let mut net: NetSim<u64> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 7);
-            for i in 0..1000u64 {
-                net.send(NodeId((i % 4) as u32), NodeId(((i + 1) % 4) as u32), 128, i);
-            }
-            let mut n = 0;
-            while net.pop_before(SimTime::MAX).is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    group.bench_function("netsim_send_deliver_1k", || {
+        let mut net: NetSim<u64> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 7);
+        for i in 0..1000u64 {
+            net.send(NodeId((i % 4) as u32), NodeId(((i + 1) % 4) as u32), 128, i);
+        }
+        let mut n = 0;
+        while net.pop_before(SimTime::MAX).is_some() {
+            n += 1;
+        }
+        black_box(n)
     });
 
-    group.bench_function("chain_hash_1kb", |b| {
+    {
         let body = vec![0xABu8; 1024];
         let parent = Hash256::GENESIS;
-        b.iter(|| black_box(chain_hash(&parent, &body)))
-    });
+        group.bench_function("chain_hash_1kb", || black_box(chain_hash(&parent, &body)));
+    }
 
-    group.bench_function("netem_sample_1k", |b| {
+    {
         let model = LatencyModel::netem_paper();
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| {
+        let mut rng = SimRng::seed_from_u64(3);
+        group.bench_function("netem_sample_1k", move || {
             let mut acc = SimDuration::ZERO;
             for _ in 0..1000 {
                 acc += model.sample(&mut rng);
             }
             black_box(acc)
-        })
+        });
+    }
+
+    group.bench_function("raft_commit_100", || {
+        let mut raft = RaftCluster::builder(3)
+            .seed(5)
+            .batch(BatchConfig::new(100, SimDuration::from_millis(50)))
+            .build();
+        raft.run_until(SimTime::from_secs(2));
+        for i in 0..100u64 {
+            raft.submit(Command::unit(TxId::new(ClientId(0), i)));
+        }
+        let batches = raft.run_until(SimTime::from_secs(5));
+        assert_eq!(batches.iter().map(|b| b.commands.len()).sum::<usize>(), 100);
+        black_box(batches.len())
     });
 
-    group.bench_function("raft_commit_100", |b| {
-        b.iter(|| {
-            let mut raft = RaftCluster::builder(3)
-                .seed(5)
-                .batch(BatchConfig::new(100, SimDuration::from_millis(50)))
-                .build();
-            raft.run_until(SimTime::from_secs(2));
-            for i in 0..100u64 {
-                raft.submit(Command::unit(TxId::new(ClientId(0), i)));
-            }
-            let batches = raft.run_until(SimTime::from_secs(5));
-            assert_eq!(batches.iter().map(|b| b.commands.len()).sum::<usize>(), 100);
-            black_box(batches.len())
-        })
+    group.bench_function("schedule_build_30s_1600tps", || {
+        let s = build_schedule(PayloadKind::KeyValueSet, 1600.0, 1, Windows::scaled(0.1), 9);
+        black_box(s.len())
     });
 
-    group.bench_function("schedule_build_30s_1600tps", |b| {
-        b.iter(|| {
-            let s = build_schedule(PayloadKind::KeyValueSet, 1600.0, 1, Windows::scaled(0.1), 9);
-            black_box(s.len())
-        })
-    });
-
-    group.bench_function("stats_from_1k_samples", |b| {
+    {
         let samples: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
-        b.iter(|| black_box(Stats::from_samples(&samples)))
-    });
+        group.bench_function("stats_from_1k_samples", || {
+            black_box(Stats::from_samples(&samples))
+        });
+    }
 
     group.finish();
 }
-
-criterion_group!(benches, microbench);
-criterion_main!(benches);

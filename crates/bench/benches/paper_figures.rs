@@ -1,10 +1,9 @@
-//! Criterion benches regenerating the paper's Figures 3, 4 and 5 at a
+//! Wall-clock benches regenerating the paper's Figures 3, 4 and 5 at a
 //! reduced window scale.
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use coconut::experiments::{fig3, fig4, fig5, ExperimentConfig};
 use coconut::prelude::{PayloadKind, SystemKind};
+use coconut_bench::harness::Group;
 
 fn bench_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -15,41 +14,36 @@ fn bench_cfg() -> ExperimentConfig {
     }
 }
 
-fn paper_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_figures");
+fn main() {
+    let mut group = Group::new("paper_figures");
     group.sample_size(10);
 
-    group.bench_function("fig3_heatmap", |b| {
-        b.iter(|| {
-            let f = fig3(&bench_cfg());
-            // Shape check: Fabric's DoNothing best cell exists and beats
-            // Corda OS's (the paper's strongest vs weakest system).
-            let fabric = f.cell(PayloadKind::DoNothing, SystemKind::Fabric).expect("fabric cell");
-            if let Some(corda) = f.cell(PayloadKind::DoNothing, SystemKind::CordaOs) {
-                assert!(fabric.mtps.mean > corda.mtps.mean);
-            }
-            f
-        })
+    group.bench_function("fig3_heatmap", || {
+        let f = fig3(&bench_cfg());
+        // Shape check: Fabric's DoNothing best cell exists and beats
+        // Corda OS's (the paper's strongest vs weakest system).
+        let fabric = f
+            .cell(PayloadKind::DoNothing, SystemKind::Fabric)
+            .expect("fabric cell");
+        if let Some(corda) = f.cell(PayloadKind::DoNothing, SystemKind::CordaOs) {
+            assert!(fabric.mtps.mean > corda.mtps.mean);
+        }
+        f
     });
-    group.bench_function("fig4_latency", |b| {
+    {
         let base = fig3(&bench_cfg());
-        b.iter(|| {
+        group.bench_function("fig4_latency", || {
             let f = fig4(&bench_cfg(), Some(&base));
             assert_eq!(f.grid.len(), 6);
             f
-        })
-    });
-    group.bench_function("fig5_scalability", |b| {
-        b.iter(|| {
-            let f = fig5(&bench_cfg(), None);
-            // Shape check: Fabric fails at 16 and 32 nodes (§5.8.2).
-            assert_eq!(f.mtps_of(SystemKind::Fabric, 16), Some(0.0));
-            assert_eq!(f.mtps_of(SystemKind::Fabric, 32), Some(0.0));
-            f
-        })
+        });
+    }
+    group.bench_function("fig5_scalability", || {
+        let f = fig5(&bench_cfg(), None);
+        // Shape check: Fabric fails at 16 and 32 nodes (§5.8.2).
+        assert_eq!(f.mtps_of(SystemKind::Fabric, 16), Some(0.0));
+        assert_eq!(f.mtps_of(SystemKind::Fabric, 32), Some(0.0));
+        f
     });
     group.finish();
 }
-
-criterion_group!(benches, paper_figures);
-criterion_main!(benches);

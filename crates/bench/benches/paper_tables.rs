@@ -1,14 +1,13 @@
-//! Criterion benches regenerating the paper's Tables 7–20 at a reduced
-//! window scale. One bench group per table pair; the measured value is the
-//! wall time of the full table regeneration (workload generation, client
+//! Wall-clock benches regenerating the paper's Tables 7–20 at a reduced
+//! window scale. One bench per table pair; the measured value is the wall
+//! time of the full table regeneration (workload generation, client
 //! scheduling, simulation, statistics).
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use coconut::experiments::{
     table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10,
     ExperimentConfig,
 };
+use coconut_bench::harness::Group;
 
 fn bench_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -27,64 +26,47 @@ fn bench_cfg_long_blocks() -> ExperimentConfig {
     }
 }
 
-fn paper_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_tables");
+fn main() {
+    let mut group = Group::new("paper_tables");
     group.sample_size(10);
 
-    group.bench_function("table7_corda_os", |b| {
-        b.iter(|| {
-            let t = table7_8(&bench_cfg());
-            assert_eq!(t.rows.len(), 2);
-            t
-        })
+    group.bench_function("table7_corda_os", || {
+        let t = table7_8(&bench_cfg());
+        assert_eq!(t.rows.len(), 2);
+        t
     });
-    group.bench_function("table9_corda_ent", |b| {
-        b.iter(|| {
-            let t = table9_10(&bench_cfg());
-            // Shape check: Enterprise confirms transactions.
-            assert!(t.rows[0].mtps.mean > 0.0);
-            t
-        })
+    group.bench_function("table9_corda_ent", || {
+        let t = table9_10(&bench_cfg());
+        // Shape check: Enterprise confirms transactions.
+        assert!(t.rows[0].mtps.mean > 0.0);
+        t
     });
-    group.bench_function("table11_bitshares", |b| {
-        b.iter(|| {
-            let t = table11_12(&bench_cfg());
-            // Shape check: ops counted → MTPS near the 1600/s rate.
-            assert!(t.rows[0].mtps.mean > 800.0);
-            t
-        })
+    group.bench_function("table11_bitshares", || {
+        let t = table11_12(&bench_cfg());
+        // Shape check: ops counted → MTPS near the 1600/s rate.
+        assert!(t.rows[0].mtps.mean > 800.0);
+        t
     });
-    group.bench_function("table13_fabric", |b| {
-        b.iter(|| {
-            let t = table13_14(&bench_cfg());
-            assert!(t.rows[0].mtps.mean > 100.0);
-            t
-        })
+    group.bench_function("table13_fabric", || {
+        let t = table13_14(&bench_cfg());
+        assert!(t.rows[0].mtps.mean > 100.0);
+        t
     });
-    group.bench_function("table15_quorum", |b| {
-        b.iter(|| {
-            let t = table15_16(&bench_cfg_long_blocks());
-            // Shape check: the BP = 2 s liveness failure.
-            assert_eq!(t.rows[0].mtps.mean, 0.0);
-            t
-        })
+    group.bench_function("table15_quorum", || {
+        let t = table15_16(&bench_cfg_long_blocks());
+        // Shape check: the BP = 2 s liveness failure.
+        assert_eq!(t.rows[0].mtps.mean, 0.0);
+        t
     });
-    group.bench_function("table17_sawtooth", |b| {
-        b.iter(|| {
-            let t = table17_18(&bench_cfg());
-            assert_eq!(t.rows.len(), 4);
-            t
-        })
+    group.bench_function("table17_sawtooth", || {
+        let t = table17_18(&bench_cfg());
+        assert_eq!(t.rows.len(), 4);
+        t
     });
-    group.bench_function("table19_diem", |b| {
-        b.iter(|| {
-            let t = table19_20(&bench_cfg());
-            assert_eq!(t.rows.len(), 4);
-            t
-        })
+    group.bench_function("table19_diem", || {
+        let t = table19_20(&bench_cfg());
+        assert_eq!(t.rows.len(), 4);
+        t
     });
     group.finish();
 }
-
-criterion_group!(benches, paper_tables);
-criterion_main!(benches);

@@ -16,6 +16,7 @@
 //!   table19   Diem KeyValue-Get              (Tables 19+20)
 //!   tables    all of the above tables
 //!   ablations all ablation studies
+//!   chaos     fault-injection campaign (crash/heal, beyond-f halt, loss burst)
 //!   all       everything
 //!
 //! flags:
@@ -33,8 +34,8 @@ use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
     ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
-    ablation_sawtooth_queue, fig3, fig4, fig5, table11_12, table13_14, table15_16, table17_18,
-    table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
+    ablation_sawtooth_queue, chaos, fig3, fig4, fig5, table11_12, table13_14, table15_16,
+    table17_18, table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
 };
 use coconut::report::{save_csv, save_json};
 
@@ -134,11 +135,13 @@ fn main() {
             }
         }
         "ablations" => run_ablations(&cfg),
+        "chaos" => run_chaos_campaign(&cfg, &out_dir),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &out_dir, name);
             }
             run_ablations(&cfg);
+            run_chaos_campaign(&cfg, &out_dir);
             let base = fig3(&cfg);
             println!("Figure 3\n\n{}", base.render());
             save_grid(&base, &out_dir, "fig3");
@@ -165,17 +168,41 @@ fn all_tables(cfg: &ExperimentConfig) -> Vec<(&'static str, TableResult)> {
 }
 
 fn run_ablations(cfg: &ExperimentConfig) {
-    println!("{}", render_arms("Ablation: Corda signing discipline", &ablation_corda_signing(cfg)));
-    println!("{}", render_arms("Ablation: Sawtooth queue bound", &ablation_sawtooth_queue(cfg)));
-    println!("{}", render_arms("Ablation: Quorum txpool stall", &ablation_quorum_stall(cfg)));
-    println!("{}", render_arms("Ablation: Diem spiking", &ablation_diem_spiking(cfg)));
     println!(
         "{}",
-        render_arms("Ablation: BitShares operations per tx", &ablation_bitshares_ops(cfg))
+        render_arms(
+            "Ablation: Corda signing discipline",
+            &ablation_corda_signing(cfg)
+        )
     );
     println!(
         "{}",
-        render_arms("Ablation: Fabric block cutting", &ablation_fabric_block_cutting(cfg))
+        render_arms(
+            "Ablation: Sawtooth queue bound",
+            &ablation_sawtooth_queue(cfg)
+        )
+    );
+    println!(
+        "{}",
+        render_arms("Ablation: Quorum txpool stall", &ablation_quorum_stall(cfg))
+    );
+    println!(
+        "{}",
+        render_arms("Ablation: Diem spiking", &ablation_diem_spiking(cfg))
+    );
+    println!(
+        "{}",
+        render_arms(
+            "Ablation: BitShares operations per tx",
+            &ablation_bitshares_ops(cfg)
+        )
+    );
+    println!(
+        "{}",
+        render_arms(
+            "Ablation: Fabric block cutting",
+            &ablation_fabric_block_cutting(cfg)
+        )
     );
     println!(
         "{}",
@@ -184,6 +211,15 @@ fn run_ablations(cfg: &ExperimentConfig) {
             &ablation_endtoend_vs_node(cfg)
         )
     );
+}
+
+fn run_chaos_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
+    let r = chaos(cfg);
+    println!("Chaos campaign — crash/heal, beyond-f halt, loss burst\n");
+    println!("{}", r.render());
+    if let Some(dir) = out {
+        std::fs::write(dir.join("chaos.json"), r.to_json()).expect("write chaos json");
+    }
 }
 
 fn print_table(t: TableResult, out: &Option<PathBuf>, name: &str) {
@@ -204,7 +240,7 @@ fn save_grid(f: &coconut::experiments::Fig3Result, out: &Option<PathBuf>, name: 
 
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|all> \
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|all> \
          [--scale X] [--reps N] [--full] [--paper] [--seed S] [--out DIR]"
     );
 }

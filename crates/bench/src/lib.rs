@@ -1,10 +1,72 @@
 //! Shared helpers for the COCONUT benchmark harness (the `repro` binary
-//! and the Criterion benches live in this crate).
+//! and the wall-clock benches live in this crate).
 //!
-//! The substance is in [`coconut`]; this crate only re-exports the pieces
-//! the harness needs so benches and the binary stay thin.
+//! The substance is in [`coconut`]; this crate re-exports the pieces the
+//! harness needs and provides [`harness`], a small in-tree timing loop that
+//! replaces Criterion (the workspace builds with no network registry).
 
 #![forbid(unsafe_code)]
 
 pub use coconut::experiments;
 pub use coconut::prelude;
+
+pub mod harness {
+    //! A minimal wall-clock benchmark harness.
+    //!
+    //! Each bench runs one warm-up iteration, then `sample_size` timed
+    //! iterations, and prints min / mean / max per-iteration wall time.
+    //! These benches gate nothing; they exist to quantify simulator cost
+    //! (events per host second), so a plain timing loop suffices.
+
+    use std::time::{Duration, Instant};
+
+    pub use std::hint::black_box;
+
+    /// A named group of benches sharing a sample size.
+    pub struct Group {
+        name: String,
+        sample_size: u32,
+    }
+
+    impl Group {
+        /// Creates a group with the default 10 samples per bench.
+        pub fn new(name: &str) -> Self {
+            Group {
+                name: name.to_string(),
+                sample_size: 10,
+            }
+        }
+
+        /// Sets the number of timed iterations per bench.
+        pub fn sample_size(&mut self, n: u32) -> &mut Self {
+            assert!(n > 0, "need at least one sample");
+            self.sample_size = n;
+            self
+        }
+
+        /// Runs and reports one bench. The closure's return value is passed
+        /// through [`black_box`] so the work is not optimized away.
+        pub fn bench_function<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> &mut Self {
+            black_box(f()); // warm-up
+            let mut samples = Vec::with_capacity(self.sample_size as usize);
+            for _ in 0..self.sample_size {
+                let start = Instant::now();
+                black_box(f());
+                samples.push(start.elapsed());
+            }
+            let min = samples.iter().min().copied().unwrap_or(Duration::ZERO);
+            let max = samples.iter().max().copied().unwrap_or(Duration::ZERO);
+            let mean = samples.iter().sum::<Duration>() / self.sample_size;
+            println!(
+                "{}/{label:<28} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  (n={})",
+                self.name, min, mean, max, self.sample_size
+            );
+            self
+        }
+
+        /// Prints the group footer.
+        pub fn finish(&mut self) {
+            println!("{}: done", self.name);
+        }
+    }
+}

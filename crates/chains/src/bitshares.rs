@@ -28,14 +28,12 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::dpos::DposCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::{StateKey, WorldState};
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
 use coconut_types::{
-    BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+    BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimRng, SimTime, TxId, TxOutcome,
 };
 
 use crate::ledger::Ledger;
@@ -96,7 +94,7 @@ pub struct Bitshares {
     cooling: Vec<(SimTime, StateKey)>,
     outcomes: EventQueue<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     ledger: Ledger,
     conflicts: u64,
@@ -273,8 +271,10 @@ impl Bitshares {
                 continue;
             }
             let event_at = persist + self.hop();
-            self.outcomes
-                .push(event_at, TxOutcome::committed(txid, block_id, event_at, ops));
+            self.outcomes.push(
+                event_at,
+                TxOutcome::committed(txid, block_id, event_at, ops),
+            );
             self.stats.outcomes_emitted += 1;
         }
     }
@@ -335,10 +335,7 @@ impl BlockchainSystem for Bitshares {
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         // Step the witness schedule one event at a time so that overflow
         // re-submissions are pending again before the *next* slot fires.
-        loop {
-            let Some(t) = self.dpos.next_event_time() else {
-                break;
-            };
+        while let Some(t) = self.dpos.next_event_time() {
             if t > deadline {
                 break;
             }
@@ -362,6 +359,26 @@ impl BlockchainSystem for Bitshares {
         s
     }
 
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.dpos.node_count() {
+            return false;
+        }
+        self.crash_witness(node);
+        true
+    }
+
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.dpos.node_count() {
+            return false;
+        }
+        self.recover_witness(node);
+        true
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.dpos.apply_net_fault(at, event)
+    }
+
     fn is_live(&self) -> bool {
         !self.stalled
     }
@@ -373,7 +390,12 @@ mod tests {
     use coconut_types::{AccountId, ClientId, ThreadId};
 
     fn tx_ops(seq: u64, payloads: Vec<Payload>) -> ClientTx {
-        ClientTx::new(TxId::new(ClientId(0), seq), ThreadId(0), payloads, SimTime::ZERO)
+        ClientTx::new(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            payloads,
+            SimTime::ZERO,
+        )
     }
 
     fn single(seq: u64, p: Payload) -> ClientTx {
@@ -383,8 +405,10 @@ mod tests {
     #[test]
     fn latency_tracks_block_interval() {
         for secs in [1u64, 2] {
-            let mut cfg = BitsharesConfig::default();
-            cfg.block_interval = SimDuration::from_secs(secs);
+            let cfg = BitsharesConfig {
+                block_interval: SimDuration::from_secs(secs),
+                ..Default::default()
+            };
             let mut b = Bitshares::new(cfg, 1);
             b.submit(SimTime::ZERO, single(1, Payload::DoNothing));
             let outcomes = b.run_until(SimTime::from_secs(secs * 3));
@@ -410,13 +434,22 @@ mod tests {
         // Fund the accounts first (and let the creates' cooling window
         // lapse: packed at ~1 s + one interval).
         for n in 0..3u64 {
-            b.submit(SimTime::ZERO, single(n, Payload::create_account(AccountId(n), 100, 0)));
+            b.submit(
+                SimTime::ZERO,
+                single(n, Payload::create_account(AccountId(n), 100, 0)),
+            );
         }
         b.run_until(SimTime::from_secs(4));
         let now = b.dpos.now();
         // Payment 0→1 pending, then 1→2 interacts via account 1.
-        let first = b.submit(now, single(10, Payload::send_payment(AccountId(0), AccountId(1), 1)));
-        let second = b.submit(now, single(11, Payload::send_payment(AccountId(1), AccountId(2), 1)));
+        let first = b.submit(
+            now,
+            single(10, Payload::send_payment(AccountId(0), AccountId(1), 1)),
+        );
+        let second = b.submit(
+            now,
+            single(11, Payload::send_payment(AccountId(1), AccountId(2), 1)),
+        );
         assert!(first.is_accepted());
         assert!(!second.is_accepted(), "interference with a pending tx");
         assert_eq!(b.conflicts(), 1);
@@ -426,40 +459,73 @@ mod tests {
     fn footprint_released_after_block() {
         let mut b = Bitshares::new(BitsharesConfig::default(), 4);
         for n in 0..2u64 {
-            b.submit(SimTime::ZERO, single(n, Payload::create_account(AccountId(n), 100, 0)));
+            b.submit(
+                SimTime::ZERO,
+                single(n, Payload::create_account(AccountId(n), 100, 0)),
+            );
         }
         b.run_until(SimTime::from_secs(4));
         let t1 = b.dpos.now();
-        assert!(b.submit(t1, single(10, Payload::send_payment(AccountId(0), AccountId(1), 1))).is_accepted());
+        assert!(b
+            .submit(
+                t1,
+                single(10, Payload::send_payment(AccountId(0), AccountId(1), 1))
+            )
+            .is_accepted());
         b.run_until(t1 + SimDuration::from_secs(5));
         // After the block plus the one-interval cooling window, the same
         // accounts are free again.
         let t2 = b.dpos.now();
-        assert!(b.submit(t2, single(11, Payload::send_payment(AccountId(0), AccountId(1), 1))).is_accepted());
+        assert!(b
+            .submit(
+                t2,
+                single(11, Payload::send_payment(AccountId(0), AccountId(1), 1))
+            )
+            .is_accepted());
     }
 
     #[test]
     fn conflict_rejection_can_be_disabled() {
-        let mut cfg = BitsharesConfig::default();
-        cfg.conflict_rejection = false;
+        let cfg = BitsharesConfig {
+            conflict_rejection: false,
+            ..Default::default()
+        };
         let mut b = Bitshares::new(cfg, 5);
         for n in 0..2u64 {
-            b.submit(SimTime::ZERO, single(n, Payload::create_account(AccountId(n), 100, 0)));
+            b.submit(
+                SimTime::ZERO,
+                single(n, Payload::create_account(AccountId(n), 100, 0)),
+            );
         }
         b.run_until(SimTime::from_secs(2));
         let now = b.dpos.now();
-        assert!(b.submit(now, single(10, Payload::send_payment(AccountId(0), AccountId(1), 1))).is_accepted());
-        assert!(b.submit(now, single(11, Payload::send_payment(AccountId(1), AccountId(0), 1))).is_accepted());
+        assert!(b
+            .submit(
+                now,
+                single(10, Payload::send_payment(AccountId(0), AccountId(1), 1))
+            )
+            .is_accepted());
+        assert!(b
+            .submit(
+                now,
+                single(11, Payload::send_payment(AccountId(1), AccountId(0), 1))
+            )
+            .is_accepted());
         assert_eq!(b.conflicts(), 0);
     }
 
     #[test]
     fn conflict_storm_stalls_liveness() {
-        let mut cfg = BitsharesConfig::default();
-        cfg.stall_after_conflicts = Some(10);
+        let cfg = BitsharesConfig {
+            stall_after_conflicts: Some(10),
+            ..Default::default()
+        };
         let mut b = Bitshares::new(cfg, 6);
         for n in 0..20u64 {
-            b.submit(SimTime::ZERO, single(n, Payload::create_account(AccountId(n), 100, 0)));
+            b.submit(
+                SimTime::ZERO,
+                single(n, Payload::create_account(AccountId(n), 100, 0)),
+            );
         }
         b.run_until(SimTime::from_secs(2));
         let now = b.dpos.now();
@@ -476,13 +542,19 @@ mod tests {
         let before = b.run_until(now + SimDuration::from_secs(5)).len();
         b.submit(b.dpos.now(), single(999, Payload::balance(AccountId(0))));
         let after = b.run_until(b.dpos.now() + SimDuration::from_secs(5));
-        assert!(after.is_empty(), "stalled node emits no events ({before} before)");
+        assert!(
+            after.is_empty(),
+            "stalled node emits no events ({before} before)"
+        );
     }
 
     #[test]
     fn atomic_abort_loses_whole_transaction() {
         let mut b = Bitshares::new(BitsharesConfig::default(), 7);
-        b.submit(SimTime::ZERO, single(1, Payload::create_account(AccountId(1), 5, 0)));
+        b.submit(
+            SimTime::ZERO,
+            single(1, Payload::create_account(AccountId(1), 5, 0)),
+        );
         b.run_until(SimTime::from_secs(2));
         let now = b.dpos.now();
         // 3 ops, the last one overdraws → all discarded, no event.
@@ -495,7 +567,10 @@ mod tests {
         let outcomes = b.run_until(now + SimDuration::from_secs(3));
         assert!(outcomes.is_empty(), "atomic abort means no confirmation");
         // And none of the ops took effect:
-        assert!(b.world_state().get(&StateKey::Checking(AccountId(2))).is_none());
+        assert!(b
+            .world_state()
+            .get(&StateKey::Checking(AccountId(2)))
+            .is_none());
     }
 
     #[test]

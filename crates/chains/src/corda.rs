@@ -24,13 +24,12 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::notary::NotaryPool;
 use coconut_iel::vault::Vault;
 use coconut_simnet::{EventQueue, LatencyModel, NetConfig};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxOutcome,
+    tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimRng, SimTime,
+    TxOutcome,
 };
 
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
@@ -123,10 +122,11 @@ pub struct Corda {
     notary: NotaryPool,
     outcomes: EventQueue<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     finalized: u64,
     notary_conflicts: u64,
+    lost_to_notary_outage: u64,
     now: SimTime,
     /// Recent submission arrival times per node (ingress-rate estimation).
     recent_arrivals: Vec<VecDeque<SimTime>>,
@@ -156,6 +156,7 @@ impl Corda {
             config,
             finalized: 0,
             notary_conflicts: 0,
+            lost_to_notary_outage: 0,
             now: SimTime::ZERO,
         }
     }
@@ -168,6 +169,25 @@ impl Corda {
     /// Notarization conflicts (double-spends rejected).
     pub fn notary_conflicts(&self) -> u64 {
         self.notary_conflicts
+    }
+
+    /// Transactions lost because every notary was down when they needed
+    /// notarization (no outcome is ever emitted for them).
+    pub fn lost_to_notary_outage(&self) -> u64 {
+        self.lost_to_notary_outage
+    }
+
+    /// Crashes notary `idx` (fault injection). Requests whose home shard
+    /// is down fail over to the next alive notary; once every notary is
+    /// down, finality halts and write transactions are lost.
+    pub fn crash_notary(&mut self, idx: u32) -> bool {
+        self.notary.crash(idx as usize)
+    }
+
+    /// Recovers notary `idx`; it resumes serving from the current virtual
+    /// time with its consumed-state table intact.
+    pub fn recover_notary(&mut self, idx: u32) -> bool {
+        self.notary.recover(idx as usize, self.now)
     }
 
     /// The vault of unconsumed states.
@@ -198,9 +218,7 @@ impl Corda {
                 break;
             }
         }
-        let window_secs = WINDOW
-            .as_secs_f64()
-            .min(arrival.as_secs_f64().max(0.25));
+        let window_secs = WINDOW.as_secs_f64().min(arrival.as_secs_f64().max(0.25));
         let rate = q.len() as f64 / window_secs;
         let utilization = (rate * self.config.ingress_cost.as_secs_f64()).min(0.95);
         1.0 / (1.0 - utilization)
@@ -299,7 +317,16 @@ impl BlockchainSystem for Corda {
                 }
                 // Notarization.
                 let notary_arrival = done + self.hop();
-                let response = self.notary.request(notary_arrival, tx.id(), &corda_tx.inputs);
+                let Some(response) = self
+                    .notary
+                    .request(notary_arrival, tx.id(), &corda_tx.inputs)
+                else {
+                    // Every notary is down: the flow hangs awaiting a
+                    // signature that never comes. The client never hears
+                    // back — finality has halted.
+                    self.lost_to_notary_outage += 1;
+                    return SubmitOutcome::Accepted;
+                };
                 if !response.is_signed() {
                     self.notary_conflicts += 1;
                     let event_at = response.completed_at + self.hop() + self.hop();
@@ -313,8 +340,8 @@ impl BlockchainSystem for Corda {
                 self.vault.commit(tx.id(), &corda_tx);
                 self.finalized += 1;
                 self.stats.blocks += 1; // block-less: each finality counts
-                // Finality distribution: the transaction must reach every
-                // node before the client hears about it.
+                                        // Finality distribution: the transaction must reach every
+                                        // node before the client hears about it.
                 let back = response.completed_at + self.hop();
                 let mut persist = back;
                 for _ in 1..self.config.nodes {
@@ -343,6 +370,18 @@ impl BlockchainSystem for Corda {
     fn stats(&self) -> SystemStats {
         self.stats
     }
+
+    fn is_live(&self) -> bool {
+        self.notary.alive_count() > 0
+    }
+
+    fn crash_node(&mut self, node: coconut_types::NodeId) -> bool {
+        self.crash_notary(node.0)
+    }
+
+    fn recover_node(&mut self, node: coconut_types::NodeId) -> bool {
+        self.recover_notary(node.0)
+    }
 }
 
 #[cfg(test)]
@@ -351,7 +390,12 @@ mod tests {
     use coconut_types::{AccountId, ClientId, Payload, ThreadId, TxId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
-        ClientTx::single(TxId::new(ClientId(seq as u32 % 4), seq), ThreadId(0), payload, SimTime::ZERO)
+        ClientTx::single(
+            TxId::new(ClientId(seq as u32 % 4), seq),
+            ThreadId(0),
+            payload,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -447,12 +491,21 @@ mod tests {
     #[test]
     fn notary_rejects_double_spends() {
         let mut c = Corda::new(CordaConfig::enterprise(), 5);
-        c.submit(SimTime::ZERO, tx(1, Payload::create_account(AccountId(1), 100, 0)));
-        c.submit(SimTime::ZERO, tx(2, Payload::create_account(AccountId(2), 100, 0)));
+        c.submit(
+            SimTime::ZERO,
+            tx(1, Payload::create_account(AccountId(1), 100, 0)),
+        );
+        c.submit(
+            SimTime::ZERO,
+            tx(2, Payload::create_account(AccountId(2), 100, 0)),
+        );
         c.run_until(SimTime::from_secs(5));
         let t = SimTime::from_secs(5);
         // Both payments consume account 1's current state.
-        c.submit(t, tx(10, Payload::send_payment(AccountId(1), AccountId(2), 10)));
+        c.submit(
+            t,
+            tx(10, Payload::send_payment(AccountId(1), AccountId(2), 10)),
+        );
         // The second resolves the *new* state only after the first commits;
         // submit in the same instant so both resolve the same input.
         let outcomes = c.run_until(SimTime::from_secs(60));

@@ -19,14 +19,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::diembft::DiemBftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId,
+    TxOutcome,
 };
 
 use crate::ledger::Ledger;
@@ -85,7 +84,7 @@ pub struct Diem {
     txs: HashMap<TxId, ClientTx>,
     outcomes: EventQueue<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     ledger: Ledger,
     next_spike: SimTime,
@@ -108,7 +107,10 @@ impl Diem {
             .seed(seeds.seed("diembft", 0))
             .net(config.net.clone())
             .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
-            .batch(BatchConfig::new(config.max_block_size, SimDuration::from_millis(250)))
+            .batch(BatchConfig::new(
+                config.max_block_size,
+                SimDuration::from_millis(250),
+            ))
             .build();
         let next_spike = match config.spike_interval {
             Some(interval) => SimTime::ZERO + interval,
@@ -188,7 +190,11 @@ impl Diem {
             }
         }
         let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
-        let tx_rate = self.recent_arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64
+        let tx_rate = self
+            .recent_arrivals
+            .iter()
+            .map(|&(_, n)| n as u64)
+            .sum::<u64>() as f64
             / window_secs;
         let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
         1.0 / (1.0 - utilization)
@@ -260,6 +266,26 @@ impl BlockchainSystem for Diem {
         s.consensus_messages = self.engine.net_stats().messages_sent;
         s
     }
+
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.engine.node_count() {
+            return false;
+        }
+        self.crash_validator(node);
+        true
+    }
+
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.engine.node_count() {
+            return false;
+        }
+        self.recover_validator(node);
+        true
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.engine.apply_net_fault(at, event)
+    }
 }
 
 impl Diem {
@@ -324,7 +350,12 @@ mod tests {
     use coconut_types::{ClientId, Payload, ThreadId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
-        ClientTx::single(TxId::new(ClientId(0), seq), ThreadId(0), payload, SimTime::ZERO)
+        ClientTx::single(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            payload,
+            SimTime::ZERO,
+        )
     }
 
     fn no_spike() -> DiemConfig {
@@ -363,7 +394,10 @@ mod tests {
         let mut d = Diem::new(cfg, 3);
         let mut rejected = 0;
         for s in 0..50 {
-            if !d.submit(SimTime::ZERO, tx(s, Payload::DoNothing)).is_accepted() {
+            if !d
+                .submit(SimTime::ZERO, tx(s, Payload::DoNothing))
+                .is_accepted()
+            {
                 rejected += 1;
             }
         }
@@ -376,10 +410,12 @@ mod tests {
         // a fixed horizon. Spikes stall execution, so the spiky run must
         // confirm strictly less.
         let run = |spike: Option<SimDuration>| {
-            let mut cfg = DiemConfig::default();
-            cfg.spike_interval = spike;
-            cfg.spike_duration = SimDuration::from_secs(5);
-            cfg.tx_expiration = SimDuration::from_secs(600); // isolate spiking
+            let cfg = DiemConfig {
+                spike_interval: spike,
+                spike_duration: SimDuration::from_secs(5),
+                tx_expiration: SimDuration::from_secs(600), // isolate spiking
+                ..Default::default()
+            };
             let mut d = Diem::new(cfg, 4);
             let mut outcomes = Vec::new();
             // 50/s for 60 s — within the ~100/s service rate when calm.

@@ -23,14 +23,12 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::raft::RaftCluster;
 use coconut_consensus::{BatchConfig, Command, CpuModel};
 use coconut_iel::{simulate, validate_and_apply, RwSet, WorldState};
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig};
+use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig};
 use coconut_types::{
-    BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+    BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId, TxOutcome,
 };
 
 use crate::ledger::Ledger;
@@ -113,7 +111,7 @@ pub struct Fabric {
     injections: EventQueue<EndorsedTx>,
     outcomes: Vec<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     ledger: Ledger,
     valid_txs: u64,
@@ -133,7 +131,10 @@ impl Fabric {
         let raft = RaftCluster::builder(config.orderers)
             .seed(seeds.seed("orderers", 0))
             .net(config.net.clone())
-            .batch(BatchConfig::new(config.max_message_count, config.batch_timeout))
+            .batch(BatchConfig::new(
+                config.max_message_count,
+                config.batch_timeout,
+            ))
             .build();
         Fabric {
             peer_cpu: CpuModel::new(config.peers),
@@ -267,7 +268,9 @@ impl BlockchainSystem for Fabric {
         // request/response legs (not the CPU queueing delay, which gRPC
         // concurrency hides).
         let hold = cpu + self.hop() + self.hop();
-        let done = self.endorse_pool[peer.0 as usize].process(arrive, hold).max(cpu_done);
+        let done = self.endorse_pool[peer.0 as usize]
+            .process(arrive, hold)
+            .max(cpu_done);
         // Simulate against the committed state as of submission; conflicts
         // appear when the state moves before validation.
         let payload = &tx.payloads()[0];
@@ -323,6 +326,26 @@ impl BlockchainSystem for Fabric {
     fn stats(&self) -> SystemStats {
         self.stats
     }
+
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.raft.node_count() {
+            return false;
+        }
+        self.crash_orderer(node);
+        true
+    }
+
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.raft.node_count() {
+            return false;
+        }
+        self.recover_orderer(node);
+        true
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.raft.apply_net_fault(at, event)
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +354,12 @@ mod tests {
     use coconut_types::{AccountId, ClientId, Payload, ThreadId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
-        ClientTx::single(TxId::new(ClientId(0), seq), ThreadId(0), payload, SimTime::ZERO)
+        ClientTx::single(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            payload,
+            SimTime::ZERO,
+        )
     }
 
     fn warmed(seed: u64) -> Fabric {
@@ -355,8 +383,10 @@ mod tests {
 
     #[test]
     fn block_cut_by_max_message_count() {
-        let mut cfg = FabricConfig::default();
-        cfg.max_message_count = 10;
+        let cfg = FabricConfig {
+            max_message_count: 10,
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg, 2);
         f.run_until(SimTime::from_secs(2));
         for s in 0..30 {
@@ -370,8 +400,10 @@ mod tests {
     #[test]
     fn latency_at_moderate_load_is_subsecond() {
         // Table 13: RL=800, MM=100 → MFLS 0.22 s.
-        let mut cfg = FabricConfig::default();
-        cfg.max_message_count = 100;
+        let cfg = FabricConfig {
+            max_message_count: 100,
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg, 3);
         f.run_until(SimTime::from_secs(2));
         // 0.5 s of traffic at 800/s.
@@ -407,8 +439,14 @@ mod tests {
         f.run_until(SimTime::from_secs(8));
         // Two concurrent payments endorsed against the same snapshot:
         let t2 = f.raft.now();
-        f.submit(t2, tx(3, Payload::send_payment(AccountId(1), AccountId(2), 10)));
-        f.submit(t2, tx(4, Payload::send_payment(AccountId(1), AccountId(2), 20)));
+        f.submit(
+            t2,
+            tx(3, Payload::send_payment(AccountId(1), AccountId(2), 10)),
+        );
+        f.submit(
+            t2,
+            tx(4, Payload::send_payment(AccountId(1), AccountId(2), 20)),
+        );
         let outcomes = f.run_until(t2 + SimDuration::from_secs(8));
         // Both are received by the client (appended to the chain)...
         assert_eq!(outcomes.iter().filter(|o| o.is_committed()).count(), 2);
@@ -416,14 +454,22 @@ mod tests {
         assert_eq!(f.invalid_txs(), 1);
         assert_eq!(f.valid_txs(), 3); // 2 creates + 1 payment
         use coconut_iel::StateKey;
-        let b1 = f.world_state().get(&StateKey::Checking(AccountId(1))).unwrap();
-        assert!(b1 == 90 || b1 == 80, "exactly one payment applied, got {b1}");
+        let b1 = f
+            .world_state()
+            .get(&StateKey::Checking(AccountId(1)))
+            .unwrap();
+        assert!(
+            b1 == 90 || b1 == 80,
+            "exactly one payment applied, got {b1}"
+        );
     }
 
     #[test]
     fn event_service_breaks_at_sixteen_peers() {
-        let mut cfg = FabricConfig::default();
-        cfg.peers = 16;
+        let cfg = FabricConfig {
+            peers: 16,
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg, 5);
         f.run_until(SimTime::from_secs(2));
         for s in 0..10 {
@@ -436,8 +482,10 @@ mod tests {
 
     #[test]
     fn overload_grows_latency() {
-        let mut cfg = FabricConfig::default();
-        cfg.max_message_count = 100;
+        let cfg = FabricConfig {
+            max_message_count: 100,
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg, 6);
         f.run_until(SimTime::from_secs(2));
         // 2500/s for 4 s: beyond the validation service rate.
@@ -465,9 +513,11 @@ mod tests {
 
     #[test]
     fn severe_overload_loses_events() {
-        let mut cfg = FabricConfig::default();
-        cfg.max_message_count = 100;
-        cfg.event_drop_backlog = SimDuration::from_millis(500);
+        let cfg = FabricConfig {
+            max_message_count: 100,
+            event_drop_backlog: SimDuration::from_millis(500),
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg, 7);
         f.run_until(SimTime::from_secs(2));
         let mut outcomes = Vec::new();
@@ -517,9 +567,11 @@ mod tests {
     #[test]
     fn emulated_latency_slows_finalization() {
         let run = |net: NetConfig| {
-            let mut cfg = FabricConfig::default();
-            cfg.net = net;
-            cfg.max_message_count = 10;
+            let cfg = FabricConfig {
+                net,
+                max_message_count: 10,
+                ..Default::default()
+            };
             let mut f = Fabric::new(cfg, 10);
             f.run_until(SimTime::from_secs(3));
             let t = f.raft.now();
@@ -528,10 +580,17 @@ mod tests {
             }
             let outcomes = f.run_until(t + SimDuration::from_secs(20));
             assert_eq!(outcomes.len(), 10);
-            outcomes.iter().map(|o| (o.finalized_at - t).as_micros()).sum::<u64>() / 10
+            outcomes
+                .iter()
+                .map(|o| (o.finalized_at - t).as_micros())
+                .sum::<u64>()
+                / 10
         };
         let lan = run(NetConfig::lan());
         let wan = run(NetConfig::emulated_latency());
-        assert!(wan > lan + 20_000, "netem must add tens of ms: {lan} vs {wan}");
+        assert!(
+            wan > lan + 20_000,
+            "netem must add tens of ms: {lan} vs {wan}"
+        );
     }
 }

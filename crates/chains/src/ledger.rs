@@ -106,7 +106,12 @@ mod tests {
         let mut l = Ledger::new();
         assert_eq!(l.height(), 0);
         for h in 1..=10u64 {
-            let got = l.append(NodeId((h % 4) as u32), SimTime::from_secs(h), vec![tx(h)], None);
+            let got = l.append(
+                NodeId((h % 4) as u32),
+                SimTime::from_secs(h),
+                vec![tx(h)],
+                None,
+            );
             assert_eq!(got, h);
         }
         assert_eq!(l.height(), 10);

@@ -45,9 +45,9 @@ pub mod bitshares;
 pub mod corda;
 pub mod diem;
 pub mod fabric;
+pub mod ledger;
 pub mod quorum;
 pub mod sawtooth;
-pub mod ledger;
 pub mod system;
 mod util;
 

@@ -21,15 +21,13 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::ibft::IbftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxId,
-    TxOutcome,
+    tx::FailReason, BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimRng, SimTime,
+    TxId, TxOutcome,
 };
 
 use crate::ledger::Ledger;
@@ -95,7 +93,7 @@ pub struct Quorum {
     payloads: HashMap<TxId, ClientTx>,
     outcomes: EventQueue<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     stalled: bool,
     ledger: Ledger,
@@ -292,6 +290,26 @@ impl BlockchainSystem for Quorum {
         s
     }
 
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.ibft.node_count() {
+            return false;
+        }
+        self.crash_validator(node);
+        true
+    }
+
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.ibft.node_count() {
+            return false;
+        }
+        self.recover_validator(node);
+        true
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.ibft.apply_net_fault(at, event)
+    }
+
     fn is_live(&self) -> bool {
         !self.stalled
     }
@@ -303,7 +321,12 @@ mod tests {
     use coconut_types::{AccountId, ClientId, ThreadId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
-        ClientTx::single(TxId::new(ClientId(0), seq), ThreadId(0), payload, SimTime::ZERO)
+        ClientTx::single(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            payload,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -323,7 +346,11 @@ mod tests {
         let mut q = Quorum::new(QuorumConfig::default(), 2);
         let outcomes = q.run_until(SimTime::from_secs(8));
         assert!(outcomes.is_empty());
-        assert!(q.height() >= 6, "empty blocks every second, got {}", q.height());
+        assert!(
+            q.height() >= 6,
+            "empty blocks every second, got {}",
+            q.height()
+        );
     }
 
     #[test]
@@ -332,18 +359,26 @@ mod tests {
         q.submit(SimTime::ZERO, tx(1, Payload::balance(AccountId(77))));
         let outcomes = q.run_until(SimTime::from_secs(5));
         assert_eq!(outcomes.len(), 1);
-        assert!(!outcomes[0].is_committed(), "balance of unknown account reverts");
+        assert!(
+            !outcomes[0].is_committed(),
+            "balance of unknown account reverts"
+        );
     }
 
     #[test]
     fn pool_overflow_drops_when_period_is_long() {
-        let mut cfg = QuorumConfig::default();
-        cfg.block_period = SimDuration::from_secs(5);
-        cfg.txpool_limit = 100;
+        let cfg = QuorumConfig {
+            block_period: SimDuration::from_secs(5),
+            txpool_limit: 100,
+            ..Default::default()
+        };
         let mut q = Quorum::new(cfg, 4);
         let mut rejected = 0;
         for s in 0..200 {
-            if !q.submit(SimTime::ZERO, tx(s, Payload::DoNothing)).is_accepted() {
+            if !q
+                .submit(SimTime::ZERO, tx(s, Payload::DoNothing))
+                .is_accepted()
+            {
                 rejected += 1;
             }
         }
@@ -354,9 +389,11 @@ mod tests {
     #[test]
     fn short_block_period_under_load_stalls_liveness() {
         // Table 15: BP = 2 s, RL = 400 → 0 received, empty blocks.
-        let mut cfg = QuorumConfig::default();
-        cfg.block_period = SimDuration::from_secs(2);
-        cfg.stall_pool_threshold = 200;
+        let cfg = QuorumConfig {
+            block_period: SimDuration::from_secs(2),
+            stall_pool_threshold: 200,
+            ..Default::default()
+        };
         let mut q = Quorum::new(cfg, 5);
         for s in 0..500 {
             q.submit(SimTime::ZERO, tx(s, Payload::DoNothing));
@@ -370,10 +407,12 @@ mod tests {
 
     #[test]
     fn stall_anomaly_can_be_disabled() {
-        let mut cfg = QuorumConfig::default();
-        cfg.block_period = SimDuration::from_secs(1);
-        cfg.stall_pool_threshold = 200;
-        cfg.stall_anomaly = false;
+        let cfg = QuorumConfig {
+            block_period: SimDuration::from_secs(1),
+            stall_pool_threshold: 200,
+            stall_anomaly: false,
+            ..Default::default()
+        };
         let mut q = Quorum::new(cfg, 6);
         for s in 0..500 {
             q.submit(SimTime::ZERO, tx(s, Payload::DoNothing));
@@ -386,30 +425,50 @@ mod tests {
     #[test]
     fn block_period_paces_latency() {
         let latency = |period_s: u64| {
-            let mut cfg = QuorumConfig::default();
-            cfg.block_period = SimDuration::from_secs(period_s);
+            let cfg = QuorumConfig {
+                block_period: SimDuration::from_secs(period_s),
+                ..Default::default()
+            };
             let mut q = Quorum::new(cfg, 7);
             q.submit(SimTime::ZERO, tx(1, Payload::DoNothing));
             let outcomes = q.run_until(SimTime::from_secs(30));
             assert_eq!(outcomes.len(), 1);
             outcomes[0].finalized_at
         };
-        assert!(latency(5) > latency(1), "longer blockperiod → later confirmation");
+        assert!(
+            latency(5) > latency(1),
+            "longer blockperiod → later confirmation"
+        );
     }
 
     #[test]
     fn world_state_reflects_payments() {
         let mut q = Quorum::new(QuorumConfig::default(), 8);
-        q.submit(SimTime::ZERO, tx(1, Payload::create_account(AccountId(1), 100, 0)));
-        q.submit(SimTime::ZERO, tx(2, Payload::create_account(AccountId(2), 100, 0)));
+        q.submit(
+            SimTime::ZERO,
+            tx(1, Payload::create_account(AccountId(1), 100, 0)),
+        );
+        q.submit(
+            SimTime::ZERO,
+            tx(2, Payload::create_account(AccountId(2), 100, 0)),
+        );
         q.run_until(SimTime::from_secs(3));
         let now = SimTime::from_secs(3);
-        q.submit(now, tx(3, Payload::send_payment(AccountId(1), AccountId(2), 30)));
+        q.submit(
+            now,
+            tx(3, Payload::send_payment(AccountId(1), AccountId(2), 30)),
+        );
         let outcomes = q.run_until(SimTime::from_secs(6));
         assert!(outcomes.iter().all(|o| o.is_committed()));
         use coconut_iel::StateKey;
-        assert_eq!(q.world_state().get(&StateKey::Checking(AccountId(1))), Some(70));
-        assert_eq!(q.world_state().get(&StateKey::Checking(AccountId(2))), Some(130));
+        assert_eq!(
+            q.world_state().get(&StateKey::Checking(AccountId(1))),
+            Some(70)
+        );
+        assert_eq!(
+            q.world_state().get(&StateKey::Checking(AccountId(2))),
+            Some(130)
+        );
     }
 
     #[test]

@@ -22,14 +22,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::StdRng;
-
 use coconut_consensus::pbft::PbftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId,
+    TxOutcome,
 };
 
 use crate::ledger::Ledger;
@@ -86,7 +85,7 @@ pub struct Sawtooth {
     batches: HashMap<TxId, ClientTx>,
     outcomes: EventQueue<TxOutcome>,
     stats: SystemStats,
-    rng: StdRng,
+    rng: SimRng,
     inter: LatencyModel,
     ledger: Ledger,
     aborted_batches: u64,
@@ -120,7 +119,10 @@ impl Sawtooth {
             // publishing cadence, or idle gaps between slow blocks would
             // look like a dead primary.
             .commit_timeout((config.publishing_delay * 3).max(SimDuration::from_secs(4)))
-            .batch(BatchConfig::new(config.batches_per_block, config.publishing_delay))
+            .batch(BatchConfig::new(
+                config.batches_per_block,
+                config.publishing_delay,
+            ))
             .build();
         Sawtooth {
             exec_cpu: CpuModel::new(config.nodes),
@@ -192,7 +194,11 @@ impl Sawtooth {
             }
         }
         let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
-        let tx_rate = self.recent_arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64
+        let tx_rate = self
+            .recent_arrivals
+            .iter()
+            .map(|&(_, n)| n as u64)
+            .sum::<u64>() as f64
             / window_secs;
         let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
         1.0 / (1.0 - utilization)
@@ -210,7 +216,12 @@ impl Sawtooth {
                 break;
             }
         }
-        self.pbft.pending_len() + self.executing.iter().map(|&(_, n)| n as usize).sum::<usize>()
+        self.pbft.pending_len()
+            + self
+                .executing
+                .iter()
+                .map(|&(_, n)| n as usize)
+                .sum::<usize>()
     }
 
     fn pending_stalled(&self) -> bool {
@@ -327,6 +338,26 @@ impl BlockchainSystem for Sawtooth {
         s
     }
 
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.pbft.node_count() {
+            return false;
+        }
+        self.crash_validator(node);
+        true
+    }
+
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.pbft.node_count() {
+            return false;
+        }
+        self.recover_validator(node);
+        true
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.pbft.apply_net_fault(at, event)
+    }
+
     fn is_live(&self) -> bool {
         !self.pending_stalled()
     }
@@ -338,7 +369,12 @@ mod tests {
     use coconut_types::{ClientId, Payload, ThreadId};
 
     fn batch(seq: u64, payloads: Vec<Payload>) -> ClientTx {
-        ClientTx::new(TxId::new(ClientId(0), seq), ThreadId(0), payloads, SimTime::ZERO)
+        ClientTx::new(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            payloads,
+            SimTime::ZERO,
+        )
     }
 
     fn single(seq: u64, p: Payload) -> ClientTx {
@@ -348,7 +384,10 @@ mod tests {
     #[test]
     fn commits_a_batch() {
         let mut s = Sawtooth::new(SawtoothConfig::default(), 1);
-        s.submit(SimTime::ZERO, batch(1, vec![Payload::key_value_set(1, 1); 10]));
+        s.submit(
+            SimTime::ZERO,
+            batch(1, vec![Payload::key_value_set(1, 1); 10]),
+        );
         let outcomes = s.run_until(SimTime::from_secs(10));
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].is_committed());
@@ -357,12 +396,17 @@ mod tests {
 
     #[test]
     fn queue_rejects_when_full() {
-        let mut cfg = SawtoothConfig::default();
-        cfg.queue_limit = 5;
+        let cfg = SawtoothConfig {
+            queue_limit: 5,
+            ..Default::default()
+        };
         let mut s = Sawtooth::new(cfg, 2);
         let mut rejected = 0;
         for i in 0..20 {
-            if !s.submit(SimTime::ZERO, single(i, Payload::DoNothing)).is_accepted() {
+            if !s
+                .submit(SimTime::ZERO, single(i, Payload::DoNothing))
+                .is_accepted()
+            {
                 rejected += 1;
             }
         }
@@ -372,9 +416,11 @@ mod tests {
 
     #[test]
     fn queue_drains_between_blocks() {
-        let mut cfg = SawtoothConfig::default();
-        cfg.queue_limit = 5;
-        cfg.publishing_delay = SimDuration::from_millis(200);
+        let cfg = SawtoothConfig {
+            queue_limit: 5,
+            publishing_delay: SimDuration::from_millis(200),
+            ..Default::default()
+        };
         let mut s = Sawtooth::new(cfg, 3);
         for i in 0..5 {
             s.submit(SimTime::ZERO, single(i, Payload::DoNothing));
@@ -382,7 +428,9 @@ mod tests {
         let first = s.run_until(SimTime::from_secs(5));
         assert_eq!(first.len(), 5);
         // After draining, new submissions are accepted again.
-        assert!(s.submit(s.pbft.now(), single(9, Payload::DoNothing)).is_accepted());
+        assert!(s
+            .submit(s.pbft.now(), single(9, Payload::DoNothing))
+            .is_accepted());
     }
 
     #[test]
@@ -402,9 +450,11 @@ mod tests {
 
     #[test]
     fn publishing_delay_paces_blocks() {
-        let mut cfg = SawtoothConfig::default();
-        cfg.publishing_delay = SimDuration::from_secs(2);
-        cfg.batches_per_block = 1;
+        let cfg = SawtoothConfig {
+            publishing_delay: SimDuration::from_secs(2),
+            batches_per_block: 1,
+            ..Default::default()
+        };
         let mut s = Sawtooth::new(cfg, 5);
         for i in 0..3 {
             s.submit(SimTime::ZERO, single(i, Payload::DoNothing));
@@ -418,12 +468,16 @@ mod tests {
 
     #[test]
     fn sixteen_nodes_leave_batches_pending() {
-        let mut cfg = SawtoothConfig::default();
-        cfg.nodes = 16;
+        let cfg = SawtoothConfig {
+            nodes: 16,
+            ..Default::default()
+        };
         let mut s = Sawtooth::new(cfg, 6);
         assert!(!s.is_live());
         for i in 0..10 {
-            assert!(s.submit(SimTime::ZERO, single(i, Payload::DoNothing)).is_accepted());
+            assert!(s
+                .submit(SimTime::ZERO, single(i, Payload::DoNothing))
+                .is_accepted());
         }
         let outcomes = s.run_until(SimTime::from_secs(20));
         assert!(outcomes.is_empty(), "batches stay pending forever");
@@ -456,8 +510,8 @@ mod tests {
         };
         let relaxed = run(500_000); // 2 batches/s
         let burst = run(1_000); // 1000 batches/s
-        // The burst finishes its last confirmation later relative to its
-        // last submission (50 × 0.5 s head start for relaxed).
+                                // The burst finishes its last confirmation later relative to its
+                                // last submission (50 × 0.5 s head start for relaxed).
         assert!(
             burst + 25_000_000 > relaxed,
             "ingress starvation must slow the burst: {burst} vs {relaxed}"
@@ -469,7 +523,10 @@ mod tests {
         let run = |seed| {
             let mut s = Sawtooth::new(SawtoothConfig::default(), seed);
             for i in 0..10 {
-                s.submit(SimTime::ZERO, batch(i, vec![Payload::key_value_set(i, i); 5]));
+                s.submit(
+                    SimTime::ZERO,
+                    batch(i, vec![Payload::key_value_set(i, i); 5]),
+                );
             }
             s.run_until(SimTime::from_secs(20))
                 .iter()

@@ -1,6 +1,7 @@
 //! The common interface every modelled blockchain system implements.
 
-use coconut_types::{ClientTx, SimTime, TxOutcome};
+use coconut_simnet::FaultEvent;
+use coconut_types::{ClientTx, NodeId, SimTime, TxOutcome};
 
 /// What happened to a submission at the system's ingress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,36 @@ pub trait BlockchainSystem {
     /// paper's liveness violation (e.g. Quorum's stalled txpool).
     fn is_live(&self) -> bool {
         true
+    }
+
+    /// Crashes the system's node `node` (fault injection). Each model maps
+    /// the id onto its crashable role — Raft orderer (Fabric), validator
+    /// (Quorum, Sawtooth, Diem), witness (BitShares), notary (Corda).
+    /// Returns `true` if the crash was modelled; the default implementation
+    /// supports no faults and returns `false`.
+    fn crash_node(&mut self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Recovers a previously crashed node with the system's own
+    /// protocol-correct catch-up (re-election and log replay for Raft,
+    /// view/round change for PBFT/IBFT, pacemaker sync for DiemBFT, slot
+    /// re-entry for DPoS, shard fail-back for the Corda notary pool).
+    /// Returns `true` if the recovery was modelled.
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the system's consensus message fabric at virtual time
+    /// `at`. Returns `true` if the fault was applied; systems without a
+    /// message-level network model (Corda's point-to-point flows) return
+    /// `false`.
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        let _ = (at, event);
+        false
     }
 }
 

@@ -55,7 +55,10 @@ mod tests {
             .collect();
         assert!(done.iter().all(|&d| d == SimTime::from_millis(10)));
         // The fifth job queues behind the earliest.
-        assert_eq!(p.process(SimTime::ZERO, SimDuration::from_millis(10)), SimTime::from_millis(20));
+        assert_eq!(
+            p.process(SimTime::ZERO, SimDuration::from_millis(10)),
+            SimTime::from_millis(20)
+        );
     }
 
     #[test]

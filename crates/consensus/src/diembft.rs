@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
@@ -26,9 +26,13 @@ use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
 #[derive(Debug, Clone)]
 enum DiemMsg {
     /// Leader cadence timer.
-    ProposeTimer { round: u64 },
+    ProposeTimer {
+        round: u64,
+    },
     /// Pacemaker timeout for a round.
-    RoundTimeout { round: u64 },
+    RoundTimeout {
+        round: u64,
+    },
     Proposal {
         round: u64,
         digest: u64,
@@ -138,7 +142,11 @@ impl DiemBftBuilder {
         assert_eq!(topology.node_count(), n, "topology must match node count");
         let mut net = NetSim::new(topology, self.net, self.seed);
         let first_leader = NodeId((1 % n as u64) as u32);
-        net.timer(first_leader, self.round_interval, DiemMsg::ProposeTimer { round: 1 });
+        net.timer(
+            first_leader,
+            self.round_interval,
+            DiemMsg::ProposeTimer { round: 1 },
+        );
         let mut blocks = HashMap::new();
         // Genesis: digest 0, round 0, self-parent.
         blocks.insert(
@@ -257,6 +265,13 @@ impl DiemBftCluster {
         self.net.stats()
     }
 
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the cluster's message fabric. Crash/restart events are not
+    /// network faults and return `false`.
+    pub fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.net.apply_fault(at, event)
+    }
+
     /// Commands in the mempool.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -275,7 +290,13 @@ impl DiemBftCluster {
 
     /// Recovers a crashed validator at the highest known round.
     pub fn recover(&mut self, node: NodeId) {
-        let max_round = self.nodes.iter().filter(|n| n.alive).map(|n| n.round).max().unwrap_or(1);
+        let max_round = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.round)
+            .max()
+            .unwrap_or(1);
         let n = &mut self.nodes[node.0 as usize];
         n.alive = true;
         n.round = n.round.max(max_round);
@@ -310,8 +331,30 @@ impl DiemBftCluster {
         let round = self.highest_qc.0 + 1;
         if !self.proposed_rounds.contains(&round) {
             let leader = self.leader_of(round);
-            self.net
-                .timer(leader, SimDuration::from_micros(1), DiemMsg::ProposeTimer { round });
+            self.net.timer(
+                leader,
+                SimDuration::from_micros(1),
+                DiemMsg::ProposeTimer { round },
+            );
+            if !self.nodes[leader.0 as usize].alive {
+                // A crashed proposer swallows the kick; the pacemaker must
+                // still run so a timeout certificate can skip its round.
+                self.arm_round_timeouts(round);
+            }
+        }
+    }
+
+    /// Arms the pacemaker for `round` at every alive validator (entering a
+    /// round always starts a local timeout in DiemBFT).
+    fn arm_round_timeouts(&mut self, round: u64) {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                self.net.timer(
+                    NodeId(i as u32),
+                    self.round_timeout,
+                    DiemMsg::RoundTimeout { round },
+                );
+            }
         }
     }
 
@@ -330,7 +373,11 @@ impl DiemBftCluster {
                 qc_round,
                 batch,
             } => self.on_proposal(me, at, round, digest, parent, parent_round, qc_round, batch),
-            DiemMsg::Vote { round, digest, from } => self.on_vote(me, at, round, digest, from),
+            DiemMsg::Vote {
+                round,
+                digest,
+                from,
+            } => self.on_vote(me, at, round, digest, from),
             DiemMsg::Timeout { round, from } => self.on_timeout_msg(me, at, round, from),
         }
     }
@@ -389,14 +436,15 @@ impl DiemBftCluster {
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let now = self.net.now();
         let done = self.cpu.process(me, now, cost);
-        self.net.broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
-            round,
-            digest,
-            parent: parent_digest,
-            parent_round,
-            qc_round,
-            batch: batch.clone(),
-        });
+        self.net
+            .broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
+                round,
+                digest,
+                parent: parent_digest,
+                parent_round,
+                qc_round,
+                batch: batch.clone(),
+            });
         // Leader votes for its own proposal (vote goes to next leader).
         self.cast_vote(me, round, digest);
         // Arm pacemaker for this round at the leader.
@@ -419,7 +467,10 @@ impl DiemBftCluster {
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let _ = self.cpu.process(me, at, cost);
         // Sync to the carried QC.
-        if qc_round >= self.highest_qc.0 && parent != self.highest_qc.1 && self.qcs.contains_key(&parent) {
+        if qc_round >= self.highest_qc.0
+            && parent != self.highest_qc.1
+            && self.qcs.contains_key(&parent)
+        {
             // parent certified elsewhere; fine.
         }
         let proposer = self.leader_of(round);
@@ -459,7 +510,11 @@ impl DiemBftCluster {
                 next_leader,
                 done - now,
                 64,
-                DiemMsg::Vote { round, digest, from: me },
+                DiemMsg::Vote {
+                    round,
+                    digest,
+                    from: me,
+                },
             );
         }
     }
@@ -553,7 +608,27 @@ impl DiemBftCluster {
             self.proposed_rounds.insert(round);
             let next = round + 1;
             // Allow re-proposal chain: treat highest_qc round frontier as `round`.
-            if self.highest_qc.0 + 1 <= round {
+            if self.highest_qc.0 < round {
+                // A block proposed at the dead round can never certify
+                // (nobody votes it again, and a skip proposal extends the
+                // highest QC, not it). Re-queue its commands at the front
+                // of the mempool — real mempools only evict on commit.
+                let stranded: Vec<u64> = self
+                    .blocks
+                    .iter()
+                    .filter(|(_, b)| b.round == round && !b.batch.is_empty())
+                    .map(|(&d, _)| d)
+                    .collect();
+                if !stranded.is_empty() {
+                    let mut reclaimed = Vec::new();
+                    for d in stranded {
+                        if let Some(b) = self.blocks.get_mut(&d) {
+                            reclaimed.append(&mut b.batch);
+                        }
+                    }
+                    reclaimed.append(&mut self.pending);
+                    self.pending = reclaimed;
+                }
                 // Pretend rounds up to `round` are skipped: the new leader
                 // extends the highest QC but at round `next`.
                 let leader = self.leader_of(next);
@@ -561,6 +636,10 @@ impl DiemBftCluster {
                 // Propose directly here to keep the skip logic in one place.
                 if self.nodes[leader.0 as usize].alive && !self.proposed_rounds.contains(&next) {
                     self.propose_skip(leader, next, qc_round, qc_digest);
+                } else {
+                    // The skip target is dead too: keep the pacemaker
+                    // running so `next` can also be timed out.
+                    self.arm_round_timeouts(next);
                 }
             }
             self.timeout_votes.remove(&round);
@@ -597,14 +676,15 @@ impl DiemBftCluster {
         let now = self.net.now();
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let done = self.cpu.process(me, now, cost);
-        self.net.broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
-            round,
-            digest,
-            parent: parent_digest,
-            parent_round,
-            qc_round,
-            batch: batch.clone(),
-        });
+        self.net
+            .broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
+                round,
+                digest,
+                parent: parent_digest,
+                parent_round,
+                qc_round,
+                batch: batch.clone(),
+            });
         self.cast_vote(me, round, digest);
         self.net
             .timer(me, self.round_timeout, DiemMsg::RoundTimeout { round });
@@ -680,7 +760,9 @@ mod tests {
         c.submit(tx(2));
         let blocks = c.run_until(c.now() + SimDuration::from_secs(30));
         assert!(
-            blocks.iter().any(|b| b.commands.iter().any(|cmd| cmd.tx.seq() == 2)),
+            blocks
+                .iter()
+                .any(|b| b.commands.iter().any(|cmd| cmd.tx.seq() == 2)),
             "timeout certificate must allow progress past a dead leader"
         );
     }

@@ -10,12 +10,8 @@
 //! insensitive to the network size (§5.8.2: "shifting witnesses finalizing
 //! blocks is a reason for the constant performance").
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
-use coconut_types::{NodeId, SimDuration, SimTime};
+use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
+use coconut_types::{NodeId, SimDuration, SimRng, SimTime};
 
 use crate::{BatchConfig, Command, CommittedBatch, CpuModel};
 
@@ -81,12 +77,20 @@ impl DposBuilder {
     pub fn build(self) -> DposCluster {
         let w = self.witnesses;
         let topology = self.topology.unwrap_or_else(|| Topology::round_robin(w, w));
-        assert_eq!(topology.node_count(), w, "topology must match witness count");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD905);
+        assert_eq!(
+            topology.node_count(),
+            w,
+            "topology must match witness count"
+        );
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0xD905);
         let mut schedule: Vec<NodeId> = (0..w).map(NodeId).collect();
-        schedule.shuffle(&mut rng);
+        rng.shuffle(&mut schedule);
         let mut net = NetSim::new(topology, self.net, self.seed);
-        net.timer(schedule[0], self.block_interval, DposMsg::SlotTimer { slot: 0 });
+        net.timer(
+            schedule[0],
+            self.block_interval,
+            DposMsg::SlotTimer { slot: 0 },
+        );
         DposCluster {
             witnesses: w,
             alive: vec![true; w as usize],
@@ -127,7 +131,7 @@ pub struct DposCluster {
     alive: Vec<bool>,
     net: NetSim<DposMsg>,
     cpu: CpuModel,
-    rng: StdRng,
+    rng: SimRng,
     schedule: Vec<NodeId>,
     batch: BatchConfig,
     block_interval: SimDuration,
@@ -182,6 +186,13 @@ impl DposCluster {
         self.net.stats()
     }
 
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the cluster's message fabric. Crash/restart events are not
+    /// network faults and return `false`.
+    pub fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.net.apply_fault(at, event)
+    }
+
     /// Commands waiting to be packed.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -234,12 +245,17 @@ impl DposCluster {
     fn on_slot(&mut self, me: NodeId, at: SimTime, slot: u64) {
         // Schedule the next slot first (the schedule reshuffles each round).
         let next_slot = slot + 1;
-        if next_slot % self.witnesses as u64 == 0 {
-            self.schedule.shuffle(&mut self.rng);
+        if next_slot.is_multiple_of(self.witnesses as u64) {
+            let mut schedule = std::mem::take(&mut self.schedule);
+            self.rng.shuffle(&mut schedule);
+            self.schedule = schedule;
         }
         let next_witness = self.witness_of(next_slot);
-        self.net
-            .timer(next_witness, self.block_interval, DposMsg::SlotTimer { slot: next_slot });
+        self.net.timer(
+            next_witness,
+            self.block_interval,
+            DposMsg::SlotTimer { slot: next_slot },
+        );
 
         if !self.alive[me.0 as usize] {
             self.missed += 1;
@@ -383,6 +399,9 @@ mod tests {
             .build();
         let blocks = c.run_until(SimTime::from_secs(5));
         assert!(blocks.is_empty(), "no commands → no emitted batches");
-        assert!(c.blocks_produced() >= 4, "witnesses keep minting empty blocks");
+        assert!(
+            c.blocks_produced() >= 4,
+            "witnesses keep minting empty blocks"
+        );
     }
 }

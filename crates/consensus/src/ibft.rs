@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
@@ -156,7 +156,10 @@ impl IbftBuilder {
         net.timer(
             NodeId(0),
             self.block_period,
-            IbftMsg::ProposeTimer { height: 0, round: 0 },
+            IbftMsg::ProposeTimer {
+                height: 0,
+                round: 0,
+            },
         );
         // Every validator watches height 0 so a dead first proposer is
         // detected (Quorum keeps minting blocks via round changes).
@@ -164,7 +167,10 @@ impl IbftBuilder {
             net.timer(
                 NodeId(i),
                 self.round_timeout,
-                IbftMsg::RoundTimeout { height: 0, round: 0 },
+                IbftMsg::RoundTimeout {
+                    height: 0,
+                    round: 0,
+                },
             );
         }
         IbftCluster {
@@ -260,6 +266,13 @@ impl IbftCluster {
         self.net.stats()
     }
 
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the cluster's message fabric. Crash/restart events are not
+    /// network faults and return `false`.
+    pub fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.net.apply_fault(at, event)
+    }
+
     /// Commands accepted but not yet included in a block.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -317,25 +330,39 @@ impl IbftCluster {
         match msg {
             IbftMsg::ProposeTimer { height, round } => self.on_propose_timer(me, height, round),
             IbftMsg::RoundTimeout { height, round } => self.on_round_timeout(me, height, round),
-            IbftMsg::PrePrepare { height, round, digest, batch } => {
-                self.on_pre_prepare(me, at, height, round, digest, batch)
-            }
-            IbftMsg::Prepare { height, round, digest, from } => {
-                self.on_prepare(me, at, height, round, digest, from)
-            }
-            IbftMsg::Commit { height, round, digest, from } => {
-                self.on_commit(me, at, height, round, digest, from)
-            }
-            IbftMsg::RoundChange { height, round, from } => {
-                self.on_round_change(me, at, height, round, from)
-            }
+            IbftMsg::PrePrepare {
+                height,
+                round,
+                digest,
+                batch,
+            } => self.on_pre_prepare(me, at, height, round, digest, batch),
+            IbftMsg::Prepare {
+                height,
+                round,
+                digest,
+                from,
+            } => self.on_prepare(me, at, height, round, digest, from),
+            IbftMsg::Commit {
+                height,
+                round,
+                digest,
+                from,
+            } => self.on_commit(me, at, height, round, digest, from),
+            IbftMsg::RoundChange {
+                height,
+                round,
+                from,
+            } => self.on_round_change(me, at, height, round, from),
         }
     }
 
     fn on_propose_timer(&mut self, me: NodeId, height: u64, round: u64) {
         {
             let node = &self.nodes[me.0 as usize];
-            if height != self.next_height || node.round != round || self.proposer_of(height, round) != me {
+            if height != self.next_height
+                || node.round != round
+                || self.proposer_of(height, round) != me
+            {
                 return;
             }
             if node
@@ -356,19 +383,26 @@ impl IbftCluster {
         let now = self.net.now();
         let done = self.cpu.process(me, now, cost);
         {
-            let slot = self.nodes[me.0 as usize].slots.entry((height, round)).or_default();
+            let slot = self.nodes[me.0 as usize]
+                .slots
+                .entry((height, round))
+                .or_default();
             slot.digest = Some(digest);
             slot.batch = Some(batch.clone());
             slot.prepares = 1;
         }
-        self.net.broadcast_delayed(me, done - now, bytes, |_| IbftMsg::PrePrepare {
-            height,
-            round,
-            digest,
-            batch: batch.clone(),
-        });
         self.net
-            .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+            .broadcast_delayed(me, done - now, bytes, |_| IbftMsg::PrePrepare {
+                height,
+                round,
+                digest,
+                batch: batch.clone(),
+            });
+        self.net.timer(
+            me,
+            self.round_timeout,
+            IbftMsg::RoundTimeout { height, round },
+        );
     }
 
     fn on_pre_prepare(
@@ -396,18 +430,30 @@ impl IbftCluster {
             slot.batch = Some(batch);
             slot.prepares += 2; // the proposer's implicit prepare + our own
         }
-        self.net.broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
-            height,
-            round,
-            digest,
-            from: me,
-        });
         self.net
-            .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+            .broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
+                height,
+                round,
+                digest,
+                from: me,
+            });
+        self.net.timer(
+            me,
+            self.round_timeout,
+            IbftMsg::RoundTimeout { height, round },
+        );
         self.check_prepared(me, height, round, digest);
     }
 
-    fn on_prepare(&mut self, me: NodeId, at: SimTime, height: u64, round: u64, digest: u64, _from: NodeId) {
+    fn on_prepare(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        height: u64,
+        round: u64,
+        digest: u64,
+        _from: NodeId,
+    ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
             let node = &mut self.nodes[me.0 as usize];
@@ -439,17 +485,26 @@ impl IbftCluster {
         }
         if should_commit {
             let done = self.cpu.process(me, now, self.proc_per_msg);
-            self.net.broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
-                height,
-                round,
-                digest,
-                from: me,
-            });
+            self.net
+                .broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
+                    height,
+                    round,
+                    digest,
+                    from: me,
+                });
             self.check_committed(me, height, round, digest);
         }
     }
 
-    fn on_commit(&mut self, me: NodeId, at: SimTime, height: u64, round: u64, digest: u64, _from: NodeId) {
+    fn on_commit(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        height: u64,
+        round: u64,
+        digest: u64,
+        _from: NodeId,
+    ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
             let node = &mut self.nodes[me.0 as usize];
@@ -532,7 +587,10 @@ impl IbftCluster {
             let node = &self.nodes[me.0 as usize];
             should_complain = node.height == height
                 && node.round == round
-                && node.slots.get(&(height, round)).map_or(true, |s| !s.committed);
+                && node
+                    .slots
+                    .get(&(height, round))
+                    .is_none_or(|s| !s.committed);
         }
         if !should_complain {
             return;
@@ -548,15 +606,23 @@ impl IbftCluster {
         }
         let now = self.net.now();
         let done = self.cpu.process(me, now, self.proc_per_msg);
-        self.net.broadcast_delayed(me, done - now, 48, |_| IbftMsg::RoundChange {
-            height,
-            round: new_round,
-            from: me,
-        });
+        self.net
+            .broadcast_delayed(me, done - now, 48, |_| IbftMsg::RoundChange {
+                height,
+                round: new_round,
+                from: me,
+            });
         self.on_round_change(me, now, height, new_round, me);
     }
 
-    fn on_round_change(&mut self, me: NodeId, _at: SimTime, height: u64, round: u64, _from: NodeId) {
+    fn on_round_change(
+        &mut self,
+        me: NodeId,
+        _at: SimTime,
+        height: u64,
+        round: u64,
+        _from: NodeId,
+    ) {
         let quorum = self.quorum();
         let reached;
         {
@@ -580,8 +646,11 @@ impl IbftCluster {
                     IbftMsg::ProposeTimer { height, round },
                 );
             }
-            self.net
-                .timer(me, self.round_timeout, IbftMsg::RoundTimeout { height, round });
+            self.net.timer(
+                me,
+                self.round_timeout,
+                IbftMsg::RoundTimeout { height, round },
+            );
         }
     }
 }
@@ -675,7 +744,11 @@ mod tests {
         c.submit(tx(1));
         let blocks = c.run_until(SimTime::from_secs(30));
         let non_empty: Vec<_> = blocks.iter().filter(|b| !b.commands.is_empty()).collect();
-        assert_eq!(non_empty.len(), 1, "round change must rescue the stalled height");
+        assert_eq!(
+            non_empty.len(),
+            1,
+            "round change must rescue the stalled height"
+        );
         assert_ne!(non_empty[0].proposer, NodeId(0));
     }
 

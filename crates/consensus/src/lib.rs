@@ -272,14 +272,25 @@ mod tests {
         assert_eq!(second, SimTime::from_millis(20));
         // Other nodes are unaffected:
         assert_eq!(cpu.free_at(NodeId(1)), SimTime::ZERO);
-        assert_eq!(cpu.backlog(n0, SimTime::from_millis(10)), SimDuration::from_millis(10));
+        assert_eq!(
+            cpu.backlog(n0, SimTime::from_millis(10)),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
     fn cpu_idle_gap_resets_start_time() {
         let mut cpu = CpuModel::new(1);
-        cpu.process(NodeId(0), SimTime::from_millis(1), SimDuration::from_millis(1));
-        let done = cpu.process(NodeId(0), SimTime::from_secs(10), SimDuration::from_millis(1));
+        cpu.process(
+            NodeId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+        );
+        let done = cpu.process(
+            NodeId(0),
+            SimTime::from_secs(10),
+            SimDuration::from_millis(1),
+        );
         assert_eq!(done, SimTime::from_secs(10) + SimDuration::from_millis(1));
     }
 

@@ -73,6 +73,7 @@ pub struct NotaryService {
     busy_until: SimTime,
     processed: u64,
     conflicts: u64,
+    alive: bool,
 }
 
 impl NotaryService {
@@ -85,7 +86,26 @@ impl NotaryService {
             busy_until: SimTime::ZERO,
             processed: 0,
             conflicts: 0,
+            alive: true,
         }
+    }
+
+    /// `true` while the notary serves requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Crashes the notary (fault injection): it stops serving requests.
+    pub fn crash(&mut self) {
+        self.alive = false;
+    }
+
+    /// Recovers the notary at `now`. Its consumed-state table survived on
+    /// disk; the in-flight queue it had at crash time is gone, so the
+    /// service restarts idle.
+    pub fn recover(&mut self, now: SimTime) {
+        self.alive = true;
+        self.busy_until = self.busy_until.max(now);
     }
 
     /// Sets the additional cost per input state checked.
@@ -187,12 +207,56 @@ impl NotaryPool {
     }
 
     /// Routes and processes a request (see [`NotaryService::request`]).
-    pub fn request(&mut self, arrival: SimTime, tx: TxId, inputs: &[StateRef]) -> NotaryResponse {
-        let shard = match inputs.first() {
-            Some(s) => (s.tx().as_u64() % self.notaries.len() as u64) as usize,
-            None => (tx.as_u64() % self.notaries.len() as u64) as usize,
+    ///
+    /// If the preferred shard's notary has crashed, the request fails over
+    /// to the next alive notary in ring order (deterministic). While the
+    /// fail-over target differs from the home shard its consumed-state
+    /// table is independent, so repeated spends of one state keep
+    /// colliding on the *same* fail-over target as long as the alive set
+    /// does not change between them. Returns `None` when every notary is
+    /// dead — finality halts and the request is simply lost.
+    pub fn request(
+        &mut self,
+        arrival: SimTime,
+        tx: TxId,
+        inputs: &[StateRef],
+    ) -> Option<NotaryResponse> {
+        let n = self.notaries.len();
+        let home = match inputs.first() {
+            Some(s) => (s.tx().as_u64() % n as u64) as usize,
+            None => (tx.as_u64() % n as u64) as usize,
         };
-        self.notaries[shard].request(arrival, tx, inputs)
+        let shard = (0..n)
+            .map(|off| (home + off) % n)
+            .find(|&i| self.notaries[i].is_alive())?;
+        Some(self.notaries[shard].request(arrival, tx, inputs))
+    }
+
+    /// Crashes notary `idx`; `false` if the index is out of range.
+    pub fn crash(&mut self, idx: usize) -> bool {
+        match self.notaries.get_mut(idx) {
+            Some(s) => {
+                s.crash();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Recovers notary `idx` at `now`; `false` if out of range.
+    pub fn recover(&mut self, idx: usize, now: SimTime) -> bool {
+        match self.notaries.get_mut(idx) {
+            Some(s) => {
+                s.recover(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Notaries currently serving requests.
+    pub fn alive_count(&self) -> usize {
+        self.notaries.iter().filter(|s| s.is_alive()).count()
     }
 
     /// Total requests processed across the pool.
@@ -252,13 +316,17 @@ mod tests {
         let r1 = n.request(t, tx(1), &[state(0, 0)]);
         let r2 = n.request(t, tx(2), &[state(0, 1)]);
         assert!(r2.completed_at > r1.completed_at);
-        assert_eq!(r2.completed_at - r1.completed_at, SimDuration::from_millis(10) + SimDuration::from_micros(100));
+        assert_eq!(
+            r2.completed_at - r1.completed_at,
+            SimDuration::from_millis(10) + SimDuration::from_micros(100)
+        );
         assert!(n.backlog(t) > SimDuration::from_millis(19));
     }
 
     #[test]
     fn per_input_cost_scales() {
-        let mut n = NotaryService::new(SimDuration::from_millis(1)).with_per_input_time(SimDuration::from_millis(1));
+        let mut n = NotaryService::new(SimDuration::from_millis(1))
+            .with_per_input_time(SimDuration::from_millis(1));
         let inputs: Vec<StateRef> = (0..5).map(|i| state(9, i)).collect();
         let r = n.request(SimTime::ZERO, tx(1), &inputs);
         assert_eq!(r.completed_at, SimTime::from_millis(6));
@@ -269,16 +337,25 @@ mod tests {
         let mut n = NotaryService::new(SimDuration::from_millis(10));
         n.request(SimTime::ZERO, tx(1), &[state(0, 0)]);
         let r = n.request(SimTime::from_secs(5), tx(2), &[state(0, 1)]);
-        assert_eq!(r.completed_at, SimTime::from_secs(5) + SimDuration::from_millis(10) + SimDuration::from_micros(100));
+        assert_eq!(
+            r.completed_at,
+            SimTime::from_secs(5) + SimDuration::from_millis(10) + SimDuration::from_micros(100)
+        );
     }
 
     #[test]
     fn pool_routes_same_state_to_same_shard() {
         let mut pool = NotaryPool::new(4, SimDuration::from_millis(1));
         let s = state(7, 0);
-        assert!(pool.request(SimTime::ZERO, tx(10), &[s]).is_signed());
-        let r = pool.request(SimTime::from_secs(1), tx(11), &[s]);
-        assert!(!r.is_signed(), "same state must hit the same shard and conflict");
+        assert!(pool
+            .request(SimTime::ZERO, tx(10), &[s])
+            .unwrap()
+            .is_signed());
+        let r = pool.request(SimTime::from_secs(1), tx(11), &[s]).unwrap();
+        assert!(
+            !r.is_signed(),
+            "same state must hit the same shard and conflict"
+        );
         assert_eq!(pool.conflicts(), 1);
         assert_eq!(pool.processed(), 2);
     }
@@ -290,9 +367,14 @@ mod tests {
         // Distinct producing txs route to distinct shards (mostly), so the
         // pool completes 4 unrelated requests faster than one notary would.
         let done: Vec<SimTime> = (0..4)
-            .map(|i| pool.request(t, tx(100 + i), &[state(i, 0)]).completed_at)
+            .map(|i| {
+                pool.request(t, tx(100 + i), &[state(i, 0)])
+                    .unwrap()
+                    .completed_at
+            })
             .collect();
-        let serial_end = SimTime::ZERO + (SimDuration::from_millis(10) + SimDuration::from_micros(100)) * 4;
+        let serial_end =
+            SimTime::ZERO + (SimDuration::from_millis(10) + SimDuration::from_micros(100)) * 4;
         assert!(done.iter().max().unwrap() < &serial_end);
         assert_eq!(pool.len(), 4);
         assert!(!pool.is_empty());
@@ -303,5 +385,39 @@ mod tests {
         // Issuance transactions consume nothing.
         let mut n = NotaryService::new(SimDuration::from_millis(1));
         assert!(n.request(SimTime::ZERO, tx(1), &[]).is_signed());
+    }
+
+    #[test]
+    fn pool_fails_over_to_next_alive_notary() {
+        let mut pool = NotaryPool::new(4, SimDuration::from_millis(1));
+        let s = state(4, 0); // home shard = 4 % 4 = 0
+        assert!(pool.crash(0));
+        assert_eq!(pool.alive_count(), 3);
+        // Both spends of the same state fail over to shard 1 and collide.
+        assert!(pool
+            .request(SimTime::ZERO, tx(10), &[s])
+            .unwrap()
+            .is_signed());
+        let r = pool.request(SimTime::from_secs(1), tx(11), &[s]).unwrap();
+        assert!(
+            !r.is_signed(),
+            "fail-over target still detects the double-spend"
+        );
+    }
+
+    #[test]
+    fn pool_halts_when_all_notaries_dead_and_recovers() {
+        let mut pool = NotaryPool::new(2, SimDuration::from_millis(1));
+        assert!(pool.crash(0));
+        assert!(pool.crash(1));
+        assert!(!pool.crash(9), "out-of-range index is reported");
+        assert_eq!(pool.alive_count(), 0);
+        assert!(pool.request(SimTime::ZERO, tx(1), &[state(0, 0)]).is_none());
+        assert!(pool.recover(1, SimTime::from_secs(3)));
+        let r = pool
+            .request(SimTime::from_secs(3), tx(2), &[state(0, 1)])
+            .unwrap();
+        assert!(r.is_signed());
+        assert!(r.completed_at >= SimTime::from_secs(3));
     }
 }

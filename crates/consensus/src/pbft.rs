@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
@@ -23,9 +23,15 @@ use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
 #[derive(Debug, Clone)]
 enum PbftMsg {
     /// Primary cadence timer: publish the next block.
-    PublishTimer { view: u64, seq: u64 },
+    PublishTimer {
+        view: u64,
+        seq: u64,
+    },
     /// Replica progress timer for an outstanding proposal.
-    CommitTimeout { view: u64, seq: u64 },
+    CommitTimeout {
+        view: u64,
+        seq: u64,
+    },
     PrePrepare {
         view: u64,
         seq: u64,
@@ -160,7 +166,11 @@ impl PbftBuilder {
         let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
         assert_eq!(topology.node_count(), n, "topology must match node count");
         let mut net = NetSim::new(topology, self.net, self.seed);
-        net.timer(NodeId(0), self.publishing_delay, PbftMsg::PublishTimer { view: 0, seq: 0 });
+        net.timer(
+            NodeId(0),
+            self.publishing_delay,
+            PbftMsg::PublishTimer { view: 0, seq: 0 },
+        );
         // Every replica watches the first sequence so a dead initial
         // primary is detected even though it never sends a pre-prepare.
         for i in 0..n {
@@ -250,13 +260,26 @@ impl PbftCluster {
 
     /// The primary of the current highest view.
     pub fn primary(&self) -> NodeId {
-        let view = self.nodes.iter().filter(|n| n.alive).map(|n| n.view).max().unwrap_or(0);
+        let view = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.view)
+            .max()
+            .unwrap_or(0);
         self.primary_of(view)
     }
 
     /// Network counters.
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
+    }
+
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the cluster's message fabric. Crash/restart events are not
+    /// network faults and return `false`.
+    pub fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.net.apply_fault(at, event)
     }
 
     /// Commands accepted but not yet proposed.
@@ -305,15 +328,24 @@ impl PbftCluster {
         match msg {
             PbftMsg::PublishTimer { view, seq } => self.on_publish_timer(me, view, seq),
             PbftMsg::CommitTimeout { view, seq } => self.on_commit_timeout(me, view, seq),
-            PbftMsg::PrePrepare { view, seq, digest, batch } => {
-                self.on_pre_prepare(me, at, view, seq, digest, batch)
-            }
-            PbftMsg::Prepare { view, seq, digest, from } => {
-                self.on_prepare(me, at, view, seq, digest, from)
-            }
-            PbftMsg::Commit { view, seq, digest, from } => {
-                self.on_commit(me, at, view, seq, digest, from)
-            }
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => self.on_pre_prepare(me, at, view, seq, digest, batch),
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from,
+            } => self.on_prepare(me, at, view, seq, digest, from),
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                from,
+            } => self.on_commit(me, at, view, seq, digest, from),
             PbftMsg::ViewChange { new_view, from } => self.on_view_change(me, at, new_view, from),
             PbftMsg::NewView { view } => self.on_new_view(me, view),
         }
@@ -328,8 +360,11 @@ impl PbftCluster {
         }
         if self.pending.is_empty() {
             // Nothing to propose; retry a publishing-delay later.
-            self.net
-                .timer(me, self.publishing_delay, PbftMsg::PublishTimer { view, seq });
+            self.net.timer(
+                me,
+                self.publishing_delay,
+                PbftMsg::PublishTimer { view, seq },
+            );
             return;
         }
         let take = self.pending.len().min(self.batch.max_commands);
@@ -347,18 +382,30 @@ impl PbftCluster {
         slot.digest = Some(digest);
         slot.batch = Some(batch.clone());
         slot.prepares = 1; // own implicit prepare
-        self.net.broadcast_delayed(me, done - now, bytes, |_| PbftMsg::PrePrepare {
-            view,
-            seq,
-            digest,
-            batch: batch.clone(),
-        });
-        // Arm the primary's own progress timer.
         self.net
-            .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+            .broadcast_delayed(me, done - now, bytes, |_| PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch: batch.clone(),
+            });
+        // Arm the primary's own progress timer.
+        self.net.timer(
+            me,
+            self.commit_timeout,
+            PbftMsg::CommitTimeout { view, seq },
+        );
     }
 
-    fn on_pre_prepare(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, batch: Vec<Command>) {
+    fn on_pre_prepare(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        view: u64,
+        seq: u64,
+        digest: u64,
+        batch: Vec<Command>,
+    ) {
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let done = self.cpu.process(me, at, cost);
         let extra = done - at;
@@ -375,18 +422,30 @@ impl PbftCluster {
             slot.batch = Some(batch);
             slot.prepares += 2; // the primary's implicit prepare + our own
         }
-        self.net.broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
-            view,
-            seq,
-            digest,
-            from: me,
-        });
         self.net
-            .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+            .broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from: me,
+            });
+        self.net.timer(
+            me,
+            self.commit_timeout,
+            PbftMsg::CommitTimeout { view, seq },
+        );
         self.check_prepared(me, view, seq, digest);
     }
 
-    fn on_prepare(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, _from: NodeId) {
+    fn on_prepare(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        view: u64,
+        seq: u64,
+        digest: u64,
+        _from: NodeId,
+    ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
             let node = &mut self.nodes[me.0 as usize];
@@ -418,17 +477,26 @@ impl PbftCluster {
         }
         if should_commit {
             let done = self.cpu.process(me, now, self.proc_per_msg);
-            self.net.broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
-                view,
-                seq,
-                digest,
-                from: me,
-            });
+            self.net
+                .broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
             self.check_committed(me, view, seq, digest);
         }
     }
 
-    fn on_commit(&mut self, me: NodeId, at: SimTime, view: u64, seq: u64, digest: u64, _from: NodeId) {
+    fn on_commit(
+        &mut self,
+        me: NodeId,
+        at: SimTime,
+        view: u64,
+        seq: u64,
+        digest: u64,
+        _from: NodeId,
+    ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
             let node = &mut self.nodes[me.0 as usize];
@@ -498,10 +566,7 @@ impl PbftCluster {
             self.net.timer(
                 next_primary,
                 self.publishing_delay,
-                PbftMsg::PublishTimer {
-                    view,
-                    seq: seq + 1,
-                },
+                PbftMsg::PublishTimer { view, seq: seq + 1 },
             );
         }
     }
@@ -522,8 +587,11 @@ impl PbftCluster {
         // proposal, or queued commands nobody is proposing. Otherwise keep
         // watching.
         if !has_proposal && self.pending.is_empty() {
-            self.net
-                .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+            self.net.timer(
+                me,
+                self.commit_timeout,
+                PbftMsg::CommitTimeout { view, seq },
+            );
             return;
         }
         let new_view = view + 1;
@@ -536,10 +604,11 @@ impl PbftCluster {
             }
             node.voted_view = new_view;
         }
-        self.net.broadcast_delayed(me, done - now, 48, |_| PbftMsg::ViewChange {
-            new_view,
-            from: me,
-        });
+        self.net
+            .broadcast_delayed(me, done - now, 48, |_| PbftMsg::ViewChange {
+                new_view,
+                from: me,
+            });
         // Count own vote.
         self.on_view_change(me, now, new_view, me);
     }
@@ -579,8 +648,11 @@ impl PbftCluster {
         if view > self.nodes[me.0 as usize].view {
             self.adopt_view(me, view);
             let seq = self.next_commit_seq;
-            self.net
-                .timer(me, self.commit_timeout, PbftMsg::CommitTimeout { view, seq });
+            self.net.timer(
+                me,
+                self.commit_timeout,
+                PbftMsg::CommitTimeout { view, seq },
+            );
         }
     }
 
@@ -707,7 +779,10 @@ mod tests {
         c.crash(NodeId(3));
         c.submit(tx(1));
         let batches = c.run_until(SimTime::from_secs(30));
-        assert!(batches.is_empty(), "2f+1 quorum is unreachable with 2 of 4 down");
+        assert!(
+            batches.is_empty(),
+            "2f+1 quorum is unreachable with 2 of 4 down"
+        );
     }
 
     #[test]

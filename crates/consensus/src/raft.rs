@@ -11,7 +11,7 @@
 //! remaining nodes elect a new leader and keep committing as long as a
 //! majority is alive.
 
-use coconut_simnet::{NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{NodeId, SimDuration, SimTime};
 
 use crate::{majority_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
@@ -24,7 +24,7 @@ enum RaftMsg {
     /// Leader heartbeat timer.
     HeartbeatTimer { generation: u64 },
     /// Batch-cut timer at the leader.
-    BatchTimer { deadline_for_len: usize },
+    BatchTimer,
     RequestVote {
         term: u64,
         candidate: NodeId,
@@ -291,6 +291,13 @@ impl RaftCluster {
         self.net.stats()
     }
 
+    /// Applies a network-level fault (partition, heal, loss burst, latency
+    /// spike) to the cluster's message fabric. Crash/restart events are not
+    /// network faults and return `false`.
+    pub fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        self.net.apply_fault(at, event)
+    }
+
     /// Commands accepted but not yet committed.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -303,13 +310,8 @@ impl RaftCluster {
         if self.pending_since.is_none() {
             self.pending_since = Some(self.net.now());
             if let Some(leader) = self.leader() {
-                self.net.timer(
-                    leader,
-                    self.batch.max_wait,
-                    RaftMsg::BatchTimer {
-                        deadline_for_len: self.pending.len(),
-                    },
-                );
+                self.net
+                    .timer(leader, self.batch.max_wait, RaftMsg::BatchTimer);
             }
         }
         if self.pending.len() >= self.batch.max_commands {
@@ -363,15 +365,8 @@ impl RaftCluster {
         match msg {
             RaftMsg::ElectionTimeout { generation } => self.on_election_timeout(me, generation),
             RaftMsg::HeartbeatTimer { generation } => self.on_heartbeat_timer(me, generation),
-            RaftMsg::BatchTimer { deadline_for_len } => {
-                if self.nodes[me.0 as usize].role == Role::Leader
-                    && !self.pending.is_empty()
-                    && self.pending.len() <= deadline_for_len.max(1)
-                {
-                    self.cut_batch(me);
-                } else if !self.pending.is_empty()
-                    && self.nodes[me.0 as usize].role == Role::Leader
-                {
+            RaftMsg::BatchTimer => {
+                if self.nodes[me.0 as usize].role == Role::Leader && !self.pending.is_empty() {
                     self.cut_batch(me);
                 }
             }
@@ -381,7 +376,11 @@ impl RaftCluster {
                 last_log_index,
                 last_log_term,
             } => self.on_request_vote(me, at, term, candidate, last_log_index, last_log_term),
-            RaftMsg::Vote { term, from, granted } => self.on_vote(me, at, term, from, granted),
+            RaftMsg::Vote {
+                term,
+                from,
+                granted,
+            } => self.on_vote(me, at, term, from, granted),
             RaftMsg::AppendEntries {
                 term,
                 leader,
@@ -389,7 +388,16 @@ impl RaftCluster {
                 prev_term,
                 entries,
                 leader_commit,
-            } => self.on_append_entries(me, at, term, leader, prev_index, prev_term, entries, leader_commit),
+            } => self.on_append_entries(
+                me,
+                at,
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            ),
             RaftMsg::AppendResp {
                 term,
                 from,
@@ -441,12 +449,13 @@ impl RaftCluster {
             return;
         }
         let proc = self.proc_per_msg;
-        self.net.broadcast_delayed(me, proc, 64, |_| RaftMsg::RequestVote {
-            term,
-            candidate: me,
-            last_log_index,
-            last_log_term,
-        });
+        self.net
+            .broadcast_delayed(me, proc, 64, |_| RaftMsg::RequestVote {
+                term,
+                candidate: me,
+                last_log_index,
+                last_log_term,
+            });
     }
 
     fn on_request_vote(
@@ -469,7 +478,8 @@ impl RaftCluster {
                 node.voted_for = None;
             }
             let log_ok = last_log_term > node.last_log_term()
-                || (last_log_term == node.last_log_term() && last_log_index >= node.last_log_index());
+                || (last_log_term == node.last_log_term()
+                    && last_log_index >= node.last_log_index());
             granted = term == node.term
                 && log_ok
                 && (node.voted_for.is_none() || node.voted_for == Some(candidate));
@@ -534,17 +544,14 @@ impl RaftCluster {
             }
             node.match_index[me.0 as usize] = last;
         }
-        self.net
-            .timer(me, SimDuration::ZERO, RaftMsg::HeartbeatTimer { generation: gen });
+        self.net.timer(
+            me,
+            SimDuration::ZERO,
+            RaftMsg::HeartbeatTimer { generation: gen },
+        );
         // Any queued client work can now be cut.
         if !self.pending.is_empty() {
-            self.net.timer(
-                me,
-                self.batch.max_wait,
-                RaftMsg::BatchTimer {
-                    deadline_for_len: self.pending.len(),
-                },
-            );
+            self.net.timer(me, self.batch.max_wait, RaftMsg::BatchTimer);
         }
     }
 
@@ -556,8 +563,11 @@ impl RaftCluster {
             }
         }
         self.replicate(me);
-        self.net
-            .timer(me, self.heartbeat_interval, RaftMsg::HeartbeatTimer { generation });
+        self.net.timer(
+            me,
+            self.heartbeat_interval,
+            RaftMsg::HeartbeatTimer { generation },
+        );
     }
 
     /// Cuts the pending queue into a log entry at the leader and replicates.
@@ -581,13 +591,8 @@ impl RaftCluster {
         }
         // Re-arm the batch timer for what remains.
         if !self.pending.is_empty() {
-            self.net.timer(
-                leader,
-                self.batch.max_wait,
-                RaftMsg::BatchTimer {
-                    deadline_for_len: self.pending.len(),
-                },
-            );
+            self.net
+                .timer(leader, self.batch.max_wait, RaftMsg::BatchTimer);
         }
         self.replicate(leader);
         // Single-node cluster commits instantly.
@@ -613,11 +618,12 @@ impl RaftCluster {
                 entries = node.log[(next - 1) as usize..].to_vec();
                 term = node.term;
                 leader_commit = node.commit_index;
-                bytes = 64 + entries
-                    .iter()
-                    .flat_map(|e| e.batch.iter())
-                    .map(|c| c.bytes as usize)
-                    .sum::<usize>();
+                bytes = 64
+                    + entries
+                        .iter()
+                        .flat_map(|e| e.batch.iter())
+                        .map(|c| c.bytes as usize)
+                        .sum::<usize>();
             }
             let cmds: usize = entries.iter().map(|e| e.batch.len()).sum();
             let cost = self.proc_per_msg + self.proc_per_command * cmds as u64;
@@ -671,8 +677,8 @@ impl RaftCluster {
                 && node.term_at(prev_index) == prev_term;
             if log_ok {
                 // Truncate any conflicting suffix and append.
-                let mut idx = prev_index as usize;
-                for entry in entries {
+                let appended = entries.len() as u64;
+                for (idx, entry) in (prev_index as usize..).zip(entries) {
                     if node.log.len() > idx {
                         if node.log[idx].term != entry.term {
                             node.log.truncate(idx);
@@ -681,11 +687,15 @@ impl RaftCluster {
                     } else {
                         node.log.push(entry);
                     }
-                    idx += 1;
                 }
-                node.commit_index = node.commit_index.max(leader_commit.min(node.last_log_index()));
+                node.commit_index = node
+                    .commit_index
+                    .max(leader_commit.min(node.last_log_index()));
                 success = true;
-                match_index = node.last_log_index();
+                // Only what this message covered: the follower's log may hold
+                // a stale suffix longer than the leader's, which must not
+                // raise the leader's match/next indices past its own log.
+                match_index = prev_index + appended;
             } else {
                 success = false;
                 match_index = 0;
@@ -897,7 +907,10 @@ mod tests {
         c.recover(follower);
         c.run_until(c.now() + SimDuration::from_secs(5));
         let f = &c.nodes[follower.0 as usize];
-        assert_eq!(f.last_log_index(), c.nodes[leader.0 as usize].last_log_index());
+        assert_eq!(
+            f.last_log_index(),
+            c.nodes[leader.0 as usize].last_log_index()
+        );
     }
 
     #[test]
@@ -951,7 +964,10 @@ mod tests {
                 .filter(|n| n.alive && n.last_log_index() >= idx)
                 .map(|n| n.term_at(idx))
                 .collect();
-            assert!(terms.windows(2).all(|w| w[0] == w[1]), "log divergence at {idx}");
+            assert!(
+                terms.windows(2).all(|w| w[0] == w[1]),
+                "log divergence at {idx}"
+            );
         }
     }
 

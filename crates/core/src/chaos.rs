@@ -1,0 +1,601 @@
+//! Fault-injection campaigns: the chaos client loop with retry/backoff.
+//!
+//! The paper's client (§4.4) fires transactions at a fixed rate and simply
+//! counts what comes back; a lost transaction is a lost transaction. This
+//! module extends that client for fault campaigns: a declarative
+//! [`FaultPlan`](coconut_simnet::FaultPlan) is replayed in virtual-time
+//! order while the schedule runs, and the client re-sends transactions that
+//! were rejected at ingress or missed their finalization timeout — bounded
+//! retries with exponential backoff and seeded jitter, so runs stay
+//! deterministic per seed.
+//!
+//! Number-of-transactions accounting separates the failure modes the paper
+//! lumps together: [`DeliveryAccounting`] splits unconfirmed transactions
+//! into `rejected` (the system said no and retries ran out), `timed_out`
+//! (accepted but never confirmed), and `lost_in_fault` (the submission
+//! itself was swallowed by an active loss burst).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use coconut_chains::BlockchainSystem;
+use coconut_simnet::{FaultEvent, FaultPlan, FaultScheduler};
+use coconut_types::{SeedDeriver, SimDuration, SimRng, SimTime, TxId};
+
+use crate::client::build_schedule;
+use crate::runner::BenchmarkSpec;
+use crate::stats::percentile;
+
+/// Bounded retry with exponential backoff and seeded jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-sends allowed per transaction (0 disables retrying).
+    pub max_retries: u32,
+    /// How long the client waits for a confirmation before concluding the
+    /// transaction is lost and re-sending it.
+    pub finalization_timeout: SimDuration,
+    /// Backoff before retry `k` is `base_backoff * 2^(k−1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: SimDuration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction: a seeded uniform draw in `[0, jitter)` of the
+    /// backoff is added so retry bursts decorrelate across threads.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retries, no timeout tracking — the paper's fire-and-forget client.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            finalization_timeout: SimDuration::from_secs(3600),
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// The chaos-suite default: three retries, 8 s finalization timeout,
+    /// 250 ms base backoff capped at 4 s, 20% jitter.
+    pub fn chaos_default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            finalization_timeout: SimDuration::from_secs(8),
+            base_backoff: SimDuration::from_millis(250),
+            max_backoff: SimDuration::from_secs(4),
+            jitter: 0.2,
+        }
+    }
+
+    /// `true` if the policy re-sends at all.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The delay before retry attempt `attempt` (1-based), jittered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempt` is zero.
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        assert!(attempt > 0, "attempt numbers are 1-based");
+        let doubling = 1u64 << (attempt - 1).min(16);
+        let exp = (self.base_backoff * doubling).min(self.max_backoff);
+        exp + exp.mul_f64(self.jitter.max(0.0) * rng.gen_f64())
+    }
+}
+
+/// Number-of-transactions accounting for one chaos run. Every scheduled
+/// transaction lands in exactly one terminal class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryAccounting {
+    /// Transactions the client scheduled.
+    pub scheduled: u64,
+    /// Transactions confirmed at least once within the listen window.
+    pub confirmed: u64,
+    /// Transactions whose every submission was rejected at ingress and
+    /// whose retry budget ran out.
+    pub rejected: u64,
+    /// Transactions the system accepted but never confirmed before the
+    /// client terminated.
+    pub timed_out: u64,
+    /// Transactions whose last submission was swallowed by an active loss
+    /// burst before reaching the system.
+    pub lost_in_fault: u64,
+    /// Total re-sends performed (not counted in `scheduled`).
+    pub retries: u64,
+}
+
+impl DeliveryAccounting {
+    /// Fraction of scheduled transactions confirmed.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            self.confirmed as f64 / self.scheduled as f64
+        }
+    }
+
+    /// `true` when every scheduled transaction is classified exactly once.
+    pub fn is_complete(&self) -> bool {
+        self.confirmed + self.rejected + self.timed_out + self.lost_in_fault == self.scheduled
+    }
+}
+
+/// The client-side observations of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Terminal per-transaction classification.
+    pub accounting: DeliveryAccounting,
+    /// Committed operations per virtual-time bucket (for throughput
+    /// timelines and recovery detection). Bucket `i` covers
+    /// `[i, i+1) * bucket_len` from the schedule base.
+    pub buckets: Vec<u64>,
+    /// Width of each bucket.
+    pub bucket_len: SimDuration,
+    /// Mean throughput over the active span (ops/s, formula 2).
+    pub mtps: f64,
+    /// Mean finalization latency over confirmed transactions (s).
+    pub mfls: f64,
+    /// 95th-percentile finalization latency (s).
+    pub p95: f64,
+    /// Whether the system still served confirmations at the end.
+    pub live: bool,
+}
+
+impl ChaosRun {
+    /// Mean bucket throughput (ops/s) over buckets fully inside
+    /// `[from, to)`, or 0.0 if the range covers no full bucket.
+    pub fn window_mtps(&self, from: SimTime, to: SimTime) -> f64 {
+        let lo = (from.as_secs_f64() / self.bucket_len.as_secs_f64()).ceil() as usize;
+        let hi = (to.as_secs_f64() / self.bucket_len.as_secs_f64()).floor() as usize;
+        let hi = hi.min(self.buckets.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let ops: u64 = self.buckets[lo..hi].iter().sum();
+        ops as f64 / ((hi - lo) as f64 * self.bucket_len.as_secs_f64())
+    }
+
+    /// Virtual seconds from `heal` until throughput first sustains at
+    /// least `threshold` × the pre-fault mean over a three-bucket sliding
+    /// window (summed, so block cadences longer than a bucket — Fabric's
+    /// 2 s batch timeout against 1 s buckets — don't defeat detection).
+    /// `None` if throughput never recovers (or never existed).
+    pub fn recovery_secs(&self, crash: SimTime, heal: SimTime, threshold: f64) -> Option<f64> {
+        const SUSTAIN: usize = 3;
+        let pre = self.window_mtps(SimTime::ZERO, crash);
+        if pre <= 0.0 {
+            return None;
+        }
+        let needed = pre * self.bucket_len.as_secs_f64() * SUSTAIN as f64 * threshold;
+        let heal_bucket = (heal.as_secs_f64() / self.bucket_len.as_secs_f64()).ceil() as usize;
+        let n = self.buckets.len();
+        (heal_bucket..n.saturating_sub(SUSTAIN - 1))
+            .find(|&b| {
+                (b..b + SUSTAIN)
+                    .map(|i| self.buckets[i] as f64)
+                    .sum::<f64>()
+                    >= needed
+            })
+            .map(|b| (b as f64 * self.bucket_len.as_secs_f64() - heal.as_secs_f64()).max(0.0))
+    }
+}
+
+/// What a pending client action is. Faults are not queued here: the
+/// [`FaultScheduler`] is drained before each action, so a fault at `t`
+/// always precedes a submission at `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    /// Check a transaction's finalization timeout (may schedule a re-send).
+    Timeout(TxId),
+    /// Send (or re-send) a transaction.
+    Submit(TxId),
+}
+
+#[derive(Debug)]
+struct Track {
+    created: SimTime,
+    attempts: u32,
+    accepted_once: bool,
+    last_was_client_lost: bool,
+    confirmed: bool,
+}
+
+/// Runs `spec`'s schedule against `system` while replaying `plan`, with
+/// `policy` governing re-sends. All randomness (ingress loss, backoff
+/// jitter) derives from `seed`; identical inputs give identical runs.
+///
+/// Fault semantics: `CrashNode`/`RestartNode` route to
+/// [`BlockchainSystem::crash_node`] / [`BlockchainSystem::recover_node`];
+/// network faults route to [`BlockchainSystem::apply_net_fault`]. A
+/// [`FaultEvent::LossBurst`] additionally applies to the *client ingress*:
+/// while the burst is active each submission is dropped with probability
+/// `p` before reaching the system (the client cannot tell — only the
+/// finalization timeout recovers such transactions).
+pub fn run_chaos(
+    system: &mut (dyn BlockchainSystem + Send),
+    spec: &BenchmarkSpec,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> ChaosRun {
+    let seeds = SeedDeriver::new(seed);
+    let mut loss_rng = seeds.rng("client-loss", 0);
+    let mut backoff_rng = seeds.rng("backoff", 0);
+
+    let schedule = build_schedule(
+        spec.benchmark,
+        spec.rate,
+        spec.ops_per_tx,
+        spec.windows,
+        seeds.seed("schedule", 0),
+    );
+    let listen_end = SimTime::ZERO + spec.windows.listen;
+    let bucket_len = SimDuration::from_secs(1);
+    let n_buckets = (spec.windows.listen.as_secs_f64() / bucket_len.as_secs_f64()).ceil() as usize;
+
+    let mut tracks: HashMap<TxId, Track> = HashMap::with_capacity(schedule.len());
+    let mut originals: HashMap<TxId, TxId> = HashMap::new();
+    let mut payloads: HashMap<TxId, coconut_types::ClientTx> = HashMap::new();
+    let mut scheduler = FaultScheduler::new(plan.clone());
+    let mut client_loss: Option<(f64, SimTime)> = None;
+
+    // One queue of timed client actions; ties resolve fault < timeout <
+    // submit, then by insertion order via the sequence number.
+    let mut queue: BinaryHeap<Reverse<(SimTime, Action, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for sched in &schedule {
+        queue.push(Reverse((sched.at, Action::Submit(sched.tx.id()), seq)));
+        seq += 1;
+        payloads.insert(sched.tx.id(), sched.tx.clone());
+    }
+
+    let mut accounting = DeliveryAccounting {
+        scheduled: schedule.len() as u64,
+        ..DeliveryAccounting::default()
+    };
+    let mut buckets = vec![0u64; n_buckets];
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut t_fstx: Option<SimTime> = None;
+    let mut t_lrtx: Option<SimTime> = None;
+
+    let harvest = |outcomes: Vec<coconut_types::TxOutcome>,
+                   tracks: &mut HashMap<TxId, Track>,
+                   originals: &HashMap<TxId, TxId>,
+                   accounting: &mut DeliveryAccounting,
+                   buckets: &mut [u64],
+                   latencies: &mut Vec<f64>,
+                   t_lrtx: &mut Option<SimTime>| {
+        for o in outcomes {
+            if !o.is_committed() || o.finalized_at > listen_end {
+                continue;
+            }
+            let orig = originals.get(&o.tx).copied().unwrap_or(o.tx);
+            let Some(track) = tracks.get_mut(&orig) else {
+                continue;
+            };
+            if track.confirmed {
+                continue; // a retry raced its original; count once
+            }
+            track.confirmed = true;
+            accounting.confirmed += 1;
+            latencies.push((o.finalized_at - track.created).as_secs_f64());
+            *t_lrtx = Some(t_lrtx.map_or(o.finalized_at, |t| t.max(o.finalized_at)));
+            let b = (o.finalized_at.as_secs_f64() / bucket_len.as_secs_f64()) as usize;
+            if let Some(slot) = buckets.get_mut(b) {
+                *slot += o.ops_confirmed() as u64;
+            }
+        }
+    };
+
+    while let Some(&Reverse((at, _, _))) = queue.peek() {
+        // Interleave faults strictly before client actions at the same time.
+        let fault_due = scheduler.next_due().filter(|&f| f <= at);
+        if let Some(fat) = fault_due {
+            harvest(
+                system.run_until(fat),
+                &mut tracks,
+                &originals,
+                &mut accounting,
+                &mut buckets,
+                &mut latencies,
+                &mut t_lrtx,
+            );
+            while let Some((fat, event)) = scheduler.pop_due(fat) {
+                match event {
+                    FaultEvent::CrashNode(node) => {
+                        system.crash_node(node);
+                    }
+                    FaultEvent::RestartNode(node) => {
+                        system.recover_node(node);
+                    }
+                    ref net_fault => {
+                        if let FaultEvent::LossBurst { p, window } = *net_fault {
+                            client_loss = Some((p, fat + window));
+                        }
+                        system.apply_net_fault(fat, net_fault);
+                    }
+                }
+            }
+            continue;
+        }
+
+        let Reverse((at, action, _)) = queue.pop().expect("peeked");
+        if at > listen_end {
+            break;
+        }
+        harvest(
+            system.run_until(at),
+            &mut tracks,
+            &originals,
+            &mut accounting,
+            &mut buckets,
+            &mut latencies,
+            &mut t_lrtx,
+        );
+
+        match action {
+            Action::Submit(orig) => {
+                let track = tracks.entry(orig).or_insert(Track {
+                    created: at,
+                    attempts: 0,
+                    accepted_once: false,
+                    last_was_client_lost: false,
+                    confirmed: false,
+                });
+                if track.confirmed {
+                    continue; // confirmed while this retry was queued
+                }
+                track.attempts += 1;
+                t_fstx.get_or_insert(at);
+
+                // Derive a fresh wire id per re-send so the system treats
+                // it as a new transaction; confirmations map back.
+                let wire_id = if track.attempts == 1 {
+                    orig
+                } else {
+                    accounting.retries += 1;
+                    let derived =
+                        TxId::new(orig.client(), orig.seq() | (track.attempts as u64) << 56);
+                    originals.insert(derived, orig);
+                    derived
+                };
+                let template = &payloads[&orig];
+                let tx = coconut_types::ClientTx::new(
+                    wire_id,
+                    template.thread(),
+                    template.payloads().to_vec(),
+                    at,
+                );
+
+                // Client-side ingress loss during an active burst window.
+                if let Some((p, until)) = client_loss {
+                    if at < until && loss_rng.gen_bool(p) {
+                        track.last_was_client_lost = true;
+                        if policy.enabled() {
+                            queue.push(Reverse((
+                                at + policy.finalization_timeout,
+                                Action::Timeout(orig),
+                                seq,
+                            )));
+                            seq += 1;
+                        }
+                        continue;
+                    }
+                }
+                track.last_was_client_lost = false;
+
+                if system.submit(at, tx).is_accepted() {
+                    track.accepted_once = true;
+                    if policy.enabled() {
+                        queue.push(Reverse((
+                            at + policy.finalization_timeout,
+                            Action::Timeout(orig),
+                            seq,
+                        )));
+                        seq += 1;
+                    }
+                } else if policy.enabled() && track.attempts <= policy.max_retries {
+                    let delay = policy.backoff(track.attempts, &mut backoff_rng);
+                    queue.push(Reverse((at + delay, Action::Submit(orig), seq)));
+                    seq += 1;
+                }
+                // else: terminal rejection, classified at the end.
+            }
+            Action::Timeout(orig) => {
+                let track = tracks.get_mut(&orig).expect("timeout implies track");
+                if track.confirmed || track.attempts > policy.max_retries {
+                    continue;
+                }
+                let delay = policy.backoff(track.attempts, &mut backoff_rng);
+                queue.push(Reverse((at + delay, Action::Submit(orig), seq)));
+                seq += 1;
+            }
+        }
+    }
+
+    harvest(
+        system.run_until(listen_end),
+        &mut tracks,
+        &originals,
+        &mut accounting,
+        &mut buckets,
+        &mut latencies,
+        &mut t_lrtx,
+    );
+
+    // Terminal classification of everything unconfirmed.
+    for sched in &schedule {
+        match tracks.get(&sched.tx.id()) {
+            None => accounting.lost_in_fault += 1, // never reached its send slot
+            Some(t) if t.confirmed => {}
+            Some(t) if t.last_was_client_lost => accounting.lost_in_fault += 1,
+            Some(t) if t.accepted_once => accounting.timed_out += 1,
+            Some(_) => accounting.rejected += 1,
+        }
+    }
+    debug_assert!(accounting.is_complete());
+
+    let mtps = match (t_fstx, t_lrtx) {
+        (Some(first), Some(last)) if last > first => {
+            let ops: u64 = buckets.iter().sum();
+            ops as f64 / (last - first).as_secs_f64()
+        }
+        _ => 0.0,
+    };
+    let mfls = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let p95 = percentile(&latencies, 0.95);
+    ChaosRun {
+        accounting,
+        buckets,
+        bucket_len,
+        mtps,
+        mfls,
+        p95,
+        live: system.is_live(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Windows;
+    use crate::params::{build_system, SystemKind, SystemSetup};
+    use coconut_types::PayloadKind;
+
+    fn quick_spec(system: SystemKind, rate: f64) -> BenchmarkSpec {
+        // A listen margin generous enough that the send-window tail can
+        // confirm (and time-outed retries can land) before termination.
+        BenchmarkSpec::new(system, PayloadKind::DoNothing)
+            .rate(rate)
+            .windows(Windows {
+                send: SimDuration::from_secs(15),
+                listen: SimDuration::from_secs(25),
+            })
+            .repetitions(1)
+    }
+
+    fn run(kind: SystemKind, plan: &FaultPlan, policy: &RetryPolicy, seed: u64) -> ChaosRun {
+        let spec = quick_spec(kind, 100.0);
+        let mut sys = build_system(kind, &SystemSetup::default(), seed);
+        run_chaos(sys.as_mut(), &spec, plan, policy, seed)
+    }
+
+    #[test]
+    fn fault_free_run_confirms_everything() {
+        let r = run(
+            SystemKind::Fabric,
+            &FaultPlan::new(),
+            &RetryPolicy::disabled(),
+            7,
+        );
+        assert!(r.accounting.is_complete());
+        assert_eq!(r.accounting.confirmed, r.accounting.scheduled);
+        assert_eq!(r.accounting.retries, 0);
+        assert!(r.mtps > 0.0);
+        assert!(r.live);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(4),
+                FaultEvent::LossBurst {
+                    p: 0.05,
+                    window: SimDuration::from_secs(4),
+                },
+            )
+            .crash_window(
+                &[coconut_types::NodeId(1)],
+                SimTime::from_secs(5),
+                SimTime::from_secs(9),
+            );
+        let a = run(SystemKind::Quorum, &plan, &RetryPolicy::chaos_default(), 3);
+        let b = run(SystemKind::Quorum, &plan, &RetryPolicy::chaos_default(), 3);
+        assert_eq!(a.accounting, b.accounting);
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.mtps, b.mtps);
+    }
+
+    #[test]
+    fn loss_burst_without_retry_loses_transactions() {
+        let plan = FaultPlan::new().at(
+            SimTime::from_secs(2),
+            FaultEvent::LossBurst {
+                p: 0.5,
+                window: SimDuration::from_secs(8),
+            },
+        );
+        let r = run(SystemKind::Fabric, &plan, &RetryPolicy::disabled(), 11);
+        assert!(
+            r.accounting.lost_in_fault > 0,
+            "half the burst window is dropped"
+        );
+        assert!(r.accounting.delivery_ratio() < 0.95);
+    }
+
+    #[test]
+    fn retry_recovers_loss_burst_transactions() {
+        let plan = FaultPlan::new().at(
+            SimTime::from_secs(2),
+            FaultEvent::LossBurst {
+                p: 0.05,
+                window: SimDuration::from_secs(6),
+            },
+        );
+        let r = run(SystemKind::Fabric, &plan, &RetryPolicy::chaos_default(), 11);
+        assert!(r.accounting.retries > 0);
+        assert!(
+            r.accounting.delivery_ratio() >= 0.99,
+            "retry must recover the burst: {:?}",
+            r.accounting
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::chaos_default()
+        };
+        let mut rng = SimRng::seed_from_u64(0);
+        let b1 = p.backoff(1, &mut rng);
+        let b2 = p.backoff(2, &mut rng);
+        let b9 = p.backoff(9, &mut rng);
+        assert_eq!(b2, b1 * 2);
+        assert_eq!(b9, p.max_backoff);
+    }
+
+    #[test]
+    fn recovery_detection_finds_heal_point() {
+        let r = ChaosRun {
+            accounting: DeliveryAccounting::default(),
+            buckets: vec![10, 10, 10, 0, 0, 0, 0, 10, 10, 10, 10],
+            bucket_len: SimDuration::from_secs(1),
+            mtps: 0.0,
+            mfls: 0.0,
+            p95: 0.0,
+            live: true,
+        };
+        let rec = r
+            .recovery_secs(SimTime::from_secs(3), SimTime::from_secs(6), 0.7)
+            .expect("recovers");
+        assert_eq!(rec, 1.0, "buckets 7..10 sustain; heal at 6 → 1 s");
+        // A run that never recovers reports None.
+        let dead = ChaosRun {
+            buckets: vec![10, 10, 0, 0, 0, 0, 0, 0],
+            ..r
+        };
+        assert_eq!(
+            dead.recovery_secs(SimTime::from_secs(2), SimTime::from_secs(4), 0.7),
+            None
+        );
+    }
+}

@@ -8,7 +8,9 @@
 //! confirmation, for a period of 300 seconds. The COCONUT client terminates
 //! listening on events after 330 seconds."
 
-use coconut_types::{ClientId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId};
+use coconut_types::{
+    ClientId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId,
+};
 
 use crate::workload::payload_for;
 
@@ -183,7 +185,11 @@ mod tests {
         let windows = Windows::scaled(0.1);
         let bundled = build_schedule(PayloadKind::DoNothing, 1600.0, 100, windows, 1);
         // 1600 payloads/s ÷ 100 ops = 16 tx/s over 30 s ≈ 480 txs.
-        assert!((430..=530).contains(&bundled.len()), "got {}", bundled.len());
+        assert!(
+            (430..=530).contains(&bundled.len()),
+            "got {}",
+            bundled.len()
+        );
         assert!(bundled.iter().all(|s| s.tx.op_count() == 100));
         let payloads: usize = bundled.iter().map(|s| s.tx.op_count()).sum();
         assert!((45_000..=50_500).contains(&payloads));
@@ -226,6 +232,9 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(&b).all(|(x, y)| x.at == y.at && x.tx == y.tx));
         let c = build_schedule(PayloadKind::Balance, 200.0, 1, Windows::scaled(0.02), 8);
-        assert!(a.iter().zip(&c).any(|(x, y)| x.at != y.at), "different seed, different phases");
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.at != y.at),
+            "different seed, different phases"
+        );
     }
 }

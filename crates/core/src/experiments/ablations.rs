@@ -27,11 +27,17 @@ pub struct AblationArm {
 
 /// Renders a list of arms as a compact table.
 pub fn render_arms(title: &str, arms: &[AblationArm]) -> String {
-    let mut out = format!("{title}\n| Arm | MTPS | MFLS (s) | Received | Expected |\n|---|---|---|---|---|\n");
+    let mut out = format!(
+        "{title}\n| Arm | MTPS | MFLS (s) | Received | Expected |\n|---|---|---|---|---|\n"
+    );
     for a in arms {
         out.push_str(&format!(
             "| {} | {:.2} | {:.2} | {:.0} | {:.0} |\n",
-            a.label, a.measurement.mtps, a.measurement.mfls, a.measurement.received, a.measurement.expected
+            a.label,
+            a.measurement.mtps,
+            a.measurement.mfls,
+            a.measurement.received,
+            a.measurement.expected
         ));
     }
     out
@@ -81,11 +87,23 @@ pub fn ablation_corda_signing(cfg: &ExperimentConfig) -> Vec<AblationArm> {
 /// effectively unbounded queue — isolates the §5.6 rejection behaviour.
 pub fn ablation_sawtooth_queue(cfg: &ExperimentConfig) -> Vec<AblationArm> {
     let mut arms = Vec::new();
-    for (label, limit) in [("queue limit 100", 100usize), ("unbounded queue", usize::MAX / 2)] {
-        let mut chain_cfg = SawtoothConfig::default();
-        chain_cfg.queue_limit = limit;
+    for (label, limit) in [
+        ("queue limit 100", 100usize),
+        ("unbounded queue", usize::MAX / 2),
+    ] {
+        let chain_cfg = SawtoothConfig {
+            queue_limit: limit,
+            ..Default::default()
+        };
         let mut sys = Sawtooth::new(chain_cfg, cfg.seed);
-        let m = measure(&mut sys, SystemKind::Sawtooth, PayloadKind::DoNothing, 800.0, 1, cfg);
+        let m = measure(
+            &mut sys,
+            SystemKind::Sawtooth,
+            PayloadKind::DoNothing,
+            800.0,
+            1,
+            cfg,
+        );
         arms.push(AblationArm {
             label: label.into(),
             measurement: m,
@@ -99,11 +117,20 @@ pub fn ablation_sawtooth_queue(cfg: &ExperimentConfig) -> Vec<AblationArm> {
 pub fn ablation_quorum_stall(cfg: &ExperimentConfig) -> Vec<AblationArm> {
     let mut arms = Vec::new();
     for (label, anomaly) in [("stall anomaly on", true), ("stall anomaly off", false)] {
-        let mut chain_cfg = QuorumConfig::default();
-        chain_cfg.block_period = SimDuration::from_secs(1);
-        chain_cfg.stall_anomaly = anomaly;
+        let chain_cfg = QuorumConfig {
+            block_period: SimDuration::from_secs(1),
+            stall_anomaly: anomaly,
+            ..Default::default()
+        };
         let mut sys = Quorum::new(chain_cfg, cfg.seed);
-        let m = measure(&mut sys, SystemKind::Quorum, PayloadKind::DoNothing, 1600.0, 1, cfg);
+        let m = measure(
+            &mut sys,
+            SystemKind::Quorum,
+            PayloadKind::DoNothing,
+            1600.0,
+            1,
+            cfg,
+        );
         arms.push(AblationArm {
             label: label.into(),
             measurement: m,
@@ -119,10 +146,19 @@ pub fn ablation_diem_spiking(cfg: &ExperimentConfig) -> Vec<AblationArm> {
         ("spiking on", Some(SimDuration::from_secs(25))),
         ("spiking off", None),
     ] {
-        let mut chain_cfg = DiemConfig::default();
-        chain_cfg.spike_interval = interval;
+        let chain_cfg = DiemConfig {
+            spike_interval: interval,
+            ..Default::default()
+        };
         let mut sys = Diem::new(chain_cfg, cfg.seed);
-        let m = measure(&mut sys, SystemKind::Diem, PayloadKind::DoNothing, 200.0, 1, cfg);
+        let m = measure(
+            &mut sys,
+            SystemKind::Diem,
+            PayloadKind::DoNothing,
+            200.0,
+            1,
+            cfg,
+        );
         arms.push(AblationArm {
             label: label.into(),
             measurement: m,
@@ -157,11 +193,20 @@ pub fn ablation_bitshares_ops(cfg: &ExperimentConfig) -> Vec<AblationArm> {
 pub fn ablation_fabric_block_cutting(cfg: &ExperimentConfig) -> Vec<AblationArm> {
     let mut arms = Vec::new();
     for mm in [100usize, 500, 1000, 2000] {
-        let mut chain_cfg = FabricConfig::default();
-        chain_cfg.max_message_count = mm;
+        let chain_cfg = FabricConfig {
+            max_message_count: mm,
+            ..Default::default()
+        };
         let mut sys = Fabric::new(chain_cfg, cfg.seed);
         sys.run_until(SimTime::from_secs(2));
-        let m = measure(&mut sys, SystemKind::Fabric, PayloadKind::DoNothing, 1600.0, 1, cfg);
+        let m = measure(
+            &mut sys,
+            SystemKind::Fabric,
+            PayloadKind::DoNothing,
+            1600.0,
+            1,
+            cfg,
+        );
         arms.push(AblationArm {
             label: format!("MM={mm}"),
             measurement: m,
@@ -175,11 +220,20 @@ pub fn ablation_fabric_block_cutting(cfg: &ExperimentConfig) -> Vec<AblationArm>
 /// finalizing but clients receive nothing — node-side metrics would hide
 /// the outage.
 pub fn ablation_endtoend_vs_node(cfg: &ExperimentConfig) -> Vec<AblationArm> {
-    let mut chain_cfg = FabricConfig::default();
-    chain_cfg.peers = 16;
+    let chain_cfg = FabricConfig {
+        peers: 16,
+        ..Default::default()
+    };
     let mut sys = Fabric::new(chain_cfg, cfg.seed);
     sys.run_until(SimTime::from_secs(2));
-    let client_side = measure(&mut sys, SystemKind::Fabric, PayloadKind::DoNothing, 400.0, 1, cfg);
+    let client_side = measure(
+        &mut sys,
+        SystemKind::Fabric,
+        PayloadKind::DoNothing,
+        400.0,
+        1,
+        cfg,
+    );
     // Node-side view: what the chain itself processed.
     let node_side_txs = sys.valid_txs() + sys.invalid_txs();
     let send_secs = cfg.windows().send.as_secs_f64();
@@ -260,7 +314,10 @@ mod tests {
     fn endtoend_reveals_the_fabric_outage() {
         let arms = ablation_endtoend_vs_node(&tiny());
         assert_eq!(arms[0].measurement.received, 0.0, "clients see nothing");
-        assert!(arms[1].measurement.received > 0.0, "the chain itself advanced");
+        assert!(
+            arms[1].measurement.received > 0.0,
+            "the chain itself advanced"
+        );
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Deterministic fault-injection campaigns ("chaos") over all seven
+//! systems.
+//!
+//! Three arms per the robustness study:
+//!
+//! 1. **f-tolerant crash window** — crash as many consensus-critical nodes
+//!    as the protocol tolerates, heal mid-run, and report throughput
+//!    before / during / after the fault plus the virtual-time recovery
+//!    (heal → sustained pre-fault throughput).
+//! 2. **beyond-f crash** — crash one node more than the protocol
+//!    tolerates (all of them for BitShares' witness set and Corda's notary
+//!    pool) and verify commits halt for the rest of the run.
+//! 3. **loss burst** — a 5 % client-ingress/consensus loss window against
+//!    Fabric and Quorum, with the retry/backoff client; delivery must stay
+//!    ≥ 99 %.
+//!
+//! Every number is a pure function of the root seed: the same
+//! [`ExperimentConfig`] renders byte-identical reports.
+
+use super::ExperimentConfig;
+use crate::chaos::{run_chaos, ChaosRun, RetryPolicy};
+use crate::client::Windows;
+use crate::json::Json;
+use crate::params::{build_system, SystemKind, SystemSetup};
+use crate::runner::BenchmarkSpec;
+use coconut_simnet::{FaultEvent, FaultPlan};
+use coconut_types::{NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime};
+
+/// The crashable consensus role of each system's baseline deployment:
+/// `(plural label, total, f_tolerant, beyond_f)` — how many of those nodes the
+/// tolerant arm crashes and how many the halt arm crashes.
+pub fn fault_domain(kind: SystemKind) -> (&'static str, u32, u32, u32) {
+    match kind {
+        // The notary pool fails over shard-by-shard; finality halts only
+        // once every notary is down.
+        SystemKind::CordaOs | SystemKind::CordaEnterprise => ("notaries", 4, 3, 4),
+        // DPoS skips missed slots; block production stops only with no
+        // witness left.
+        SystemKind::Bitshares => ("witnesses", 3, 1, 3),
+        // Raft needs a majority of the 3 orderers.
+        SystemKind::Fabric => ("orderers", 3, 1, 2),
+        // IBFT / PBFT / DiemBFT: n = 4 → f = 1, halt at 2.
+        SystemKind::Quorum | SystemKind::Sawtooth | SystemKind::Diem => ("validators", 4, 1, 2),
+    }
+}
+
+/// One system × one fault arm.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// System under test.
+    pub system: SystemKind,
+    /// Arm label ("crash-f", "crash-beyond-f", "loss-burst").
+    pub arm: &'static str,
+    /// Crashed-node description, e.g. "1/3 orderers".
+    pub faults: String,
+    /// Aggregate rate limiter used (tx/s).
+    pub rate: f64,
+    /// MTPS over the pre-fault window.
+    pub pre_mtps: f64,
+    /// MTPS while the fault is active.
+    pub fault_mtps: f64,
+    /// MTPS after the heal.
+    pub post_mtps: f64,
+    /// Virtual seconds from heal until throughput sustains ≥ 70 % of the
+    /// pre-fault mean (`None` — never recovered, or halt arm).
+    pub recovery_secs: Option<f64>,
+    /// The full run this cell summarizes.
+    pub run: ChaosRun,
+}
+
+/// The complete chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// f-tolerant crash/heal arm, one cell per system.
+    pub tolerant: Vec<ChaosCell>,
+    /// beyond-f crash arm (no heal), one cell per system.
+    pub halt: Vec<ChaosCell>,
+    /// Loss-burst arm with the retry client (Fabric, Quorum).
+    pub bursts: Vec<ChaosCell>,
+}
+
+/// Virtual-time anchors of the campaign, derived from the config's scale.
+#[derive(Debug, Clone, Copy)]
+struct Timeline {
+    windows: Windows,
+    crash_at: SimTime,
+    heal_at: SimTime,
+}
+
+fn timeline(cfg: &ExperimentConfig) -> Timeline {
+    // At least 20 virtual seconds of sending so every phase (pre / fault /
+    // post) spans several 1 s buckets, plus a 10 s listen margin so the
+    // send-window tail and time-outed retries can still confirm.
+    let send_secs = ((300.0 * cfg.scale).round() as u64).max(20);
+    let windows = Windows {
+        send: SimDuration::from_secs(send_secs),
+        listen: SimDuration::from_secs(send_secs + 10),
+    };
+    Timeline {
+        windows,
+        crash_at: SimTime::from_secs(send_secs / 4),
+        heal_at: SimTime::from_secs(send_secs / 2),
+    }
+}
+
+fn spec(kind: SystemKind, windows: Windows) -> BenchmarkSpec {
+    // A write workload for Corda (DoNothing has no states and is answered
+    // locally, so it would bypass the notary under test); DoNothing for
+    // the block-based systems.
+    let payload = match kind {
+        SystemKind::CordaOs | SystemKind::CordaEnterprise => PayloadKind::KeyValueSet,
+        _ => PayloadKind::DoNothing,
+    };
+    // Well below saturation, so throughput changes are attributable to the
+    // fault — below Corda OS's ~5 tx/s KeyValue-Set ceiling (Table 7; the
+    // flow pipeline resolves at submit time, so a saturated backlog would
+    // smear commits far past a crash), and below the rate where a 4 s IBFT
+    // round change would push Quorum's pending pool over its §5.5 stall
+    // threshold, which would conflate the modelled liveness anomaly with
+    // crash tolerance.
+    let rate = match kind {
+        SystemKind::CordaOs | SystemKind::CordaEnterprise => 4.0,
+        _ => 50.0,
+    };
+    BenchmarkSpec::new(kind, payload)
+        .rate(rate)
+        .windows(windows)
+        .repetitions(1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    kind: SystemKind,
+    arm: &'static str,
+    faults: String,
+    tl: Timeline,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    healed: bool,
+    seed: u64,
+) -> ChaosCell {
+    let spec = spec(kind, tl.windows);
+    let mut sys = build_system(kind, &SystemSetup::default(), seed);
+    let run = run_chaos(sys.as_mut(), &spec, plan, policy, seed);
+    let listen_end = SimTime::ZERO + tl.windows.listen;
+    let pre_mtps = run.window_mtps(SimTime::ZERO, tl.crash_at);
+    let fault_mtps = run.window_mtps(tl.crash_at, tl.heal_at);
+    let post_mtps = run.window_mtps(tl.heal_at, listen_end);
+    let recovery_secs = if healed {
+        run.recovery_secs(tl.crash_at, tl.heal_at, 0.7)
+    } else {
+        None
+    };
+    ChaosCell {
+        system: kind,
+        arm,
+        faults,
+        rate: spec.rate,
+        pre_mtps,
+        fault_mtps,
+        post_mtps,
+        recovery_secs,
+        run,
+    }
+}
+
+/// Runs the full campaign: the f-tolerant crash/heal arm and the beyond-f
+/// halt arm for all seven systems, plus the loss-burst arm for Fabric and
+/// Quorum.
+pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
+    let tl = timeline(cfg);
+    let seeds = SeedDeriver::new(cfg.seed);
+    let mut tolerant = Vec::new();
+    let mut halt = Vec::new();
+
+    for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+        let (role, total, f_crash, beyond) = fault_domain(kind);
+
+        let nodes: Vec<NodeId> = (0..f_crash).map(NodeId).collect();
+        let plan = FaultPlan::new().crash_window(&nodes, tl.crash_at, tl.heal_at);
+        tolerant.push(cell(
+            kind,
+            "crash-f",
+            format!("{f_crash}/{total} {role}"),
+            tl,
+            &plan,
+            &RetryPolicy::chaos_default(),
+            true,
+            seeds.seed("chaos-tolerant", i as u64),
+        ));
+
+        let nodes: Vec<NodeId> = (0..beyond).map(NodeId).collect();
+        let mut plan = FaultPlan::new();
+        for &n in &nodes {
+            plan = plan.at(tl.crash_at, FaultEvent::CrashNode(n));
+        }
+        halt.push(cell(
+            kind,
+            "crash-beyond-f",
+            format!("{beyond}/{total} {role}"),
+            tl,
+            &plan,
+            // No retries: a retry storm against a halted system only
+            // reclassifies losses; the halt must show in raw commits.
+            &RetryPolicy::disabled(),
+            false,
+            seeds.seed("chaos-halt", i as u64),
+        ));
+    }
+
+    let bursts = [SystemKind::Fabric, SystemKind::Quorum]
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let window = SimDuration::from_secs_f64(tl.windows.send.as_secs_f64() / 5.0);
+            let plan = FaultPlan::new().at(tl.crash_at, FaultEvent::LossBurst { p: 0.05, window });
+            cell(
+                kind,
+                "loss-burst",
+                "5% loss".to_string(),
+                tl,
+                &plan,
+                &RetryPolicy::chaos_default(),
+                true,
+                seeds.seed("chaos-burst", i as u64),
+            )
+        })
+        .collect();
+
+    ChaosResult {
+        tolerant,
+        halt,
+        bursts,
+    }
+}
+
+impl ChaosCell {
+    fn render_row(&self) -> String {
+        let rec = match self.recovery_secs {
+            Some(s) => format!("{s:.1} s"),
+            None if self.arm == "crash-beyond-f" => "—".to_string(),
+            None => "never".to_string(),
+        };
+        let a = &self.run.accounting;
+        format!(
+            "{:<18} {:<15} {:<14} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>6.3} {:>5} {:>5} {:>5} {:>5}",
+            self.system.label(),
+            self.arm,
+            self.faults,
+            self.pre_mtps,
+            self.fault_mtps,
+            self.post_mtps,
+            rec,
+            a.delivery_ratio(),
+            a.rejected,
+            a.timed_out,
+            a.lost_in_fault,
+            a.retries,
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        let a = &self.run.accounting;
+        Json::Obj(vec![
+            ("system".into(), Json::Str(self.system.label().into())),
+            ("arm".into(), Json::Str(self.arm.into())),
+            ("faults".into(), Json::Str(self.faults.clone())),
+            ("rate".into(), Json::Num(self.rate)),
+            ("pre_mtps".into(), Json::Num(self.pre_mtps)),
+            ("fault_mtps".into(), Json::Num(self.fault_mtps)),
+            ("post_mtps".into(), Json::Num(self.post_mtps)),
+            (
+                "recovery_secs".into(),
+                self.recovery_secs.map_or(Json::Null, Json::Num),
+            ),
+            ("mfls".into(), Json::Num(self.run.mfls)),
+            ("live".into(), Json::Bool(self.run.live)),
+            ("scheduled".into(), Json::Num(a.scheduled as f64)),
+            ("confirmed".into(), Json::Num(a.confirmed as f64)),
+            ("rejected".into(), Json::Num(a.rejected as f64)),
+            ("timed_out".into(), Json::Num(a.timed_out as f64)),
+            ("lost_in_fault".into(), Json::Num(a.lost_in_fault as f64)),
+            ("retries".into(), Json::Num(a.retries as f64)),
+            ("delivery_ratio".into(), Json::Num(a.delivery_ratio())),
+        ])
+    }
+}
+
+impl ChaosResult {
+    /// All cells in report order.
+    pub fn cells(&self) -> impl Iterator<Item = &ChaosCell> {
+        self.tolerant.iter().chain(&self.halt).chain(&self.bursts)
+    }
+
+    /// Renders the campaign as a fixed-width text report. Deterministic:
+    /// the same config yields byte-identical output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<15} {:<14} {:>9} {:>9} {:>9} {:>8} {:>6} {:>5} {:>5} {:>5} {:>5}\n",
+            "system",
+            "arm",
+            "faults",
+            "pre",
+            "fault",
+            "post",
+            "recovery",
+            "deliv",
+            "rej",
+            "tout",
+            "lost",
+            "retry",
+        ));
+        out.push_str(&"-".repeat(118));
+        out.push('\n');
+        for c in self.cells() {
+            out.push_str(&c.render_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The campaign as pretty-printed JSON (same determinism guarantee).
+    pub fn to_json(&self) -> String {
+        Json::Arr(self.cells().map(ChaosCell::to_json).collect()).to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 0.08, // 24 s send window
+            repetitions: 1,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn tolerant_crashes_recover_on_every_system() {
+        let r = chaos(&quick());
+        assert_eq!(r.tolerant.len(), 7);
+        for c in &r.tolerant {
+            assert!(c.run.live, "{} must stay live under f crashes", c.system);
+            assert!(c.pre_mtps > 0.0, "{} pre-fault throughput", c.system);
+            assert!(c.post_mtps > 0.0, "{} post-heal throughput", c.system);
+            assert!(
+                c.recovery_secs.is_some(),
+                "{} must recover in finite virtual time: {:?}",
+                c.system,
+                c.run.buckets
+            );
+        }
+    }
+
+    #[test]
+    fn beyond_f_crashes_halt_commits() {
+        let r = chaos(&quick());
+        for c in &r.halt {
+            // In-flight work (accepted blocks, flows already past the
+            // crashed stage) may still land for a few seconds; after that
+            // drain grace the system must be dead quiet.
+            let after = SimTime::from_secs(5 + quick_crash_secs());
+            let tail = c.run.window_mtps(after, SimTime::from_secs(10_000));
+            assert_eq!(
+                tail, 0.0,
+                "{} must halt beyond f: {:?}",
+                c.system, c.run.buckets
+            );
+            assert!(
+                c.run.accounting.confirmed < c.run.accounting.scheduled,
+                "{} cannot confirm everything while halted",
+                c.system
+            );
+        }
+    }
+
+    fn quick_crash_secs() -> u64 {
+        let tl = timeline(&quick());
+        tl.crash_at.as_secs_f64() as u64
+    }
+
+    #[test]
+    fn loss_burst_delivery_stays_high_with_retries() {
+        let r = chaos(&quick());
+        assert_eq!(r.bursts.len(), 2);
+        for c in &r.bursts {
+            assert!(c.run.accounting.retries > 0, "{} retried", c.system);
+            assert!(
+                c.run.accounting.delivery_ratio() >= 0.99,
+                "{} delivery under 5% burst: {:?}",
+                c.system,
+                c.run.accounting
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_report_is_deterministic() {
+        let a = chaos(&quick());
+        let b = chaos(&quick());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -59,7 +59,11 @@ fn sweep(system: SystemKind, full: bool) -> Vec<(f64, BlockParam, u32)> {
     } else {
         vec![params[0], params[2]]
     };
-    let ops = if full || ops.len() <= 1 { ops } else { vec![1, 100] };
+    let ops = if full || ops.len() <= 1 {
+        ops
+    } else {
+        vec![1, 100]
+    };
     let mut grid = Vec::new();
     for &r in &rates {
         for &p in &params {
@@ -125,7 +129,7 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
     let mut unit_results: Vec<Option<crate::runner::UnitResult>> = vec![None; items.len()];
     {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(&mut unit_results);
+        let results = std::sync::Mutex::new(&mut unit_results);
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
                 scope.spawn(|| loop {
@@ -135,15 +139,18 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
                     }
                     let seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
                     let r = run_item(&items[i], seed);
-                    results.lock()[i] = Some(r);
+                    results.lock().unwrap()[i] = Some(r);
                 });
             }
         });
     }
 
-    for (item, unit_result) in items.iter().zip(unit_results.into_iter()) {
+    for (item, unit_result) in items.iter().zip(unit_results) {
         let unit_result = unit_result.expect("worker finished");
-        let si = SystemKind::ALL.iter().position(|s| *s == item.system).unwrap();
+        let si = SystemKind::ALL
+            .iter()
+            .position(|s| *s == item.system)
+            .unwrap();
         for result in unit_result.benchmarks {
             let kind = PayloadKind::ALL
                 .iter()
@@ -253,7 +260,7 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
     let mut unit_results: Vec<Option<crate::runner::UnitResult>> = vec![None; items.len()];
     {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(&mut unit_results);
+        let results = std::sync::Mutex::new(&mut unit_results);
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
                 scope.spawn(|| loop {
@@ -261,17 +268,20 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
                     if i >= items.len() {
                         break;
                     }
-                    let seed = (cfg.seed ^ 0xF19_4).wrapping_add(i as u64 * 0x9E37_79B9);
+                    let seed = (cfg.seed ^ 0xF194).wrapping_add(i as u64 * 0x9E37_79B9);
                     let r = run_item(&items[i], seed);
-                    results.lock()[i] = Some(r);
+                    results.lock().unwrap()[i] = Some(r);
                 });
             }
         });
     }
 
-    for (item, unit_result) in items.iter().zip(unit_results.into_iter()) {
+    for (item, unit_result) in items.iter().zip(unit_results) {
         let unit_result = unit_result.expect("worker finished");
-        let si = SystemKind::ALL.iter().position(|s| *s == item.system).unwrap();
+        let si = SystemKind::ALL
+            .iter()
+            .position(|s| *s == item.system)
+            .unwrap();
         for result in unit_result.benchmarks {
             let kind = PayloadKind::ALL
                 .iter()
@@ -335,7 +345,11 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
     let mut items = Vec::new();
     for (si, &system) in SystemKind::ALL.iter().enumerate() {
         let (rate, param, ops) = from_fig3
-            .and_then(|f| f.best_config.get(&(PayloadKind::DoNothing, system)).copied())
+            .and_then(|f| {
+                f.best_config
+                    .get(&(PayloadKind::DoNothing, system))
+                    .copied()
+            })
             .unwrap_or_else(|| default_do_nothing_config(system));
         for (ni, &nodes) in node_counts.iter().enumerate() {
             items.push(Item {
@@ -369,7 +383,7 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
-    let cells = parking_lot::Mutex::new(&mut mtps);
+    let cells = std::sync::Mutex::new(&mut mtps);
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
@@ -381,7 +395,7 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
                 let seed = cfg.seed.wrapping_add(0x515 + i as u64 * 0x9E37_79B9);
                 let v = run_item(&items[i], seed);
                 let item = &items[i];
-                cells.lock()[item.si][item.ni] = v;
+                cells.lock().unwrap()[item.si][item.ni] = v;
             });
         }
     });

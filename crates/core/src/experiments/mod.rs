@@ -9,6 +9,7 @@
 //! while runs stay cheap.
 
 pub mod ablations;
+pub mod chaos;
 pub mod figures;
 pub mod tables;
 
@@ -17,6 +18,7 @@ pub use ablations::{
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
     ablation_sawtooth_queue,
 };
+pub use chaos::{chaos, ChaosCell, ChaosResult};
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
 pub use tables::{
     table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, TableResult,

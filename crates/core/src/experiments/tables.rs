@@ -30,6 +30,7 @@ impl TableResult {
 }
 
 /// Runs one unit and extracts the row for `pick`.
+#[allow(clippy::too_many_arguments)]
 fn unit_row(
     cfg: &ExperimentConfig,
     system: SystemKind,
@@ -200,9 +201,14 @@ pub fn table17_18(cfg: &ExperimentConfig) -> TableResult {
 /// max_block_size ∈ {100, 2000}.
 pub fn table19_20(cfg: &ExperimentConfig) -> TableResult {
     let mut rows = Vec::new();
-    for (i, &(rl, bs)) in [(200.0, 100usize), (1600.0, 100), (200.0, 2000), (1600.0, 2000)]
-        .iter()
-        .enumerate()
+    for (i, &(rl, bs)) in [
+        (200.0, 100usize),
+        (1600.0, 100),
+        (200.0, 2000),
+        (1600.0, 2000),
+    ]
+    .iter()
+    .enumerate()
     {
         rows.push(unit_row(
             cfg,

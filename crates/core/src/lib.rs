@@ -33,8 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod experiments;
+pub mod json;
 pub mod params;
 pub mod report;
 pub mod runner;
@@ -42,6 +44,7 @@ pub mod saturation;
 pub mod stats;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosRun, DeliveryAccounting, RetryPolicy};
 pub use params::{BlockParam, SystemKind, SystemSetup};
 pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
 pub use saturation::{SaturationResult, SaturationSearch};

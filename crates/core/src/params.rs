@@ -189,7 +189,11 @@ impl SystemSetup {
 ///
 /// Panics when `setup.block_param` names a parameter the system does not
 /// have (e.g. `MaxMessageCount` for Quorum).
-pub fn build_system(kind: SystemKind, setup: &SystemSetup, seed: u64) -> Box<dyn BlockchainSystem + Send> {
+pub fn build_system(
+    kind: SystemKind,
+    setup: &SystemSetup,
+    seed: u64,
+) -> Box<dyn BlockchainSystem + Send> {
     match kind {
         SystemKind::CordaOs | SystemKind::CordaEnterprise => {
             let mut cfg = if kind == SystemKind::CordaOs {
@@ -291,8 +295,14 @@ mod tests {
 
     #[test]
     fn corda_rate_limiters_are_one_tenth() {
-        assert_eq!(SystemKind::CordaOs.rate_limiters(), vec![20.0, 40.0, 80.0, 160.0]);
-        assert_eq!(SystemKind::Fabric.rate_limiters(), vec![200.0, 400.0, 800.0, 1600.0]);
+        assert_eq!(
+            SystemKind::CordaOs.rate_limiters(),
+            vec![20.0, 40.0, 80.0, 160.0]
+        );
+        assert_eq!(
+            SystemKind::Fabric.rate_limiters(),
+            vec![200.0, 400.0, 800.0, 1600.0]
+        );
     }
 
     #[test]
@@ -350,7 +360,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "Fabric takes MaxMessageCount")]
     fn wrong_param_rejected() {
-        let setup = SystemSetup::with_block_param(BlockParam::BlockPeriod(SimDuration::from_secs(1)));
+        let setup =
+            SystemSetup::with_block_param(BlockParam::BlockPeriod(SimDuration::from_secs(1)));
         let _ = build_system(SystemKind::Fabric, &setup, 1);
     }
 

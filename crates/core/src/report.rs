@@ -3,7 +3,9 @@
 use std::io::Write as _;
 use std::path::Path;
 
+use crate::json::Json;
 use crate::runner::BenchmarkResult;
+use crate::stats::Stats;
 
 /// Renders results as a paper-style table with MTPS / MFLS statistics and
 /// transaction counts (the layout of Tables 7–20).
@@ -28,9 +30,7 @@ pub fn table(results: &[BenchmarkResult]) -> String {
     out.push_str(
         "| System | Benchmark | RL | Param | Ops | MTPS | SD | SEM | 95% CI | MFLS | SD | SEM | 95% CI | D | Received | Expected |\n",
     );
-    out.push_str(
-        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
-    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for r in results {
         out.push_str(&format!(
             "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | ±{:.2} | {:.2} | {:.2} | {:.2} | ±{:.2} | {:.2} | {:.2} | {:.0} |\n",
@@ -76,13 +76,20 @@ pub fn heatmap(
     out.push('\n');
     for (bi, b) in benchmarks.iter().enumerate() {
         assert_eq!(grid[bi].len(), systems.len(), "one column per system");
-        let mut lines = vec![format!("{b:<24}"), format!("{:24}", ""), format!("{:24}", "")];
+        let mut lines = [
+            format!("{b:<24}"),
+            format!("{:24}", ""),
+            format!("{:24}", ""),
+        ];
         for cell in &grid[bi] {
             match cell {
                 Some(r) => {
                     lines[0].push_str(&format!("{:^width$}", format!("MTPS={:.2}", r.mtps.mean)));
                     lines[1].push_str(&format!("{:^width$}", format!("MFLS={:.2}s", r.mfls.mean)));
-                    lines[2].push_str(&format!("{:^width$}", format!("D={:.2}s ({})", r.duration.mean, r.block_param)));
+                    lines[2].push_str(&format!(
+                        "{:^width$}",
+                        format!("D={:.2}s ({})", r.duration.mean, r.block_param)
+                    ));
                 }
                 None => {
                     lines[0].push_str(&format!("{:^width$}", "MTPS=0.00"));
@@ -101,7 +108,9 @@ pub fn heatmap(
 /// extension beyond the paper's mean-only reporting.
 pub fn latency_table(results: &[BenchmarkResult]) -> String {
     let mut out = String::new();
-    out.push_str("| System | Benchmark | RL | MFLS | p50 | p95 | p99 |\n|---|---|---|---|---|---|---|\n");
+    out.push_str(
+        "| System | Benchmark | RL | MFLS | p50 | p95 | p99 |\n|---|---|---|---|---|---|---|\n",
+    );
     for r in results {
         out.push_str(&format!(
             "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
@@ -182,16 +191,74 @@ pub fn save_csv(results: &[BenchmarkResult], path: &Path) -> std::io::Result<()>
     std::fs::write(path, to_csv(results))
 }
 
-/// Persists results as pretty JSON (the paper persists all collected
-/// evaluation data; we use a file per experiment).
+fn stats_to_json(s: &Stats) -> Json {
+    Json::Obj(vec![
+        ("mean".into(), Json::Num(s.mean)),
+        ("sd".into(), Json::Num(s.sd)),
+        ("sem".into(), Json::Num(s.sem)),
+        ("ci95".into(), Json::Num(s.ci95)),
+        ("n".into(), Json::Num(s.n as f64)),
+    ])
+}
+
+fn stats_from_json(v: &Json, field: &str) -> std::io::Result<Stats> {
+    let obj = v
+        .get(field)
+        .ok_or_else(|| bad_data(&format!("missing stats field '{field}'")))?;
+    let num = |key: &str| {
+        obj.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad_data(&format!("missing number '{field}.{key}'")))
+    };
+    Ok(Stats {
+        mean: num("mean")?,
+        sd: num("sd")?,
+        sem: num("sem")?,
+        ci95: num("ci95")?,
+        n: num("n")? as usize,
+    })
+}
+
+fn bad_data(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Renders results as pretty JSON (the paper persists all collected
+/// evaluation data; we use a file per experiment). The output is stable:
+/// identical results serialize byte-identically.
+pub fn to_json(results: &[BenchmarkResult]) -> String {
+    let items = results
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("system".into(), Json::Str(r.system.clone())),
+                ("benchmark".into(), Json::Str(r.benchmark.clone())),
+                ("rate".into(), Json::Num(r.rate)),
+                ("block_param".into(), Json::Str(r.block_param.clone())),
+                ("ops_per_tx".into(), Json::Num(r.ops_per_tx as f64)),
+                ("mtps".into(), stats_to_json(&r.mtps)),
+                ("mfls".into(), stats_to_json(&r.mfls)),
+                ("p50".into(), stats_to_json(&r.p50)),
+                ("p95".into(), stats_to_json(&r.p95)),
+                ("p99".into(), stats_to_json(&r.p99)),
+                ("duration".into(), stats_to_json(&r.duration)),
+                ("received".into(), stats_to_json(&r.received)),
+                ("expected".into(), Json::Num(r.expected)),
+                ("live".into(), Json::Bool(r.live)),
+            ])
+        })
+        .collect();
+    Json::Arr(items).to_pretty()
+}
+
+/// Persists results as pretty JSON (see [`to_json`]).
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating or writing the file.
 pub fn save_json(results: &[BenchmarkResult], path: &Path) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
-    let json = serde_json::to_string_pretty(results)?;
-    file.write_all(json.as_bytes())
+    file.write_all(to_json(results).as_bytes())
 }
 
 /// Loads results saved by [`save_json`].
@@ -201,7 +268,45 @@ pub fn save_json(results: &[BenchmarkResult], path: &Path) -> std::io::Result<()
 /// Returns I/O or deserialization errors.
 pub fn load_json(path: &Path) -> std::io::Result<Vec<BenchmarkResult>> {
     let data = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&data)?)
+    let root = crate::json::parse(&data).map_err(|e| bad_data(&e))?;
+    let items = root
+        .as_array()
+        .ok_or_else(|| bad_data("top-level value must be an array"))?;
+    items
+        .iter()
+        .map(|v| {
+            let s = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| bad_data(&format!("missing string '{key}'")))
+            };
+            let num = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad_data(&format!("missing number '{key}'")))
+            };
+            Ok(BenchmarkResult {
+                system: s("system")?,
+                benchmark: s("benchmark")?,
+                rate: num("rate")?,
+                block_param: s("block_param")?,
+                ops_per_tx: num("ops_per_tx")? as u32,
+                mtps: stats_from_json(v, "mtps")?,
+                mfls: stats_from_json(v, "mfls")?,
+                p50: stats_from_json(v, "p50")?,
+                p95: stats_from_json(v, "p95")?,
+                p99: stats_from_json(v, "p99")?,
+                duration: stats_from_json(v, "duration")?,
+                received: stats_from_json(v, "received")?,
+                expected: num("expected")?,
+                live: v
+                    .get("live")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad_data("missing bool 'live'"))?,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -231,16 +336,22 @@ mod tests {
     #[test]
     fn table_contains_all_columns() {
         let t = table(&[dummy("Fabric", "DoNothing", 800.0)]);
-        for needle in ["MTPS", "MFLS", "95% CI", "Fabric", "DoNothing", "800.00", "MM=100"] {
+        for needle in [
+            "MTPS",
+            "MFLS",
+            "95% CI",
+            "Fabric",
+            "DoNothing",
+            "800.00",
+            "MM=100",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }
 
     #[test]
     fn heatmap_renders_cells_and_failures() {
-        let grid = vec![
-            vec![Some(dummy("Fabric", "DoNothing", 1400.0)), None],
-        ];
+        let grid = vec![vec![Some(dummy("Fabric", "DoNothing", 1400.0)), None]];
         let h = heatmap(&["DoNothing"], &["Fabric", "Quorum"], &grid);
         assert!(h.contains("MTPS=1400.00"));
         assert!(h.contains("MTPS=0.00"), "failed cells show zeroes");
@@ -264,7 +375,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let csv = to_csv(&[dummy("Fabric", "DoNothing", 800.0), dummy("Diem", "Balance", 64.0)]);
+        let csv = to_csv(&[
+            dummy("Fabric", "DoNothing", 800.0),
+            dummy("Diem", "Balance", 64.0),
+        ]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("system,benchmark,rate"));

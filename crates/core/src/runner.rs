@@ -3,8 +3,6 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use coconut_chains::BlockchainSystem;
 use coconut_types::{PayloadKind, SeedDeriver, SimDuration, SimTime, TxId};
 
@@ -101,7 +99,7 @@ impl BenchmarkSpec {
 }
 
 /// The raw measurements of one repetition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepMeasurement {
     /// Mean transactions per second (operations for BitShares; formula 2).
     pub mtps: f64,
@@ -126,7 +124,7 @@ pub struct RepMeasurement {
 
 /// Aggregated results of a benchmark across repetitions — one row of the
 /// paper's tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkResult {
     /// System label ("Fabric", "Corda OS", ...).
     pub system: String,
@@ -192,7 +190,7 @@ impl BenchmarkResult {
 }
 
 /// Results of a whole benchmark unit (§4.1), in benchmark order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UnitResult {
     /// Per-benchmark results in unit order.
     pub benchmarks: Vec<BenchmarkResult>,
@@ -229,12 +227,8 @@ pub fn run_one(
             sched.tx.id().client(),
             sched.tx.id().seq() | (run_tag << 40),
         );
-        let tx = coconut_types::ClientTx::new(
-            id,
-            sched.tx.thread(),
-            sched.tx.payloads().to_vec(),
-            at,
-        );
+        let tx =
+            coconut_types::ClientTx::new(id, sched.tx.thread(), sched.tx.payloads().to_vec(), at);
         outcomes.extend(system.run_until(at));
         t_fstx.get_or_insert(at);
         my_ids.insert(id);
@@ -353,7 +347,9 @@ pub fn run_unit(
             BenchmarkResult::from_reps(&spec, reps)
         })
         .collect();
-    UnitResult { benchmarks: results }
+    UnitResult {
+        benchmarks: results,
+    }
 }
 
 /// Runs many independent benchmarks on a thread pool (one thread per CPU,
@@ -365,7 +361,7 @@ pub fn run_many(specs: &[BenchmarkSpec], seed: u64) -> Vec<BenchmarkResult> {
         .min(specs.len().max(1));
     let mut results: Vec<Option<BenchmarkResult>> = vec![None; specs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let results_mutex = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| loop {
@@ -374,11 +370,14 @@ pub fn run_many(specs: &[BenchmarkSpec], seed: u64) -> Vec<BenchmarkResult> {
                     break;
                 }
                 let r = run_benchmark(&specs[i], seed.wrapping_add(i as u64 * 0x9E37_79B9));
-                results_mutex.lock()[i] = Some(r);
+                results_mutex.lock().unwrap()[i] = Some(r);
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker finished")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("worker finished"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -227,12 +227,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "target must be in (0, 1]")]
     fn invalid_target_rejected() {
-        let _ = SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).target_delivery(0.0);
+        let _ =
+            SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).target_delivery(0.0);
     }
 
     #[test]
     #[should_panic(expected = "need 0 < min < max")]
     fn invalid_range_rejected() {
-        let _ = SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).rate_range(5.0, 5.0);
+        let _ =
+            SaturationSearch::new(SystemKind::Fabric, PayloadKind::DoNothing).rate_range(5.0, 5.0);
     }
 }

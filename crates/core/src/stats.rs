@@ -2,8 +2,6 @@
 //! deviation, standard error of the mean, and the 95% confidence interval —
 //! exactly the columns of the paper's Tables 7–20.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of one metric across repetitions.
 ///
 /// # Example
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.sd - 1.0).abs() < 1e-9);
 /// assert!(s.ci95 > s.sem, "95% CI half-width exceeds the SEM");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Arithmetic mean.
     pub mean: f64,
@@ -79,7 +77,11 @@ impl Stats {
 
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} (SD {:.2}, SEM {:.2}, ±{:.2})", self.mean, self.sd, self.sem, self.ci95)
+        write!(
+            f,
+            "{:.2} (SD {:.2}, SEM {:.2}, ±{:.2})",
+            self.mean, self.sd, self.sem, self.ci95
+        )
     }
 }
 
@@ -89,9 +91,9 @@ impl std::fmt::Display for Stats {
 /// the ratio between its SEM and CI columns.
 fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -212,33 +214,46 @@ mod tests {
         let _ = percentile(&[1.0], 1.5);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn percentile_is_monotone_in_q(
-            samples in proptest::collection::vec(0f64..1e3, 1..50),
-            q1 in 0f64..1.0,
-            q2 in 0f64..1.0,
-        ) {
+    // Seeded randomized sweeps (formerly proptests).
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut gen = coconut_types::SimRng::seed_from_u64(41);
+        for _ in 0..64 {
+            let n = gen.gen_range_inclusive(1, 49) as usize;
+            let samples: Vec<f64> = (0..n).map(|_| gen.gen_f64() * 1e3).collect();
+            let q1 = gen.gen_f64();
+            let q2 = gen.gen_f64();
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            proptest::prop_assert!(percentile(&samples, lo) <= percentile(&samples, hi));
+            assert!(percentile(&samples, lo) <= percentile(&samples, hi));
         }
+    }
 
-        #[test]
-        fn mean_within_minmax(samples in proptest::collection::vec(-1e6f64..1e6, 1..20)) {
+    #[test]
+    fn mean_within_minmax() {
+        let mut gen = coconut_types::SimRng::seed_from_u64(42);
+        for _ in 0..64 {
+            let n = gen.gen_range_inclusive(1, 19) as usize;
+            let samples: Vec<f64> = (0..n).map(|_| (gen.gen_f64() - 0.5) * 2e6).collect();
             let s = Stats::from_samples(&samples);
             let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            proptest::prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
-            proptest::prop_assert!(s.sd >= 0.0 && s.sem >= 0.0 && s.ci95 >= 0.0);
+            assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+            assert!(s.sd >= 0.0 && s.sem >= 0.0 && s.ci95 >= 0.0);
         }
+    }
 
-        #[test]
-        fn shift_invariance(samples in proptest::collection::vec(0f64..100.0, 2..10), shift in -50f64..50.0) {
+    #[test]
+    fn shift_invariance() {
+        let mut gen = coconut_types::SimRng::seed_from_u64(43);
+        for _ in 0..64 {
+            let n = gen.gen_range_inclusive(2, 9) as usize;
+            let samples: Vec<f64> = (0..n).map(|_| gen.gen_f64() * 100.0).collect();
+            let shift = (gen.gen_f64() - 0.5) * 100.0;
             let a = Stats::from_samples(&samples);
             let shifted: Vec<f64> = samples.iter().map(|s| s + shift).collect();
             let b = Stats::from_samples(&shifted);
-            proptest::prop_assert!((a.sd - b.sd).abs() < 1e-6);
-            proptest::prop_assert!(((a.mean + shift) - b.mean).abs() < 1e-6);
+            assert!((a.sd - b.sd).abs() < 1e-6);
+            assert!(((a.mean + shift) - b.mean).abs() < 1e-6);
         }
     }
 }

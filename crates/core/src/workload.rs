@@ -164,7 +164,8 @@ mod tests {
         for s in 0..100 {
             let set = payload_for(PayloadKind::KeyValueSet, ClientId(2), ThreadId(3), s);
             let get = payload_for(PayloadKind::KeyValueGet, ClientId(2), ThreadId(3), s);
-            let (Payload::KeyValueSet { key: k1, .. }, Payload::KeyValueGet { key: k2 }) = (set, get)
+            let (Payload::KeyValueSet { key: k1, .. }, Payload::KeyValueGet { key: k2 }) =
+                (set, get)
             else {
                 panic!("wrong payload kinds");
             };
@@ -184,7 +185,12 @@ mod tests {
         assert_eq!(to, account(ClientId(0), ThreadId(2), 5));
         assert_eq!(amount, PAYMENT_AMOUNT);
         // The pool wraps: payment 69 (seq 5 + 64) reuses pool slot 5.
-        let wrapped = payload_for(PayloadKind::SendPayment, ClientId(0), ThreadId(0), 5 + PAYMENT_POOL);
+        let wrapped = payload_for(
+            PayloadKind::SendPayment,
+            ClientId(0),
+            ThreadId(0),
+            5 + PAYMENT_POOL,
+        );
         let Payload::SendPayment { from: f2, .. } = wrapped else {
             panic!("wrong kind");
         };
@@ -226,10 +232,12 @@ mod tests {
                     panic!("wrong kind");
                 };
                 for a in [from, to] {
-                    let covered = (0..4u32).any(|u| {
-                        (0..PAYMENT_POOL).any(|k| account(c, ThreadId(u), k) == a)
-                    });
-                    assert!(covered, "payment references an account outside the pool: {a}");
+                    let covered = (0..4u32)
+                        .any(|u| (0..PAYMENT_POOL).any(|k| account(c, ThreadId(u), k) == a));
+                    assert!(
+                        covered,
+                        "payment references an account outside the pool: {a}"
+                    );
                 }
                 let Payload::Balance { account: b } =
                     payload_for(PayloadKind::Balance, c, ThreadId(t), s)

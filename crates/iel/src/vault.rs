@@ -201,12 +201,26 @@ impl Vault {
             }
             Payload::SendPayment { from, to, amount } => {
                 let qf = self.query_account(from);
-                let Some((from_ref, StateData::Account { checking: fc, saving: fs, .. })) = qf.found
+                let Some((
+                    from_ref,
+                    StateData::Account {
+                        checking: fc,
+                        saving: fs,
+                        ..
+                    },
+                )) = qf.found
                 else {
                     return Err(ExecError::NotFound(StateKey::Checking(from)));
                 };
                 let qt = self.query_account(to);
-                let Some((to_ref, StateData::Account { checking: tc, saving: ts, .. })) = qt.found
+                let Some((
+                    to_ref,
+                    StateData::Account {
+                        checking: tc,
+                        saving: ts,
+                        ..
+                    },
+                )) = qt.found
                 else {
                     return Err(ExecError::NotFound(StateKey::Checking(to)));
                 };
@@ -238,7 +252,12 @@ impl Vault {
             Payload::Balance { account } => {
                 let q = self.query_account(account);
                 match q.found {
-                    Some((_, StateData::Account { checking, saving, .. })) => Ok(CordaTx {
+                    Some((
+                        _,
+                        StateData::Account {
+                            checking, saving, ..
+                        },
+                    )) => Ok(CordaTx {
                         inputs: vec![],
                         outputs: vec![],
                         scanned: q.scanned,
@@ -328,13 +347,19 @@ mod tests {
     #[test]
     fn payment_consumes_and_produces_account_states() {
         let mut v = Vault::new();
-        let a = v.build_tx(&Payload::create_account(AccountId(1), 100, 0)).unwrap();
+        let a = v
+            .build_tx(&Payload::create_account(AccountId(1), 100, 0))
+            .unwrap();
         v.commit(tx(1), &a);
-        let b = v.build_tx(&Payload::create_account(AccountId(2), 100, 0)).unwrap();
+        let b = v
+            .build_tx(&Payload::create_account(AccountId(2), 100, 0))
+            .unwrap();
         v.commit(tx(2), &b);
         assert_eq!(v.len(), 2);
 
-        let pay = v.build_tx(&Payload::send_payment(AccountId(1), AccountId(2), 25)).unwrap();
+        let pay = v
+            .build_tx(&Payload::send_payment(AccountId(1), AccountId(2), 25))
+            .unwrap();
         assert_eq!(pay.inputs.len(), 2);
         assert_eq!(pay.outputs.len(), 2);
         assert!(v.commit(tx(3), &pay));
@@ -347,11 +372,17 @@ mod tests {
     #[test]
     fn double_commit_of_same_inputs_fails() {
         let mut v = Vault::new();
-        let a = v.build_tx(&Payload::create_account(AccountId(1), 100, 0)).unwrap();
+        let a = v
+            .build_tx(&Payload::create_account(AccountId(1), 100, 0))
+            .unwrap();
         v.commit(tx(1), &a);
-        let b = v.build_tx(&Payload::create_account(AccountId(2), 0, 0)).unwrap();
+        let b = v
+            .build_tx(&Payload::create_account(AccountId(2), 0, 0))
+            .unwrap();
         v.commit(tx(2), &b);
-        let pay = v.build_tx(&Payload::send_payment(AccountId(1), AccountId(2), 1)).unwrap();
+        let pay = v
+            .build_tx(&Payload::send_payment(AccountId(1), AccountId(2), 1))
+            .unwrap();
         assert!(v.commit(tx(3), &pay));
         // Committing the same built tx again must fail: inputs are spent.
         assert!(!v.commit(tx(4), &pay));
@@ -360,13 +391,17 @@ mod tests {
     #[test]
     fn overdraft_and_missing_accounts_fail() {
         let mut v = Vault::new();
-        let a = v.build_tx(&Payload::create_account(AccountId(1), 5, 0)).unwrap();
+        let a = v
+            .build_tx(&Payload::create_account(AccountId(1), 5, 0))
+            .unwrap();
         v.commit(tx(1), &a);
         assert!(matches!(
             v.build_tx(&Payload::send_payment(AccountId(1), AccountId(9), 1)),
             Err(ExecError::NotFound(_))
         ));
-        let b = v.build_tx(&Payload::create_account(AccountId(2), 5, 0)).unwrap();
+        let b = v
+            .build_tx(&Payload::create_account(AccountId(2), 5, 0))
+            .unwrap();
         v.commit(tx(2), &b);
         assert!(matches!(
             v.build_tx(&Payload::send_payment(AccountId(1), AccountId(2), 6)),
@@ -377,7 +412,9 @@ mod tests {
     #[test]
     fn duplicate_account_rejected() {
         let mut v = Vault::new();
-        let a = v.build_tx(&Payload::create_account(AccountId(1), 1, 1)).unwrap();
+        let a = v
+            .build_tx(&Payload::create_account(AccountId(1), 1, 1))
+            .unwrap();
         v.commit(tx(1), &a);
         assert!(matches!(
             v.build_tx(&Payload::create_account(AccountId(1), 2, 2)),
@@ -401,7 +438,9 @@ mod tests {
         // Create many accounts, then pay in a chain (consuming states) to
         // force tombstones and compaction.
         for n in 0..200u64 {
-            let c = v.build_tx(&Payload::create_account(AccountId(n), 1000, 0)).unwrap();
+            let c = v
+                .build_tx(&Payload::create_account(AccountId(n), 1000, 0))
+                .unwrap();
             v.commit(tx(n), &c);
         }
         for n in 0..199u64 {
@@ -413,33 +452,55 @@ mod tests {
         assert_eq!(v.len(), 200);
         // Every account must still be findable with a correct balance sum.
         let total: u64 = (0..200u64)
-            .map(|n| v.build_tx(&Payload::balance(AccountId(n))).unwrap().value.unwrap())
+            .map(|n| {
+                v.build_tx(&Payload::balance(AccountId(n)))
+                    .unwrap()
+                    .value
+                    .unwrap()
+            })
             .sum();
         assert_eq!(total, 200 * 1000);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn vault_money_conserved(
-            payments in proptest::collection::vec((0u64..6, 0u64..6, 1u64..30), 0..40)
-        ) {
+    #[test]
+    fn vault_money_conserved() {
+        // Seeded randomized sweep (formerly a proptest).
+        let mut gen = coconut_types::SimRng::seed_from_u64(21);
+        for case in 0..48 {
+            let n = gen.gen_range_inclusive(0, 39) as usize;
             let mut v = Vault::new();
-            for n in 0..6u64 {
-                let c = v.build_tx(&Payload::create_account(AccountId(n), 100, 0)).unwrap();
-                v.commit(tx(n), &c);
+            for a in 0..6u64 {
+                let c = v
+                    .build_tx(&Payload::create_account(AccountId(a), 100, 0))
+                    .unwrap();
+                v.commit(tx(a), &c);
             }
             let mut seq = 100;
-            for (from, to, amount) in payments {
-                if from == to { continue; }
-                if let Ok(p) = v.build_tx(&Payload::send_payment(AccountId(from), AccountId(to), amount)) {
+            for _ in 0..n {
+                let from = gen.gen_range_inclusive(0, 5);
+                let to = gen.gen_range_inclusive(0, 5);
+                let amount = gen.gen_range_inclusive(1, 29);
+                if from == to {
+                    continue;
+                }
+                if let Ok(p) = v.build_tx(&Payload::send_payment(
+                    AccountId(from),
+                    AccountId(to),
+                    amount,
+                )) {
                     v.commit(tx(seq), &p);
                     seq += 1;
                 }
             }
             let total: u64 = (0..6u64)
-                .map(|n| v.build_tx(&Payload::balance(AccountId(n))).unwrap().value.unwrap())
+                .map(|a| {
+                    v.build_tx(&Payload::balance(AccountId(a)))
+                        .unwrap()
+                        .value
+                        .unwrap()
+                })
                 .sum();
-            proptest::prop_assert_eq!(total, 600);
+            assert_eq!(total, 600, "case {case}");
         }
     }
 }

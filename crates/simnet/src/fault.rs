@@ -1,0 +1,386 @@
+//! Deterministic fault injection: declarative, virtual-time-ordered fault
+//! campaigns over the simulated network and the nodes running on it.
+//!
+//! The paper only measures fault-free runs; this module makes failures a
+//! first-class experiment input (in the spirit of Gromit and BLOCKBENCH).
+//! A [`FaultPlan`] is a declarative schedule of [`FaultEvent`]s; a
+//! [`FaultScheduler`] replays it in virtual-time order so the event loop of
+//! a benchmark can interleave faults with client traffic without losing
+//! seeded determinism: the same plan and seed always produce the identical
+//! run.
+//!
+//! Network-level events (`Partition`, `Heal`, `LossBurst`, `LatencySpike`)
+//! are applied directly to a [`NetSim`] via [`NetSim::apply_fault`];
+//! node-level events (`CrashNode`, `RestartNode`) are routed by the chain
+//! models to their consensus engines.
+//!
+//! # Example
+//!
+//! ```
+//! use coconut_simnet::{FaultEvent, FaultPlan, FaultScheduler};
+//! use coconut_types::{NodeId, SimTime};
+//!
+//! let plan = FaultPlan::new()
+//!     .at(SimTime::from_secs(5), FaultEvent::CrashNode(NodeId(2)))
+//!     .at(SimTime::from_secs(15), FaultEvent::RestartNode(NodeId(2)));
+//! let mut sched = FaultScheduler::new(plan);
+//! assert_eq!(sched.next_due(), Some(SimTime::from_secs(5)));
+//! let (at, ev) = sched.pop_due(SimTime::from_secs(10)).unwrap();
+//! assert_eq!(at, SimTime::from_secs(5));
+//! assert!(matches!(ev, FaultEvent::CrashNode(NodeId(2))));
+//! assert!(sched.pop_due(SimTime::from_secs(10)).is_none());
+//! ```
+
+use coconut_types::{NodeId, SimDuration, SimTime};
+
+use crate::latency::LatencyModel;
+use crate::net::NetSim;
+
+/// One fault to inject at a scheduled virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Crash a node: it stops participating until restarted.
+    CrashNode(NodeId),
+    /// Restart a crashed node; the protocol's recovery path runs
+    /// (re-election, view change, pacemaker sync, schedule re-entry, ...).
+    RestartNode(NodeId),
+    /// Set-based partition: isolate the given set of nodes from the rest of
+    /// the network (links within the set and within the complement stay up).
+    Partition(Vec<NodeId>),
+    /// Remove every active partition.
+    Heal,
+    /// Elevated message-loss probability `p` for the next `window`.
+    LossBurst {
+        /// Drop probability during the burst.
+        p: f64,
+        /// How long the burst lasts from its scheduled start.
+        window: SimDuration,
+    },
+    /// Inter-server latency override for the next `window`.
+    LatencySpike {
+        /// The latency model in force during the spike.
+        model: LatencyModel,
+        /// How long the spike lasts from its scheduled start.
+        window: SimDuration,
+    },
+}
+
+impl FaultEvent {
+    /// `true` for events the network layer handles ([`NetSim::apply_fault`]);
+    /// `false` for node-level crash/restart events.
+    pub fn is_network_fault(&self) -> bool {
+        !matches!(self, FaultEvent::CrashNode(_) | FaultEvent::RestartNode(_))
+    }
+}
+
+/// A declarative, virtual-time-ordered schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a fault-free run).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds `event` at virtual time `at` (builder style). Events may be
+    /// added in any order; the scheduler replays them sorted by time, ties
+    /// broken by insertion order.
+    pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// The classic crash window: crash every node in `nodes` at `crash_at`
+    /// and restart them all at `heal_at` (builder style, so windows compose
+    /// with other events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heal_at <= crash_at`.
+    pub fn crash_window(mut self, nodes: &[NodeId], crash_at: SimTime, heal_at: SimTime) -> Self {
+        assert!(heal_at > crash_at, "heal must come after the crash");
+        for &n in nodes {
+            self = self.at(crash_at, FaultEvent::CrashNode(n));
+        }
+        for &n in nodes {
+            self = self.at(heal_at, FaultEvent::RestartNode(n));
+        }
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+}
+
+/// Replays a [`FaultPlan`] in virtual-time order.
+///
+/// The driver asks [`FaultScheduler::next_due`] for the next fault instant,
+/// advances the simulation to it, then drains due events with
+/// [`FaultScheduler::pop_due`]. Because fault times are part of the plan
+/// (not sampled), the interleaving with client traffic is deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultScheduler {
+    events: Vec<(SimTime, FaultEvent)>,
+    cursor: usize,
+}
+
+impl FaultScheduler {
+    /// Builds a scheduler from `plan`, stable-sorted by fault time (ties
+    /// keep insertion order).
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut events = plan.events;
+        events.sort_by_key(|(at, _)| *at);
+        FaultScheduler { events, cursor: 0 }
+    }
+
+    /// The time of the next unapplied fault, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|(at, _)| *at)
+    }
+
+    /// Pops the next fault scheduled at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, FaultEvent)> {
+        match self.events.get(self.cursor) {
+            Some((at, _)) if *at <= now => {
+                let ev = self.events[self.cursor].clone();
+                self.cursor += 1;
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` once every scheduled fault has been popped.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Remaining (unapplied) fault count.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+impl<M> NetSim<M> {
+    /// Applies a network-level fault to this network. `CrashNode` and
+    /// `RestartNode` are node-level and left to the caller; the return value
+    /// says whether the event was handled here.
+    ///
+    /// `at` anchors the windowed faults (`LossBurst`, `LatencySpike`): they
+    /// stay in force until `at + window` of virtual time.
+    pub fn apply_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        match event {
+            FaultEvent::Partition(set) => {
+                self.partition_isolate(set);
+                true
+            }
+            FaultEvent::Heal => {
+                self.heal_all();
+                true
+            }
+            FaultEvent::LossBurst { p, window } => {
+                self.loss_burst(*p, at + *window);
+                true
+            }
+            FaultEvent::LatencySpike { model, window } => {
+                self.latency_spike(*model, at + *window);
+                true
+            }
+            FaultEvent::CrashNode(_) | FaultEvent::RestartNode(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+    use crate::topology::Topology;
+
+    #[test]
+    fn plan_builder_collects_events() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(2), FaultEvent::Heal)
+            .at(SimTime::from_secs(1), FaultEvent::CrashNode(NodeId(0)));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn crash_window_pairs_crash_and_restart() {
+        let plan = FaultPlan::new().crash_window(
+            &[NodeId(1), NodeId(2)],
+            SimTime::from_secs(5),
+            SimTime::from_secs(9),
+        );
+        assert_eq!(plan.len(), 4);
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::CrashNode(_)))
+            .count();
+        assert_eq!(crashes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "heal must come after")]
+    fn inverted_crash_window_rejected() {
+        let _ = FaultPlan::new().crash_window(
+            &[NodeId(0)],
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
+    }
+
+    #[test]
+    fn scheduler_replays_in_time_order() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(9), FaultEvent::Heal)
+            .at(SimTime::from_secs(3), FaultEvent::CrashNode(NodeId(1)))
+            .at(SimTime::from_secs(3), FaultEvent::CrashNode(NodeId(2)));
+        let mut s = FaultScheduler::new(plan);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_due(), Some(SimTime::from_secs(3)));
+        // Ties at t = 3 s keep insertion order:
+        let (_, first) = s.pop_due(SimTime::from_secs(3)).unwrap();
+        assert_eq!(first, FaultEvent::CrashNode(NodeId(1)));
+        let (_, second) = s.pop_due(SimTime::from_secs(3)).unwrap();
+        assert_eq!(second, FaultEvent::CrashNode(NodeId(2)));
+        assert!(s.pop_due(SimTime::from_secs(8)).is_none());
+        assert!(!s.is_done());
+        let (at, last) = s.pop_due(SimTime::from_secs(20)).unwrap();
+        assert_eq!(at, SimTime::from_secs(9));
+        assert_eq!(last, FaultEvent::Heal);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn net_applies_partition_and_heal() {
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 1);
+        let handled = net.apply_fault(
+            SimTime::ZERO,
+            &FaultEvent::Partition(vec![NodeId(0), NodeId(1)]),
+        );
+        assert!(handled);
+        assert!(net.is_partitioned(NodeId(0), NodeId(2)));
+        assert!(net.is_partitioned(NodeId(1), NodeId(3)));
+        assert!(
+            !net.is_partitioned(NodeId(0), NodeId(1)),
+            "links inside the set stay up"
+        );
+        assert!(
+            !net.is_partitioned(NodeId(2), NodeId(3)),
+            "complement links stay up"
+        );
+        assert!(net.apply_fault(SimTime::ZERO, &FaultEvent::Heal));
+        assert!(!net.is_partitioned(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn net_declines_node_level_faults() {
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 1);
+        assert!(!net.apply_fault(SimTime::ZERO, &FaultEvent::CrashNode(NodeId(0))));
+        assert!(!net.apply_fault(SimTime::ZERO, &FaultEvent::RestartNode(NodeId(0))));
+    }
+
+    #[test]
+    fn loss_burst_expires_with_its_window() {
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 2);
+        net.apply_fault(
+            SimTime::ZERO,
+            &FaultEvent::LossBurst {
+                p: 1.0,
+                window: SimDuration::from_secs(1),
+            },
+        );
+        // During the burst, everything is dropped:
+        net.send(NodeId(0), NodeId(1), 10, 1);
+        assert!(net.pop_before(SimTime::MAX).is_none());
+        assert_eq!(net.stats().messages_dropped, 1);
+        // After the window, delivery resumes:
+        net.advance_to(SimTime::from_secs(2));
+        net.send(NodeId(0), NodeId(1), 10, 2);
+        assert!(net.pop_before(SimTime::MAX).is_some());
+    }
+
+    #[test]
+    fn latency_spike_stretches_deliveries_then_expires() {
+        let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 3);
+        net.apply_fault(
+            SimTime::ZERO,
+            &FaultEvent::LatencySpike {
+                model: LatencyModel::Constant(SimDuration::from_millis(50)),
+                window: SimDuration::from_secs(1),
+            },
+        );
+        net.send(NodeId(0), NodeId(1), 0, 1);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert!(ev.at >= SimTime::from_millis(50), "spike latency applies");
+        net.advance_to(SimTime::from_secs(2));
+        let before = net.now();
+        net.send(NodeId(0), NodeId(1), 0, 2);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert!(
+            ev.at - before < SimDuration::from_millis(5),
+            "spike expired"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay_with_net_faults() {
+        let run = || {
+            let plan = FaultPlan::new()
+                .at(
+                    SimTime::from_millis(10),
+                    FaultEvent::LossBurst {
+                        p: 0.5,
+                        window: SimDuration::from_millis(50),
+                    },
+                )
+                .at(
+                    SimTime::from_millis(30),
+                    FaultEvent::Partition(vec![NodeId(3)]),
+                )
+                .at(SimTime::from_millis(60), FaultEvent::Heal);
+            let mut sched = FaultScheduler::new(plan);
+            let mut net: NetSim<u64> =
+                NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 77);
+            let mut log = Vec::new();
+            for i in 0..200u64 {
+                let at = SimTime::from_millis(i);
+                net.advance_to(at);
+                while let Some((fat, ev)) = sched.pop_due(at) {
+                    net.apply_fault(fat, &ev);
+                }
+                net.send(NodeId((i % 4) as u32), NodeId(((i + 1) % 4) as u32), 64, i);
+                while let Some(ev) = net.pop_at_or_before(at) {
+                    log.push((ev.at, ev.dst, ev.msg));
+                }
+            }
+            (log, net.stats())
+        };
+        assert_eq!(run(), run());
+        let (_, stats) = run();
+        assert!(stats.messages_dropped > 0, "the burst must drop something");
+        assert!(
+            stats.messages_partitioned > 0,
+            "the partition must suppress something"
+        );
+    }
+}

@@ -6,9 +6,7 @@
 //! inter-city pings) for the latency-impact study (§5.8.1). [`LatencyModel`]
 //! covers both plus the distributions useful for ablations.
 
-use rand::Rng;
-
-use coconut_types::SimDuration;
+use coconut_types::{SimDuration, SimRng};
 
 /// A one-way link latency distribution, sampled per message.
 ///
@@ -16,10 +14,9 @@ use coconut_types::SimDuration;
 ///
 /// ```
 /// use coconut_simnet::LatencyModel;
-/// use coconut_types::SimDuration;
-/// use rand::SeedableRng;
+/// use coconut_types::{SimDuration, SimRng};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = SimRng::seed_from_u64(1);
 /// let netem = LatencyModel::netem_paper();
 /// let sample = netem.sample(&mut rng);
 /// // Normally distributed around 12ms, essentially never below 2ms:
@@ -66,16 +63,16 @@ impl LatencyModel {
     }
 
     /// Draws one latency sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match *self {
             LatencyModel::Zero => SimDuration::ZERO,
             LatencyModel::Constant(d) => d,
             LatencyModel::Uniform(lo, hi) => {
                 let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-                SimDuration::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+                SimDuration::from_micros(rng.gen_range_inclusive(lo.as_micros(), hi.as_micros()))
             }
             LatencyModel::Normal { mean, std_dev } => {
-                let z = sample_standard_normal(rng);
+                let z = rng.gen_standard_normal();
                 let us = mean.as_micros() as f64 + z * std_dev.as_micros() as f64;
                 SimDuration::from_micros(us.max(0.0) as u64)
             }
@@ -88,7 +85,9 @@ impl LatencyModel {
         match *self {
             LatencyModel::Zero => SimDuration::ZERO,
             LatencyModel::Constant(d) => d,
-            LatencyModel::Uniform(lo, hi) => SimDuration::from_micros((lo.as_micros() + hi.as_micros()) / 2),
+            LatencyModel::Uniform(lo, hi) => {
+                SimDuration::from_micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
             LatencyModel::Normal { mean, .. } => mean,
         }
     }
@@ -100,27 +99,12 @@ impl Default for LatencyModel {
     }
 }
 
-/// Box–Muller transform over the RNG's open unit interval.
-fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid u1 == 0 which would make ln(0) = -inf.
-    let u1: f64 = loop {
-        let v = rng.gen::<f64>();
-        if v > f64::EPSILON {
-            break v;
-        }
-    };
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     #[test]
@@ -164,11 +148,17 @@ mod tests {
         let mut r = rng();
         let m = LatencyModel::netem_paper();
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut r).as_secs_f64() * 1e3).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.sample(&mut r).as_secs_f64() * 1e3)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 12.0).abs() < 0.1, "mean {mean} should be ≈ 12 ms");
-        assert!((var.sqrt() - 2.0).abs() < 0.1, "σ {} should be ≈ 2 ms", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.1,
+            "σ {} should be ≈ 2 ms",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -187,11 +177,11 @@ mod tests {
     fn deterministic_given_seed() {
         let m = LatencyModel::netem_paper();
         let a: Vec<_> = {
-            let mut r = StdRng::seed_from_u64(3);
+            let mut r = SimRng::seed_from_u64(3);
             (0..16).map(|_| m.sample(&mut r)).collect()
         };
         let b: Vec<_> = {
-            let mut r = StdRng::seed_from_u64(3);
+            let mut r = SimRng::seed_from_u64(3);
             (0..16).map(|_| m.sample(&mut r)).collect()
         };
         assert_eq!(a, b);

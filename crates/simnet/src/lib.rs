@@ -11,7 +11,10 @@
 //!   latency distributions;
 //! * [`Topology`] — node-to-server placement (round-robin, as in §5.8.2);
 //! * [`NetSim`] — a network overlay on [`Sim`] that samples per-link latency,
-//!   accounts for bandwidth, and can drop or partition traffic.
+//!   accounts for bandwidth, and can drop or partition traffic;
+//! * [`FaultPlan`] / [`FaultScheduler`] — declarative, virtual-time-ordered
+//!   fault campaigns (crashes, set-based partitions, loss bursts, latency
+//!   spikes) replayed deterministically inside the event loop.
 //!
 //! Determinism: with the same seed, the same sequence of `schedule`/`send`
 //! calls yields the identical event order. Ties in virtual time are broken
@@ -37,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod net;
 pub mod queue;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{FaultEvent, FaultPlan, FaultScheduler};
 pub use latency::LatencyModel;
 pub use net::{NetConfig, NetSim, NetStats};
 pub use queue::EventQueue;

@@ -76,7 +76,11 @@ impl<M> Sim<M> {
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
         let (at, (dst, msg)) = self.queue.pop_before(deadline)?;
         self.now = self.now.max(at);
-        Some(Event { at: self.now, dst, msg })
+        Some(Event {
+            at: self.now,
+            dst,
+            msg,
+        })
     }
 
     /// Pops the next event if it is due at or before `deadline`, advancing
@@ -84,7 +88,11 @@ impl<M> Sim<M> {
     pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
         let (at, (dst, msg)) = self.queue.pop_at_or_before(deadline)?;
         self.now = self.now.max(at);
-        Some(Event { at: self.now, dst, msg })
+        Some(Event {
+            at: self.now,
+            dst,
+            msg,
+        })
     }
 
     /// Advances the clock to `t` without processing events.
@@ -145,7 +153,11 @@ mod tests {
         sim.advance_to(SimTime::from_secs(10));
         sim.schedule_at(SimTime::from_secs(1), NodeId(0), 7);
         let ev = sim.pop_before(SimTime::MAX).unwrap();
-        assert_eq!(ev.at, SimTime::from_secs(10), "past events fire now, not in the past");
+        assert_eq!(
+            ev.at,
+            SimTime::from_secs(10),
+            "past events fire now, not in the past"
+        );
     }
 
     #[test]

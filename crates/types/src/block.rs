@@ -3,14 +3,12 @@
 //! Corda is block-less (UTXO finality per transaction); every other modelled
 //! system links [`Block`]s with [`chain_hash`](crate::chain_hash).
 
-use serde::{Deserialize, Serialize};
-
 use crate::hash::{chain_hash, Hash256};
 use crate::id::{BlockId, NodeId, TxId};
 use crate::time::SimTime;
 
 /// The header of a finalized block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockHeader {
     /// Sequential block identifier (equals the height for linear chains).
     pub id: BlockId,
@@ -40,7 +38,7 @@ pub struct BlockHeader {
 /// assert_eq!(b.header().parent, genesis.header().hash);
 /// assert!(b.verify_link(&genesis));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     header: BlockHeader,
     txs: Vec<TxId>,
@@ -138,7 +136,9 @@ impl Block {
     /// Verifies that this block correctly links onto `parent`: matching
     /// parent digest, consecutive height, and a recomputable hash.
     pub fn verify_link(&self, parent: &Block) -> bool {
-        if self.header.parent != parent.header.hash || self.header.height != parent.header.height + 1 {
+        if self.header.parent != parent.header.hash
+            || self.header.height != parent.header.height + 1
+        {
             return false;
         }
         let recomputed = Block::next_with_ops(
@@ -234,8 +234,7 @@ mod tests {
         let g = Block::genesis();
         let b = Block::next(&g, NodeId(0), SimTime::ZERO, vec![tx(1), tx(2), tx(3)]);
         assert_eq!(b.op_count(), 3);
-        let batched =
-            Block::next_with_ops(&g, NodeId(0), SimTime::ZERO, vec![tx(1)], Some(100));
+        let batched = Block::next_with_ops(&g, NodeId(0), SimTime::ZERO, vec![tx(1)], Some(100));
         assert_eq!(batched.op_count(), 100);
         assert_eq!(batched.tx_count(), 1);
     }

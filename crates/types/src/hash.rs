@@ -10,8 +10,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 256-bit digest used to link blocks and fingerprint transactions.
 ///
 /// # Example
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h1, h2, "hashing is deterministic");
 /// assert_ne!(h1, Hash256::GENESIS);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Hash256(pub [u64; 4]);
 
 impl Hash256 {

@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a blockchain node (peer, validator, witness, orderer or
 /// notary, depending on the modelled system).
 ///
@@ -19,18 +17,18 @@ use serde::{Deserialize, Serialize};
 /// let n = NodeId(2);
 /// assert_eq!(n.to_string(), "node-2");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a COCONUT client application.
 ///
 /// The paper runs four client applications (two per client server), each of
 /// which starts four workload threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u32);
 
 /// Identifier of a workload thread within a client application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u32);
 
 /// Globally unique transaction identifier.
@@ -49,7 +47,7 @@ pub struct ThreadId(pub u32);
 /// assert_eq!(id.seq(), 7);
 /// assert_eq!(id.to_string(), "tx-1.7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId {
     client: ClientId,
     seq: u64,
@@ -78,7 +76,7 @@ impl TxId {
 }
 
 /// Identifier of a block in a modelled blockchain (height-scoped).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(pub u64);
 
 /// Reference to a UTXO state: the transaction that produced it and the
@@ -92,7 +90,7 @@ pub struct BlockId(pub u64);
 /// let s = StateRef::new(TxId::new(ClientId(0), 3), 1);
 /// assert_eq!(s.index(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateRef {
     tx: TxId,
     index: u32,
@@ -117,7 +115,7 @@ impl StateRef {
 
 /// Identifier of a banking account used by the BankingApp interface
 /// execution layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AccountId(pub u64);
 
 impl fmt::Display for NodeId {

@@ -33,6 +33,7 @@ pub mod block;
 pub mod hash;
 pub mod id;
 pub mod payload;
+pub mod rng;
 pub mod seed;
 pub mod time;
 pub mod tx;
@@ -41,6 +42,7 @@ pub use block::{Block, BlockHeader};
 pub use hash::{chain_hash, Hash256, Hasher64};
 pub use id::{AccountId, BlockId, ClientId, NodeId, StateRef, ThreadId, TxId};
 pub use payload::{Payload, PayloadKind};
+pub use rng::SimRng;
 pub use seed::SeedDeriver;
 pub use time::{SimDuration, SimTime};
 pub use tx::{ClientTx, TxOutcome, TxStatus};

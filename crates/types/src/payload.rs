@@ -7,8 +7,6 @@
 //! executing a payload live in `coconut-iel`; this module only defines the
 //! wire representation shared by clients and chains.
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::AccountId;
 
 /// The six interface-execution-layer functions of the paper's Table 3,
@@ -23,7 +21,7 @@ use crate::id::AccountId;
 /// assert!(PayloadKind::KeyValueSet.is_write());
 /// assert!(!PayloadKind::KeyValueGet.is_write());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PayloadKind {
     /// The empty function; measures everything but execution.
     DoNothing,
@@ -97,7 +95,7 @@ impl std::fmt::Display for PayloadKind {
 /// assert_eq!(p.kind(), PayloadKind::KeyValueSet);
 /// assert!(p.size_bytes() > 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
     /// The empty function.
     DoNothing,
@@ -244,7 +242,10 @@ mod tests {
     #[test]
     fn kind_round_trip() {
         assert_eq!(Payload::DoNothing.kind(), PayloadKind::DoNothing);
-        assert_eq!(Payload::key_value_set(1, 2).kind(), PayloadKind::KeyValueSet);
+        assert_eq!(
+            Payload::key_value_set(1, 2).kind(),
+            PayloadKind::KeyValueSet
+        );
         assert_eq!(Payload::key_value_get(1).kind(), PayloadKind::KeyValueGet);
         assert_eq!(
             Payload::create_account(AccountId(1), 10, 10).kind(),
@@ -264,7 +265,7 @@ mod tests {
         assert!(PayloadKind::KeyValueSet.is_write() && !PayloadKind::KeyValueSet.is_read());
         assert!(PayloadKind::KeyValueGet.is_read() && !PayloadKind::KeyValueGet.is_write());
         assert!(PayloadKind::SendPayment.is_read() && PayloadKind::SendPayment.is_write());
-        assert!(PayloadKind::DoNothing.is_read() == false && !PayloadKind::DoNothing.is_write());
+        assert!(!PayloadKind::DoNothing.is_read() && !PayloadKind::DoNothing.is_write());
     }
 
     #[test]

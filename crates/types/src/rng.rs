@@ -1,0 +1,203 @@
+//! A small, fast, fully in-tree pseudo-random number generator.
+//!
+//! The workspace must build with no network registry, so the `rand` crate is
+//! replaced by [`SimRng`]: a splitmix64-seeded xoshiro256++ generator with
+//! exactly the operations the simulator needs — uniform integers and floats,
+//! Bernoulli draws, ranges, shuffles, and normal deviates (for the `netem`
+//! latency emulation). Everything is deterministic given the seed; the same
+//! call sequence always yields the same stream.
+
+/// Seeded deterministic PRNG (xoshiro256++ with splitmix64 seeding).
+///
+/// # Example
+///
+/// ```
+/// use coconut_types::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let f = a.gen_f64();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed (splitmix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` in `[lo, hi]` (inclusive bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Rejection sampling over the largest multiple of span+1 to keep the
+        // distribution exactly uniform.
+        let n = span + 1;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % n;
+            }
+        }
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_inclusive(0, i as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A standard-normal deviate (Box–Muller over the open unit interval).
+    pub fn gen_standard_normal(&mut self) -> f64 {
+        // Avoid u1 == 0, which would make ln(0) = -inf.
+        let u1: f64 = loop {
+            let v = self.gen_f64();
+            if v > f64::EPSILON {
+                break v;
+            }
+        };
+        let u2: f64 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut r = SimRng::seed_from_u64(5);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::seed_from_u64(5);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SimRng::seed_from_u64(6).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.gen_range_inclusive(10, 14);
+            assert!((10..=14).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        assert_eq!(r.gen_range_inclusive(7, 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_rejected() {
+        let _ = SimRng::seed_from_u64(0).gen_range_inclusive(2, 1);
+    }
+
+    #[test]
+    fn bernoulli_tracks_probability() {
+        let mut r = SimRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.05)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b = a.clone();
+        SimRng::seed_from_u64(9).shuffle(&mut a);
+        SimRng::seed_from_u64(9).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "20 elements almost surely move");
+    }
+
+    #[test]
+    fn normal_deviates_have_unit_variance() {
+        let mut r = SimRng::seed_from_u64(8);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gen_standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

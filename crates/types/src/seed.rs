@@ -7,10 +7,8 @@
 //! hashing `(root_seed, label, index)`; the same inputs always give the same
 //! stream.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::hash::Hasher64;
+use crate::rng::SimRng;
 
 /// Derives independent, reproducible RNG seeds from a root seed.
 ///
@@ -18,16 +16,15 @@ use crate::hash::Hasher64;
 ///
 /// ```
 /// use coconut_types::SeedDeriver;
-/// use rand::Rng;
 ///
 /// let d = SeedDeriver::new(42);
 /// let mut net_rng = d.rng("network", 0);
 /// let mut client_rng = d.rng("client", 0);
 /// // Streams with different labels are independent but reproducible:
-/// let a: u64 = net_rng.gen();
-/// let b: u64 = SeedDeriver::new(42).rng("network", 0).gen();
+/// let a: u64 = net_rng.next_u64();
+/// let b: u64 = SeedDeriver::new(42).rng("network", 0).next_u64();
 /// assert_eq!(a, b);
-/// let c: u64 = client_rng.gen();
+/// let c: u64 = client_rng.next_u64();
 /// assert_ne!(a, c);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,9 +50,9 @@ impl SeedDeriver {
         h.finish()
     }
 
-    /// Builds a seeded [`StdRng`] for `(label, index)`.
-    pub fn rng(&self, label: &str, index: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed(label, index))
+    /// Builds a seeded [`SimRng`] for `(label, index)`.
+    pub fn rng(&self, label: &str, index: u64) -> SimRng {
+        SimRng::seed_from_u64(self.seed(label, index))
     }
 
     /// A deriver for repetition `rep` of the same experiment: the paper
@@ -69,7 +66,6 @@ impl SeedDeriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_inputs_same_seed() {
@@ -87,7 +83,10 @@ mod tests {
 
     #[test]
     fn different_roots_different_streams() {
-        assert_ne!(SeedDeriver::new(1).seed("x", 0), SeedDeriver::new(2).seed("x", 0));
+        assert_ne!(
+            SeedDeriver::new(1).seed("x", 0),
+            SeedDeriver::new(2).seed("x", 0)
+        );
     }
 
     #[test]
@@ -101,8 +100,10 @@ mod tests {
 
     #[test]
     fn rng_streams_reproduce() {
-        let a: Vec<u64> = SeedDeriver::new(5).rng("net", 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = SeedDeriver::new(5).rng("net", 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        assert_eq!(a, b);
+        let draw = || {
+            let mut r = SeedDeriver::new(5).rng("net", 3);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<u64>>()
+        };
+        assert_eq!(draw(), draw());
     }
 }

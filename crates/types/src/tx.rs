@@ -1,7 +1,5 @@
 //! Client transactions and their end-to-end outcomes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::{BlockId, ThreadId, TxId};
 use crate::payload::{Payload, PayloadKind};
 use crate::time::SimTime;
@@ -28,7 +26,7 @@ use crate::time::SimTime;
 /// );
 /// assert_eq!(tx.op_count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientTx {
     id: TxId,
     thread: ThreadId,
@@ -44,7 +42,10 @@ impl ClientTx {
     /// Panics if `payloads` is empty: every transaction carries at least one
     /// operation.
     pub fn new(id: TxId, thread: ThreadId, payloads: Vec<Payload>, created_at: SimTime) -> Self {
-        assert!(!payloads.is_empty(), "a transaction must carry at least one payload");
+        assert!(
+            !payloads.is_empty(),
+            "a transaction must carry at least one payload"
+        );
         ClientTx {
             id,
             thread,
@@ -97,7 +98,7 @@ impl ClientTx {
 }
 
 /// Why a transaction failed to reach finality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailReason {
     /// The node's admission queue was full and rejected the submission
     /// (Sawtooth's decisive failure mode in §5.6).
@@ -131,7 +132,7 @@ impl std::fmt::Display for FailReason {
 }
 
 /// The lifecycle state of a transaction from the client's point of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxStatus {
     /// Submitted, no confirmation yet.
     Pending,
@@ -154,7 +155,7 @@ pub enum TxStatus {
 /// assert!(o.is_committed());
 /// assert_eq!(o.ops_confirmed(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxOutcome {
     /// The transaction this notification is about.
     pub tx: TxId,
@@ -222,7 +223,12 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let tx = ClientTx::single(tx_id(), ThreadId(3), Payload::key_value_set(1, 2), SimTime::from_secs(5));
+        let tx = ClientTx::single(
+            tx_id(),
+            ThreadId(3),
+            Payload::key_value_set(1, 2),
+            SimTime::from_secs(5),
+        );
         assert_eq!(tx.id(), tx_id());
         assert_eq!(tx.thread(), ThreadId(3));
         assert_eq!(tx.op_count(), 1);
@@ -234,7 +240,12 @@ mod tests {
     #[test]
     fn multi_op_size_scales() {
         let one = ClientTx::single(tx_id(), ThreadId(0), Payload::DoNothing, SimTime::ZERO);
-        let many = ClientTx::new(tx_id(), ThreadId(0), vec![Payload::DoNothing; 100], SimTime::ZERO);
+        let many = ClientTx::new(
+            tx_id(),
+            ThreadId(0),
+            vec![Payload::DoNothing; 100],
+            SimTime::ZERO,
+        );
         assert_eq!(many.size_bytes(), one.size_bytes() * 100);
         assert_eq!(many.op_count(), 100);
     }

@@ -12,13 +12,21 @@ use coconut::workload::BenchmarkUnit;
 fn main() {
     let windows = coconut::client::Windows::scaled(0.05); // 15 s send window
 
-    for system in [SystemKind::Fabric, SystemKind::Quorum, SystemKind::CordaEnterprise] {
+    for system in [
+        SystemKind::Fabric,
+        SystemKind::Quorum,
+        SystemKind::CordaEnterprise,
+    ] {
         let param = match system {
             SystemKind::Fabric => BlockParam::MaxMessageCount(100),
             SystemKind::Quorum => BlockParam::BlockPeriod(SimDuration::from_secs(5)),
             _ => BlockParam::None,
         };
-        let rate = if system == SystemKind::CordaEnterprise { 40.0 } else { 400.0 };
+        let rate = if system == SystemKind::CordaEnterprise {
+            40.0
+        } else {
+            400.0
+        };
         let template = BenchmarkSpec::new(system, PayloadKind::CreateAccount)
             .rate(rate)
             .block_param(param)

@@ -12,8 +12,10 @@ use coconut_chains::BlockchainSystem;
 use coconut_types::{ClientId, ClientTx, Payload, SimDuration, SimTime, ThreadId, TxId};
 
 fn main() {
-    let mut cfg = QuorumConfig::default();
-    cfg.block_period = SimDuration::from_secs(1);
+    let cfg = QuorumConfig {
+        block_period: SimDuration::from_secs(1),
+        ..Default::default()
+    };
     let mut quorum = Quorum::new(cfg, 2024);
 
     // Bursts: 500 tx in 1 s, then 4 s of silence, five times over.
@@ -46,6 +48,12 @@ fn main() {
         .sum::<f64>()
         / committed.len().max(1) as f64;
     println!("  mean end-to-end latency: {mean_latency:.3} s");
-    println!("  chain height: {} (includes empty inter-burst blocks)", quorum.height());
-    println!("  liveness: {}", if quorum.is_live() { "ok" } else { "STALLED" });
+    println!(
+        "  chain height: {} (includes empty inter-burst blocks)",
+        quorum.height()
+    );
+    println!(
+        "  liveness: {}",
+        if quorum.is_live() { "ok" } else { "STALLED" }
+    );
 }

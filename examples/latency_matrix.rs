@@ -18,12 +18,22 @@ fn main() {
 
     println!("| System | Network | MTPS | MFLS (s) | delivered |");
     println!("|---|---|---|---|---|");
-    for system in [SystemKind::Fabric, SystemKind::Quorum, SystemKind::Bitshares] {
+    for system in [
+        SystemKind::Fabric,
+        SystemKind::Quorum,
+        SystemKind::Bitshares,
+    ] {
         for (label, net) in &nets {
             let (rate, param, ops) = match system {
                 SystemKind::Fabric => (800.0, BlockParam::MaxMessageCount(500), 1),
-                SystemKind::Quorum => (400.0, BlockParam::BlockPeriod(SimDuration::from_secs(5)), 1),
-                _ => (1600.0, BlockParam::BlockInterval(SimDuration::from_secs(1)), 100),
+                SystemKind::Quorum => {
+                    (400.0, BlockParam::BlockPeriod(SimDuration::from_secs(5)), 1)
+                }
+                _ => (
+                    1600.0,
+                    BlockParam::BlockInterval(SimDuration::from_secs(1)),
+                    100,
+                ),
             };
             let spec = BenchmarkSpec::new(system, PayloadKind::DoNothing)
                 .rate(rate)

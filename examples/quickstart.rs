@@ -17,15 +17,15 @@ fn main() {
         .windows(coconut::client::Windows::scaled(0.1))
         .repetitions(2);
 
-    println!("running {} / {} at {} tx/s ...", spec.system, spec.benchmark, spec.rate);
+    println!(
+        "running {} / {} at {} tx/s ...",
+        spec.system, spec.benchmark, spec.rate
+    );
     let result = run_benchmark(&spec, 42);
 
     println!("\n{}", table(std::slice::from_ref(&result)));
     println!(
         "throughput {:.1} tx/s, finalization latency {:.3} s, {} of {} payloads confirmed",
-        result.mtps.mean,
-        result.mfls.mean,
-        result.received.mean as u64,
-        result.expected as u64,
+        result.mtps.mean, result.mfls.mean, result.received.mean as u64, result.expected as u64,
     );
 }

@@ -14,8 +14,16 @@ fn main() {
     println!("|---|---|---|---|");
     for (system, param, max) in [
         (SystemKind::Fabric, BlockParam::MaxMessageCount(100), 6400.0),
-        (SystemKind::Quorum, BlockParam::BlockPeriod(SimDuration::from_secs(1)), 3200.0),
-        (SystemKind::Bitshares, BlockParam::BlockInterval(SimDuration::from_secs(1)), 3200.0),
+        (
+            SystemKind::Quorum,
+            BlockParam::BlockPeriod(SimDuration::from_secs(1)),
+            3200.0,
+        ),
+        (
+            SystemKind::Bitshares,
+            BlockParam::BlockInterval(SimDuration::from_secs(1)),
+            3200.0,
+        ),
         (SystemKind::CordaEnterprise, BlockParam::None, 800.0),
         (SystemKind::CordaOs, BlockParam::None, 400.0),
     ] {

@@ -31,10 +31,20 @@ fn main() {
         for n in node_counts {
             let (rate, param, ops) = match system {
                 SystemKind::CordaEnterprise => (160.0, BlockParam::None, 1),
-                SystemKind::Bitshares => (800.0, BlockParam::BlockInterval(SimDuration::from_secs(1)), 100),
+                SystemKind::Bitshares => (
+                    800.0,
+                    BlockParam::BlockInterval(SimDuration::from_secs(1)),
+                    100,
+                ),
                 SystemKind::Fabric => (800.0, BlockParam::MaxMessageCount(500), 1),
-                SystemKind::Quorum => (400.0, BlockParam::BlockPeriod(SimDuration::from_secs(5)), 1),
-                SystemKind::Sawtooth => (200.0, BlockParam::PublishingDelay(SimDuration::from_secs(1)), 100),
+                SystemKind::Quorum => {
+                    (400.0, BlockParam::BlockPeriod(SimDuration::from_secs(5)), 1)
+                }
+                SystemKind::Sawtooth => (
+                    200.0,
+                    BlockParam::PublishingDelay(SimDuration::from_secs(1)),
+                    100,
+                ),
                 _ => (200.0, BlockParam::MaxBlockSize(1000), 1),
             };
             let spec = BenchmarkSpec::new(system, PayloadKind::DoNothing)

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/coconut-4a662825db0ab02e.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/coconut-4a662825db0ab02e: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/chaos.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/json.rs:
+crates/core/src/params.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/saturation.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:

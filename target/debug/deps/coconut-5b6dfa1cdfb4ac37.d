@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/coconut-5b6dfa1cdfb4ac37.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libcoconut-5b6dfa1cdfb4ac37.rlib: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libcoconut-5b6dfa1cdfb4ac37.rmeta: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/chaos.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/json.rs:
+crates/core/src/params.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/saturation.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/coconut-eccb2ad6b69f69ae.d: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut-eccb2ad6b69f69ae.rmeta: crates/core/src/lib.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/chaos.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/tables.rs crates/core/src/json.rs crates/core/src/params.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/saturation.rs crates/core/src/stats.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/chaos.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/json.rs:
+crates/core/src/params.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/saturation.rs:
+crates/core/src/stats.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

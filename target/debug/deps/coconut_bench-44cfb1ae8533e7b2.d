@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coconut_bench-44cfb1ae8533e7b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/coconut_bench-44cfb1ae8533e7b2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

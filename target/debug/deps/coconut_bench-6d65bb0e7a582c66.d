@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coconut_bench-6d65bb0e7a582c66.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoconut_bench-6d65bb0e7a582c66.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoconut_bench-6d65bb0e7a582c66.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coconut_bench-6dc950dd7c1baa55.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_bench-6dc950dd7c1baa55.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coconut_bench-f03ac3c75467a53e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_bench-f03ac3c75467a53e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coconut_chains-de3d8c146e6734f2.d: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/ledger.rs crates/chains/src/system.rs crates/chains/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_chains-de3d8c146e6734f2.rmeta: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/ledger.rs crates/chains/src/system.rs crates/chains/src/util.rs Cargo.toml
+
+crates/chains/src/lib.rs:
+crates/chains/src/bitshares.rs:
+crates/chains/src/corda.rs:
+crates/chains/src/diem.rs:
+crates/chains/src/fabric.rs:
+crates/chains/src/quorum.rs:
+crates/chains/src/sawtooth.rs:
+crates/chains/src/ledger.rs:
+crates/chains/src/system.rs:
+crates/chains/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

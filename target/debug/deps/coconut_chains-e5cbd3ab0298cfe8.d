@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coconut_chains-e5cbd3ab0298cfe8.d: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+/root/repo/target/debug/deps/coconut_chains-e5cbd3ab0298cfe8: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+crates/chains/src/lib.rs:
+crates/chains/src/bitshares.rs:
+crates/chains/src/corda.rs:
+crates/chains/src/diem.rs:
+crates/chains/src/fabric.rs:
+crates/chains/src/ledger.rs:
+crates/chains/src/quorum.rs:
+crates/chains/src/sawtooth.rs:
+crates/chains/src/system.rs:
+crates/chains/src/util.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/coconut_chains-ee8a030a8e14d58d.d: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+/root/repo/target/debug/deps/libcoconut_chains-ee8a030a8e14d58d.rlib: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+/root/repo/target/debug/deps/libcoconut_chains-ee8a030a8e14d58d.rmeta: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+crates/chains/src/lib.rs:
+crates/chains/src/bitshares.rs:
+crates/chains/src/corda.rs:
+crates/chains/src/diem.rs:
+crates/chains/src/fabric.rs:
+crates/chains/src/ledger.rs:
+crates/chains/src/quorum.rs:
+crates/chains/src/sawtooth.rs:
+crates/chains/src/system.rs:
+crates/chains/src/util.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coconut_consensus-341eab70f68abaa4.d: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+/root/repo/target/debug/deps/coconut_consensus-341eab70f68abaa4: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/diembft.rs:
+crates/consensus/src/dpos.rs:
+crates/consensus/src/ibft.rs:
+crates/consensus/src/notary.rs:
+crates/consensus/src/pbft.rs:
+crates/consensus/src/raft.rs:

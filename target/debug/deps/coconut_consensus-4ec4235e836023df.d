@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coconut_consensus-4ec4235e836023df.d: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+/root/repo/target/debug/deps/libcoconut_consensus-4ec4235e836023df.rlib: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+/root/repo/target/debug/deps/libcoconut_consensus-4ec4235e836023df.rmeta: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/diembft.rs:
+crates/consensus/src/dpos.rs:
+crates/consensus/src/ibft.rs:
+crates/consensus/src/notary.rs:
+crates/consensus/src/pbft.rs:
+crates/consensus/src/raft.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coconut_consensus-50b06dae17ec8ab9.d: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_consensus-50b06dae17ec8ab9.rmeta: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs Cargo.toml
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/diembft.rs:
+crates/consensus/src/dpos.rs:
+crates/consensus/src/ibft.rs:
+crates/consensus/src/notary.rs:
+crates/consensus/src/pbft.rs:
+crates/consensus/src/raft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coconut_iel-079384a4b4e197dc.d: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_iel-079384a4b4e197dc.rmeta: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs Cargo.toml
+
+crates/iel/src/lib.rs:
+crates/iel/src/rwset.rs:
+crates/iel/src/state.rs:
+crates/iel/src/vault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

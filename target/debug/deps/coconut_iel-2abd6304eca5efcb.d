@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coconut_iel-2abd6304eca5efcb.d: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+/root/repo/target/debug/deps/coconut_iel-2abd6304eca5efcb: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+crates/iel/src/lib.rs:
+crates/iel/src/rwset.rs:
+crates/iel/src/state.rs:
+crates/iel/src/vault.rs:

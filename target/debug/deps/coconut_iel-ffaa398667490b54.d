@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coconut_iel-ffaa398667490b54.d: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+/root/repo/target/debug/deps/libcoconut_iel-ffaa398667490b54.rlib: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+/root/repo/target/debug/deps/libcoconut_iel-ffaa398667490b54.rmeta: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+crates/iel/src/lib.rs:
+crates/iel/src/rwset.rs:
+crates/iel/src/state.rs:
+crates/iel/src/vault.rs:

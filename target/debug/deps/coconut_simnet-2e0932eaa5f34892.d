@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coconut_simnet-2e0932eaa5f34892.d: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/coconut_simnet-2e0932eaa5f34892: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coconut_simnet-72ccfeece84f32e5.d: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/libcoconut_simnet-72ccfeece84f32e5.rlib: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/libcoconut_simnet-72ccfeece84f32e5.rmeta: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coconut_simnet-966669c995f21708.d: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_simnet-966669c995f21708.rmeta: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

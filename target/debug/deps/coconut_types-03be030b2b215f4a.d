@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coconut_types-03be030b2b215f4a.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs
+
+/root/repo/target/debug/deps/coconut_types-03be030b2b215f4a: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/hash.rs:
+crates/types/src/id.rs:
+crates/types/src/payload.rs:
+crates/types/src/rng.rs:
+crates/types/src/seed.rs:
+crates/types/src/time.rs:
+crates/types/src/tx.rs:

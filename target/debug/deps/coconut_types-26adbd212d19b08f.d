@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coconut_types-26adbd212d19b08f.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoconut_types-26adbd212d19b08f.rmeta: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/hash.rs:
+crates/types/src/id.rs:
+crates/types/src/payload.rs:
+crates/types/src/rng.rs:
+crates/types/src/seed.rs:
+crates/types/src/time.rs:
+crates/types/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

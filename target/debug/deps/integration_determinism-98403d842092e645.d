@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_determinism-98403d842092e645.d: crates/bench/../../tests/integration_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_determinism-98403d842092e645.rmeta: crates/bench/../../tests/integration_determinism.rs Cargo.toml
+
+crates/bench/../../tests/integration_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

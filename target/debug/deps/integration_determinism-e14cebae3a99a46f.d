@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-e14cebae3a99a46f.d: crates/bench/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-e14cebae3a99a46f: crates/bench/../../tests/integration_determinism.rs
+
+crates/bench/../../tests/integration_determinism.rs:

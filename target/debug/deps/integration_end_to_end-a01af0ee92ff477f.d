@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_end_to_end-a01af0ee92ff477f.d: crates/bench/../../tests/integration_end_to_end.rs
+
+/root/repo/target/debug/deps/integration_end_to_end-a01af0ee92ff477f: crates/bench/../../tests/integration_end_to_end.rs
+
+crates/bench/../../tests/integration_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-307a53c917534538.d: crates/bench/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-307a53c917534538: crates/bench/../../tests/integration_experiments.rs
+
+crates/bench/../../tests/integration_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_experiments-6b8fa7811168196f.d: crates/bench/../../tests/integration_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_experiments-6b8fa7811168196f.rmeta: crates/bench/../../tests/integration_experiments.rs Cargo.toml
+
+crates/bench/../../tests/integration_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_faults-0d99a51247972a47.d: crates/bench/../../tests/integration_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_faults-0d99a51247972a47.rmeta: crates/bench/../../tests/integration_faults.rs Cargo.toml
+
+crates/bench/../../tests/integration_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_faults-86a7b10d96b67610.d: crates/bench/../../tests/integration_faults.rs
+
+/root/repo/target/debug/deps/integration_faults-86a7b10d96b67610: crates/bench/../../tests/integration_faults.rs
+
+crates/bench/../../tests/integration_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_systems-582bba50f93be7b2.d: crates/bench/../../tests/integration_systems.rs
+
+/root/repo/target/debug/deps/integration_systems-582bba50f93be7b2: crates/bench/../../tests/integration_systems.rs
+
+crates/bench/../../tests/integration_systems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_systems-595756b22e5cb222.d: crates/bench/../../tests/integration_systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_systems-595756b22e5cb222.rmeta: crates/bench/../../tests/integration_systems.rs Cargo.toml
+
+crates/bench/../../tests/integration_systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-dc2f4c7c9d6edcce.d: crates/bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-dc2f4c7c9d6edcce.rmeta: crates/bench/benches/microbench.rs Cargo.toml
+
+crates/bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

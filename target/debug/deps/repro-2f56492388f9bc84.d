@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2f56492388f9bc84.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2f56492388f9bc84: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

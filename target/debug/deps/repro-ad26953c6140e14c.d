@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ad26953c6140e14c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ad26953c6140e14c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

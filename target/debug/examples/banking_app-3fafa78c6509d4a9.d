@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/banking_app-3fafa78c6509d4a9.d: crates/core/../../examples/banking_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbanking_app-3fafa78c6509d4a9.rmeta: crates/core/../../examples/banking_app.rs Cargo.toml
+
+crates/core/../../examples/banking_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

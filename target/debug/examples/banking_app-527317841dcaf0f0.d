@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/banking_app-527317841dcaf0f0.d: crates/core/../../examples/banking_app.rs
+
+/root/repo/target/debug/examples/banking_app-527317841dcaf0f0: crates/core/../../examples/banking_app.rs
+
+crates/core/../../examples/banking_app.rs:

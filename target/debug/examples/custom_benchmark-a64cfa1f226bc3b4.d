@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_benchmark-a64cfa1f226bc3b4.d: crates/core/../../examples/custom_benchmark.rs
+
+/root/repo/target/debug/examples/custom_benchmark-a64cfa1f226bc3b4: crates/core/../../examples/custom_benchmark.rs
+
+crates/core/../../examples/custom_benchmark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_benchmark-ecfcb425e9a41fe7.d: crates/core/../../examples/custom_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_benchmark-ecfcb425e9a41fe7.rmeta: crates/core/../../examples/custom_benchmark.rs Cargo.toml
+
+crates/core/../../examples/custom_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

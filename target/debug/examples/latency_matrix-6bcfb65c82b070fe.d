@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_matrix-6bcfb65c82b070fe.d: crates/core/../../examples/latency_matrix.rs
+
+/root/repo/target/debug/examples/latency_matrix-6bcfb65c82b070fe: crates/core/../../examples/latency_matrix.rs
+
+crates/core/../../examples/latency_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_matrix-d9387c036086f090.d: crates/core/../../examples/latency_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_matrix-d9387c036086f090.rmeta: crates/core/../../examples/latency_matrix.rs Cargo.toml
+
+crates/core/../../examples/latency_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0eb2d1b34e7fe327.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0eb2d1b34e7fe327: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

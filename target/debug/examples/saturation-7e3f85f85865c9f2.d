@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/saturation-7e3f85f85865c9f2.d: crates/core/../../examples/saturation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsaturation-7e3f85f85865c9f2.rmeta: crates/core/../../examples/saturation.rs Cargo.toml
+
+crates/core/../../examples/saturation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

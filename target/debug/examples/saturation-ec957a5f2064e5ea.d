@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/saturation-ec957a5f2064e5ea.d: crates/core/../../examples/saturation.rs
+
+/root/repo/target/debug/examples/saturation-ec957a5f2064e5ea: crates/core/../../examples/saturation.rs
+
+crates/core/../../examples/saturation.rs:

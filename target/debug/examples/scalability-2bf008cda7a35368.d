@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability-2bf008cda7a35368.d: crates/core/../../examples/scalability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability-2bf008cda7a35368.rmeta: crates/core/../../examples/scalability.rs Cargo.toml
+
+crates/core/../../examples/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

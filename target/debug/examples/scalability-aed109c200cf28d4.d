@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability-aed109c200cf28d4.d: crates/core/../../examples/scalability.rs
+
+/root/repo/target/debug/examples/scalability-aed109c200cf28d4: crates/core/../../examples/scalability.rs
+
+crates/core/../../examples/scalability.rs:

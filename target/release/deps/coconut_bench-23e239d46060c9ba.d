@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coconut_bench-23e239d46060c9ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcoconut_bench-23e239d46060c9ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcoconut_bench-23e239d46060c9ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/coconut_chains-d99bb69c30a594d3.d: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+/root/repo/target/release/deps/libcoconut_chains-d99bb69c30a594d3.rlib: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+/root/repo/target/release/deps/libcoconut_chains-d99bb69c30a594d3.rmeta: crates/chains/src/lib.rs crates/chains/src/bitshares.rs crates/chains/src/corda.rs crates/chains/src/diem.rs crates/chains/src/fabric.rs crates/chains/src/ledger.rs crates/chains/src/quorum.rs crates/chains/src/sawtooth.rs crates/chains/src/system.rs crates/chains/src/util.rs
+
+crates/chains/src/lib.rs:
+crates/chains/src/bitshares.rs:
+crates/chains/src/corda.rs:
+crates/chains/src/diem.rs:
+crates/chains/src/fabric.rs:
+crates/chains/src/ledger.rs:
+crates/chains/src/quorum.rs:
+crates/chains/src/sawtooth.rs:
+crates/chains/src/system.rs:
+crates/chains/src/util.rs:

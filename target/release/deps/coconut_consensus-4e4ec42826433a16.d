@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coconut_consensus-4e4ec42826433a16.d: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+/root/repo/target/release/deps/libcoconut_consensus-4e4ec42826433a16.rlib: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+/root/repo/target/release/deps/libcoconut_consensus-4e4ec42826433a16.rmeta: crates/consensus/src/lib.rs crates/consensus/src/diembft.rs crates/consensus/src/dpos.rs crates/consensus/src/ibft.rs crates/consensus/src/notary.rs crates/consensus/src/pbft.rs crates/consensus/src/raft.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/diembft.rs:
+crates/consensus/src/dpos.rs:
+crates/consensus/src/ibft.rs:
+crates/consensus/src/notary.rs:
+crates/consensus/src/pbft.rs:
+crates/consensus/src/raft.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/coconut_iel-3170c2e669d7468e.d: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+/root/repo/target/release/deps/libcoconut_iel-3170c2e669d7468e.rlib: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+/root/repo/target/release/deps/libcoconut_iel-3170c2e669d7468e.rmeta: crates/iel/src/lib.rs crates/iel/src/rwset.rs crates/iel/src/state.rs crates/iel/src/vault.rs
+
+crates/iel/src/lib.rs:
+crates/iel/src/rwset.rs:
+crates/iel/src/state.rs:
+crates/iel/src/vault.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coconut_simnet-26ff5a45d3e84039.d: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libcoconut_simnet-26ff5a45d3e84039.rlib: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libcoconut_simnet-26ff5a45d3e84039.rmeta: crates/simnet/src/lib.rs crates/simnet/src/fault.rs crates/simnet/src/latency.rs crates/simnet/src/net.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coconut_types-a5ebabba5622434f.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs
+
+/root/repo/target/release/deps/libcoconut_types-a5ebabba5622434f.rlib: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs
+
+/root/repo/target/release/deps/libcoconut_types-a5ebabba5622434f.rmeta: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/hash.rs crates/types/src/id.rs crates/types/src/payload.rs crates/types/src/rng.rs crates/types/src/seed.rs crates/types/src/time.rs crates/types/src/tx.rs
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/hash.rs:
+crates/types/src/id.rs:
+crates/types/src/payload.rs:
+crates/types/src/rng.rs:
+crates/types/src/seed.rs:
+crates/types/src/time.rs:
+crates/types/src/tx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9f9ecd46a4a8bde8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9f9ecd46a4a8bde8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -12,7 +12,10 @@ fn spec(system: SystemKind) -> BenchmarkSpec {
         SystemKind::Bitshares => (200.0, BlockParam::BlockInterval(SimDuration::from_secs(1))),
         SystemKind::Fabric => (200.0, BlockParam::MaxMessageCount(50)),
         SystemKind::Quorum => (200.0, BlockParam::BlockPeriod(SimDuration::from_secs(1))),
-        SystemKind::Sawtooth => (200.0, BlockParam::PublishingDelay(SimDuration::from_secs(1))),
+        SystemKind::Sawtooth => (
+            200.0,
+            BlockParam::PublishingDelay(SimDuration::from_secs(1)),
+        ),
         SystemKind::Diem => (50.0, BlockParam::MaxBlockSize(500)),
     };
     BenchmarkSpec::new(system, PayloadKind::KeyValueSet)

@@ -12,7 +12,10 @@ fn spec(system: SystemKind, benchmark: PayloadKind) -> BenchmarkSpec {
         SystemKind::Bitshares => (200.0, BlockParam::BlockInterval(SimDuration::from_secs(1))),
         SystemKind::Fabric => (200.0, BlockParam::MaxMessageCount(50)),
         SystemKind::Quorum => (200.0, BlockParam::BlockPeriod(SimDuration::from_secs(1))),
-        SystemKind::Sawtooth => (200.0, BlockParam::PublishingDelay(SimDuration::from_secs(1))),
+        SystemKind::Sawtooth => (
+            200.0,
+            BlockParam::PublishingDelay(SimDuration::from_secs(1)),
+        ),
         SystemKind::Diem => (50.0, BlockParam::MaxBlockSize(500)),
     };
     BenchmarkSpec::new(system, benchmark)
@@ -52,7 +55,11 @@ fn received_never_exceeds_expected() {
 fn duration_stays_within_listen_window() {
     // Duration = t_lrtx − t_fstx must fit inside the listen window.
     let windows = Windows::scaled(0.02);
-    for system in [SystemKind::Fabric, SystemKind::Quorum, SystemKind::Bitshares] {
+    for system in [
+        SystemKind::Fabric,
+        SystemKind::Quorum,
+        SystemKind::Bitshares,
+    ] {
         let r = run_benchmark(&spec(system, PayloadKind::DoNothing), 3);
         assert!(
             r.duration.mean <= windows.listen.as_secs_f64() + 1e-9,
@@ -67,7 +74,11 @@ fn latency_reflects_block_pacing() {
     // Quorum with blockperiod 1 s cannot confirm faster than the period's
     // half on average; BitShares' latency tracks its block interval.
     let q = run_benchmark(&spec(SystemKind::Quorum, PayloadKind::DoNothing), 4);
-    assert!(q.mfls.mean > 0.3, "Quorum MFLS {} too small for BP=1s", q.mfls.mean);
+    assert!(
+        q.mfls.mean > 0.3,
+        "Quorum MFLS {} too small for BP=1s",
+        q.mfls.mean
+    );
     let b = run_benchmark(&spec(SystemKind::Bitshares, PayloadKind::DoNothing), 5);
     assert!(
         (0.3..2.0).contains(&b.mfls.mean),
@@ -115,5 +126,9 @@ fn rendered_table_includes_every_row() {
     let rendered = table(&rows);
     assert!(rendered.contains("Fabric"));
     assert!(rendered.contains("Quorum"));
-    assert_eq!(rendered.lines().count(), 2 + rows.len(), "header + separator + rows");
+    assert_eq!(
+        rendered.lines().count(),
+        2 + rows.len(),
+        "header + separator + rows"
+    );
 }

@@ -33,7 +33,10 @@ fn tables_7_to_10_show_the_corda_gap() {
     // admit a bit more spread.)
     let ent_ratio = ent.rows[1].mtps.mean / ent.rows[0].mtps.mean.max(0.01);
     assert!((0.4..4.0).contains(&ent_ratio), "Ent flat-ish: {ent_ratio}");
-    assert!(os.rows[1].mtps.mean < os.rows[0].mtps.mean, "OS collapses at RL=160");
+    assert!(
+        os.rows[1].mtps.mean < os.rows[0].mtps.mean,
+        "OS collapses at RL=160"
+    );
 }
 
 #[test]
@@ -61,10 +64,17 @@ fn tables_13_14_fabric_scales_to_the_load_then_saturates() {
     let rl800 = &t.rows[0];
     let rl1600 = &t.rows[1];
     // Paper: 801 MTPS at RL 800 (everything received, sub-second MFLS).
-    assert!(rl800.delivery_ratio() > 0.95, "RL800 delivery {}", rl800.delivery_ratio());
+    assert!(
+        rl800.delivery_ratio() > 0.95,
+        "RL800 delivery {}",
+        rl800.delivery_ratio()
+    );
     assert!(rl800.mfls.mean < 1.5, "RL800 MFLS {}", rl800.mfls.mean);
     // Paper: 1,285 MTPS at RL 1600 with growing latency and some loss.
-    assert!(rl1600.mtps.mean > rl800.mtps.mean, "more load, more throughput");
+    assert!(
+        rl1600.mtps.mean > rl800.mtps.mean,
+        "more load, more throughput"
+    );
     assert!(rl1600.mfls.mean > rl800.mfls.mean, "overload grows latency");
 }
 
@@ -78,7 +88,10 @@ fn tables_15_16_quorum_blockperiod_cliff() {
     assert_eq!(t.rows[0].mtps.mean, 0.0, "BP=2s: total liveness failure");
     assert_eq!(t.rows[0].received.mean, 0.0);
     assert!(t.rows[1].mtps.mean > 0.0, "BP=5s works");
-    assert!(t.rows[1].delivery_ratio() < 1.0, "but loses some transactions");
+    assert!(
+        t.rows[1].delivery_ratio() < 1.0,
+        "but loses some transactions"
+    );
 }
 
 #[test]
@@ -131,7 +144,11 @@ fn fig5_scalability_shapes() {
     // §5.8.2: Fabric and Sawtooth fail completely at 16 and 32 nodes.
     for n in [16, 32] {
         assert_eq!(f.mtps_of(SystemKind::Fabric, n), Some(0.0), "Fabric n={n}");
-        assert_eq!(f.mtps_of(SystemKind::Sawtooth, n), Some(0.0), "Sawtooth n={n}");
+        assert_eq!(
+            f.mtps_of(SystemKind::Sawtooth, n),
+            Some(0.0),
+            "Sawtooth n={n}"
+        );
     }
     // BitShares shows "only marginal fluctuations".
     let b8 = f.mtps_of(SystemKind::Bitshares, 8).unwrap();

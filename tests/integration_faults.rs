@@ -4,6 +4,7 @@
 //! to faults the way their protocols prescribe.
 
 use coconut_chains::bitshares::{Bitshares, BitsharesConfig};
+use coconut_chains::corda::{Corda, CordaConfig};
 use coconut_chains::diem::{Diem, DiemConfig};
 use coconut_chains::fabric::{Fabric, FabricConfig};
 use coconut_chains::quorum::{Quorum, QuorumConfig};
@@ -12,13 +13,20 @@ use coconut_chains::BlockchainSystem;
 use coconut_types::{ClientId, ClientTx, NodeId, Payload, SimDuration, SimTime, ThreadId, TxId};
 
 fn tx(seq: u64, payload: Payload, at: SimTime) -> ClientTx {
-    ClientTx::single(TxId::new(ClientId((seq % 4) as u32), seq), ThreadId(0), payload, at)
+    ClientTx::single(
+        TxId::new(ClientId((seq % 4) as u32), seq),
+        ThreadId(0),
+        payload,
+        at,
+    )
 }
 
 #[test]
 fn fabric_survives_one_orderer_crash() {
-    let mut cfg = FabricConfig::default();
-    cfg.max_message_count = 20;
+    let cfg = FabricConfig {
+        max_message_count: 20,
+        ..Default::default()
+    };
     let mut f = Fabric::new(cfg, 1);
     f.run_until(SimTime::from_secs(2));
     // Crash one of the three orderers: Raft still has a majority.
@@ -42,8 +50,10 @@ fn fabric_survives_one_orderer_crash() {
 
 #[test]
 fn fabric_halts_without_orderer_majority_and_recovers() {
-    let mut cfg = FabricConfig::default();
-    cfg.max_message_count = 10;
+    let cfg = FabricConfig {
+        max_message_count: 10,
+        ..Default::default()
+    };
     let mut f = Fabric::new(cfg, 2);
     f.run_until(SimTime::from_secs(2));
     f.crash_orderer(NodeId(1));
@@ -122,8 +132,10 @@ fn sawtooth_view_change_replaces_dead_primary_mid_run() {
 
 #[test]
 fn diem_advances_past_dead_leaders() {
-    let mut cfg = DiemConfig::default();
-    cfg.spike_interval = None;
+    let cfg = DiemConfig {
+        spike_interval: None,
+        ..Default::default()
+    };
     let mut d = Diem::new(cfg, 5);
     let t = SimTime::ZERO;
     for i in 0..5u64 {
@@ -166,6 +178,124 @@ fn bitshares_skips_dead_witness_slots() {
     }
     let after = b.run_until(SimTime::from_secs(20));
     assert_eq!(after.iter().filter(|o| o.is_committed()).count(), 30);
+}
+
+#[test]
+fn quorum_round_change_rescues_crashed_proposer_within_timeout() {
+    // IBFT's proposer for height 0 is validator 0; crash it before any
+    // work so the very first block requires a round change.
+    let mut q = Quorum::new(QuorumConfig::default(), 11);
+    q.crash_validator(NodeId(0));
+    let t = SimTime::ZERO;
+    for i in 0..10u64 {
+        q.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    // Bounded recovery: block period (1 s) + round timeout (4 s) + a
+    // processing margin must suffice — nowhere near the 30 s horizon.
+    let bound = SimTime::from_secs(8);
+    let outcomes = q.run_until(bound);
+    let committed: Vec<_> = outcomes.iter().filter(|o| o.is_committed()).collect();
+    assert_eq!(committed.len(), 10, "round change must rescue height 0");
+    assert!(
+        committed.iter().all(|o| o.finalized_at <= bound),
+        "recovery must complete within one round timeout plus margin"
+    );
+}
+
+#[test]
+fn diem_pacemaker_resumes_within_bounded_time_after_crash() {
+    let cfg = DiemConfig {
+        spike_interval: None,
+        ..Default::default()
+    };
+    let mut d = Diem::new(cfg, 13);
+    let t = SimTime::ZERO;
+    for i in 0..5u64 {
+        d.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let before = d.run_until(SimTime::from_secs(10));
+    assert_eq!(before.iter().filter(|o| o.is_committed()).count(), 5);
+
+    // Crash a validator: some following rounds lose their leader, and the
+    // pacemaker's timeout certificates must skip them in bounded time.
+    d.crash_validator(NodeId(2));
+    let t2 = SimTime::from_secs(10);
+    for i in 100..105u64 {
+        d.submit(t2, tx(i, Payload::DoNothing, t2));
+    }
+    let bound = SimTime::from_secs(30);
+    let after = d.run_until(bound);
+    let committed: Vec<_> = after.iter().filter(|o| o.is_committed()).collect();
+    assert_eq!(
+        committed.len(),
+        5,
+        "pacemaker must advance past the dead leader"
+    );
+    let worst = committed.iter().map(|o| o.finalized_at).max().unwrap();
+    assert!(
+        worst <= bound,
+        "finalization after the crash stays inside the bounded horizon"
+    );
+}
+
+#[test]
+fn corda_notary_crash_halts_finality_until_recovery() {
+    let mut c = Corda::new(CordaConfig::open_source(), 17);
+    // With every notary down, write transactions get no finality at all.
+    for idx in 0..4 {
+        assert!(c.crash_notary(idx));
+    }
+    let t = SimTime::ZERO;
+    for i in 0..10u64 {
+        c.submit(t, tx(i, Payload::key_value_set(i, i), t));
+    }
+    let halted = c.run_until(SimTime::from_secs(30));
+    assert!(
+        halted.iter().filter(|o| o.is_committed()).count() == 0,
+        "no notary, no finality"
+    );
+    assert_eq!(c.lost_to_notary_outage(), 10);
+    assert!(!c.is_live());
+
+    // One notary back is enough for the pool to serve again (failover
+    // routes every shard to it); only *new* transactions benefit — the
+    // halted ones were lost and stay lost unless the client re-sends.
+    assert!(c.recover_notary(1));
+    assert!(c.is_live());
+    let t2 = SimTime::from_secs(30);
+    for i in 100..110u64 {
+        c.submit(t2, tx(i, Payload::key_value_set(i, i), t2));
+    }
+    let recovered = c.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        recovered.iter().filter(|o| o.is_committed()).count(),
+        10,
+        "a single recovered notary restores finality for new work"
+    );
+}
+
+#[test]
+fn bitshares_witness_miss_skips_slots_with_bounded_delay() {
+    let cfg = BitsharesConfig::default();
+    let interval = cfg.block_interval;
+    let witnesses = cfg.witnesses as u64;
+    let mut b = Bitshares::new(cfg, 19);
+    b.crash_witness(NodeId(1));
+    let t = SimTime::ZERO;
+    for i in 0..12u64 {
+        b.submit(t, tx(i, Payload::DoNothing, t));
+    }
+    let outcomes = b.run_until(SimTime::from_secs(30));
+    let committed: Vec<_> = outcomes.iter().filter(|o| o.is_committed()).collect();
+    assert_eq!(committed.len(), 12, "live witnesses pack everything");
+    // The dead witness's slots are skipped, not waited out: even if the
+    // very next slot belonged to it, finality arrives within one full
+    // schedule rotation plus a propagation margin.
+    let bound = t + interval * (witnesses + 1) + SimDuration::from_secs(1);
+    assert!(
+        committed.iter().all(|o| o.finalized_at <= bound),
+        "a missed slot delays finality by at most the skipped slots"
+    );
 }
 
 #[test]

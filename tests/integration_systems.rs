@@ -17,7 +17,10 @@ fn base(system: SystemKind, benchmark: PayloadKind, rate: f64) -> BenchmarkSpec 
 fn corda_enterprise_outperforms_open_source() {
     // §5.2: "In contrast to Corda OS, Corda Enterprise achieves better
     // results in all scenarios."
-    let os = run_benchmark(&base(SystemKind::CordaOs, PayloadKind::KeyValueSet, 20.0), 1);
+    let os = run_benchmark(
+        &base(SystemKind::CordaOs, PayloadKind::KeyValueSet, 20.0),
+        1,
+    );
     let ent = run_benchmark(
         &base(SystemKind::CordaEnterprise, PayloadKind::KeyValueSet, 20.0),
         1,
@@ -71,7 +74,10 @@ fn quorum_short_blockperiod_violates_liveness() {
 #[test]
 fn sawtooth_queue_rejections_lose_transactions() {
     // §5.6: the bounded validator queue is the decisive loss factor.
-    let r = run_benchmark(&base(SystemKind::Sawtooth, PayloadKind::DoNothing, 1600.0), 4);
+    let r = run_benchmark(
+        &base(SystemKind::Sawtooth, PayloadKind::DoNothing, 1600.0),
+        4,
+    );
     assert!(
         r.delivery_ratio() < 0.5,
         "heavy load must lose most batches: {}",
@@ -103,10 +109,7 @@ fn fabric_event_service_breaks_at_sixteen_nodes() {
     // §5.8.2: nodes finalize but clients receive nothing at n ≥ 16.
     let spec = base(SystemKind::Fabric, PayloadKind::DoNothing, 400.0)
         .block_param(BlockParam::MaxMessageCount(50))
-        .setup(
-            SystemSetup::with_block_param(BlockParam::MaxMessageCount(50))
-                .with_nodes(16),
-        );
+        .setup(SystemSetup::with_block_param(BlockParam::MaxMessageCount(50)).with_nodes(16));
     let r = run_benchmark(&spec, 6);
     assert_eq!(r.received.mean, 0.0, "clients must see nothing at 16 peers");
 }
@@ -137,10 +140,19 @@ fn bitshares_payments_interfere_and_mostly_vanish() {
     // §5.3: SendPayment records almost exclusively lost transactions.
     use coconut::workload::BenchmarkUnit;
     let template = base(SystemKind::Bitshares, PayloadKind::CreateAccount, 400.0);
-    let unit = run_unit(SystemKind::Bitshares, BenchmarkUnit::BankingApp, &template, 8);
+    let unit = run_unit(
+        SystemKind::Bitshares,
+        BenchmarkUnit::BankingApp,
+        &template,
+        8,
+    );
     let create = &unit.benchmarks[0];
     let pay = &unit.benchmarks[1];
-    assert!(create.delivery_ratio() > 0.8, "creates are unique: {}", create.delivery_ratio());
+    assert!(
+        create.delivery_ratio() > 0.8,
+        "creates are unique: {}",
+        create.delivery_ratio()
+    );
     assert!(
         pay.delivery_ratio() < 0.5,
         "interacting payments must mostly vanish: {}",
@@ -169,9 +181,7 @@ fn emulated_latency_slows_fabric_but_not_corda_os() {
     // §5.8.1: Fabric loses 33–40%; Corda OS "hardly reacts".
     let fabric = |net: NetConfig| {
         let spec = base(SystemKind::Fabric, PayloadKind::DoNothing, 800.0)
-            .setup(
-                SystemSetup::with_block_param(BlockParam::MaxMessageCount(100)).with_net(net),
-            )
+            .setup(SystemSetup::with_block_param(BlockParam::MaxMessageCount(100)).with_net(net))
             .windows(Windows::scaled(0.05));
         run_benchmark(&spec, 10).mfls.mean
     };
