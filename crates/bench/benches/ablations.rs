@@ -14,6 +14,7 @@ fn bench_cfg() -> ExperimentConfig {
         repetitions: 1,
         seed: 0xAB1A,
         full_sweep: false,
+        jobs: None,
     }
 }
 

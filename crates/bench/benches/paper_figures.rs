@@ -11,6 +11,7 @@ fn bench_cfg() -> ExperimentConfig {
         repetitions: 1,
         seed: 0xF16,
         full_sweep: false,
+        jobs: None,
     }
 }
 

@@ -15,6 +15,7 @@ fn bench_cfg() -> ExperimentConfig {
         repetitions: 1,
         seed: 0xBE7C,
         full_sweep: false,
+        jobs: None,
     }
 }
 

@@ -25,6 +25,8 @@
 //!   --full      sweep the paper's full parameter grid
 //!   --paper     shorthand for --scale 1.0 --reps 3 --full
 //!   --seed S    root seed (default 0xC0C00717)
+//!   --jobs N    worker threads for the experiment grid (default: all
+//!               CPUs); results are byte-identical for every N
 //!   --out DIR   also write results as JSON into DIR
 //! ```
 
@@ -32,10 +34,8 @@ use std::path::PathBuf;
 
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
-    ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
-    ablation_sawtooth_queue, chaos, fig3, fig4, fig5, table11_12, table13_14, table15_16,
-    table17_18, table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
+    all_ablations, chaos, fig3, fig4, fig5, table11_12, table13_14, table15_16, table17_18,
+    table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
 };
 use coconut::report::{save_csv, save_json};
 
@@ -77,6 +77,17 @@ fn main() {
                 cfg.full_sweep = true;
                 i += 1;
             }
+            "--jobs" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                if n == 0 {
+                    die("--jobs needs a positive integer");
+                }
+                cfg.jobs = Some(n);
+                i += 2;
+            }
             "--paper" => {
                 cfg = ExperimentConfig::paper();
                 i += 1;
@@ -95,11 +106,13 @@ fn main() {
     }
 
     eprintln!(
-        "# COCONUT repro: target={target} scale={} reps={} sweep={} seed={:#x}",
+        "# COCONUT repro: target={target} scale={} reps={} sweep={} seed={:#x} jobs={}",
         cfg.scale,
         cfg.repetitions,
         if cfg.full_sweep { "full" } else { "reduced" },
-        cfg.seed
+        cfg.seed,
+        cfg.jobs
+            .map_or_else(|| "auto".to_string(), |n| n.to_string()),
     );
 
     match target.as_str() {
@@ -168,49 +181,9 @@ fn all_tables(cfg: &ExperimentConfig) -> Vec<(&'static str, TableResult)> {
 }
 
 fn run_ablations(cfg: &ExperimentConfig) {
-    println!(
-        "{}",
-        render_arms(
-            "Ablation: Corda signing discipline",
-            &ablation_corda_signing(cfg)
-        )
-    );
-    println!(
-        "{}",
-        render_arms(
-            "Ablation: Sawtooth queue bound",
-            &ablation_sawtooth_queue(cfg)
-        )
-    );
-    println!(
-        "{}",
-        render_arms("Ablation: Quorum txpool stall", &ablation_quorum_stall(cfg))
-    );
-    println!(
-        "{}",
-        render_arms("Ablation: Diem spiking", &ablation_diem_spiking(cfg))
-    );
-    println!(
-        "{}",
-        render_arms(
-            "Ablation: BitShares operations per tx",
-            &ablation_bitshares_ops(cfg)
-        )
-    );
-    println!(
-        "{}",
-        render_arms(
-            "Ablation: Fabric block cutting",
-            &ablation_fabric_block_cutting(cfg)
-        )
-    );
-    println!(
-        "{}",
-        render_arms(
-            "Ablation: end-to-end vs node-side measurement",
-            &ablation_endtoend_vs_node(cfg)
-        )
-    );
+    for (title, arms) in all_ablations(cfg) {
+        println!("{}", render_arms(title, &arms));
+    }
 }
 
 fn run_chaos_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
@@ -241,7 +214,7 @@ fn save_grid(f: &coconut::experiments::Fig3Result, out: &Option<PathBuf>, name: 
 fn print_usage() {
     println!(
         "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|all> \
-         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--out DIR]"
+         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--out DIR]"
     );
 }
 

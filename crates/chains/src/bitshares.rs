@@ -31,12 +31,13 @@ use std::collections::HashMap;
 use coconut_consensus::dpos::DposCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::{StateKey, WorldState};
-use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, Topology};
 use coconut_types::{
-    BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimRng, SimTime, TxId, TxOutcome,
+    ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
 };
 
 use crate::ledger::Ledger;
+use crate::runtime::{command_for, cut_by_budget, ChainRuntime};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the BitShares deployment.
@@ -81,10 +82,10 @@ impl Default for BitsharesConfig {
 #[derive(Debug)]
 pub struct Bitshares {
     config: BitsharesConfig,
+    rt: ChainRuntime,
     dpos: DposCluster,
     exec_cpu: CpuModel,
     state: WorldState,
-    txs: HashMap<TxId, ClientTx>,
     /// Accounts/keys written by transactions still waiting for a block.
     pending_touched: HashMap<StateKey, TxId>,
     touched_by: HashMap<TxId, Vec<StateKey>>,
@@ -92,12 +93,6 @@ pub struct Bitshares {
     /// `release_at` (one block interval past packing — Graphene's
     /// duplicate/TaPoS window).
     cooling: Vec<(SimTime, StateKey)>,
-    outcomes: EventQueue<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
-    ledger: Ledger,
-    conflicts: u64,
     stalled: bool,
 }
 
@@ -124,20 +119,14 @@ impl Bitshares {
             .batch(BatchConfig::new(100_000, config.block_interval))
             .build();
         Bitshares {
+            rt: ChainRuntime::new(&seeds, &config.net, config.witnesses, config.witnesses),
             exec_cpu: CpuModel::new(config.witnesses),
             dpos,
             state: WorldState::new(),
-            txs: HashMap::new(),
             pending_touched: HashMap::new(),
             touched_by: HashMap::new(),
             cooling: Vec::new(),
-            outcomes: EventQueue::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
             config,
-            ledger: Ledger::new(),
-            conflicts: 0,
             stalled: false,
         }
     }
@@ -149,17 +138,18 @@ impl Bitshares {
 
     /// Chain height (non-empty blocks).
     pub fn height(&self) -> u64 {
-        self.ledger.height()
+        self.rt.height()
     }
 
     /// The hash-linked ledger (tamper-evident block chain).
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.rt.ledger()
     }
 
-    /// Transactions rejected for interfering with pending ones.
+    /// Transactions rejected for interfering with pending ones (the only
+    /// rejection BitShares has, so it is the runtime's rejected counter).
     pub fn conflicts(&self) -> u64 {
-        self.conflicts
+        self.rt.stats().rejected
     }
 
     /// `true` once event emission has stalled.
@@ -178,10 +168,6 @@ impl Bitshares {
         self.dpos.recover(node);
     }
 
-    fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
-    }
-
     /// The state keys a payload writes (interference footprint).
     fn written_keys(payload: &Payload) -> Vec<StateKey> {
         match *payload {
@@ -198,40 +184,32 @@ impl Bitshares {
         if block.commands.is_empty() {
             return;
         }
-        self.stats.blocks += 1;
         let witness = block.proposer;
         // Pack within the slot CPU budget; what does not fit stays for
         // the next block via re-submission to the engine.
         let budget = self.config.block_interval.mul_f64(self.config.slot_budget);
-        let mut used = SimDuration::ZERO;
-        let mut packed = Vec::new();
-        let mut overflow = Vec::new();
-        for cmd in block.commands {
-            let cost = self.config.per_tx_overhead + self.config.per_op_cost * cmd.ops as u64;
-            if used + cost <= budget {
-                used += cost;
-                packed.push(cmd);
-            } else {
-                overflow.push(cmd);
-            }
-        }
+        let (packed, overflow, used) = cut_by_budget(
+            block.commands,
+            budget,
+            self.config.per_tx_overhead,
+            self.config.per_op_cost,
+        );
         for cmd in overflow {
             self.dpos.submit(cmd);
         }
         let ops: u64 = packed.iter().map(|c| c.ops as u64).sum();
-        let height = self.ledger.append(
+        let block_id = self.rt.append_block(
             witness,
             block.committed_at,
             packed.iter().map(|c| c.tx).collect(),
             Some(ops),
         );
-        let block_id = BlockId(height);
         // Execute packed transactions atomically.
         let exec_done = self.exec_cpu.process(witness, block.committed_at, used);
         let mut emitted: Vec<(TxId, u32, bool)> = Vec::new();
         let cooling_until = block.committed_at + self.config.block_interval * 2;
         for cmd in &packed {
-            let Some(tx) = self.txs.remove(&cmd.tx) else {
+            let Some(tx) = self.rt.mempool().take(&cmd.tx) else {
                 continue;
             };
             // The footprint keeps interfering for one more block interval
@@ -261,7 +239,7 @@ impl Bitshares {
         let mut persist = exec_done;
         for w in 0..self.config.witnesses {
             if NodeId(w) != witness {
-                persist = persist.max(exec_done + self.hop());
+                persist = persist.max(exec_done + self.rt.hop());
             }
         }
         for (txid, ops, ok) in emitted {
@@ -270,12 +248,8 @@ impl Bitshares {
                 // never notified (a lost transaction).
                 continue;
             }
-            let event_at = persist + self.hop();
-            self.outcomes.push(
-                event_at,
-                TxOutcome::committed(txid, block_id, event_at, ops),
-            );
-            self.stats.outcomes_emitted += 1;
+            let event_at = persist + self.rt.hop();
+            self.rt.emit_committed(txid, block_id, event_at, ops);
         }
     }
 }
@@ -290,7 +264,7 @@ impl BlockchainSystem for Bitshares {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
-        self.stats.accepted += 1;
+        self.rt.accept();
         if self.config.conflict_rejection {
             // Release footprints whose cooling window has passed.
             let mut retained = Vec::with_capacity(self.cooling.len());
@@ -310,9 +284,9 @@ impl BlockchainSystem for Bitshares {
             keys.dedup();
             if keys.iter().any(|k| self.pending_touched.contains_key(k)) {
                 // Interacting transaction: silently discarded.
-                self.conflicts += 1;
+                self.rt.reject();
                 if let Some(limit) = self.config.stall_after_conflicts {
-                    if self.conflicts >= limit {
+                    if self.conflicts() >= limit {
                         self.stalled = true;
                     }
                 }
@@ -323,12 +297,8 @@ impl BlockchainSystem for Bitshares {
             }
             self.touched_by.insert(tx.id(), keys);
         }
-        self.txs.insert(tx.id(), tx.clone());
-        self.dpos.submit(coconut_consensus::Command::new(
-            tx.id(),
-            tx.op_count() as u32,
-            tx.size_bytes() as u32,
-        ));
+        self.rt.mempool().insert(tx.clone());
+        self.dpos.submit(command_for(&tx));
         SubmitOutcome::Accepted
     }
 
@@ -345,22 +315,15 @@ impl BlockchainSystem for Bitshares {
             }
         }
         self.dpos.run_until(deadline); // advance the clock to the window end
-        let mut out = Vec::new();
-        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
-            out.push(o);
-        }
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        let mut s = self.stats;
-        s.consensus_messages = self.dpos.net_stats().messages_sent;
-        s.rejected = self.conflicts;
-        s
+        self.rt.stats_with(self.dpos.net_stats().messages_sent)
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.dpos.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.crash_witness(node);
@@ -368,7 +331,7 @@ impl BlockchainSystem for Bitshares {
     }
 
     fn recover_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.dpos.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.recover_witness(node);

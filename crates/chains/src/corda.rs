@@ -22,16 +22,14 @@
 //! The notary rejects already-consumed states, which is what the
 //! BankingApp-SendPayment benchmark provokes (§4.1).
 
-use std::collections::VecDeque;
-
 use coconut_consensus::notary::NotaryPool;
 use coconut_iel::vault::Vault;
-use coconut_simnet::{EventQueue, LatencyModel, NetConfig};
+use coconut_simnet::NetConfig;
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimRng, SimTime,
-    TxOutcome,
+    tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
+use crate::runtime::{ChainRuntime, IngressLoad};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Which Corda product is being modelled.
@@ -117,19 +115,16 @@ use crate::util::WorkerPool;
 #[derive(Debug)]
 pub struct Corda {
     config: CordaConfig,
+    rt: ChainRuntime,
     workers: Vec<WorkerPool>,
     vault: Vault,
     notary: NotaryPool,
-    outcomes: EventQueue<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
     finalized: u64,
     notary_conflicts: u64,
     lost_to_notary_outage: u64,
     now: SimTime,
-    /// Recent submission arrival times per node (ingress-rate estimation).
-    recent_arrivals: Vec<VecDeque<SimTime>>,
+    /// Per-node ingress-load estimators (submission-rate slowdown).
+    ingress: Vec<IngressLoad>,
 }
 
 impl Corda {
@@ -143,16 +138,15 @@ impl Corda {
         assert!(config.notaries > 0, "need at least one notary");
         let seeds = SeedDeriver::new(seed);
         Corda {
+            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.notaries),
             workers: (0..config.nodes)
                 .map(|_| WorkerPool::new(config.flow_workers))
                 .collect(),
             vault: Vault::new(),
             notary: NotaryPool::new(config.notaries, config.notary_service),
-            outcomes: EventQueue::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
-            recent_arrivals: (0..config.nodes).map(|_| VecDeque::new()).collect(),
+            ingress: (0..config.nodes)
+                .map(|_| IngressLoad::new(SimDuration::from_secs(1), config.ingress_cost, 0.95))
+                .collect(),
             config,
             finalized: 0,
             notary_conflicts: 0,
@@ -196,32 +190,7 @@ impl Corda {
     }
 
     fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
-    }
-
-    /// Fraction of the node's flow capacity eaten by submission handling.
-    ///
-    /// The node's flow machinery also serves RPC ingress; each submission
-    /// costs [`CordaConfig::ingress_cost`] of shared CPU, so at high rate
-    /// limiters the flows themselves run on what is left — the paper's
-    /// observation that raising RL from 20 to 160 *drops* Corda OS from
-    /// 4.08 to 1.04 MTPS (Tables 7–8). Modelled as processor sharing: an
-    /// ingress utilization `u` stretches flow service times by 1/(1 − u).
-    fn ingress_slowdown(&mut self, node: usize, arrival: SimTime) -> f64 {
-        const WINDOW: SimDuration = SimDuration::from_secs(1);
-        let q = &mut self.recent_arrivals[node];
-        q.push_back(arrival);
-        while let Some(&front) = q.front() {
-            if arrival - front > WINDOW {
-                q.pop_front();
-            } else {
-                break;
-            }
-        }
-        let window_secs = WINDOW.as_secs_f64().min(arrival.as_secs_f64().max(0.25));
-        let rate = q.len() as f64 / window_secs;
-        let utilization = (rate * self.config.ingress_cost.as_secs_f64()).min(0.95);
-        1.0 / (1.0 - utilization)
+        self.rt.hop()
     }
 
     /// Wall time of the signature collection round.
@@ -264,7 +233,7 @@ impl BlockchainSystem for Corda {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
-        self.stats.accepted += 1;
+        self.rt.accept();
         self.now = self.now.max(now);
         let node = (tx.id().client().0 % self.config.nodes) as usize;
         let arrival = now + self.hop();
@@ -284,18 +253,20 @@ impl BlockchainSystem for Corda {
             _ => SimDuration::ZERO,
         };
 
-        let slowdown = self.ingress_slowdown(node, arrival);
+        // The node's flow machinery also serves RPC ingress; each
+        // submission costs [`CordaConfig::ingress_cost`] of shared CPU, so
+        // at high rate limiters the flows themselves run on what is left —
+        // the paper's observation that raising RL from 20 to 160 *drops*
+        // Corda OS from 4.08 to 1.04 MTPS (Tables 7–8).
+        let slowdown = self.ingress[node].record(arrival, 1);
         match built {
             Err(_) => {
                 // The flow errors after doing the scan work.
                 let cost = (self.config.flow_base + scan_cost).mul_f64(slowdown);
                 let done = self.workers[node].process(arrival, cost);
                 let event_at = done + self.hop();
-                self.outcomes.push(
-                    event_at,
-                    TxOutcome::failed(tx.id(), FailReason::ExecutionError, event_at),
-                );
-                self.stats.outcomes_emitted += 1;
+                self.rt
+                    .emit_failed(tx.id(), FailReason::ExecutionError, event_at);
                 SubmitOutcome::Accepted
             }
             Ok(corda_tx) => {
@@ -308,11 +279,7 @@ impl BlockchainSystem for Corda {
                 if read_only {
                     // Get/Balance: answered locally after the scan.
                     let event_at = done + self.hop();
-                    self.outcomes.push(
-                        event_at,
-                        TxOutcome::committed(tx.id(), BlockId(0), event_at, 1),
-                    );
-                    self.stats.outcomes_emitted += 1;
+                    self.rt.emit_committed(tx.id(), BlockId(0), event_at, 1);
                     return SubmitOutcome::Accepted;
                 }
                 // Notarization.
@@ -330,29 +297,21 @@ impl BlockchainSystem for Corda {
                 if !response.is_signed() {
                     self.notary_conflicts += 1;
                     let event_at = response.completed_at + self.hop() + self.hop();
-                    self.outcomes.push(
-                        event_at,
-                        TxOutcome::failed(tx.id(), FailReason::Conflict, event_at),
-                    );
-                    self.stats.outcomes_emitted += 1;
+                    self.rt.emit_failed(tx.id(), FailReason::Conflict, event_at);
                     return SubmitOutcome::Accepted;
                 }
                 self.vault.commit(tx.id(), &corda_tx);
                 self.finalized += 1;
-                self.stats.blocks += 1; // block-less: each finality counts
-                                        // Finality distribution: the transaction must reach every
-                                        // node before the client hears about it.
+                self.rt.note_finality(); // block-less: each finality counts
+                                         // Finality distribution: the transaction must reach every
+                                         // node before the client hears about it.
                 let back = response.completed_at + self.hop();
                 let mut persist = back;
                 for _ in 1..self.config.nodes {
                     persist = persist.max(back + self.hop());
                 }
                 let event_at = persist + self.hop();
-                self.outcomes.push(
-                    event_at,
-                    TxOutcome::committed(tx.id(), BlockId(0), event_at, 1),
-                );
-                self.stats.outcomes_emitted += 1;
+                self.rt.emit_committed(tx.id(), BlockId(0), event_at, 1);
                 SubmitOutcome::Accepted
             }
         }
@@ -360,15 +319,11 @@ impl BlockchainSystem for Corda {
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         self.now = self.now.max(deadline);
-        let mut out = Vec::new();
-        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
-            out.push(o);
-        }
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        self.stats
+        self.rt.stats()
     }
 
     fn is_live(&self) -> bool {

@@ -17,18 +17,16 @@
 //!   so most of a 200–1600 tx/s workload is still unconfirmed when the
 //!   client stops listening (Table 20: 16,752 of 60,000 received).
 
-use std::collections::{HashMap, VecDeque};
-
 use coconut_consensus::diembft::DiemBftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId,
-    TxOutcome,
+    tx::FailReason, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
 use crate::ledger::Ledger;
+use crate::runtime::{command_for, ChainRuntime, IngressLoad};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Diem deployment.
@@ -78,18 +76,15 @@ impl Default for DiemConfig {
 #[derive(Debug)]
 pub struct Diem {
     config: DiemConfig,
+    rt: ChainRuntime,
     engine: DiemBftCluster,
     exec_cpu: CpuModel,
     state: WorldState,
-    txs: HashMap<TxId, ClientTx>,
-    outcomes: EventQueue<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
-    ledger: Ledger,
     next_spike: SimTime,
     spikes: u64,
-    recent_arrivals: VecDeque<(SimTime, u32)>,
+    /// Mempool-admission load estimator (validators verify and share
+    /// every gossiped transaction).
+    ingress: IngressLoad,
     current_slowdown: f64,
     expired: u64,
 }
@@ -117,19 +112,14 @@ impl Diem {
             None => SimTime::MAX,
         };
         Diem {
+            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
             exec_cpu: CpuModel::new(config.nodes),
             engine,
             state: WorldState::new(),
-            txs: HashMap::new(),
-            outcomes: EventQueue::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
+            ingress: IngressLoad::new(SimDuration::from_secs(2), config.ingress_per_tx, 0.9),
             config,
-            ledger: Ledger::new(),
             next_spike,
             spikes: 0,
-            recent_arrivals: VecDeque::new(),
             current_slowdown: 1.0,
             expired: 0,
         }
@@ -142,12 +132,12 @@ impl Diem {
 
     /// Committed block count.
     pub fn height(&self) -> u64 {
-        self.ledger.height()
+        self.rt.height()
     }
 
     /// The hash-linked ledger (tamper-evident block chain).
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Number of spikes (validator stalls) injected so far.
@@ -169,35 +159,6 @@ impl Diem {
     /// Recovers a crashed validator at the highest known round.
     pub fn recover_validator(&mut self, node: NodeId) {
         self.engine.recover(node);
-    }
-
-    fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
-    }
-
-    /// Mempool-admission load factor: validators verify and share every
-    /// gossiped transaction, so a higher rate limiter leaves less CPU for
-    /// execution — Table 19's decline from 64 MTPS at RL = 200 to 37 at
-    /// RL = 1600. Modelled as processor sharing (execution × 1/(1 − u)).
-    fn ingress_slowdown(&mut self, now: SimTime, ops: u32) -> f64 {
-        const WINDOW: SimDuration = SimDuration::from_secs(2);
-        self.recent_arrivals.push_back((now, ops));
-        while let Some(&(front, _)) = self.recent_arrivals.front() {
-            if now - front > WINDOW {
-                self.recent_arrivals.pop_front();
-            } else {
-                break;
-            }
-        }
-        let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
-        let tx_rate = self
-            .recent_arrivals
-            .iter()
-            .map(|&(_, n)| n as u64)
-            .sum::<u64>() as f64
-            / window_secs;
-        let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
-        1.0 / (1.0 - utilization)
     }
 
     /// Injects any validator spikes due before `deadline`.
@@ -226,20 +187,16 @@ impl BlockchainSystem for Diem {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
-        if self.engine.pending_len() >= self.config.mempool_limit {
-            self.stats.rejected += 1;
-            return SubmitOutcome::Rejected;
+        let full = self.engine.pending_len() >= self.config.mempool_limit;
+        let outcome = self.rt.admit(&tx, full);
+        if outcome.is_accepted() {
+            // Mempool admission: every validator verifies and shares the
+            // tx — a higher rate limiter leaves less CPU for execution
+            // (Table 19: 64 MTPS at RL = 200 vs 37 at RL = 1600).
+            self.current_slowdown = self.ingress.record(now, tx.op_count() as u32);
+            self.engine.submit(command_for(&tx));
         }
-        self.stats.accepted += 1;
-        // Mempool admission: every validator verifies and shares the tx.
-        self.current_slowdown = self.ingress_slowdown(now, tx.op_count() as u32);
-        self.txs.insert(tx.id(), tx.clone());
-        self.engine.submit(coconut_consensus::Command::new(
-            tx.id(),
-            tx.op_count() as u32,
-            tx.size_bytes() as u32,
-        ));
-        SubmitOutcome::Accepted
+        outcome
     }
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
@@ -254,21 +211,15 @@ impl BlockchainSystem for Diem {
             }
             self.inject_spikes(upto);
         }
-        let mut out = Vec::new();
-        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
-            out.push(o);
-        }
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        let mut s = self.stats;
-        s.consensus_messages = self.engine.net_stats().messages_sent;
-        s
+        self.rt.stats_with(self.engine.net_stats().messages_sent)
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.engine.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.crash_validator(node);
@@ -276,7 +227,7 @@ impl BlockchainSystem for Diem {
     }
 
     fn recover_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.engine.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.recover_validator(node);
@@ -294,20 +245,18 @@ impl Diem {
             if block.commands.is_empty() {
                 continue;
             }
-            self.stats.blocks += 1;
-            let height = self.ledger.append(
+            let block_id = self.rt.append_block(
                 block.proposer,
                 block.committed_at,
                 block.commands.iter().map(|c| c.tx).collect(),
                 None,
             );
-            let block_id = BlockId(height);
             let mut results = Vec::with_capacity(block.commands.len());
             let mut total_cost = SimDuration::ZERO;
             let slowdown = self.current_slowdown;
             let mut expired = 0u64;
             for cmd in &block.commands {
-                let Some(tx) = self.txs.remove(&cmd.tx) else {
+                let Some(tx) = self.rt.mempool().take(&cmd.tx) else {
                     continue;
                 };
                 // Expired transactions are discarded with a cheap check —
@@ -324,21 +273,17 @@ impl Diem {
             }
             self.expired += expired;
             // Every validator re-executes; the slowest gates notification.
-            let mut persist = SimTime::ZERO;
-            for v in 0..self.config.nodes {
-                let arrive = block.committed_at + self.hop();
-                let done = self.exec_cpu.process(NodeId(v), arrive, total_cost);
-                persist = persist.max(done);
-            }
+            let persist = self
+                .rt
+                .replicate(&mut self.exec_cpu, block.committed_at, total_cost);
             for (txid, ops, ok) in results {
-                let event_at = persist + self.hop();
-                let outcome = if ok {
-                    TxOutcome::committed(txid, block_id, event_at, ops)
+                let event_at = persist + self.rt.hop();
+                if ok {
+                    self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {
-                    TxOutcome::failed(txid, FailReason::ExecutionError, event_at)
-                };
-                self.outcomes.push(event_at, outcome);
-                self.stats.outcomes_emitted += 1;
+                    self.rt
+                        .emit_failed(txid, FailReason::ExecutionError, event_at);
+                }
             }
         }
     }
@@ -347,7 +292,7 @@ impl Diem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coconut_types::{ClientId, Payload, ThreadId};
+    use coconut_types::{ClientId, Payload, ThreadId, TxId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
         ClientTx::single(

@@ -26,12 +26,11 @@ use std::collections::HashMap;
 use coconut_consensus::raft::RaftCluster;
 use coconut_consensus::{BatchConfig, Command, CpuModel};
 use coconut_iel::{simulate, validate_and_apply, RwSet, WorldState};
-use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig};
-use coconut_types::{
-    BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId, TxOutcome,
-};
+use coconut_simnet::{EventQueue, FaultEvent, NetConfig};
+use coconut_types::{ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome};
 
 use crate::ledger::Ledger;
+use crate::runtime::{command_for, ChainRuntime};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 use crate::util::WorkerPool;
 
@@ -102,6 +101,7 @@ struct InFlight {
 #[derive(Debug)]
 pub struct Fabric {
     config: FabricConfig,
+    rt: ChainRuntime,
     raft: RaftCluster,
     peer_cpu: CpuModel,
     endorse_pool: Vec<WorkerPool>,
@@ -109,11 +109,6 @@ pub struct Fabric {
     in_flight: HashMap<TxId, InFlight>,
     /// Endorsement completions waiting to be injected into the orderer.
     injections: EventQueue<EndorsedTx>,
-    outcomes: Vec<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
-    ledger: Ledger,
     valid_txs: u64,
     invalid_txs: u64,
 }
@@ -137,6 +132,7 @@ impl Fabric {
             ))
             .build();
         Fabric {
+            rt: ChainRuntime::new(&seeds, &config.net, config.peers, config.orderers),
             peer_cpu: CpuModel::new(config.peers),
             endorse_pool: (0..config.peers)
                 .map(|_| WorkerPool::new(config.endorse_workers))
@@ -145,12 +141,7 @@ impl Fabric {
             state: WorldState::new(),
             in_flight: HashMap::new(),
             injections: EventQueue::new(),
-            outcomes: Vec::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
             config,
-            ledger: Ledger::new(),
             valid_txs: 0,
             invalid_txs: 0,
         }
@@ -173,12 +164,12 @@ impl Fabric {
 
     /// Current chain height.
     pub fn height(&self) -> u64 {
-        self.ledger.height()
+        self.rt.height()
     }
 
     /// The hash-linked ledger (tamper-evident block chain).
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Crashes one of the Raft orderers (fault injection). The ordering
@@ -192,29 +183,18 @@ impl Fabric {
         self.raft.recover(orderer);
     }
 
-    fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
-    }
-
     fn process_batches(&mut self, batches: Vec<coconut_consensus::CommittedBatch>) {
         for batch in batches {
-            self.stats.blocks += 1;
             let tb = batch.committed_at;
-            let height = self.ledger.append(
+            let block = self.rt.append_block(
                 batch.proposer,
                 tb,
                 batch.commands.iter().map(|c| c.tx).collect(),
                 None,
             );
-            let block = BlockId(height);
             // Every peer receives and validates the whole block.
-            let mut persist = SimTime::ZERO;
             let validation = self.config.validate_cost * batch.commands.len() as u64;
-            for p in 0..self.config.peers {
-                let arrive = tb + self.hop();
-                let done = self.peer_cpu.process(NodeId(p), arrive, validation);
-                persist = persist.max(done);
-            }
+            let persist = self.rt.replicate(&mut self.peer_cpu, tb, validation);
             let lag = persist - tb;
             let events_broken = self
                 .config
@@ -236,10 +216,8 @@ impl Fabric {
                 if events_broken || events_dropped {
                     continue; // client never learns
                 }
-                let event_at = persist + self.hop();
-                self.outcomes
-                    .push(TxOutcome::committed(cmd.tx, block, event_at, fl.ops));
-                self.stats.outcomes_emitted += 1;
+                let event_at = persist + self.rt.hop();
+                self.rt.emit_committed(cmd.tx, block, event_at, fl.ops);
             }
         }
     }
@@ -255,19 +233,19 @@ impl BlockchainSystem for Fabric {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
-        self.stats.accepted += 1;
+        self.rt.accept();
         // Endorsement at the client's peer: the simulation consumes peer
         // CPU (shared with block validation), and the gRPC slot stays held
         // from request arrival through the response round-trip — so added
         // network latency throttles endorsement throughput (§5.8.1).
         let peer = NodeId(tx.id().client().0 % self.config.peers);
-        let arrive = now + self.hop();
+        let arrive = now + self.rt.hop();
         let cpu = self.config.endorse_cost * tx.op_count() as u64;
         let cpu_done = self.peer_cpu.process(peer, arrive, cpu);
         // The slot is held for the endorsement service time plus the
         // request/response legs (not the CPU queueing delay, which gRPC
         // concurrency hides).
-        let hold = cpu + self.hop() + self.hop();
+        let hold = cpu + self.rt.hop() + self.rt.hop();
         let done = self.endorse_pool[peer.0 as usize]
             .process(arrive, hold)
             .max(cpu_done);
@@ -280,13 +258,12 @@ impl BlockchainSystem for Fabric {
                 // Endorsement failure: the client learns immediately after
                 // the endorsement round-trip and the tx never reaches the
                 // orderer. (Rare in the paper's workloads.)
-                let event_at = done + self.hop();
-                self.outcomes.push(TxOutcome::failed(
+                let event_at = done + self.rt.hop();
+                self.rt.emit_failed(
                     tx.id(),
                     coconut_types::tx::FailReason::ExecutionError,
                     event_at,
-                ));
-                self.stats.outcomes_emitted += 1;
+                );
                 return SubmitOutcome::Accepted;
             }
         };
@@ -297,8 +274,8 @@ impl BlockchainSystem for Fabric {
                 ops: tx.op_count() as u32,
             },
         );
-        let command = Command::new(tx.id(), tx.op_count() as u32, tx.size_bytes() as u32);
-        let inject_at = done + self.hop();
+        let command = command_for(&tx);
+        let inject_at = done + self.rt.hop();
         self.injections.push(inject_at, EndorsedTx { command });
         SubmitOutcome::Accepted
     }
@@ -317,18 +294,15 @@ impl BlockchainSystem for Fabric {
         }
         let batches = self.raft.run_until(deadline);
         self.process_batches(batches);
-        self.stats.consensus_messages = self.raft.net_stats().messages_sent;
-        let mut out = std::mem::take(&mut self.outcomes);
-        out.sort_by_key(|o| o.finalized_at);
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        self.stats
+        self.rt.stats_with(self.raft.net_stats().messages_sent)
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.raft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.crash_orderer(node);
@@ -336,7 +310,7 @@ impl BlockchainSystem for Fabric {
     }
 
     fn recover_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.raft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.recover_orderer(node);

@@ -47,8 +47,10 @@ pub mod diem;
 pub mod fabric;
 pub mod ledger;
 pub mod quorum;
+pub mod runtime;
 pub mod sawtooth;
 pub mod system;
 mod util;
 
+pub use runtime::{ChainRuntime, IngressLoad, Mempool};
 pub use system::{BlockchainSystem, SubmitOutcome, SystemStats};

@@ -19,18 +19,16 @@
 //!   silently dropped (geth-style), which the client observes as lost
 //!   transactions.
 
-use std::collections::HashMap;
-
 use coconut_consensus::ibft::IbftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimRng, SimTime,
-    TxId, TxOutcome,
+    tx::FailReason, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
 use crate::ledger::Ledger;
+use crate::runtime::{command_for, ChainRuntime};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Quorum deployment.
@@ -87,16 +85,11 @@ impl Default for QuorumConfig {
 #[derive(Debug)]
 pub struct Quorum {
     config: QuorumConfig,
+    rt: ChainRuntime,
     ibft: IbftCluster,
     exec_cpu: CpuModel,
     state: WorldState,
-    payloads: HashMap<TxId, ClientTx>,
-    outcomes: EventQueue<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
     stalled: bool,
-    ledger: Ledger,
 }
 
 impl Quorum {
@@ -116,17 +109,12 @@ impl Quorum {
             .batch(BatchConfig::new(config.block_tx_limit, config.block_period))
             .build();
         Quorum {
+            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
             exec_cpu: CpuModel::new(config.nodes),
             ibft,
             state: WorldState::new(),
-            payloads: HashMap::new(),
-            outcomes: EventQueue::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
             config,
             stalled: false,
-            ledger: Ledger::new(),
         }
     }
 
@@ -137,12 +125,12 @@ impl Quorum {
 
     /// Chain height including empty blocks.
     pub fn height(&self) -> u64 {
-        self.ledger.height()
+        self.rt.height()
     }
 
     /// The hash-linked ledger (tamper-evident block chain).
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// `true` once the txpool has frozen (the §5.5 anomaly).
@@ -159,10 +147,6 @@ impl Quorum {
     /// Recovers a crashed validator.
     pub fn recover_validator(&mut self, node: NodeId) {
         self.ibft.recover(node);
-    }
-
-    fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
     }
 
     fn exec_cost(&self, payload: &Payload) -> SimDuration {
@@ -191,7 +175,7 @@ impl BlockchainSystem for Quorum {
         if self.stalled {
             // The pool still accepts (geth keeps queueing) but nothing is
             // ever processed; the client sees the transaction as lost.
-            self.stats.accepted += 1;
+            self.rt.accept();
             return SubmitOutcome::Accepted;
         }
         if self.config.stall_anomaly
@@ -202,33 +186,23 @@ impl BlockchainSystem for Quorum {
             // load freezes the pool for good; blocks continue empty.
             self.stalled = true;
             let dropped = self.ibft.drop_pending();
-            for _ in 0..dropped {
-                self.stats.rejected += 1;
-            }
-            self.payloads.clear();
-            self.stats.accepted += 1;
+            self.rt.reject_n(dropped as u64);
+            self.rt.mempool().clear();
+            self.rt.accept();
             return SubmitOutcome::Accepted;
         }
-        if self.ibft.pending_len() >= self.config.txpool_limit {
-            // Ordinary overflow: silently dropped.
-            self.stats.rejected += 1;
-            return SubmitOutcome::Rejected;
+        let full = self.ibft.pending_len() >= self.config.txpool_limit;
+        let outcome = self.rt.admit(&tx, full);
+        if outcome.is_accepted() {
+            self.ibft.submit(command_for(&tx));
         }
-        self.stats.accepted += 1;
-        self.payloads.insert(tx.id(), tx.clone());
-        self.ibft.submit(coconut_consensus::Command::new(
-            tx.id(),
-            tx.op_count() as u32,
-            tx.size_bytes() as u32,
-        ));
-        SubmitOutcome::Accepted
+        outcome
     }
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         let blocks = self.ibft.run_until(deadline);
         for block in blocks {
-            self.stats.blocks += 1;
-            let height = self.ledger.append(
+            let block_id = self.rt.append_block(
                 block.proposer,
                 block.committed_at,
                 block.commands.iter().map(|c| c.tx).collect(),
@@ -240,14 +214,13 @@ impl BlockchainSystem for Quorum {
             if self.stalled {
                 continue; // in-flight blocks during the freeze notify nobody
             }
-            let block_id = BlockId(height);
             // Every validator executes the block sequentially; the slowest
             // validator gates the client notification ("persisted in all
             // participating blockchain nodes").
             let mut costs = SimDuration::ZERO;
             let mut executed = Vec::with_capacity(block.commands.len());
             for cmd in &block.commands {
-                let Some(tx) = self.payloads.remove(&cmd.tx) else {
+                let Some(tx) = self.rt.mempool().take(&cmd.tx) else {
                     continue;
                 };
                 let cost = self.exec_cost(&tx.payloads()[0]);
@@ -257,41 +230,28 @@ impl BlockchainSystem for Quorum {
                 let ok = self.state.apply(&tx.payloads()[0]).is_ok();
                 executed.push((cmd.tx, cmd.ops, ok));
             }
-            let mut persist = SimTime::ZERO;
-            for v in 0..self.config.nodes {
-                let arrive = block.committed_at + self.hop();
-                let done = self.exec_cpu.process(NodeId(v), arrive, costs);
-                persist = persist.max(done);
-            }
+            let persist = self
+                .rt
+                .replicate(&mut self.exec_cpu, block.committed_at, costs);
             for (txid, ops, ok) in executed {
-                let event_at = persist + self.hop();
-                let outcome = if ok {
-                    TxOutcome::committed(txid, block_id, event_at, ops)
+                let event_at = persist + self.rt.hop();
+                if ok {
+                    self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {
-                    TxOutcome {
-                        finalized_at: event_at,
-                        ..TxOutcome::failed(txid, FailReason::ExecutionError, event_at)
-                    }
-                };
-                self.outcomes.push(event_at, outcome);
-                self.stats.outcomes_emitted += 1;
+                    self.rt
+                        .emit_failed(txid, FailReason::ExecutionError, event_at);
+                }
             }
         }
-        let mut out = Vec::new();
-        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
-            out.push(o);
-        }
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        let mut s = self.stats;
-        s.consensus_messages = self.ibft.net_stats().messages_sent;
-        s
+        self.rt.stats_with(self.ibft.net_stats().messages_sent)
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.ibft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.crash_validator(node);
@@ -299,7 +259,7 @@ impl BlockchainSystem for Quorum {
     }
 
     fn recover_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.ibft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.recover_validator(node);
@@ -318,7 +278,7 @@ impl BlockchainSystem for Quorum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coconut_types::{AccountId, ClientId, ThreadId};
+    use coconut_types::{AccountId, ClientId, ThreadId, TxId};
 
     fn tx(seq: u64, payload: Payload) -> ClientTx {
         ClientTx::single(

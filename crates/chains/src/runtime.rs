@@ -1,0 +1,455 @@
+//! The shared chain-runtime scaffold.
+//!
+//! Every one of the seven chain models used to re-implement the same
+//! client-facing machinery by hand: ingress admission with
+//! [`SystemStats`] counters, a pending-payload mempool, the outcome bus
+//! that stamps `finalized_at` when the *client* learns a transaction's
+//! fate, the replication barrier ("persisted in all participating
+//! blockchain nodes"), and the crash/recover node registry. This module
+//! owns those pieces once; a model keeps only its protocol-specific
+//! logic (endorsement, block execution, conflict rules, …) and drives
+//! the scaffold.
+//!
+//! The scaffold is deliberately *passive*: it never advances time on its
+//! own, so a model's event interleaving — and therefore its RNG stream —
+//! is exactly what the model dictates. Two instances built from the same
+//! seed and driven with the same calls produce identical outcome
+//! streams, which is what makes the parallel experiment executor in
+//! `coconut-core` safe.
+
+use std::collections::{HashMap, VecDeque};
+
+use coconut_consensus::{Command, CpuModel};
+use coconut_simnet::{EventQueue, LatencyModel, NetConfig};
+use coconut_types::{
+    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
+};
+
+use crate::ledger::Ledger;
+use crate::system::{SubmitOutcome, SystemStats};
+
+/// Builds the consensus-engine command for a client transaction (the
+/// `(id, ops, bytes)` triple every engine ingests).
+pub fn command_for(tx: &ClientTx) -> Command {
+    Command::new(tx.id(), tx.op_count() as u32, tx.size_bytes() as u32)
+}
+
+/// Cuts a block's command list by a CPU budget: commands are packed in
+/// order while `per_tx + per_op × ops` still fits `budget`; the rest is
+/// returned as overflow for the next block (BitShares' witness-slot
+/// packing).
+pub fn cut_by_budget(
+    commands: Vec<Command>,
+    budget: SimDuration,
+    per_tx: SimDuration,
+    per_op: SimDuration,
+) -> (Vec<Command>, Vec<Command>, SimDuration) {
+    let mut used = SimDuration::ZERO;
+    let mut packed = Vec::new();
+    let mut overflow = Vec::new();
+    for cmd in commands {
+        let cost = per_tx + per_op * cmd.ops as u64;
+        if used + cost <= budget {
+            used += cost;
+            packed.push(cmd);
+        } else {
+            overflow.push(cmd);
+        }
+    }
+    (packed, overflow, used)
+}
+
+/// An ingress-load estimator: submission handling shares CPU with the
+/// protocol's real work, so a flood of arrivals stretches service times.
+/// Modelled as processor sharing — a recent-window arrival rate `λ`
+/// against a per-item admission cost `c` yields utilization `u = λc`
+/// (capped) and a slowdown of `1/(1 − u)`.
+///
+/// This is the paper's recurring "raising the rate limiter *lowers*
+/// throughput" mechanism: Sawtooth's gossip admission (§5.6), Diem's
+/// mempool admission (§5.7) and Corda's RPC ingress (§5.1) all use it.
+#[derive(Debug, Clone)]
+pub struct IngressLoad {
+    window: SimDuration,
+    per_item: SimDuration,
+    cap: f64,
+    arrivals: VecDeque<(SimTime, u32)>,
+}
+
+impl IngressLoad {
+    /// Creates an estimator over a sliding `window` with an admission
+    /// cost of `per_item` per recorded item and a utilization cap.
+    pub fn new(window: SimDuration, per_item: SimDuration, cap: f64) -> Self {
+        IngressLoad {
+            window,
+            per_item,
+            cap,
+            arrivals: VecDeque::new(),
+        }
+    }
+
+    /// Records `items` arriving at `now` and returns the current
+    /// slowdown factor (`≥ 1.0`).
+    pub fn record(&mut self, now: SimTime, items: u32) -> f64 {
+        self.arrivals.push_back((now, items));
+        while let Some(&(front, _)) = self.arrivals.front() {
+            if now - front > self.window {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        let window_secs = self.window.as_secs_f64().min(now.as_secs_f64().max(0.25));
+        let rate = self.arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64 / window_secs;
+        let utilization = (rate * self.per_item.as_secs_f64()).min(self.cap);
+        1.0 / (1.0 - utilization)
+    }
+}
+
+/// The pending-payload store: client transactions waiting between
+/// acceptance and block execution, keyed by id.
+#[derive(Debug, Default)]
+pub struct Mempool {
+    txs: HashMap<TxId, ClientTx>,
+}
+
+impl Mempool {
+    /// Stores a pending transaction.
+    pub fn insert(&mut self, tx: ClientTx) {
+        self.txs.insert(tx.id(), tx);
+    }
+
+    /// Removes and returns the transaction, if still pending.
+    pub fn take(&mut self, id: &TxId) -> Option<ClientTx> {
+        self.txs.remove(id)
+    }
+
+    /// Drops every pending transaction (Quorum's pool freeze).
+    pub fn clear(&mut self) {
+        self.txs.clear();
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+/// The scaffold a chain model embeds (see module docs).
+#[derive(Debug)]
+pub struct ChainRuntime {
+    stats: SystemStats,
+    mempool: Mempool,
+    outcomes: EventQueue<TxOutcome>,
+    rng: coconut_types::SimRng,
+    inter: LatencyModel,
+    ledger: Ledger,
+    /// Replication width: nodes that must persist before the client is
+    /// notified.
+    nodes: u32,
+    /// Crashable-role count for the fault registry (Fabric's orderers
+    /// differ from its peers).
+    crashable: u32,
+}
+
+impl ChainRuntime {
+    /// Builds the scaffold. `nodes` is the replication width (every one
+    /// of them persists a block before the client hears about it);
+    /// `crashable` is the size of the model's crashable consensus role.
+    /// The inter-server hop model and the `"hops"` RNG stream come from
+    /// `seeds`/`net`, exactly as the hand-rolled models derived them.
+    pub fn new(seeds: &SeedDeriver, net: &NetConfig, nodes: u32, crashable: u32) -> Self {
+        ChainRuntime {
+            stats: SystemStats::default(),
+            mempool: Mempool::default(),
+            outcomes: EventQueue::new(),
+            rng: seeds.rng("hops", 0),
+            inter: net.inter_server,
+            ledger: Ledger::new(),
+            nodes,
+            crashable,
+        }
+    }
+
+    // --- ingress admission -------------------------------------------------
+
+    /// Counts one accepted submission.
+    pub fn accept(&mut self) {
+        self.stats.accepted += 1;
+    }
+
+    /// Counts one rejected submission.
+    pub fn reject(&mut self) {
+        self.stats.rejected += 1;
+    }
+
+    /// Counts `n` rejected submissions at once (pool drops).
+    pub fn reject_n(&mut self, n: u64) {
+        self.stats.rejected += n;
+    }
+
+    /// The common admission gate: a full ingress rejects, anything else
+    /// is accepted and stored in the mempool.
+    pub fn admit(&mut self, tx: &ClientTx, full: bool) -> SubmitOutcome {
+        if full {
+            self.reject();
+            SubmitOutcome::Rejected
+        } else {
+            self.accept();
+            self.mempool.insert(tx.clone());
+            SubmitOutcome::Accepted
+        }
+    }
+
+    /// The pending-payload store.
+    pub fn mempool(&mut self) -> &mut Mempool {
+        &mut self.mempool
+    }
+
+    // --- network hops ------------------------------------------------------
+
+    /// Samples one inter-server network hop.
+    pub fn hop(&mut self) -> SimDuration {
+        self.inter.sample(&mut self.rng)
+    }
+
+    // --- blocks and the ledger ---------------------------------------------
+
+    /// Appends a block to the hash-linked ledger and counts it; returns
+    /// the block id at the new height.
+    pub fn append_block(
+        &mut self,
+        proposer: NodeId,
+        at: SimTime,
+        txs: Vec<TxId>,
+        ops: Option<u64>,
+    ) -> BlockId {
+        self.stats.blocks += 1;
+        BlockId(self.ledger.append(proposer, at, txs, ops))
+    }
+
+    /// Counts a finality round on a block-less chain (Corda).
+    pub fn note_finality(&mut self) {
+        self.stats.blocks += 1;
+    }
+
+    /// The hash-linked ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// Replication barrier: every node receives the block after one hop
+    /// and spends `cost` of its CPU persisting it; returns the instant
+    /// the *slowest* node is done — the gate for client notification.
+    pub fn replicate(&mut self, cpu: &mut CpuModel, at: SimTime, cost: SimDuration) -> SimTime {
+        let mut persist = SimTime::ZERO;
+        for n in 0..self.nodes {
+            let arrive = at + self.hop();
+            let done = cpu.process(NodeId(n), arrive, cost);
+            persist = persist.max(done);
+        }
+        persist
+    }
+
+    // --- the outcome bus ---------------------------------------------------
+
+    /// Emits a committed outcome to the client at `event_at` (one
+    /// notification hop *already included* by the caller's timestamp).
+    pub fn emit_committed(&mut self, tx: TxId, block: BlockId, event_at: SimTime, ops: u32) {
+        self.outcomes
+            .push(event_at, TxOutcome::committed(tx, block, event_at, ops));
+        self.stats.outcomes_emitted += 1;
+    }
+
+    /// Emits a failure outcome to the client at `event_at`.
+    pub fn emit_failed(&mut self, tx: TxId, reason: FailReason, event_at: SimTime) {
+        self.outcomes
+            .push(event_at, TxOutcome::failed(tx, reason, event_at));
+        self.stats.outcomes_emitted += 1;
+    }
+
+    /// Drains every outcome whose client notification fired at or
+    /// before `deadline`, in notification order.
+    pub fn drain(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
+        let mut out = Vec::new();
+        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
+            out.push(o);
+        }
+        out
+    }
+
+    // --- the crash registry ------------------------------------------------
+
+    /// `true` if `node` names a member of the model's crashable role.
+    pub fn has_node(&self, node: NodeId) -> bool {
+        node.0 < self.crashable
+    }
+
+    // --- stats -------------------------------------------------------------
+
+    /// The scaffold's counters.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// The scaffold's counters with the model's consensus-message count
+    /// overlaid (engines track their own network traffic).
+    pub fn stats_with(&self, consensus_messages: u64) -> SystemStats {
+        let mut s = self.stats;
+        s.consensus_messages = consensus_messages;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_types::{ClientId, Payload, ThreadId};
+
+    fn rt() -> ChainRuntime {
+        ChainRuntime::new(&SeedDeriver::new(42), &NetConfig::lan(), 4, 3)
+    }
+
+    fn tx(seq: u64) -> ClientTx {
+        ClientTx::single(
+            TxId::new(ClientId(0), seq),
+            ThreadId(0),
+            Payload::DoNothing,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn admission_counts_and_stores() {
+        let mut r = rt();
+        assert!(r.admit(&tx(1), false).is_accepted());
+        assert!(!r.admit(&tx(2), true).is_accepted());
+        r.reject_n(3);
+        let s = r.stats();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.rejected, 4);
+        assert_eq!(r.mempool().len(), 1);
+        assert!(r.mempool().take(&tx(1).id()).is_some());
+        assert!(r.mempool().is_empty());
+    }
+
+    #[test]
+    fn outcome_bus_orders_and_counts() {
+        let mut r = rt();
+        r.emit_committed(tx(2).id(), BlockId(1), SimTime::from_secs(2), 1);
+        r.emit_committed(tx(1).id(), BlockId(1), SimTime::from_secs(1), 1);
+        r.emit_failed(tx(3).id(), FailReason::Conflict, SimTime::from_secs(5));
+        let early = r.drain(SimTime::from_secs(3));
+        assert_eq!(early.len(), 2);
+        assert!(early[0].finalized_at <= early[1].finalized_at);
+        assert_eq!(r.stats().outcomes_emitted, 3);
+        let late = r.drain(SimTime::from_secs(10));
+        assert_eq!(late.len(), 1);
+        assert!(!late[0].is_committed());
+    }
+
+    #[test]
+    fn blocks_and_finality_count() {
+        let mut r = rt();
+        let b = r.append_block(NodeId(0), SimTime::from_secs(1), vec![tx(1).id()], None);
+        assert_eq!(b, BlockId(1));
+        r.note_finality();
+        assert_eq!(r.stats().blocks, 2);
+        assert_eq!(r.height(), 1, "finality rounds do not extend the ledger");
+    }
+
+    #[test]
+    fn crash_registry_bounds() {
+        let r = rt();
+        assert!(r.has_node(NodeId(0)));
+        assert!(r.has_node(NodeId(2)));
+        assert!(!r.has_node(NodeId(3)), "crashable role has 3 members");
+    }
+
+    #[test]
+    fn replicate_waits_for_slowest_node() {
+        let mut r = rt();
+        let mut cpu = CpuModel::new(4);
+        let t = SimTime::from_secs(1);
+        let persist = r.replicate(&mut cpu, t, SimDuration::from_millis(10));
+        assert!(persist >= t + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn same_seed_same_streams() {
+        let drive = || {
+            let mut r = rt();
+            let mut cpu = CpuModel::new(4);
+            let mut events = Vec::new();
+            for i in 0..20u64 {
+                let at = SimTime::from_millis(100 * i);
+                let persist = r.replicate(&mut cpu, at, SimDuration::from_millis(3));
+                let event_at = persist + r.hop();
+                r.emit_committed(tx(i).id(), BlockId(i + 1), event_at, 1);
+            }
+            events.extend(
+                r.drain(SimTime::from_secs(30))
+                    .iter()
+                    .map(|o| (o.tx, o.finalized_at)),
+            );
+            events
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn ingress_load_is_unity_when_idle_and_grows_with_rate() {
+        let mut l = IngressLoad::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(800),
+            0.9,
+        );
+        let slow = l.record(SimTime::from_secs(10), 1);
+        assert!(slow < 1.01, "one arrival barely registers: {slow}");
+        let mut l = IngressLoad::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(800),
+            0.9,
+        );
+        let mut last = 1.0;
+        for i in 0..4000u64 {
+            last = l.record(SimTime::from_secs(10) + SimDuration::from_millis(i), 1);
+        }
+        assert!(last > 2.0, "a 1000/s flood must stretch service: {last}");
+        assert!(last <= 10.0 + 1e-9, "capped at u = 0.9");
+    }
+
+    #[test]
+    fn budget_cutting_packs_in_order() {
+        let cmds: Vec<Command> = (0..10).map(|i| Command::new(tx(i).id(), 1, 64)).collect();
+        let (packed, overflow, used) = cut_by_budget(
+            cmds,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+        );
+        assert_eq!(packed.len(), 5);
+        assert_eq!(overflow.len(), 5);
+        assert_eq!(used, SimDuration::from_millis(5));
+        assert_eq!(packed[0].tx, tx(0).id(), "order preserved");
+        assert_eq!(overflow[0].tx, tx(5).id());
+    }
+
+    #[test]
+    fn command_for_carries_ops_and_bytes() {
+        let t = tx(9);
+        let c = command_for(&t);
+        assert_eq!(c.tx, t.id());
+        assert_eq!(c.ops, t.op_count() as u32);
+    }
+}

@@ -20,18 +20,18 @@
 //!   being finalized" (§5.8.2) — the queue accepts but consensus never
 //!   includes them.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use coconut_consensus::pbft::PbftCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::WorldState;
-use coconut_simnet::{EventQueue, FaultEvent, LatencyModel, NetConfig, Topology};
+use coconut_simnet::{FaultEvent, NetConfig, Topology};
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, NodeId, SeedDeriver, SimDuration, SimRng, SimTime, TxId,
-    TxOutcome,
+    tx::FailReason, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
 use crate::ledger::Ledger;
+use crate::runtime::{command_for, ChainRuntime, IngressLoad};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Sawtooth deployment.
@@ -79,23 +79,18 @@ impl Default for SawtoothConfig {
 #[derive(Debug)]
 pub struct Sawtooth {
     config: SawtoothConfig,
+    rt: ChainRuntime,
     pbft: PbftCluster,
     exec_cpu: CpuModel,
     state: WorldState,
-    batches: HashMap<TxId, ClientTx>,
-    outcomes: EventQueue<TxOutcome>,
-    stats: SystemStats,
-    rng: SimRng,
-    inter: LatencyModel,
-    ledger: Ledger,
     aborted_batches: u64,
     /// Per-block (execution-finished-at, batch count): committed batches
     /// still occupying the validator until the transaction processors are
     /// done with them.
     executing: VecDeque<(SimTime, u32)>,
-    /// Recent submission arrivals (time, inner-tx count) for the
-    /// admission-load estimator.
-    recent_arrivals: VecDeque<(SimTime, u32)>,
+    /// Admission-load estimator (every validator signature-checks every
+    /// gossiped batch).
+    ingress: IngressLoad,
     /// Latest admission slowdown factor, applied to block execution.
     current_slowdown: f64,
 }
@@ -125,19 +120,14 @@ impl Sawtooth {
             ))
             .build();
         Sawtooth {
+            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
             exec_cpu: CpuModel::new(config.nodes),
             pbft,
             state: WorldState::new(),
-            batches: HashMap::new(),
-            outcomes: EventQueue::new(),
-            stats: SystemStats::default(),
-            rng: seeds.rng("hops", 0),
-            inter: config.net.inter_server,
+            ingress: IngressLoad::new(SimDuration::from_secs(2), config.ingress_per_tx, 0.9),
             config,
-            ledger: Ledger::new(),
             aborted_batches: 0,
             executing: VecDeque::new(),
-            recent_arrivals: VecDeque::new(),
             current_slowdown: 1.0,
         }
     }
@@ -149,12 +139,12 @@ impl Sawtooth {
 
     /// Chain height.
     pub fn height(&self) -> u64 {
-        self.ledger.height()
+        self.rt.height()
     }
 
     /// The hash-linked ledger (tamper-evident block chain).
     pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Batches discarded atomically because an inner transaction failed.
@@ -171,37 +161,6 @@ impl Sawtooth {
     /// Recovers a crashed validator.
     pub fn recover_validator(&mut self, node: NodeId) {
         self.pbft.recover(node);
-    }
-
-    fn hop(&mut self) -> SimDuration {
-        self.inter.sample(&mut self.rng)
-    }
-
-    /// Admission load factor: every validator deserializes and
-    /// signature-checks every gossiped batch, sharing CPU with the
-    /// transaction processors. At high rate limiters the admission flood
-    /// starves execution — modelled as processor sharing, stretching
-    /// execution by 1/(1 − u). This is what collapses Sawtooth from 66.7
-    /// MTPS at RL = 200 to 14.3 at RL = 1600 (Table 17).
-    fn ingress_slowdown(&mut self, now: SimTime, ops: u32) -> f64 {
-        const WINDOW: SimDuration = SimDuration::from_secs(2);
-        self.recent_arrivals.push_back((now, ops));
-        while let Some(&(front, _)) = self.recent_arrivals.front() {
-            if now - front > WINDOW {
-                self.recent_arrivals.pop_front();
-            } else {
-                break;
-            }
-        }
-        let window_secs = WINDOW.as_secs_f64().min(now.as_secs_f64().max(0.25));
-        let tx_rate = self
-            .recent_arrivals
-            .iter()
-            .map(|&(_, n)| n as u64)
-            .sum::<u64>() as f64
-            / window_secs;
-        let utilization = (tx_rate * self.config.ingress_per_tx.as_secs_f64()).min(0.9);
-        1.0 / (1.0 - utilization)
     }
 
     /// Validator queue occupancy in batches: batches waiting for a block
@@ -242,27 +201,24 @@ impl BlockchainSystem for Sawtooth {
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
         // Admission work is paid even for batches the full queue turns
-        // away — feed the load estimator before the queue decides.
-        let slowdown = self.ingress_slowdown(now, tx.op_count() as u32);
-        self.current_slowdown = slowdown;
+        // away — feed the load estimator before the queue decides. The
+        // flood-induced slowdown (1/(1 − u)) is what collapses Sawtooth
+        // from 66.7 MTPS at RL = 200 to 14.3 at RL = 1600 (Table 17).
+        self.current_slowdown = self.ingress.record(now, tx.op_count() as u32);
         // The bounded validator queue is the decisive Sawtooth behaviour:
         // a full queue rejects, and the client must re-send (COCONUT does
         // not, so the batch is lost).
         if self.occupancy(now) >= self.config.queue_limit {
-            self.stats.rejected += 1;
+            self.rt.reject();
             return SubmitOutcome::Rejected;
         }
-        self.stats.accepted += 1;
+        self.rt.accept();
         if self.pending_stalled() {
             // §5.8.2: at 16/32 nodes everything stays pending forever.
             return SubmitOutcome::Accepted;
         }
-        self.batches.insert(tx.id(), tx.clone());
-        self.pbft.submit(coconut_consensus::Command::new(
-            tx.id(),
-            tx.op_count() as u32,
-            tx.size_bytes() as u32,
-        ));
+        self.rt.mempool().insert(tx.clone());
+        self.pbft.submit(command_for(&tx));
         SubmitOutcome::Accepted
     }
 
@@ -272,22 +228,20 @@ impl BlockchainSystem for Sawtooth {
             if block.commands.is_empty() {
                 continue;
             }
-            self.stats.blocks += 1;
             let ops: u64 = block.commands.iter().map(|c| c.ops as u64).sum();
-            let height = self.ledger.append(
+            let block_id = self.rt.append_block(
                 block.proposer,
                 block.committed_at,
                 block.commands.iter().map(|c| c.tx).collect(),
                 Some(ops),
             );
-            let block_id = BlockId(height);
             // Execute every batch at every validator (transaction
             // processors run per node); atomic batches roll back wholesale.
             let mut results = Vec::with_capacity(block.commands.len());
             let mut total_cost = SimDuration::ZERO;
             let slowdown = self.current_slowdown;
             for cmd in &block.commands {
-                let Some(batch) = self.batches.remove(&cmd.tx) else {
+                let Some(batch) = self.rt.mempool().take(&cmd.tx) else {
                     continue;
                 };
                 total_cost += (self.config.exec_per_tx * batch.op_count() as u64).mul_f64(slowdown);
@@ -307,39 +261,28 @@ impl BlockchainSystem for Sawtooth {
                 }
                 results.push((cmd.tx, cmd.ops, ok));
             }
-            let mut persist = SimTime::ZERO;
-            for v in 0..self.config.nodes {
-                let arrive = block.committed_at + self.hop();
-                let done = self.exec_cpu.process(NodeId(v), arrive, total_cost);
-                persist = persist.max(done);
-            }
+            let persist = self
+                .rt
+                .replicate(&mut self.exec_cpu, block.committed_at, total_cost);
             self.executing.push_back((persist, results.len() as u32));
             for (txid, ops, ok) in results {
-                let event_at = persist + self.hop();
-                let outcome = if ok {
-                    TxOutcome::committed(txid, block_id, event_at, ops)
+                let event_at = persist + self.rt.hop();
+                if ok {
+                    self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {
-                    TxOutcome::failed(txid, FailReason::Conflict, event_at)
-                };
-                self.outcomes.push(event_at, outcome);
-                self.stats.outcomes_emitted += 1;
+                    self.rt.emit_failed(txid, FailReason::Conflict, event_at);
+                }
             }
         }
-        let mut out = Vec::new();
-        while let Some((_, o)) = self.outcomes.pop_at_or_before(deadline) {
-            out.push(o);
-        }
-        out
+        self.rt.drain(deadline)
     }
 
     fn stats(&self) -> SystemStats {
-        let mut s = self.stats;
-        s.consensus_messages = self.pbft.net_stats().messages_sent;
-        s
+        self.rt.stats_with(self.pbft.net_stats().messages_sent)
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.pbft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.crash_validator(node);
@@ -347,7 +290,7 @@ impl BlockchainSystem for Sawtooth {
     }
 
     fn recover_node(&mut self, node: NodeId) -> bool {
-        if node.0 >= self.pbft.node_count() {
+        if !self.rt.has_node(node) {
             return false;
         }
         self.recover_validator(node);
@@ -366,7 +309,7 @@ impl BlockchainSystem for Sawtooth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coconut_types::{ClientId, Payload, ThreadId};
+    use coconut_types::{ClientId, Payload, ThreadId, TxId};
 
     fn batch(seq: u64, payloads: Vec<Payload>) -> ClientTx {
         ClientTx::new(

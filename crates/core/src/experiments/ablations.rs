@@ -59,6 +59,33 @@ fn measure(
     run_one(system, &spec, SimTime::ZERO, 0, cfg.seed)
 }
 
+/// All seven ablations as `(title, arms)` pairs, run on the grid executor
+/// (`cfg.jobs` workers). Every ablation seeds its systems from `cfg.seed`
+/// directly — not from its position in this list — so the parallel run is
+/// identical to calling each function by hand.
+pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<(&'static str, Vec<AblationArm>)> {
+    type AblationFn = fn(&ExperimentConfig) -> Vec<AblationArm>;
+    const ABLATIONS: [(&str, AblationFn); 7] = [
+        ("Ablation: Corda signing discipline", ablation_corda_signing),
+        ("Ablation: Sawtooth queue bound", ablation_sawtooth_queue),
+        ("Ablation: Quorum txpool stall", ablation_quorum_stall),
+        ("Ablation: Diem spiking", ablation_diem_spiking),
+        (
+            "Ablation: BitShares operations per tx",
+            ablation_bitshares_ops,
+        ),
+        (
+            "Ablation: Fabric block cutting",
+            ablation_fabric_block_cutting,
+        ),
+        (
+            "Ablation: end-to-end vs node-side measurement",
+            ablation_endtoend_vs_node,
+        ),
+    ];
+    crate::exec::run_grid(&ABLATIONS, cfg.jobs, |_, &(title, f)| (title, f(cfg)))
+}
+
 /// Corda signing discipline: serial (OS) vs parallel (Enterprise hardware
 /// profile with serial signing forced) — isolates §5.1 reason 2.
 pub fn ablation_corda_signing(cfg: &ExperimentConfig) -> Vec<AblationArm> {
@@ -270,6 +297,7 @@ mod tests {
             repetitions: 1,
             seed: 5,
             full_sweep: false,
+            jobs: None,
         }
     }
 

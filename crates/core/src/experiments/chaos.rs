@@ -166,69 +166,84 @@ fn cell(
 
 /// Runs the full campaign: the f-tolerant crash/heal arm and the beyond-f
 /// halt arm for all seven systems, plus the loss-burst arm for Fabric and
-/// Quorum.
+/// Quorum. All cells are independent and run on the grid executor
+/// (`cfg.jobs` workers); each cell's seed is derived from its arm and
+/// system — never from loop order — so any worker count produces
+/// byte-identical reports.
 pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
     let tl = timeline(cfg);
     let seeds = SeedDeriver::new(cfg.seed);
-    let mut tolerant = Vec::new();
-    let mut halt = Vec::new();
 
-    for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
-        let (role, total, f_crash, beyond) = fault_domain(kind);
-
+    struct Arm {
+        kind: SystemKind,
+        arm: &'static str,
+        faults: String,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        healed: bool,
+        seed: u64,
+    }
+    let mut arms: Vec<Arm> = Vec::new();
+    for kind in SystemKind::ALL {
+        let (role, total, f_crash, _) = fault_domain(kind);
         let nodes: Vec<NodeId> = (0..f_crash).map(NodeId).collect();
-        let plan = FaultPlan::new().crash_window(&nodes, tl.crash_at, tl.heal_at);
-        tolerant.push(cell(
+        arms.push(Arm {
             kind,
-            "crash-f",
-            format!("{f_crash}/{total} {role}"),
-            tl,
-            &plan,
-            &RetryPolicy::chaos_default(),
-            true,
-            seeds.seed("chaos-tolerant", i as u64),
-        ));
-
-        let nodes: Vec<NodeId> = (0..beyond).map(NodeId).collect();
+            arm: "crash-f",
+            faults: format!("{f_crash}/{total} {role}"),
+            plan: FaultPlan::new().crash_window(&nodes, tl.crash_at, tl.heal_at),
+            policy: RetryPolicy::chaos_default(),
+            healed: true,
+            seed: seeds.seed_parts(&["chaos-tolerant", kind.label()]),
+        });
+    }
+    for kind in SystemKind::ALL {
+        let (role, total, _, beyond) = fault_domain(kind);
         let mut plan = FaultPlan::new();
-        for &n in &nodes {
+        for n in (0..beyond).map(NodeId) {
             plan = plan.at(tl.crash_at, FaultEvent::CrashNode(n));
         }
-        halt.push(cell(
+        arms.push(Arm {
             kind,
-            "crash-beyond-f",
-            format!("{beyond}/{total} {role}"),
-            tl,
-            &plan,
+            arm: "crash-beyond-f",
+            faults: format!("{beyond}/{total} {role}"),
+            plan,
             // No retries: a retry storm against a halted system only
             // reclassifies losses; the halt must show in raw commits.
-            &RetryPolicy::disabled(),
-            false,
-            seeds.seed("chaos-halt", i as u64),
-        ));
+            policy: RetryPolicy::disabled(),
+            healed: false,
+            seed: seeds.seed_parts(&["chaos-halt", kind.label()]),
+        });
+    }
+    for kind in [SystemKind::Fabric, SystemKind::Quorum] {
+        let window = SimDuration::from_secs_f64(tl.windows.send.as_secs_f64() / 5.0);
+        arms.push(Arm {
+            kind,
+            arm: "loss-burst",
+            faults: "5% loss".to_string(),
+            plan: FaultPlan::new().at(tl.crash_at, FaultEvent::LossBurst { p: 0.05, window }),
+            policy: RetryPolicy::chaos_default(),
+            healed: true,
+            seed: seeds.seed_parts(&["chaos-burst", kind.label()]),
+        });
     }
 
-    let bursts = [SystemKind::Fabric, SystemKind::Quorum]
-        .into_iter()
-        .enumerate()
-        .map(|(i, kind)| {
-            let window = SimDuration::from_secs_f64(tl.windows.send.as_secs_f64() / 5.0);
-            let plan = FaultPlan::new().at(tl.crash_at, FaultEvent::LossBurst { p: 0.05, window });
-            cell(
-                kind,
-                "loss-burst",
-                "5% loss".to_string(),
-                tl,
-                &plan,
-                &RetryPolicy::chaos_default(),
-                true,
-                seeds.seed("chaos-burst", i as u64),
-            )
-        })
-        .collect();
-
+    let mut cells = crate::exec::run_grid(&arms, cfg.jobs, |_, a| {
+        cell(
+            a.kind,
+            a.arm,
+            a.faults.clone(),
+            tl,
+            &a.plan,
+            &a.policy,
+            a.healed,
+            a.seed,
+        )
+    });
+    let bursts = cells.split_off(2 * SystemKind::ALL.len());
+    let halt = cells.split_off(SystemKind::ALL.len());
     ChaosResult {
-        tolerant,
+        tolerant: cells,
         halt,
         bursts,
     }

@@ -106,7 +106,7 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
     }
 
     let windows = cfg.windows();
-    let run_item = |item: &Item, seed: u64| {
+    let unit_results = crate::exec::run_grid(&items, cfg.jobs, |_, item| {
         let setup = SystemSetup {
             nodes,
             net: net.clone(),
@@ -118,35 +118,11 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
             .ops_per_tx(item.ops)
             .windows(windows)
             .repetitions(cfg.repetitions);
+        let seed = crate::exec::unit_seed(cfg.seed, "fig-sweep", item.unit, &template);
         run_unit(item.system, item.unit, &template, seed)
-    };
-
-    // Thread-pool over items.
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut unit_results: Vec<Option<crate::runner::UnitResult>> = vec![None; items.len()];
-    {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(&mut unit_results);
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
-                    let r = run_item(&items[i], seed);
-                    results.lock().unwrap()[i] = Some(r);
-                });
-            }
-        });
-    }
+    });
 
     for (item, unit_result) in items.iter().zip(unit_results) {
-        let unit_result = unit_result.expect("worker finished");
         let si = SystemKind::ALL
             .iter()
             .position(|s| *s == item.system)
@@ -238,7 +214,7 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
         }
     }
 
-    let run_item = |item: &Item, seed: u64| {
+    let unit_results = crate::exec::run_grid(&items, cfg.jobs, |_, item| {
         let setup = SystemSetup {
             nodes: None,
             net: net.clone(),
@@ -250,34 +226,11 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
             .ops_per_tx(item.ops)
             .windows(windows)
             .repetitions(cfg.repetitions);
+        let seed = crate::exec::unit_seed(cfg.seed, "fig4-best", item.unit, &template);
         run_unit(item.system, item.unit, &template, seed)
-    };
-
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut unit_results: Vec<Option<crate::runner::UnitResult>> = vec![None; items.len()];
-    {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(&mut unit_results);
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let seed = (cfg.seed ^ 0xF194).wrapping_add(i as u64 * 0x9E37_79B9);
-                    let r = run_item(&items[i], seed);
-                    results.lock().unwrap()[i] = Some(r);
-                });
-            }
-        });
-    }
+    });
 
     for (item, unit_result) in items.iter().zip(unit_results) {
-        let unit_result = unit_result.expect("worker finished");
         let si = SystemKind::ALL
             .iter()
             .position(|s| *s == item.system)
@@ -364,7 +317,7 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
         }
     }
 
-    let run_item = |item: &Item, seed: u64| -> f64 {
+    let values = crate::exec::run_grid(&items, cfg.jobs, |_, item| {
         let setup = SystemSetup {
             nodes: Some(item.nodes),
             net: NetConfig::emulated_latency(),
@@ -376,29 +329,12 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
             .ops_per_tx(item.ops)
             .windows(windows)
             .repetitions(cfg.repetitions);
+        let seed = crate::exec::cell_seed(cfg.seed, "fig5", &spec);
         crate::runner::run_benchmark(&spec, seed).mtps.mean
-    };
-
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let cells = std::sync::Mutex::new(&mut mtps);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let seed = cfg.seed.wrapping_add(0x515 + i as u64 * 0x9E37_79B9);
-                let v = run_item(&items[i], seed);
-                let item = &items[i];
-                cells.lock().unwrap()[item.si][item.ni] = v;
-            });
-        }
     });
+    for (item, v) in items.iter().zip(values) {
+        mtps[item.si][item.ni] = v;
+    }
 
     Fig5Result { node_counts, mtps }
 }
@@ -440,6 +376,7 @@ mod tests {
             repetitions: 1,
             seed: 7,
             full_sweep: false,
+            jobs: None,
         }
     }
 

@@ -16,7 +16,7 @@ pub mod tables;
 pub use ablations::{
     ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
-    ablation_sawtooth_queue,
+    ablation_sawtooth_queue, all_ablations,
 };
 pub use chaos::{chaos, ChaosCell, ChaosResult};
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
@@ -37,6 +37,9 @@ pub struct ExperimentConfig {
     /// grid (min/max rate, two block parameters) that preserves the best
     /// cells.
     pub full_sweep: bool,
+    /// Worker threads for grid execution (`None` → one per CPU). Results
+    /// are byte-identical for every setting — see [`crate::exec`].
+    pub jobs: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -47,6 +50,7 @@ impl Default for ExperimentConfig {
             repetitions: 2,
             seed: 0xC0C0_0717,
             full_sweep: false,
+            jobs: None,
         }
     }
 }
@@ -68,6 +72,7 @@ impl ExperimentConfig {
             repetitions: 3,
             seed: 0xC0C0_0717,
             full_sweep: true,
+            jobs: None,
         }
     }
 

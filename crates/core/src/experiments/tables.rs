@@ -29,8 +29,9 @@ impl TableResult {
     }
 }
 
-/// Runs one unit and extracts the row for `pick`.
-#[allow(clippy::too_many_arguments)]
+/// Runs one unit and extracts the row for `pick`. The seed is derived
+/// from the row's content (system, benchmark, parameters), so rows can
+/// run in any order — or in parallel — without perturbing each other.
 fn unit_row(
     cfg: &ExperimentConfig,
     system: SystemKind,
@@ -39,7 +40,6 @@ fn unit_row(
     rate: f64,
     param: BlockParam,
     ops: u32,
-    salt: u64,
 ) -> BenchmarkResult {
     let template = BenchmarkSpec::new(system, pick)
         .setup(SystemSetup::with_block_param(param))
@@ -47,7 +47,8 @@ fn unit_row(
         .ops_per_tx(ops)
         .windows(cfg.windows())
         .repetitions(cfg.repetitions);
-    let unit_result = run_unit(system, unit, &template, cfg.seed.wrapping_add(salt));
+    let seed = crate::exec::unit_seed(cfg.seed, "table", unit, &template);
+    let unit_result = run_unit(system, unit, &template, seed);
     unit_result
         .benchmarks
         .into_iter()
@@ -57,22 +58,17 @@ fn unit_row(
 
 /// **Tables 7 + 8**: Corda OS, KeyValue-Set at RL = 20 and RL = 160.
 pub fn table7_8(cfg: &ExperimentConfig) -> TableResult {
-    let rows = [20.0, 160.0]
-        .iter()
-        .enumerate()
-        .map(|(i, &rl)| {
-            unit_row(
-                cfg,
-                SystemKind::CordaOs,
-                BenchmarkUnit::KeyValue,
-                PayloadKind::KeyValueSet,
-                rl,
-                BlockParam::None,
-                1,
-                70 + i as u64,
-            )
-        })
-        .collect();
+    let rows = crate::exec::run_grid(&[20.0, 160.0], cfg.jobs, |_, &rl| {
+        unit_row(
+            cfg,
+            SystemKind::CordaOs,
+            BenchmarkUnit::KeyValue,
+            PayloadKind::KeyValueSet,
+            rl,
+            BlockParam::None,
+            1,
+        )
+    });
     TableResult {
         title: "Tables 7+8: Corda OS — KeyValue-Set".into(),
         rows,
@@ -81,22 +77,17 @@ pub fn table7_8(cfg: &ExperimentConfig) -> TableResult {
 
 /// **Tables 9 + 10**: Corda Enterprise, KeyValue-Set at RL = 20 and 160.
 pub fn table9_10(cfg: &ExperimentConfig) -> TableResult {
-    let rows = [20.0, 160.0]
-        .iter()
-        .enumerate()
-        .map(|(i, &rl)| {
-            unit_row(
-                cfg,
-                SystemKind::CordaEnterprise,
-                BenchmarkUnit::KeyValue,
-                PayloadKind::KeyValueSet,
-                rl,
-                BlockParam::None,
-                1,
-                90 + i as u64,
-            )
-        })
-        .collect();
+    let rows = crate::exec::run_grid(&[20.0, 160.0], cfg.jobs, |_, &rl| {
+        unit_row(
+            cfg,
+            SystemKind::CordaEnterprise,
+            BenchmarkUnit::KeyValue,
+            PayloadKind::KeyValueSet,
+            rl,
+            BlockParam::None,
+            1,
+        )
+    });
     TableResult {
         title: "Tables 9+10: Corda Enterprise — KeyValue-Set".into(),
         rows,
@@ -114,7 +105,6 @@ pub fn table11_12(cfg: &ExperimentConfig) -> TableResult {
         1600.0,
         BlockParam::BlockInterval(SimDuration::from_secs(1)),
         100,
-        110,
     )];
     TableResult {
         title: "Tables 11+12: BitShares — DoNothing (BI = 1 s, 100 ops/tx)".into(),
@@ -125,22 +115,17 @@ pub fn table11_12(cfg: &ExperimentConfig) -> TableResult {
 /// **Tables 13 + 14**: Fabric, BankingApp-SendPayment at RL = 800 and
 /// 1600 with MaxMessageCount = 100.
 pub fn table13_14(cfg: &ExperimentConfig) -> TableResult {
-    let rows = [800.0, 1600.0]
-        .iter()
-        .enumerate()
-        .map(|(i, &rl)| {
-            unit_row(
-                cfg,
-                SystemKind::Fabric,
-                BenchmarkUnit::BankingApp,
-                PayloadKind::SendPayment,
-                rl,
-                BlockParam::MaxMessageCount(100),
-                1,
-                130 + i as u64,
-            )
-        })
-        .collect();
+    let rows = crate::exec::run_grid(&[800.0, 1600.0], cfg.jobs, |_, &rl| {
+        unit_row(
+            cfg,
+            SystemKind::Fabric,
+            BenchmarkUnit::BankingApp,
+            PayloadKind::SendPayment,
+            rl,
+            BlockParam::MaxMessageCount(100),
+            1,
+        )
+    });
     TableResult {
         title: "Tables 13+14: Fabric — BankingApp-SendPayment (MM = 100)".into(),
         rows,
@@ -150,22 +135,17 @@ pub fn table13_14(cfg: &ExperimentConfig) -> TableResult {
 /// **Tables 15 + 16**: Quorum, BankingApp-Balance at RL = 400 with
 /// blockperiod 2 s (the liveness failure) and 5 s.
 pub fn table15_16(cfg: &ExperimentConfig) -> TableResult {
-    let rows = [2u64, 5]
-        .iter()
-        .enumerate()
-        .map(|(i, &bp)| {
-            unit_row(
-                cfg,
-                SystemKind::Quorum,
-                BenchmarkUnit::BankingApp,
-                PayloadKind::Balance,
-                400.0,
-                BlockParam::BlockPeriod(SimDuration::from_secs(bp)),
-                1,
-                150 + i as u64,
-            )
-        })
-        .collect();
+    let rows = crate::exec::run_grid(&[2u64, 5], cfg.jobs, |_, &bp| {
+        unit_row(
+            cfg,
+            SystemKind::Quorum,
+            BenchmarkUnit::BankingApp,
+            PayloadKind::Balance,
+            400.0,
+            BlockParam::BlockPeriod(SimDuration::from_secs(bp)),
+            1,
+        )
+    });
     TableResult {
         title: "Tables 15+16: Quorum — BankingApp-Balance (BP ∈ {2 s, 5 s})".into(),
         rows,
@@ -175,12 +155,9 @@ pub fn table15_16(cfg: &ExperimentConfig) -> TableResult {
 /// **Tables 17 + 18**: Sawtooth, BankingApp-CreateAccount at
 /// RL ∈ {200, 1600} × publishing delay ∈ {1 s, 10 s}, 100 tx per batch.
 pub fn table17_18(cfg: &ExperimentConfig) -> TableResult {
-    let mut rows = Vec::new();
-    for (i, &(rl, pd)) in [(200.0, 1u64), (1600.0, 1), (200.0, 10), (1600.0, 10)]
-        .iter()
-        .enumerate()
-    {
-        rows.push(unit_row(
+    let cells = [(200.0, 1u64), (1600.0, 1), (200.0, 10), (1600.0, 10)];
+    let rows = crate::exec::run_grid(&cells, cfg.jobs, |_, &(rl, pd)| {
+        unit_row(
             cfg,
             SystemKind::Sawtooth,
             BenchmarkUnit::BankingApp,
@@ -188,9 +165,8 @@ pub fn table17_18(cfg: &ExperimentConfig) -> TableResult {
             rl,
             BlockParam::PublishingDelay(SimDuration::from_secs(pd)),
             100,
-            170 + i as u64,
-        ));
-    }
+        )
+    });
     TableResult {
         title: "Tables 17+18: Sawtooth — BankingApp-CreateAccount (PD ∈ {1 s, 10 s})".into(),
         rows,
@@ -200,17 +176,14 @@ pub fn table17_18(cfg: &ExperimentConfig) -> TableResult {
 /// **Tables 19 + 20**: Diem, KeyValue-Get at RL ∈ {200, 1600} ×
 /// max_block_size ∈ {100, 2000}.
 pub fn table19_20(cfg: &ExperimentConfig) -> TableResult {
-    let mut rows = Vec::new();
-    for (i, &(rl, bs)) in [
+    let cells = [
         (200.0, 100usize),
         (1600.0, 100),
         (200.0, 2000),
         (1600.0, 2000),
-    ]
-    .iter()
-    .enumerate()
-    {
-        rows.push(unit_row(
+    ];
+    let rows = crate::exec::run_grid(&cells, cfg.jobs, |_, &(rl, bs)| {
+        unit_row(
             cfg,
             SystemKind::Diem,
             BenchmarkUnit::KeyValue,
@@ -218,9 +191,8 @@ pub fn table19_20(cfg: &ExperimentConfig) -> TableResult {
             rl,
             BlockParam::MaxBlockSize(bs),
             1,
-            190 + i as u64,
-        ));
-    }
+        )
+    });
     TableResult {
         title: "Tables 19+20: Diem — KeyValue-Get (BS ∈ {100, 2000})".into(),
         rows,
@@ -237,6 +209,7 @@ mod tests {
             repetitions: 1,
             seed: 11,
             full_sweep: false,
+            jobs: None,
         }
     }
 
@@ -264,6 +237,7 @@ mod tests {
             repetitions: 1,
             seed: 11,
             full_sweep: false,
+            jobs: None,
         };
         let t = table15_16(&cfg);
         assert_eq!(t.rows.len(), 2);

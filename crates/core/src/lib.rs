@@ -35,6 +35,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod exec;
 pub mod experiments;
 pub mod json;
 pub mod params;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod workload;
 
 pub use chaos::{run_chaos, ChaosRun, DeliveryAccounting, RetryPolicy};
+pub use exec::{cell_seed, run_grid, unit_seed};
 pub use params::{BlockParam, SystemKind, SystemSetup};
 pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
 pub use saturation::{SaturationResult, SaturationSearch};

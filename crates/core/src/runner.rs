@@ -352,32 +352,16 @@ pub fn run_unit(
     }
 }
 
-/// Runs many independent benchmarks on a thread pool (one thread per CPU,
-/// capped at the number of specs). Results come back in input order.
-pub fn run_many(specs: &[BenchmarkSpec], seed: u64) -> Vec<BenchmarkResult> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(specs.len().max(1));
-    let mut results: Vec<Option<BenchmarkResult>> = vec![None; specs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let r = run_benchmark(&specs[i], seed.wrapping_add(i as u64 * 0x9E37_79B9));
-                results_mutex.lock().unwrap()[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("worker finished"))
-        .collect()
+/// Runs many independent benchmarks on a thread pool of `jobs` workers
+/// (`None` → one per CPU, capped at the number of specs). Results come
+/// back in input order and are byte-identical for every worker count:
+/// each spec's seed is derived from its *content* via
+/// [`crate::exec::cell_seed`], so neither thread scheduling nor the
+/// spec's position in the list can perturb its random streams.
+pub fn run_many(specs: &[BenchmarkSpec], seed: u64, jobs: Option<usize>) -> Vec<BenchmarkResult> {
+    crate::exec::run_grid(specs, jobs, |_, spec| {
+        run_benchmark(spec, crate::exec::cell_seed(seed, "run-many", spec))
+    })
 }
 
 #[cfg(test)]
@@ -488,9 +472,23 @@ mod tests {
             quick(SystemKind::Fabric, PayloadKind::DoNothing).repetitions(1),
             quick(SystemKind::Quorum, PayloadKind::DoNothing).repetitions(1),
         ];
-        let results = run_many(&specs, 9);
+        let results = run_many(&specs, 9, None);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].system, "Fabric");
         assert_eq!(results[1].system, "Quorum");
+    }
+
+    #[test]
+    fn run_many_seeds_by_content_not_position() {
+        // The same spec must measure identically wherever it sits in the
+        // list — the old per-index seed salting coupled results to
+        // enumeration order.
+        let a = quick(SystemKind::Fabric, PayloadKind::DoNothing).repetitions(1);
+        let b = quick(SystemKind::Quorum, PayloadKind::DoNothing).repetitions(1);
+        let fwd = run_many(&[a.clone(), b.clone()], 9, Some(1));
+        let rev = run_many(&[b, a], 9, Some(1));
+        assert_eq!(fwd[0].mtps.mean, rev[1].mtps.mean);
+        assert_eq!(fwd[1].mtps.mean, rev[0].mtps.mean);
+        assert_eq!(fwd[0].received.mean, rev[1].received.mean);
     }
 }

@@ -55,6 +55,19 @@ impl SeedDeriver {
         SimRng::seed_from_u64(self.seed(label, index))
     }
 
+    /// Derives a sub-seed from a *sequence* of string parts — the
+    /// content-addressed form used to key an experiment cell by what it
+    /// measures (system, benchmark, setup, rate, …) rather than by its
+    /// position in an enumeration. Each part is length-prefixed so that
+    /// `["ab", "c"]` and `["a", "bc"]` hash differently.
+    pub fn seed_parts(&self, parts: &[&str]) -> u64 {
+        let mut h = Hasher64::with_key(self.root);
+        for p in parts {
+            h.write_u64(p.len() as u64).write(p.as_bytes());
+        }
+        h.finish()
+    }
+
     /// A deriver for repetition `rep` of the same experiment: the paper
     /// repeats every benchmark and averages; repetitions must differ but be
     /// reproducible.
@@ -96,6 +109,19 @@ mod tests {
         let r1 = d.for_repetition(1);
         assert_ne!(r0.seed("client", 0), r1.seed("client", 0));
         assert_eq!(r0.seed("client", 0), d.for_repetition(0).seed("client", 0));
+    }
+
+    #[test]
+    fn seed_parts_is_content_addressed() {
+        let d = SeedDeriver::new(7);
+        assert_eq!(d.seed_parts(&["a", "b"]), d.seed_parts(&["a", "b"]));
+        assert_ne!(d.seed_parts(&["a", "b"]), d.seed_parts(&["b", "a"]));
+        // Length prefixes keep part boundaries from aliasing.
+        assert_ne!(d.seed_parts(&["ab", "c"]), d.seed_parts(&["a", "bc"]));
+        assert_ne!(
+            SeedDeriver::new(8).seed_parts(&["a"]),
+            SeedDeriver::new(7).seed_parts(&["a"])
+        );
     }
 
     #[test]

@@ -82,13 +82,14 @@ fn unit_runs_are_deterministic_too() {
 #[test]
 fn parallel_and_serial_execution_agree() {
     // run_many distributes work across threads; thread scheduling must not
-    // leak into the results.
+    // leak into the results. Each spec's seed depends only on its content
+    // (coconut::exec::cell_seed), so a hand-rolled sequential loop over
+    // the same specs reproduces the pool's results exactly.
     let specs = vec![spec(SystemKind::Quorum), spec(SystemKind::Bitshares)];
-    let parallel = coconut::runner::run_many(&specs, 11);
+    let parallel = coconut::runner::run_many(&specs, 11, None);
     let serial: Vec<_> = specs
         .iter()
-        .enumerate()
-        .map(|(i, s)| run_benchmark(s, 11u64.wrapping_add(i as u64 * 0x9E37_79B9)))
+        .map(|s| run_benchmark(s, coconut::exec::cell_seed(11, "run-many", s)))
         .collect();
     for (p, s) in parallel.iter().zip(&serial) {
         assert_eq!(p.mtps.mean, s.mtps.mean, "{}", p.system);

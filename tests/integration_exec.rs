@@ -1,0 +1,86 @@
+//! The deterministic parallel executor: any `--jobs` setting must yield
+//! byte-identical serialized results, because each cell's seed is derived
+//! from what it measures (content), never from where it runs (thread,
+//! position).
+
+use coconut::client::Windows;
+use coconut::experiments::{chaos, table17_18, ExperimentConfig};
+use coconut::prelude::*;
+use coconut::report;
+use coconut::runner::run_many;
+
+/// A small Table-5-style grid: the block-parameter sweep crossed with two
+/// rate limiters, across three systems.
+fn table5_grid() -> Vec<BenchmarkSpec> {
+    let mut specs = Vec::new();
+    for rate in [100.0, 200.0] {
+        for mm in [25usize, 50] {
+            specs.push(
+                BenchmarkSpec::new(SystemKind::Fabric, PayloadKind::DoNothing)
+                    .rate(rate)
+                    .block_param(BlockParam::MaxMessageCount(mm))
+                    .windows(Windows::scaled(0.01))
+                    .repetitions(1),
+            );
+        }
+        for bp in [1u64, 2] {
+            specs.push(
+                BenchmarkSpec::new(SystemKind::Quorum, PayloadKind::DoNothing)
+                    .rate(rate)
+                    .block_param(BlockParam::BlockPeriod(SimDuration::from_secs(bp)))
+                    .windows(Windows::scaled(0.01))
+                    .repetitions(1),
+            );
+        }
+        specs.push(
+            BenchmarkSpec::new(SystemKind::Diem, PayloadKind::KeyValueSet)
+                .rate(rate)
+                .block_param(BlockParam::MaxBlockSize(500))
+                .windows(Windows::scaled(0.01))
+                .repetitions(1),
+        );
+    }
+    specs
+}
+
+#[test]
+fn jobs_1_and_jobs_8_serialize_byte_identically() {
+    let specs = table5_grid();
+    let sequential = run_many(&specs, 0xC0C0, Some(1));
+    let parallel = run_many(&specs, 0xC0C0, Some(8));
+    assert_eq!(
+        report::to_json(&sequential),
+        report::to_json(&parallel),
+        "worker count leaked into the serialized results"
+    );
+}
+
+#[test]
+fn experiment_jobs_setting_does_not_change_tables() {
+    let cfg = |jobs| ExperimentConfig {
+        scale: 0.01,
+        repetitions: 1,
+        seed: 0xC0C0,
+        full_sweep: false,
+        jobs,
+    };
+    let a = table17_18(&cfg(Some(1)));
+    let b = table17_18(&cfg(Some(8)));
+    assert_eq!(a.render(), b.render());
+    assert_eq!(report::to_json(&a.rows), report::to_json(&b.rows));
+}
+
+#[test]
+fn chaos_campaign_is_jobs_invariant() {
+    let cfg = |jobs| ExperimentConfig {
+        scale: 0.08,
+        repetitions: 1,
+        seed: 0xC0C0,
+        full_sweep: false,
+        jobs,
+    };
+    let a = chaos(&cfg(Some(1)));
+    let b = chaos(&cfg(Some(8)));
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -13,6 +13,7 @@ fn cfg() -> ExperimentConfig {
         repetitions: 1,
         seed: 0x1E57,
         full_sweep: false,
+        jobs: None,
     }
 }
 
