@@ -188,7 +188,7 @@ fn run_ablations(cfg: &ExperimentConfig) {
 
 fn run_chaos_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
     let r = chaos(cfg);
-    println!("Chaos campaign — crash/heal, beyond-f halt, loss burst\n");
+    println!("Chaos campaign — crash/heal, beyond-f halt, loss burst, Byzantine window\n");
     println!("{}", r.render());
     if let Some(dir) = out {
         std::fs::write(dir.join("chaos.json"), r.to_json()).expect("write chaos json");

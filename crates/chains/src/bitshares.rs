@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use coconut_consensus::dpos::DposCluster;
 use coconut_consensus::{BatchConfig, CpuModel};
 use coconut_iel::{StateKey, WorldState};
-use coconut_simnet::{FaultEvent, NetConfig, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
     ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome,
 };
@@ -340,6 +340,21 @@ impl BlockchainSystem for Bitshares {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.dpos.apply_net_fault(at, event)
+    }
+
+    fn inject_byzantine(
+        &mut self,
+        node: NodeId,
+        behaviour: ByzantineBehaviour,
+        until: SimTime,
+    ) -> bool {
+        // DPoS schedules one witness per slot: there is no vote quorum to
+        // subvert and no conflicting-proposal race a 2f+1 intersection
+        // argument would catch. Byzantine injection is explicitly not
+        // applicable — the trait default already says so; this override
+        // exists to document the decision for BitShares specifically.
+        let _ = (node, behaviour, until);
+        false
     }
 
     fn is_live(&self) -> bool {

@@ -18,9 +18,9 @@
 //!   client stops listening (Table 20: 16,752 of 60,000 received).
 
 use coconut_consensus::diembft::DiemBftCluster;
-use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
 use coconut_iel::WorldState;
-use coconut_simnet::{FaultEvent, NetConfig, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
     tx::FailReason, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
@@ -236,6 +236,23 @@ impl BlockchainSystem for Diem {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.engine.apply_net_fault(at, event)
+    }
+
+    fn inject_byzantine(
+        &mut self,
+        node: NodeId,
+        behaviour: ByzantineBehaviour,
+        until: SimTime,
+    ) -> bool {
+        if !self.rt.has_node(node) {
+            return false;
+        }
+        self.engine.set_byzantine(node, behaviour, until);
+        true
+    }
+
+    fn safety_report(&self) -> Option<SafetyReport> {
+        Some(self.engine.safety_report())
     }
 }
 

@@ -20,9 +20,9 @@
 //!   transactions.
 
 use coconut_consensus::ibft::IbftCluster;
-use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
 use coconut_iel::WorldState;
-use coconut_simnet::{FaultEvent, NetConfig, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
     tx::FailReason, ClientTx, NodeId, Payload, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
@@ -268,6 +268,23 @@ impl BlockchainSystem for Quorum {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.ibft.apply_net_fault(at, event)
+    }
+
+    fn inject_byzantine(
+        &mut self,
+        node: NodeId,
+        behaviour: ByzantineBehaviour,
+        until: SimTime,
+    ) -> bool {
+        if !self.rt.has_node(node) {
+            return false;
+        }
+        self.ibft.set_byzantine(node, behaviour, until);
+        true
+    }
+
+    fn safety_report(&self) -> Option<SafetyReport> {
+        Some(self.ibft.safety_report())
     }
 
     fn is_live(&self) -> bool {

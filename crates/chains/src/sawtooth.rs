@@ -23,9 +23,9 @@
 use std::collections::VecDeque;
 
 use coconut_consensus::pbft::PbftCluster;
-use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
 use coconut_iel::WorldState;
-use coconut_simnet::{FaultEvent, NetConfig, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
     tx::FailReason, ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
@@ -299,6 +299,23 @@ impl BlockchainSystem for Sawtooth {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.pbft.apply_net_fault(at, event)
+    }
+
+    fn inject_byzantine(
+        &mut self,
+        node: NodeId,
+        behaviour: ByzantineBehaviour,
+        until: SimTime,
+    ) -> bool {
+        if !self.rt.has_node(node) {
+            return false;
+        }
+        self.pbft.set_byzantine(node, behaviour, until);
+        true
+    }
+
+    fn safety_report(&self) -> Option<SafetyReport> {
+        Some(self.pbft.safety_report())
     }
 
     fn is_live(&self) -> bool {

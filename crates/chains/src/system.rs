@@ -1,6 +1,7 @@
 //! The common interface every modelled blockchain system implements.
 
-use coconut_simnet::FaultEvent;
+use coconut_consensus::SafetyReport;
+use coconut_simnet::{ByzantineBehaviour, FaultEvent};
 use coconut_types::{ClientTx, NodeId, SimTime, TxOutcome};
 
 /// What happened to a submission at the system's ingress.
@@ -101,6 +102,28 @@ pub trait BlockchainSystem {
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         let _ = (at, event);
         false
+    }
+
+    /// Flags `node` to exhibit `behaviour` until virtual time `until`
+    /// (Byzantine fault injection). Only systems whose consensus has a
+    /// Byzantine quorum (PBFT, IBFT, DiemBFT) model this; crash-fault-
+    /// tolerant systems (Raft ordering, DPoS slots, Corda notaries) have no
+    /// equivocation or double-vote concept and return `false`.
+    fn inject_byzantine(
+        &mut self,
+        node: NodeId,
+        behaviour: ByzantineBehaviour,
+        until: SimTime,
+    ) -> bool {
+        let _ = (node, behaviour, until);
+        false
+    }
+
+    /// The consensus safety monitor's verdict, if the system carries one.
+    /// `None` means safety invariants are not applicable (CFT systems);
+    /// BFT systems always return `Some`, even when no fault was injected.
+    fn safety_report(&self) -> Option<SafetyReport> {
+        None
     }
 }
 

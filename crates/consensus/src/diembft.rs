@@ -14,12 +14,26 @@
 //! ([`DiemBftBuilder::batch`]); when the mempool is empty but uncommitted
 //! QC'd blocks remain, leaders propose NIL blocks so the 2-chain rule can
 //! finish committing the tail.
+//!
+//! # Byzantine fault injection
+//!
+//! [`DiemBftCluster::set_byzantine`] arms a validator with a
+//! [`ByzantineBehaviour`]. An equivocating leader proposes two conflicting
+//! blocks for its round — fellow Byzantine validators receive both, honest
+//! validators are split between them — and votes for both. A double-voting
+//! validator answers a conflicting proposal for a round it already voted in
+//! with a second vote. A [`SafetyMonitor`] observes every proposal, vote,
+//! quorum certificate, and commit; with at most `f` Byzantine validators the
+//! minority block falls short of a QC and the report stays clean, while
+//! `f + 1` colluders can certify two blocks in one round — counted as
+//! conflicting certificates, never a panic.
 
 use std::collections::{HashMap, HashSet};
 
-use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
 
 /// DiemBFT protocol messages and pacemaker timers.
@@ -186,6 +200,8 @@ impl DiemBftBuilder {
             proc_per_msg: self.proc_per_msg,
             proc_per_command: self.proc_per_command,
             proposed_rounds: HashSet::new(),
+            byz: vec![ByzantineFlags::default(); n as usize],
+            monitor: SafetyMonitor::new(bft_quorum(n)),
         }
     }
 }
@@ -227,6 +243,10 @@ pub struct DiemBftCluster {
     proc_per_msg: SimDuration,
     proc_per_command: SimDuration,
     proposed_rounds: HashSet<u64>,
+    /// Per-node Byzantine fault windows.
+    byz: Vec<ByzantineFlags>,
+    /// Message-level safety observer (never influences the protocol).
+    monitor: SafetyMonitor,
 }
 
 impl DiemBftCluster {
@@ -280,6 +300,16 @@ impl DiemBftCluster {
     /// Submits a command to the mempool.
     pub fn submit(&mut self, cmd: Command) {
         self.pending.push(cmd);
+    }
+
+    /// Flags `node` to misbehave (`behaviour`) until virtual time `until`.
+    pub fn set_byzantine(&mut self, node: NodeId, behaviour: ByzantineBehaviour, until: SimTime) {
+        self.byz[node.0 as usize].arm(behaviour, until);
+    }
+
+    /// The safety monitor's verdict over everything observed so far.
+    pub fn safety_report(&self) -> SafetyReport {
+        self.monitor.report()
     }
 
     /// Crashes a validator (models Diem's "spiking" stalls when paired with
@@ -432,24 +462,88 @@ impl DiemBftCluster {
                 proposer: me,
             },
         );
+        self.monitor.observe_proposal(0, round, me, digest);
         let bytes = 96 + batch.iter().map(|c| c.bytes as usize).sum::<usize>();
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let now = self.net.now();
         let done = self.cpu.process(me, now, cost);
-        self.net
-            .broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
-                round,
-                digest,
-                parent: parent_digest,
-                parent_round,
-                qc_round,
-                batch: batch.clone(),
-            });
-        // Leader votes for its own proposal (vote goes to next leader).
-        self.cast_vote(me, round, digest);
+        if self.byz[me.0 as usize].equivocates(now) && self.nodes.len() >= 3 {
+            // Equivocation: a second block for the same round over the same
+            // commands, under a salted digest. Fellow Byzantine validators
+            // receive both versions, honest validators are split between
+            // them, and the leader votes for both — with at most `f`
+            // colluders the minority block falls short of a QC.
+            let alt = Self::sibling_digest_of(&batch, parent_digest, round);
+            self.blocks.insert(
+                alt,
+                BlockInfo {
+                    round,
+                    parent: parent_digest,
+                    parent_round,
+                    batch: batch.clone(),
+                    proposer: me,
+                },
+            );
+            self.monitor.observe_proposal(0, round, me, alt);
+            let mut honest_idx = 0usize;
+            for i in 0..self.nodes.len() {
+                let peer = NodeId(i as u32);
+                if peer == me {
+                    continue;
+                }
+                let proposal = |d: u64| DiemMsg::Proposal {
+                    round,
+                    digest: d,
+                    parent: parent_digest,
+                    parent_round,
+                    qc_round,
+                    batch: batch.clone(),
+                };
+                if self.byz[i].is_byzantine(now) {
+                    self.net
+                        .send_delayed(me, peer, done - now, bytes, proposal(digest));
+                    self.net
+                        .send_delayed(me, peer, done - now, bytes, proposal(alt));
+                } else {
+                    let d = if honest_idx.is_multiple_of(2) {
+                        digest
+                    } else {
+                        alt
+                    };
+                    honest_idx += 1;
+                    self.net
+                        .send_delayed(me, peer, done - now, bytes, proposal(d));
+                }
+            }
+            self.cast_vote(me, round, digest);
+            self.cast_vote(me, round, alt);
+        } else {
+            self.net
+                .broadcast_delayed(me, done - now, bytes, |_| DiemMsg::Proposal {
+                    round,
+                    digest,
+                    parent: parent_digest,
+                    parent_round,
+                    qc_round,
+                    batch: batch.clone(),
+                });
+            // Leader votes for its own proposal (vote goes to next leader).
+            self.cast_vote(me, round, digest);
+        }
         // Arm pacemaker for this round at the leader.
         self.net
             .timer(me, self.round_timeout, DiemMsg::RoundTimeout { round });
+    }
+
+    /// The digest an equivocating leader uses for the conflicting sibling of
+    /// its real proposal: same parent and commands, salted key.
+    fn sibling_digest_of(batch: &[Command], parent_digest: u64, round: u64) -> u64 {
+        let mut h = Hasher64::with_key(round ^ 0xB12A_57DE);
+        h.write_u64(parent_digest);
+        for c in batch {
+            h.write_u64(c.tx.as_u64());
+        }
+        h.finish()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -481,10 +575,14 @@ impl DiemBftCluster {
             batch,
             proposer,
         });
+        // A double-voting validator answers a conflicting proposal for the
+        // round it just voted in with a second vote, violating the
+        // vote-once safety rule.
+        let dv = self.byz[me.0 as usize].double_votes(at);
         {
             let node = &mut self.nodes[me.0 as usize];
             node.round = node.round.max(round);
-            if node.highest_voted >= round {
+            if node.highest_voted >= round && !(dv && node.highest_voted == round) {
                 return; // already voted this round (safety rule)
             }
             node.highest_voted = round;
@@ -519,15 +617,20 @@ impl DiemBftCluster {
         }
     }
 
-    fn on_vote(&mut self, me: NodeId, at: SimTime, round: u64, digest: u64, _from: NodeId) {
+    fn on_vote(&mut self, me: NodeId, at: SimTime, round: u64, digest: u64, from: NodeId) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         if self.leader_of(round + 1) != me {
             return;
         }
+        self.monitor
+            .observe_vote(me, VotePhase::Vote, 0, round, digest, from);
         let count = self.votes.entry((round, digest)).or_insert(0);
         *count += 1;
         if *count == self.quorum() {
             // QC formed.
+            self.monitor
+                .observe_quorum(me, VotePhase::Vote, 0, round, digest);
+            self.monitor.observe_certificate(round, digest);
             self.qcs.insert(digest, round);
             if round > self.highest_qc.0 {
                 self.highest_qc = (round, digest);
@@ -574,6 +677,7 @@ impl DiemBftCluster {
             }
             self.committed_digests.insert(digest);
             self.last_committed_round = info.round;
+            self.monitor.observe_commit(info.round, digest);
             if !info.batch.is_empty() {
                 self.committed.push(CommittedBatch {
                     commands: info.batch.clone(),
@@ -672,6 +776,7 @@ impl DiemBftCluster {
                 proposer: me,
             },
         );
+        self.monitor.observe_proposal(0, round, me, digest);
         let bytes = 96 + batch.iter().map(|c| c.bytes as usize).sum::<usize>();
         let now = self.net.now();
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
@@ -808,5 +913,81 @@ mod tests {
         c.submit(tx(1));
         let blocks = c.run_until(c.now() + SimDuration::from_secs(5));
         assert_eq!(blocks.iter().map(|b| b.commands.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn one_equivocating_leader_is_safe() {
+        // Node 1 leads round 1, so the attack fires immediately.
+        let mut c = DiemBftCluster::builder(4).seed(31).build();
+        c.set_byzantine(
+            NodeId(1),
+            ByzantineBehaviour::EquivocateProposer,
+            SimTime::from_secs(60),
+        );
+        c.set_byzantine(
+            NodeId(1),
+            ByzantineBehaviour::DoubleVote,
+            SimTime::from_secs(60),
+        );
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(30));
+        assert!(
+            !blocks.is_empty(),
+            "f = 1 equivocator must not halt DiemBFT"
+        );
+        let r = c.safety_report();
+        assert!(
+            r.observed.equivocating_proposals > 0,
+            "the attack must actually run"
+        );
+        assert_eq!(r.observed.byzantine_nodes, 1);
+        assert!(r.violations.is_clean(), "≤ f Byzantine: {:?}", r.violations);
+    }
+
+    #[test]
+    fn two_byzantine_validators_break_safety_and_are_counted() {
+        let mut c = DiemBftCluster::builder(4).seed(32).build();
+        for node in [NodeId(1), NodeId(2)] {
+            c.set_byzantine(
+                node,
+                ByzantineBehaviour::EquivocateProposer,
+                SimTime::from_secs(60),
+            );
+            c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+        }
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(30));
+        let r = c.safety_report();
+        // Under the 2-chain rule the sibling block certifies but never gains
+        // a child, so the break surfaces as a conflicting QC, not a commit.
+        assert!(
+            r.violations.conflicting_certificates > 0,
+            "f+1 Byzantine must certify conflicting blocks in one round: {r:?}"
+        );
+    }
+
+    #[test]
+    fn byzantine_run_is_deterministic() {
+        let run = || {
+            let mut c = DiemBftCluster::builder(4).seed(33).build();
+            for node in [NodeId(1), NodeId(2)] {
+                c.set_byzantine(
+                    node,
+                    ByzantineBehaviour::EquivocateProposer,
+                    SimTime::from_secs(60),
+                );
+                c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+            }
+            for s in 0..8 {
+                c.submit(tx(s));
+            }
+            let blocks = c.run_until(SimTime::from_secs(30));
+            (format!("{:?}", c.safety_report()), blocks.len())
+        };
+        assert_eq!(run(), run());
     }
 }

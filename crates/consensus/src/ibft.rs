@@ -10,12 +10,22 @@
 //!
 //! A round change (`RoundChange` messages, 2f + 1 quorum) replaces a
 //! non-performing proposer.
+//!
+//! # Byzantine behaviour
+//!
+//! Nodes flagged via [`IbftCluster::set_byzantine`] misbehave while their
+//! fault window is open, mirroring the PBFT engine: an equivocating
+//! proposer sends conflicting blocks for one height to disjoint halves of
+//! the honest validators, and a double-voting validator backs both with
+//! prepare and commit votes. The embedded [`SafetyMonitor`] counts
+//! observed misbehaviour and any invariant actually broken.
 
 use std::collections::HashMap;
 
-use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
 
 /// IBFT protocol messages and timers.
@@ -50,12 +60,15 @@ enum IbftMsg {
     },
 }
 
+/// Per-(height, round) progress at one validator; vote tallies are kept per
+/// digest so an equivocated sibling block can never inflate the count of
+/// the block this node actually holds.
 #[derive(Debug, Default, Clone)]
 struct SlotState {
     digest: Option<u64>,
     batch: Option<Vec<Command>>,
-    prepares: u32,
-    commits: u32,
+    prepares: HashMap<u64, u32>,
+    commits: HashMap<u64, u32>,
     prepared: bool,
     committed: bool,
 }
@@ -187,6 +200,9 @@ impl IbftBuilder {
             proc_per_command: self.proc_per_command,
             commit_quorum: HashMap::new(),
             emit_empty_blocks: true,
+            byz: vec![ByzantineFlags::default(); n as usize],
+            monitor: SafetyMonitor::new(bft_quorum(n)),
+            equiv_sibling: HashMap::new(),
         }
     }
 }
@@ -222,6 +238,13 @@ pub struct IbftCluster {
     proc_per_command: SimDuration,
     commit_quorum: HashMap<(u64, u64), Vec<(NodeId, SimTime)>>,
     emit_empty_blocks: bool,
+    /// Per-node Byzantine fault windows.
+    byz: Vec<ByzantineFlags>,
+    /// Message-level safety invariant checker.
+    monitor: SafetyMonitor,
+    /// (height, round) → the conflicting sibling digest an equivocating
+    /// proposer broadcast alongside its real proposal.
+    equiv_sibling: HashMap<(u64, u64), u64>,
 }
 
 impl IbftCluster {
@@ -288,6 +311,16 @@ impl IbftCluster {
         let n = self.pending.len();
         self.pending.clear();
         n
+    }
+
+    /// Flags `node` to misbehave (`behaviour`) until virtual time `until`.
+    pub fn set_byzantine(&mut self, node: NodeId, behaviour: ByzantineBehaviour, until: SimTime) {
+        self.byz[node.0 as usize].arm(behaviour, until);
+    }
+
+    /// The safety monitor's verdict over everything observed so far.
+    pub fn safety_report(&self) -> SafetyReport {
+        self.monitor.report()
     }
 
     /// Crashes a validator.
@@ -389,15 +422,67 @@ impl IbftCluster {
                 .or_default();
             slot.digest = Some(digest);
             slot.batch = Some(batch.clone());
-            slot.prepares = 1;
+            slot.prepares.insert(digest, 1);
         }
-        self.net
-            .broadcast_delayed(me, done - now, bytes, |_| IbftMsg::PrePrepare {
-                height,
-                round,
-                digest,
-                batch: batch.clone(),
-            });
+        self.monitor.observe_proposal(round, height, me, digest);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, round, height, digest, me);
+        if self.byz[me.0 as usize].equivocates(now) && self.nodes.len() >= 3 {
+            // Equivocating proposer: a sibling block with the same commands
+            // but a conflicting digest goes to half the honest validators;
+            // Byzantine accomplices receive both versions.
+            let alt = sibling_digest_of(&batch, height, round);
+            self.equiv_sibling.insert((height, round), alt);
+            self.monitor.observe_proposal(round, height, me, alt);
+            let extra = done - now;
+            let mut honest_idx = 0usize;
+            for i in 0..self.nodes.len() {
+                let dst = NodeId(i as u32);
+                if dst == me {
+                    continue;
+                }
+                let accomplice = self.byz[i].is_byzantine(now);
+                if accomplice || honest_idx.is_multiple_of(2) {
+                    self.net.send_delayed(
+                        me,
+                        dst,
+                        extra,
+                        bytes,
+                        IbftMsg::PrePrepare {
+                            height,
+                            round,
+                            digest,
+                            batch: batch.clone(),
+                        },
+                    );
+                }
+                if accomplice || honest_idx % 2 == 1 {
+                    self.net.send_delayed(
+                        me,
+                        dst,
+                        extra,
+                        bytes,
+                        IbftMsg::PrePrepare {
+                            height,
+                            round,
+                            digest: alt,
+                            batch: batch.clone(),
+                        },
+                    );
+                }
+                if !accomplice {
+                    honest_idx += 1;
+                }
+            }
+        } else {
+            self.net
+                .broadcast_delayed(me, done - now, bytes, |_| IbftMsg::PrePrepare {
+                    height,
+                    round,
+                    digest,
+                    batch: batch.clone(),
+                });
+        }
         self.net.timer(
             me,
             self.round_timeout,
@@ -424,12 +509,36 @@ impl IbftCluster {
             }
             let slot = node.slots.entry((height, round)).or_default();
             if slot.batch.is_some() {
+                if slot.digest != Some(digest) && self.byz[me.0 as usize].double_votes(at) {
+                    // A conflicting proposal for a slot we already accepted:
+                    // honest validators drop it; a double-voting validator
+                    // votes for it anyway without adopting it.
+                    self.net
+                        .broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
+                            height,
+                            round,
+                            digest,
+                            from: me,
+                        });
+                    self.net
+                        .broadcast_delayed(me, extra, 64, |_| IbftMsg::Commit {
+                            height,
+                            round,
+                            digest,
+                            from: me,
+                        });
+                }
                 return;
             }
             slot.digest = Some(digest);
             slot.batch = Some(batch);
-            slot.prepares += 2; // the proposer's implicit prepare + our own
+            *slot.prepares.entry(digest).or_insert(0) += 2; // proposer implicit + own
         }
+        let proposer = self.proposer_of(height, round);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, round, height, digest, proposer);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, round, height, digest, me);
         self.net
             .broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
                 height,
@@ -452,7 +561,7 @@ impl IbftCluster {
         height: u64,
         round: u64,
         digest: u64,
-        _from: NodeId,
+        from: NodeId,
     ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
@@ -464,8 +573,10 @@ impl IbftCluster {
             if slot.digest.is_some() && slot.digest != Some(digest) {
                 return;
             }
-            slot.prepares += 1;
+            *slot.prepares.entry(digest).or_insert(0) += 1;
         }
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, round, height, digest, from);
         self.check_prepared(me, height, round, digest);
     }
 
@@ -476,14 +587,19 @@ impl IbftCluster {
         {
             let node = &mut self.nodes[me.0 as usize];
             let slot = node.slots.entry((height, round)).or_default();
-            should_commit =
-                !slot.prepared && slot.digest == Some(digest) && slot.prepares >= quorum;
+            should_commit = !slot.prepared
+                && slot.digest == Some(digest)
+                && slot.prepares.get(&digest).copied().unwrap_or(0) >= quorum;
             if should_commit {
                 slot.prepared = true;
-                slot.commits += 1;
+                *slot.commits.entry(digest).or_insert(0) += 1;
             }
         }
         if should_commit {
+            self.monitor
+                .observe_quorum(me, VotePhase::Prepare, round, height, digest);
+            self.monitor
+                .observe_vote(me, VotePhase::Commit, round, height, digest, me);
             let done = self.cpu.process(me, now, self.proc_per_msg);
             self.net
                 .broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
@@ -492,6 +608,21 @@ impl IbftCluster {
                     digest,
                     from: me,
                 });
+            // An equivocating proposer finishes its attack: the sibling
+            // fork needs its commit vote too.
+            if self.proposer_of(height, round) == me {
+                if let Some(&alt) = self.equiv_sibling.get(&(height, round)) {
+                    if alt != digest {
+                        self.net
+                            .broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
+                                height,
+                                round,
+                                digest: alt,
+                                from: me,
+                            });
+                    }
+                }
+            }
             self.check_committed(me, height, round, digest);
         }
     }
@@ -503,7 +634,7 @@ impl IbftCluster {
         height: u64,
         round: u64,
         digest: u64,
-        _from: NodeId,
+        from: NodeId,
     ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
@@ -515,8 +646,10 @@ impl IbftCluster {
             if slot.digest.is_some() && slot.digest != Some(digest) {
                 return;
             }
-            slot.commits += 1;
+            *slot.commits.entry(digest).or_insert(0) += 1;
         }
+        self.monitor
+            .observe_vote(me, VotePhase::Commit, round, height, digest, from);
         self.check_committed(me, height, round, digest);
     }
 
@@ -530,7 +663,7 @@ impl IbftCluster {
             locally_committed = !slot.committed
                 && slot.prepared
                 && slot.digest == Some(digest)
-                && slot.commits >= quorum;
+                && slot.commits.get(&digest).copied().unwrap_or(0) >= quorum;
             if locally_committed {
                 slot.committed = true;
                 node.height = node.height.max(height + 1);
@@ -540,6 +673,9 @@ impl IbftCluster {
         if !locally_committed {
             return;
         }
+        self.monitor
+            .observe_quorum(me, VotePhase::Commit, round, height, digest);
+        self.monitor.observe_commit(height, digest);
         // Watch the next height: its proposer might be dead.
         self.net.timer(
             me,
@@ -658,6 +794,21 @@ impl IbftCluster {
 /// Deterministic digest of a block proposal.
 fn digest_of(batch: &[Command], height: u64, round: u64) -> u64 {
     let mut h = Hasher64::with_key(height.wrapping_mul(31).wrapping_add(round));
+    for c in batch {
+        h.write_u64(c.tx.as_u64());
+    }
+    h.finish()
+}
+
+/// The conflicting digest an equivocating proposer pairs with
+/// [`digest_of`]: same commands, different serialization.
+fn sibling_digest_of(batch: &[Command], height: u64, round: u64) -> u64 {
+    let mut h = Hasher64::with_key(
+        height
+            .wrapping_mul(31)
+            .wrapping_add(round)
+            .wrapping_add(0xB12A_57DE),
+    );
     for c in batch {
         h.write_u64(c.tx.as_u64());
     }
@@ -794,6 +945,77 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(12), run(12));
+    }
+
+    #[test]
+    fn one_equivocating_proposer_is_safe() {
+        let mut c = IbftCluster::builder(4).seed(21).build();
+        c.set_byzantine(
+            NodeId(0),
+            ByzantineBehaviour::EquivocateProposer,
+            SimTime::from_secs(60),
+        );
+        c.set_byzantine(
+            NodeId(0),
+            ByzantineBehaviour::DoubleVote,
+            SimTime::from_secs(60),
+        );
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(30));
+        assert!(
+            blocks.len() >= 8,
+            "f = 1 equivocator must not halt block production, got {}",
+            blocks.len()
+        );
+        let r = c.safety_report();
+        assert!(r.observed.equivocating_proposals > 0, "attack must run");
+        assert_eq!(r.observed.byzantine_nodes, 1);
+        assert!(r.violations.is_clean(), "≤ f Byzantine: {:?}", r.violations);
+    }
+
+    #[test]
+    fn two_byzantine_validators_break_safety_and_are_counted() {
+        let mut c = IbftCluster::builder(4).seed(22).build();
+        for node in [NodeId(0), NodeId(1)] {
+            c.set_byzantine(
+                node,
+                ByzantineBehaviour::EquivocateProposer,
+                SimTime::from_secs(60),
+            );
+            c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+        }
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(30));
+        let r = c.safety_report();
+        assert!(
+            r.violations.conflicting_commits > 0,
+            "f+1 Byzantine must commit a conflicting block: {r:?}"
+        );
+    }
+
+    #[test]
+    fn byzantine_run_is_deterministic() {
+        let run = || {
+            let mut c = IbftCluster::builder(4).seed(23).build();
+            for node in [NodeId(0), NodeId(1)] {
+                c.set_byzantine(
+                    node,
+                    ByzantineBehaviour::EquivocateProposer,
+                    SimTime::from_secs(60),
+                );
+                c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+            }
+            for s in 0..8 {
+                c.submit(tx(s));
+            }
+            let blocks = c.run_until(SimTime::from_secs(30));
+            (format!("{:?}", c.safety_report()), blocks.len())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

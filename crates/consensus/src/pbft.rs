@@ -11,12 +11,25 @@
 //! Sawtooth's `sawtooth.consensus.pbft.block_publishing_delay` maps to
 //! [`PbftBuilder::publishing_delay`]: the primary waits this long after the
 //! previous block before publishing the next one.
+//!
+//! # Byzantine behaviour
+//!
+//! Nodes flagged via [`PbftCluster::set_byzantine`] misbehave while their
+//! fault window is open: an equivocating primary proposes two conflicting
+//! blocks (same commands, different digests) to disjoint halves of the
+//! honest peers, and a double-voting replica answers a conflicting
+//! pre-prepare with prepare *and* commit votes for both digests. A
+//! [`SafetyMonitor`] observes every proposal, vote, and commit and counts
+//! invariant breaks — with ≤ f flagged nodes the minority fork starves
+//! below quorum and the report stays clean; beyond f the forged votes
+//! carry a conflicting block to commit and the monitor records it.
 
 use std::collections::HashMap;
 
-use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
 
 /// PBFT protocol messages and local timers.
@@ -59,13 +72,15 @@ enum PbftMsg {
     },
 }
 
-/// Per-sequence consensus progress at one node.
+/// Per-sequence consensus progress at one node. Vote tallies are kept per
+/// digest so that votes for an equivocated sibling block can never inflate
+/// the count of the block this node actually holds.
 #[derive(Debug, Default, Clone)]
 struct SlotState {
     digest: Option<u64>,
     batch: Option<Vec<Command>>,
-    prepares: u32,
-    commits: u32,
+    prepares: HashMap<u64, u32>,
+    commits: HashMap<u64, u32>,
     prepared: bool,
     committed: bool,
 }
@@ -193,6 +208,9 @@ impl PbftBuilder {
             proc_per_msg: self.proc_per_msg,
             proc_per_command: self.proc_per_command,
             commit_quorum_times: HashMap::new(),
+            byz: vec![ByzantineFlags::default(); n as usize],
+            monitor: SafetyMonitor::new(bft_quorum(n)),
+            equiv_sibling: HashMap::new(),
         }
     }
 }
@@ -225,6 +243,13 @@ pub struct PbftCluster {
     proc_per_command: SimDuration,
     /// (view, seq) → nodes that reached local commit, for quorum detection.
     commit_quorum_times: HashMap<(u64, u64), Vec<(NodeId, SimTime)>>,
+    /// Per-node Byzantine fault windows.
+    byz: Vec<ByzantineFlags>,
+    /// Message-level safety invariant checker.
+    monitor: SafetyMonitor,
+    /// (view, seq) → the conflicting sibling digest an equivocating primary
+    /// broadcast alongside its real proposal.
+    equiv_sibling: HashMap<(u64, u64), u64>,
 }
 
 impl PbftCluster {
@@ -292,6 +317,16 @@ impl PbftCluster {
         self.pending.push(cmd);
     }
 
+    /// Flags `node` to misbehave (`behaviour`) until virtual time `until`.
+    pub fn set_byzantine(&mut self, node: NodeId, behaviour: ByzantineBehaviour, until: SimTime) {
+        self.byz[node.0 as usize].arm(behaviour, until);
+    }
+
+    /// The safety monitor's verdict over everything observed so far.
+    pub fn safety_report(&self) -> SafetyReport {
+        self.monitor.report()
+    }
+
     /// Crashes a replica (it stops processing messages).
     pub fn crash(&mut self, node: NodeId) {
         self.nodes[node.0 as usize].alive = false;
@@ -357,6 +392,13 @@ impl PbftCluster {
             if node.view != view || seq != self.next_commit_seq || self.primary_of(view) != me {
                 return;
             }
+            if node
+                .slots
+                .get(&(view, seq))
+                .is_some_and(|s| s.batch.is_some())
+            {
+                return; // already proposed this slot (duplicate timer)
+            }
         }
         if self.pending.is_empty() {
             // Nothing to propose; retry a publishing-delay later.
@@ -381,14 +423,66 @@ impl PbftCluster {
             .or_default();
         slot.digest = Some(digest);
         slot.batch = Some(batch.clone());
-        slot.prepares = 1; // own implicit prepare
-        self.net
-            .broadcast_delayed(me, done - now, bytes, |_| PbftMsg::PrePrepare {
-                view,
-                seq,
-                digest,
-                batch: batch.clone(),
-            });
+        slot.prepares.insert(digest, 1); // own implicit prepare
+        self.monitor.observe_proposal(view, seq, me, digest);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, view, seq, digest, me);
+        if self.byz[me.0 as usize].equivocates(now) && self.nodes.len() >= 3 {
+            // Equivocating primary: a sibling block with the same commands
+            // but a conflicting digest goes to half the honest peers;
+            // Byzantine accomplices receive both versions.
+            let alt = sibling_digest_of(&batch, view, seq);
+            self.equiv_sibling.insert((view, seq), alt);
+            self.monitor.observe_proposal(view, seq, me, alt);
+            let extra = done - now;
+            let mut honest_idx = 0usize;
+            for i in 0..self.nodes.len() {
+                let dst = NodeId(i as u32);
+                if dst == me {
+                    continue;
+                }
+                let accomplice = self.byz[i].is_byzantine(now);
+                if accomplice || honest_idx.is_multiple_of(2) {
+                    self.net.send_delayed(
+                        me,
+                        dst,
+                        extra,
+                        bytes,
+                        PbftMsg::PrePrepare {
+                            view,
+                            seq,
+                            digest,
+                            batch: batch.clone(),
+                        },
+                    );
+                }
+                if accomplice || honest_idx % 2 == 1 {
+                    self.net.send_delayed(
+                        me,
+                        dst,
+                        extra,
+                        bytes,
+                        PbftMsg::PrePrepare {
+                            view,
+                            seq,
+                            digest: alt,
+                            batch: batch.clone(),
+                        },
+                    );
+                }
+                if !accomplice {
+                    honest_idx += 1;
+                }
+            }
+        } else {
+            self.net
+                .broadcast_delayed(me, done - now, bytes, |_| PbftMsg::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                });
+        }
         // Arm the primary's own progress timer.
         self.net.timer(
             me,
@@ -416,12 +510,37 @@ impl PbftCluster {
             }
             let slot = node.slots.entry((view, seq)).or_default();
             if slot.batch.is_some() {
-                return; // duplicate pre-prepare
+                if slot.digest != Some(digest) && self.byz[me.0 as usize].double_votes(at) {
+                    // A conflicting pre-prepare for a slot we already
+                    // accepted: honest replicas drop it; a double-voting
+                    // replica votes for it anyway (prepare and commit)
+                    // without adopting it.
+                    self.net
+                        .broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
+                            view,
+                            seq,
+                            digest,
+                            from: me,
+                        });
+                    self.net
+                        .broadcast_delayed(me, extra, 64, |_| PbftMsg::Commit {
+                            view,
+                            seq,
+                            digest,
+                            from: me,
+                        });
+                }
+                return; // duplicate (or conflicting) pre-prepare
             }
             slot.digest = Some(digest);
             slot.batch = Some(batch);
-            slot.prepares += 2; // the primary's implicit prepare + our own
+            *slot.prepares.entry(digest).or_insert(0) += 2; // primary implicit + own
         }
+        let primary = self.primary_of(view);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, view, seq, digest, primary);
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, view, seq, digest, me);
         self.net
             .broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
                 view,
@@ -444,7 +563,7 @@ impl PbftCluster {
         view: u64,
         seq: u64,
         digest: u64,
-        _from: NodeId,
+        from: NodeId,
     ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
@@ -456,8 +575,10 @@ impl PbftCluster {
             if slot.digest.is_some() && slot.digest != Some(digest) {
                 return;
             }
-            slot.prepares += 1;
+            *slot.prepares.entry(digest).or_insert(0) += 1;
         }
+        self.monitor
+            .observe_vote(me, VotePhase::Prepare, view, seq, digest, from);
         self.check_prepared(me, view, seq, digest);
     }
 
@@ -468,14 +589,19 @@ impl PbftCluster {
         {
             let node = &mut self.nodes[me.0 as usize];
             let slot = node.slots.entry((view, seq)).or_default();
-            should_commit =
-                !slot.prepared && slot.digest == Some(digest) && slot.prepares >= quorum;
+            should_commit = !slot.prepared
+                && slot.digest == Some(digest)
+                && slot.prepares.get(&digest).copied().unwrap_or(0) >= quorum;
             if should_commit {
                 slot.prepared = true;
-                slot.commits += 1; // own commit
+                *slot.commits.entry(digest).or_insert(0) += 1; // own commit
             }
         }
         if should_commit {
+            self.monitor
+                .observe_quorum(me, VotePhase::Prepare, view, seq, digest);
+            self.monitor
+                .observe_vote(me, VotePhase::Commit, view, seq, digest, me);
             let done = self.cpu.process(me, now, self.proc_per_msg);
             self.net
                 .broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
@@ -484,6 +610,21 @@ impl PbftCluster {
                     digest,
                     from: me,
                 });
+            // An equivocating primary finishes its attack: the sibling fork
+            // needs its commit vote too.
+            if self.primary_of(view) == me {
+                if let Some(&alt) = self.equiv_sibling.get(&(view, seq)) {
+                    if alt != digest {
+                        self.net
+                            .broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
+                                view,
+                                seq,
+                                digest: alt,
+                                from: me,
+                            });
+                    }
+                }
+            }
             self.check_committed(me, view, seq, digest);
         }
     }
@@ -495,7 +636,7 @@ impl PbftCluster {
         view: u64,
         seq: u64,
         digest: u64,
-        _from: NodeId,
+        from: NodeId,
     ) {
         let _ = self.cpu.process(me, at, self.proc_per_msg);
         {
@@ -507,8 +648,10 @@ impl PbftCluster {
             if slot.digest.is_some() && slot.digest != Some(digest) {
                 return;
             }
-            slot.commits += 1;
+            *slot.commits.entry(digest).or_insert(0) += 1;
         }
+        self.monitor
+            .observe_vote(me, VotePhase::Commit, view, seq, digest, from);
         self.check_committed(me, view, seq, digest);
     }
 
@@ -522,7 +665,7 @@ impl PbftCluster {
             locally_committed = !slot.committed
                 && slot.prepared
                 && slot.digest == Some(digest)
-                && slot.commits >= quorum;
+                && slot.commits.get(&digest).copied().unwrap_or(0) >= quorum;
             if locally_committed {
                 slot.committed = true;
                 node.low_water = node.low_water.max(seq + 1);
@@ -531,6 +674,9 @@ impl PbftCluster {
         if !locally_committed {
             return;
         }
+        self.monitor
+            .observe_quorum(me, VotePhase::Commit, view, seq, digest);
+        self.monitor.observe_commit(seq, digest);
         // Watch the next sequence so a primary that dies between blocks is
         // detected.
         self.net.timer(
@@ -679,6 +825,17 @@ fn digest_of(batch: &[Command], view: u64, seq: u64) -> u64 {
     h.finish()
 }
 
+/// The conflicting digest an equivocating primary pairs with [`digest_of`]:
+/// same commands, different serialization, so honest replicas see two
+/// irreconcilable proposals for one slot.
+fn sibling_digest_of(batch: &[Command], view: u64, seq: u64) -> u64 {
+    let mut h = Hasher64::with_key(view ^ (seq << 32) ^ 0xB12A_57DE);
+    for c in batch {
+        h.write_u64(c.tx.as_u64()).write_u64(c.ops as u64);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +974,76 @@ mod tests {
         let mut c = PbftCluster::builder(4).seed(8).build();
         let batches = c.run_until(SimTime::from_secs(10));
         assert!(batches.is_empty(), "no commands, no blocks");
+    }
+
+    #[test]
+    fn one_equivocating_primary_is_safe() {
+        let mut c = PbftCluster::builder(4).seed(11).build();
+        c.set_byzantine(
+            NodeId(0),
+            ByzantineBehaviour::EquivocateProposer,
+            SimTime::from_secs(60),
+        );
+        c.set_byzantine(
+            NodeId(0),
+            ByzantineBehaviour::DoubleVote,
+            SimTime::from_secs(60),
+        );
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(SimTime::from_secs(30));
+        assert!(!batches.is_empty(), "f = 1 equivocator must not halt PBFT");
+        let r = c.safety_report();
+        assert!(
+            r.observed.equivocating_proposals > 0,
+            "the attack must actually run"
+        );
+        assert_eq!(r.observed.byzantine_nodes, 1);
+        assert!(r.violations.is_clean(), "≤ f Byzantine: {:?}", r.violations);
+    }
+
+    #[test]
+    fn two_byzantine_nodes_break_safety_and_are_counted() {
+        let mut c = PbftCluster::builder(4).seed(12).build();
+        for node in [NodeId(0), NodeId(1)] {
+            c.set_byzantine(
+                node,
+                ByzantineBehaviour::EquivocateProposer,
+                SimTime::from_secs(60),
+            );
+            c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+        }
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(30));
+        let r = c.safety_report();
+        assert!(
+            r.violations.conflicting_commits > 0,
+            "f+1 Byzantine must commit a conflicting block: {r:?}"
+        );
+    }
+
+    #[test]
+    fn byzantine_run_is_deterministic() {
+        let run = || {
+            let mut c = PbftCluster::builder(4).seed(13).build();
+            for node in [NodeId(0), NodeId(1)] {
+                c.set_byzantine(
+                    node,
+                    ByzantineBehaviour::EquivocateProposer,
+                    SimTime::from_secs(60),
+                );
+                c.set_byzantine(node, ByzantineBehaviour::DoubleVote, SimTime::from_secs(60));
+            }
+            for s in 0..8 {
+                c.submit(tx(s));
+            }
+            let batches = c.run_until(SimTime::from_secs(30));
+            (format!("{:?}", c.safety_report()), batches.len())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

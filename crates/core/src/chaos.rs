@@ -19,7 +19,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use coconut_chains::BlockchainSystem;
-use coconut_simnet::{FaultEvent, FaultPlan, FaultScheduler};
+use coconut_consensus::SafetyReport;
+use coconut_simnet::{ByzantineBehaviour, FaultEvent, FaultPlan, FaultScheduler};
 use coconut_types::{SeedDeriver, SimDuration, SimRng, SimTime, TxId};
 
 use crate::client::build_schedule;
@@ -142,6 +143,9 @@ pub struct ChaosRun {
     pub p95: f64,
     /// Whether the system still served confirmations at the end.
     pub live: bool,
+    /// The consensus safety monitor's verdict, for systems that carry one
+    /// (the BFT chains). `None` means safety invariants are not applicable.
+    pub safety: Option<SafetyReport>,
 }
 
 impl ChaosRun {
@@ -209,6 +213,10 @@ struct Track {
 ///
 /// Fault semantics: `CrashNode`/`RestartNode` route to
 /// [`BlockchainSystem::crash_node`] / [`BlockchainSystem::recover_node`];
+/// `EquivocateProposer`/`DoubleVote` route to
+/// [`BlockchainSystem::inject_byzantine`] with the event's window converted
+/// to an absolute expiry (CFT systems decline the injection and the run's
+/// [`ChaosRun::safety`] stays `None`);
 /// network faults route to [`BlockchainSystem::apply_net_fault`]. A
 /// [`FaultEvent::LossBurst`] additionally applies to the *client ingress*:
 /// while the burst is active each submission is dropped with probability
@@ -310,6 +318,16 @@ pub fn run_chaos(
                     }
                     FaultEvent::RestartNode(node) => {
                         system.recover_node(node);
+                    }
+                    FaultEvent::EquivocateProposer { node, window } => {
+                        system.inject_byzantine(
+                            node,
+                            ByzantineBehaviour::EquivocateProposer,
+                            fat + window,
+                        );
+                    }
+                    FaultEvent::DoubleVote { node, window } => {
+                        system.inject_byzantine(node, ByzantineBehaviour::DoubleVote, fat + window);
                     }
                     ref net_fault => {
                         if let FaultEvent::LossBurst { p, window } = *net_fault {
@@ -459,6 +477,7 @@ pub fn run_chaos(
         mfls,
         p95,
         live: system.is_live(),
+        safety: system.safety_report(),
     }
 }
 
@@ -583,6 +602,7 @@ mod tests {
             mfls: 0.0,
             p95: 0.0,
             live: true,
+            safety: None,
         };
         let rec = r
             .recovery_secs(SimTime::from_secs(3), SimTime::from_secs(6), 0.7)

@@ -13,6 +13,12 @@
 //! 3. **loss burst** — a 5 % client-ingress/consensus loss window against
 //!    Fabric and Quorum, with the retry/backoff client; delivery must stay
 //!    ≥ 99 %.
+//! 4. **Byzantine window** — flag validators to equivocate and double-vote
+//!    during a mid-run window, against the three BFT systems (Quorum's
+//!    IBFT, Sawtooth's PBFT, Diem's DiemBFT). At ≤ f flagged validators the
+//!    safety monitor must stay clean; at f + 1 it counts the broken
+//!    invariants. CFT systems (Raft, DPoS, notaries) have no Byzantine
+//!    quorum and report "n/a".
 //!
 //! Every number is a pure function of the root seed: the same
 //! [`ExperimentConfig`] renders byte-identical reports.
@@ -44,14 +50,26 @@ pub fn fault_domain(kind: SystemKind) -> (&'static str, u32, u32, u32) {
     }
 }
 
+/// The Byzantine fault domain of each system: `(total validators, f)` for
+/// the systems whose consensus has a Byzantine quorum, `None` for the
+/// crash-fault-tolerant rest (Raft ordering, DPoS slots, Corda notaries) —
+/// equivocation and double votes have no meaning without a vote quorum.
+pub fn byzantine_domain(kind: SystemKind) -> Option<(u32, u32)> {
+    match kind {
+        SystemKind::Quorum | SystemKind::Sawtooth | SystemKind::Diem => Some((4, 1)),
+        _ => None,
+    }
+}
+
 /// One system × one fault arm.
 #[derive(Debug, Clone)]
 pub struct ChaosCell {
     /// System under test.
     pub system: SystemKind,
-    /// Arm label ("crash-f", "crash-beyond-f", "loss-burst").
+    /// Arm label ("crash-f", "crash-beyond-f", "loss-burst", "byz-f",
+    /// "byz-beyond-f").
     pub arm: &'static str,
-    /// Crashed-node description, e.g. "1/3 orderers".
+    /// Fault description, e.g. "1/3 orderers" or "2/4 equivocating".
     pub faults: String,
     /// Aggregate rate limiter used (tx/s).
     pub rate: f64,
@@ -77,6 +95,9 @@ pub struct ChaosResult {
     pub halt: Vec<ChaosCell>,
     /// Loss-burst arm with the retry client (Fabric, Quorum).
     pub bursts: Vec<ChaosCell>,
+    /// Byzantine window arm, two cells (≤ f and f + 1 flagged validators)
+    /// per BFT system (Quorum, Sawtooth, Diem).
+    pub byzantine: Vec<ChaosCell>,
 }
 
 /// Virtual-time anchors of the campaign, derived from the config's scale.
@@ -165,8 +186,9 @@ fn cell(
 }
 
 /// Runs the full campaign: the f-tolerant crash/heal arm and the beyond-f
-/// halt arm for all seven systems, plus the loss-burst arm for Fabric and
-/// Quorum. All cells are independent and run on the grid executor
+/// halt arm for all seven systems, the loss-burst arm for Fabric and
+/// Quorum, and the Byzantine-window arm (≤ f and f + 1 flagged validators)
+/// for the BFT systems. All cells are independent and run on the grid executor
 /// (`cfg.jobs` workers); each cell's seed is derived from its arm and
 /// system — never from loop order — so any worker count produces
 /// byte-identical reports.
@@ -227,6 +249,23 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
             seed: seeds.seed_parts(&["chaos-burst", kind.label()]),
         });
     }
+    for kind in SystemKind::ALL {
+        let Some((total, f)) = byzantine_domain(kind) else {
+            continue;
+        };
+        for (arm, count) in [("byz-f", f), ("byz-beyond-f", f + 1)] {
+            let nodes: Vec<NodeId> = (0..count).map(NodeId).collect();
+            arms.push(Arm {
+                kind,
+                arm,
+                faults: format!("{count}/{total} equivocating"),
+                plan: FaultPlan::new().byzantine_window(&nodes, tl.crash_at, tl.heal_at),
+                policy: RetryPolicy::chaos_default(),
+                healed: false,
+                seed: seeds.seed_parts(&["chaos-byz", arm, kind.label()]),
+            });
+        }
+    }
 
     let mut cells = crate::exec::run_grid(&arms, cfg.jobs, |_, a| {
         cell(
@@ -240,12 +279,14 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
             a.seed,
         )
     });
-    let bursts = cells.split_off(2 * SystemKind::ALL.len());
+    let mut bursts = cells.split_off(2 * SystemKind::ALL.len());
+    let byzantine = bursts.split_off(2);
     let halt = cells.split_off(SystemKind::ALL.len());
     ChaosResult {
         tolerant: cells,
         halt,
         bursts,
+        byzantine,
     }
 }
 
@@ -253,12 +294,20 @@ impl ChaosCell {
     fn render_row(&self) -> String {
         let rec = match self.recovery_secs {
             Some(s) => format!("{s:.1} s"),
-            None if self.arm == "crash-beyond-f" => "—".to_string(),
+            // Halt and Byzantine arms are not heal-and-recover experiments.
+            None if self.arm == "crash-beyond-f" || self.arm.starts_with("byz") => "—".to_string(),
             None => "never".to_string(),
+        };
+        let (viol, byz) = match &self.run.safety {
+            Some(s) => (
+                s.violations.total().to_string(),
+                s.observed.byzantine_nodes.to_string(),
+            ),
+            None => ("n/a".to_string(), "n/a".to_string()),
         };
         let a = &self.run.accounting;
         format!(
-            "{:<18} {:<15} {:<14} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>6.3} {:>5} {:>5} {:>5} {:>5}",
+            "{:<18} {:<15} {:<16} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>6.3} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
             self.system.label(),
             self.arm,
             self.faults,
@@ -271,6 +320,8 @@ impl ChaosCell {
             a.timed_out,
             a.lost_in_fault,
             a.retries,
+            viol,
+            byz,
         )
     }
 
@@ -297,6 +348,39 @@ impl ChaosCell {
             ("lost_in_fault".into(), Json::Num(a.lost_in_fault as f64)),
             ("retries".into(), Json::Num(a.retries as f64)),
             ("delivery_ratio".into(), Json::Num(a.delivery_ratio())),
+            (
+                // `null` for CFT systems: safety invariants not applicable.
+                "byzantine".into(),
+                match &self.run.safety {
+                    None => Json::Null,
+                    Some(s) => Json::Obj(vec![
+                        (
+                            "conflicting_commits".into(),
+                            Json::Num(s.violations.conflicting_commits as f64),
+                        ),
+                        (
+                            "conflicting_certificates".into(),
+                            Json::Num(s.violations.conflicting_certificates as f64),
+                        ),
+                        (
+                            "undersized_quorums".into(),
+                            Json::Num(s.violations.undersized_quorums as f64),
+                        ),
+                        (
+                            "equivocating_proposals".into(),
+                            Json::Num(s.observed.equivocating_proposals as f64),
+                        ),
+                        (
+                            "double_votes".into(),
+                            Json::Num(s.observed.double_votes as f64),
+                        ),
+                        (
+                            "byzantine_nodes".into(),
+                            Json::Num(s.observed.byzantine_nodes as f64),
+                        ),
+                    ]),
+                },
+            ),
         ])
     }
 }
@@ -304,7 +388,11 @@ impl ChaosCell {
 impl ChaosResult {
     /// All cells in report order.
     pub fn cells(&self) -> impl Iterator<Item = &ChaosCell> {
-        self.tolerant.iter().chain(&self.halt).chain(&self.bursts)
+        self.tolerant
+            .iter()
+            .chain(&self.halt)
+            .chain(&self.bursts)
+            .chain(&self.byzantine)
     }
 
     /// Renders the campaign as a fixed-width text report. Deterministic:
@@ -312,7 +400,7 @@ impl ChaosResult {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:<15} {:<14} {:>9} {:>9} {:>9} {:>8} {:>6} {:>5} {:>5} {:>5} {:>5}\n",
+            "{:<18} {:<15} {:<16} {:>9} {:>9} {:>9} {:>8} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}\n",
             "system",
             "arm",
             "faults",
@@ -325,8 +413,10 @@ impl ChaosResult {
             "tout",
             "lost",
             "retry",
+            "viol",
+            "byz",
         ));
-        out.push_str(&"-".repeat(118));
+        out.push_str(&"-".repeat(132));
         out.push('\n');
         for c in self.cells() {
             out.push_str(&c.render_row());
@@ -409,6 +499,47 @@ mod tests {
                 c.system,
                 c.run.accounting
             );
+        }
+    }
+
+    #[test]
+    fn byzantine_arms_hold_safety_at_f_and_lose_it_beyond() {
+        let r = chaos(&quick());
+        assert_eq!(r.byzantine.len(), 6, "two arms per BFT system");
+        for c in &r.byzantine {
+            let s = c.run.safety.expect("BFT systems carry a safety monitor");
+            assert!(
+                s.observed.byzantine_nodes > 0,
+                "{} {}: the attack must actually run",
+                c.system,
+                c.arm
+            );
+            match c.arm {
+                "byz-f" => assert!(
+                    s.violations.is_clean(),
+                    "{} must hold safety at ≤ f: {:?}",
+                    c.system,
+                    s.violations
+                ),
+                "byz-beyond-f" => assert!(
+                    s.violations.total() > 0,
+                    "{} must lose safety at f + 1: {s:?}",
+                    c.system
+                ),
+                other => panic!("unexpected arm {other}"),
+            }
+        }
+        // CFT systems have no Byzantine quorum: safety is not applicable.
+        for c in r.tolerant.iter().filter(|c| {
+            matches!(
+                c.system,
+                SystemKind::Fabric
+                    | SystemKind::Bitshares
+                    | SystemKind::CordaOs
+                    | SystemKind::CordaEnterprise
+            )
+        }) {
+            assert!(c.run.safety.is_none(), "{} is CFT", c.system);
         }
     }
 

@@ -11,7 +11,8 @@
 //!
 //! Network-level events (`Partition`, `Heal`, `LossBurst`, `LatencySpike`)
 //! are applied directly to a [`NetSim`] via [`NetSim::apply_fault`];
-//! node-level events (`CrashNode`, `RestartNode`) are routed by the chain
+//! node-level events (`CrashNode`, `RestartNode`, and the Byzantine
+//! `EquivocateProposer` / `DoubleVote` windows) are routed by the chain
 //! models to their consensus engines.
 //!
 //! # Example
@@ -35,6 +36,21 @@ use coconut_types::{NodeId, SimDuration, SimTime};
 
 use crate::latency::LatencyModel;
 use crate::net::NetSim;
+
+/// How a Byzantine-flagged node misbehaves while its fault window is open.
+///
+/// Both behaviours only matter to BFT engines (PBFT, IBFT, DiemBFT); the
+/// crash-fault-tolerant systems have no Byzantine quorum to subvert and
+/// ignore the flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByzantineBehaviour {
+    /// As proposer, send conflicting blocks (same commands, different
+    /// digests) to disjoint subsets of the peers.
+    EquivocateProposer,
+    /// As validator, vote for two conflicting proposals in the same
+    /// round/view instead of at most one.
+    DoubleVote,
+}
 
 /// One fault to inject at a scheduled virtual time.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,13 +79,36 @@ pub enum FaultEvent {
         /// How long the spike lasts from its scheduled start.
         window: SimDuration,
     },
+    /// Byzantine proposer: for the next `window`, `node` proposes
+    /// conflicting blocks to disjoint peer subsets whenever it leads a
+    /// round/view.
+    EquivocateProposer {
+        /// The node that turns Byzantine.
+        node: NodeId,
+        /// How long the behaviour lasts from its scheduled start.
+        window: SimDuration,
+    },
+    /// Byzantine validator: for the next `window`, `node` votes for two
+    /// conflicting proposals in the same round/view.
+    DoubleVote {
+        /// The node that turns Byzantine.
+        node: NodeId,
+        /// How long the behaviour lasts from its scheduled start.
+        window: SimDuration,
+    },
 }
 
 impl FaultEvent {
     /// `true` for events the network layer handles ([`NetSim::apply_fault`]);
-    /// `false` for node-level crash/restart events.
+    /// `false` for node-level crash/restart/Byzantine events.
     pub fn is_network_fault(&self) -> bool {
-        !matches!(self, FaultEvent::CrashNode(_) | FaultEvent::RestartNode(_))
+        !matches!(
+            self,
+            FaultEvent::CrashNode(_)
+                | FaultEvent::RestartNode(_)
+                | FaultEvent::EquivocateProposer { .. }
+                | FaultEvent::DoubleVote { .. }
+        )
     }
 }
 
@@ -111,6 +150,28 @@ impl FaultPlan {
         self
     }
 
+    /// The classic Byzantine window: from `from` until `until`, every node
+    /// in `nodes` both equivocates as proposer and double-votes as
+    /// validator (builder style). Both events share the timestamp `from`;
+    /// the scheduler's stable sort keeps their insertion order, so a run
+    /// always arms equivocation before double-voting per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn byzantine_window(mut self, nodes: &[NodeId], from: SimTime, until: SimTime) -> Self {
+        assert!(
+            until > from,
+            "the Byzantine window must have positive length"
+        );
+        let window = until - from;
+        for &n in nodes {
+            self = self.at(from, FaultEvent::EquivocateProposer { node: n, window });
+            self = self.at(from, FaultEvent::DoubleVote { node: n, window });
+        }
+        self
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -133,6 +194,16 @@ impl FaultPlan {
 /// advances the simulation to it, then drains due events with
 /// [`FaultScheduler::pop_due`]. Because fault times are part of the plan
 /// (not sampled), the interleaving with client traffic is deterministic.
+///
+/// # Tie-break ordering
+///
+/// Events sharing a virtual timestamp replay in the order they were added
+/// to the plan: the constructor sorts with `Vec::sort_by_key`, which is
+/// stable, and [`FaultScheduler::pop_due`] walks the sorted vector with a
+/// cursor. Campaigns rely on this contract — e.g. a crash-and-repartition
+/// at one instant, or [`FaultPlan::byzantine_window`] arming two
+/// behaviours per node at the same time — so it is pinned by test, not
+/// incidental.
 #[derive(Debug, Clone)]
 pub struct FaultScheduler {
     events: Vec<(SimTime, FaultEvent)>,
@@ -201,7 +272,10 @@ impl<M> NetSim<M> {
                 self.latency_spike(*model, at + *window);
                 true
             }
-            FaultEvent::CrashNode(_) | FaultEvent::RestartNode(_) => false,
+            FaultEvent::CrashNode(_)
+            | FaultEvent::RestartNode(_)
+            | FaultEvent::EquivocateProposer { .. }
+            | FaultEvent::DoubleVote { .. } => false,
         }
     }
 }
@@ -297,6 +371,90 @@ mod tests {
         let mut net: NetSim<u32> = NetSim::new(Topology::paper_baseline(), NetConfig::lan(), 1);
         assert!(!net.apply_fault(SimTime::ZERO, &FaultEvent::CrashNode(NodeId(0))));
         assert!(!net.apply_fault(SimTime::ZERO, &FaultEvent::RestartNode(NodeId(0))));
+        let byz = FaultEvent::EquivocateProposer {
+            node: NodeId(0),
+            window: SimDuration::from_secs(1),
+        };
+        assert!(!byz.is_network_fault());
+        assert!(!net.apply_fault(SimTime::ZERO, &byz));
+        let dv = FaultEvent::DoubleVote {
+            node: NodeId(0),
+            window: SimDuration::from_secs(1),
+        };
+        assert!(!dv.is_network_fault());
+        assert!(!net.apply_fault(SimTime::ZERO, &dv));
+    }
+
+    #[test]
+    fn byzantine_window_arms_both_behaviours_per_node() {
+        let plan = FaultPlan::new().byzantine_window(
+            &[NodeId(0), NodeId(1)],
+            SimTime::from_secs(5),
+            SimTime::from_secs(9),
+        );
+        assert_eq!(plan.len(), 4);
+        let w = SimDuration::from_secs(4);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|(at, e)| *at == SimTime::from_secs(5)
+                && matches!(
+                    e,
+                    FaultEvent::EquivocateProposer { window, .. }
+                    | FaultEvent::DoubleVote { window, .. } if *window == w
+                )));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_byzantine_window_rejected() {
+        let _ = FaultPlan::new().byzantine_window(
+            &[NodeId(0)],
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
+    }
+
+    #[test]
+    fn same_timestamp_events_keep_insertion_order() {
+        // Five events, four sharing t = 5 s across every event family, added
+        // after a later event: the sort must be stable (time only), never
+        // reordering ties by kind or payload.
+        let t = SimTime::from_secs(5);
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(7), FaultEvent::Heal)
+            .at(
+                t,
+                FaultEvent::DoubleVote {
+                    node: NodeId(1),
+                    window: SimDuration::from_secs(2),
+                },
+            )
+            .at(t, FaultEvent::CrashNode(NodeId(0)))
+            .at(
+                t,
+                FaultEvent::LossBurst {
+                    p: 0.1,
+                    window: SimDuration::from_secs(1),
+                },
+            )
+            .at(t, FaultEvent::RestartNode(NodeId(0)));
+        let drain = |plan: FaultPlan| {
+            let mut s = FaultScheduler::new(plan);
+            let mut order = Vec::new();
+            while let Some((_, e)) = s.pop_due(SimTime::from_secs(10)) {
+                order.push(e);
+            }
+            order
+        };
+        let a = drain(plan.clone());
+        let b = drain(plan);
+        assert_eq!(a, b, "rebuilding the scheduler must not reorder ties");
+        assert!(matches!(a[0], FaultEvent::DoubleVote { .. }));
+        assert!(matches!(a[1], FaultEvent::CrashNode(_)));
+        assert!(matches!(a[2], FaultEvent::LossBurst { .. }));
+        assert!(matches!(a[3], FaultEvent::RestartNode(_)));
+        assert_eq!(a[4], FaultEvent::Heal);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod queue;
 pub mod sim;
 pub mod topology;
 
-pub use fault::{FaultEvent, FaultPlan, FaultScheduler};
+pub use fault::{ByzantineBehaviour, FaultEvent, FaultPlan, FaultScheduler};
 pub use latency::LatencyModel;
 pub use net::{NetConfig, NetSim, NetStats};
 pub use queue::EventQueue;

@@ -84,3 +84,46 @@ fn chaos_campaign_is_jobs_invariant() {
     assert_eq!(a.render(), b.render());
     assert_eq!(a.to_json(), b.to_json());
 }
+
+fn golden_chaos_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.08,
+        repetitions: 1,
+        seed: 0xC0C0,
+        full_sweep: false,
+        jobs: Some(2),
+    }
+}
+
+/// The chaos campaign's JSON, pinned byte-for-byte. Any change to fault
+/// schedules, seed derivation, the client loop, or the Byzantine safety
+/// counters shows up here as a diff that must be reviewed (and the file
+/// regenerated via `regenerate_chaos_golden`), not as silent drift.
+#[test]
+fn chaos_campaign_json_matches_golden_file() {
+    let rendered = chaos(&golden_chaos_cfg()).to_json();
+    let golden = include_str!("golden/chaos_scale008_seed_c0c0.json");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "chaos campaign JSON drifted from tests/golden/chaos_scale008_seed_c0c0.json; \
+         if the change is intentional run: \
+         cargo test --release --test integration_exec regenerate_chaos_golden -- --ignored"
+    );
+}
+
+/// Rewrites the golden file from the current implementation. Run only when
+/// a chaos-campaign change is intentional; the diff is the review artifact.
+#[test]
+#[ignore = "regenerates tests/golden/chaos_scale008_seed_c0c0.json; run explicitly after intentional changes"]
+fn regenerate_chaos_golden() {
+    // Integration tests run with the package root (crates/bench) as cwd.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/chaos_scale008_seed_c0c0.json"
+    );
+    let mut json = chaos(&golden_chaos_cfg()).to_json();
+    json.push('\n');
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, json).unwrap();
+}
