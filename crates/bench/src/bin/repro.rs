@@ -16,28 +16,38 @@
 //!   table19   Diem KeyValue-Get              (Tables 19+20)
 //!   tables    all of the above tables
 //!   ablations all ablation studies
-//!   chaos     fault-injection campaign (crash/heal, beyond-f halt, loss burst)
+//!   chaos     fault-injection campaign (crash/heal, beyond-f halt, loss burst);
+//!             with --sweep: degradation curves over fault severity plus the
+//!             system × fault-kind heat map
 //!   all       everything
 //!
 //! flags:
-//!   --scale X   window scale vs the paper's 300 s (default 0.1)
-//!   --reps N    repetitions (default 2; paper: 3)
-//!   --full      sweep the paper's full parameter grid
-//!   --paper     shorthand for --scale 1.0 --reps 3 --full
-//!   --seed S    root seed (default 0xC0C00717)
-//!   --jobs N    worker threads for the experiment grid (default: all
-//!               CPUs); results are byte-identical for every N
-//!   --out DIR   also write results as JSON into DIR
+//!   --scale X     window scale vs the paper's 300 s (default 0.1)
+//!   --reps N      repetitions (default 2; paper: 3)
+//!   --full        sweep the paper's full parameter grid
+//!   --paper       shorthand for --scale 1.0 --reps 3 --full
+//!   --seed S      root seed (default 0xC0C00717)
+//!   --jobs N      worker threads for the experiment grid (default: all
+//!                 CPUs); results are byte-identical for every N
+//!   --sweep       chaos only: run the fault-sweep campaign (f = 0..=beyond-f
+//!                 crash curves, loss-rate and Byzantine-count steps) instead
+//!                 of the classic four arms
+//!   --systems A,B chaos --sweep only: restrict the sweep to these systems
+//!                 (labels as printed, case-insensitive, e.g.
+//!                 "fabric,corda os"); remaining cells keep their numbers
+//!   --out DIR     also write results as JSON (and CSV where applicable)
+//!                 into DIR
 //! ```
 
 use std::path::PathBuf;
 
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, chaos, fig3, fig4, fig5, table11_12, table13_14, table15_16, table17_18,
-    table19_20, table7_8, table9_10, ExperimentConfig, TableResult,
+    all_ablations, chaos, chaos_sweep, fig3, fig4, fig5, table11_12, table13_14, table15_16,
+    table17_18, table19_20, table7_8, table9_10, ExperimentConfig, FaultCampaign, TableResult,
 };
-use coconut::report::{save_csv, save_json};
+use coconut::params::SystemKind;
+use coconut::report::Report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +58,8 @@ fn main() {
     let target = args[0].clone();
     let mut cfg = ExperimentConfig::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut sweep = false;
+    let mut systems: Option<Vec<SystemKind>> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -92,6 +104,17 @@ fn main() {
                 cfg = ExperimentConfig::paper();
                 i += 1;
             }
+            "--sweep" => {
+                sweep = true;
+                i += 1;
+            }
+            "--systems" => {
+                let list = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| die("--systems needs a comma-separated list"));
+                systems = Some(parse_systems(list));
+                i += 2;
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(
                     args.get(i + 1).unwrap_or_else(|| die("--out needs a path")),
@@ -118,22 +141,32 @@ fn main() {
     match target.as_str() {
         "fig3" => {
             let f = fig3(&cfg);
-            println!("Figure 3 — best MTPS with corresponding MFLS and Duration\n");
-            println!("{}", f.render());
-            save_grid(&f, &out_dir, "fig3");
+            emit(
+                "Figure 3 — best MTPS with corresponding MFLS and Duration",
+                &f,
+                &out_dir,
+                "fig3",
+            );
         }
         "fig4" => {
             eprintln!("# computing Figure 3 best configurations first ...");
             let base = fig3(&cfg);
             let f = fig4(&cfg, Some(&base));
-            println!("Figure 4 — best configurations under netem N(12 ms, 2 ms)\n");
-            println!("{}", f.render());
-            save_grid(&f, &out_dir, "fig4");
+            emit(
+                "Figure 4 — best configurations under netem N(12 ms, 2 ms)",
+                &f,
+                &out_dir,
+                "fig4",
+            );
         }
         "fig5" => {
             let f = fig5(&cfg, None);
-            println!("Figure 5 — DoNothing MTPS at 8/16/32 nodes\n");
-            println!("{}", f.render());
+            emit(
+                "Figure 5 — DoNothing MTPS at 8/16/32 nodes",
+                &f,
+                &out_dir,
+                "fig5",
+            );
         }
         "table7" => print_table(table7_8(&cfg), &out_dir, "table7_8"),
         "table9" => print_table(table9_10(&cfg), &out_dir, "table9_10"),
@@ -148,21 +181,20 @@ fn main() {
             }
         }
         "ablations" => run_ablations(&cfg),
-        "chaos" => run_chaos_campaign(&cfg, &out_dir),
+        "chaos" => run_chaos_campaign(&cfg, sweep, &systems, &out_dir),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &out_dir, name);
             }
             run_ablations(&cfg);
-            run_chaos_campaign(&cfg, &out_dir);
+            run_chaos_campaign(&cfg, false, &None, &out_dir);
+            run_chaos_campaign(&cfg, true, &systems, &out_dir);
             let base = fig3(&cfg);
-            println!("Figure 3\n\n{}", base.render());
-            save_grid(&base, &out_dir, "fig3");
+            emit("Figure 3", &base, &out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
-            println!("Figure 4\n\n{}", f4.render());
-            save_grid(&f4, &out_dir, "fig4");
+            emit("Figure 4", &f4, &out_dir, "fig4");
             let f5 = fig5(&cfg, Some(&base));
-            println!("Figure 5\n\n{}", f5.render());
+            emit("Figure 5", &f5, &out_dir, "fig5");
         }
         other => die(&format!("unknown target {other}")),
     }
@@ -186,35 +218,89 @@ fn run_ablations(cfg: &ExperimentConfig) {
     }
 }
 
-fn run_chaos_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
-    let r = chaos(cfg);
-    println!("Chaos campaign — crash/heal, beyond-f halt, loss burst, Byzantine window\n");
-    println!("{}", r.render());
-    if let Some(dir) = out {
-        std::fs::write(dir.join("chaos.json"), r.to_json()).expect("write chaos json");
+fn run_chaos_campaign(
+    cfg: &ExperimentConfig,
+    sweep: bool,
+    systems: &Option<Vec<SystemKind>>,
+    out: &Option<PathBuf>,
+) {
+    if sweep {
+        let mut campaign = FaultCampaign::full();
+        if let Some(list) = systems {
+            campaign = campaign.with_systems(list);
+        }
+        let r = chaos_sweep(cfg, &campaign);
+        emit(
+            "Chaos sweep — degradation curves over fault severity + heat map",
+            &r,
+            out,
+            "chaos_sweep",
+        );
+    } else {
+        let r = chaos(cfg);
+        emit(
+            "Chaos campaign — crash/heal, beyond-f halt, loss burst, Byzantine window",
+            &r,
+            out,
+            "chaos",
+        );
     }
 }
 
 fn print_table(t: TableResult, out: &Option<PathBuf>, name: &str) {
-    println!("{}", t.render());
+    emit("", &t, out, name);
+}
+
+/// Prints a report and, with `--out`, writes its JSON (always) and CSV
+/// (where the report has a flat-row form) — the one output path every
+/// result type shares via the [`Report`] trait.
+fn emit(heading: &str, r: &dyn Report, out: &Option<PathBuf>, name: &str) {
+    if heading.is_empty() {
+        println!("{}", r.render());
+    } else {
+        println!("{heading}\n\n{}", r.render());
+    }
     if let Some(dir) = out {
-        save_json(&t.rows, &dir.join(format!("{name}.json"))).expect("write json");
-        save_csv(&t.rows, &dir.join(format!("{name}.csv"))).expect("write csv");
+        let mut json = r.to_json();
+        json.push('\n');
+        std::fs::write(dir.join(format!("{name}.json")), json).expect("write json");
+        if let Some(csv) = r.to_csv() {
+            std::fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+        }
     }
 }
 
-fn save_grid(f: &coconut::experiments::Fig3Result, out: &Option<PathBuf>, name: &str) {
-    if let Some(dir) = out {
-        let rows: Vec<_> = f.grid.iter().flatten().flatten().cloned().collect();
-        save_json(&rows, &dir.join(format!("{name}.json"))).expect("write json");
-        save_csv(&rows, &dir.join(format!("{name}.csv"))).expect("write csv");
+/// Parses a comma-separated, case-insensitive list of system labels
+/// ("fabric,corda os") against [`SystemKind::ALL`].
+fn parse_systems(list: &str) -> Vec<SystemKind> {
+    let mut out = Vec::new();
+    for part in list.split(',') {
+        let want = part.trim().to_lowercase();
+        if want.is_empty() {
+            continue;
+        }
+        match SystemKind::ALL
+            .into_iter()
+            .find(|s| s.label().to_lowercase() == want)
+        {
+            Some(s) => out.push(s),
+            None => die(&format!(
+                "unknown system \"{}\" (known: {})",
+                part.trim(),
+                SystemKind::ALL.map(|s| s.label()).join(", ")
+            )),
+        }
     }
+    if out.is_empty() {
+        die("--systems needs at least one system label");
+    }
+    out
 }
 
 fn print_usage() {
     println!(
         "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|all> \
-         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--out DIR]"
+         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--out DIR]"
     );
 }
 

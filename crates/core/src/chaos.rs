@@ -618,4 +618,101 @@ mod tests {
             None
         );
     }
+
+    /// A bare run with the given 1 s buckets, for windowing edge cases.
+    fn synthetic(buckets: Vec<u64>) -> ChaosRun {
+        ChaosRun {
+            accounting: DeliveryAccounting::default(),
+            buckets,
+            bucket_len: SimDuration::from_secs(1),
+            mtps: 0.0,
+            mfls: 0.0,
+            p95: 0.0,
+            live: true,
+            safety: None,
+        }
+    }
+
+    #[test]
+    fn window_mtps_empty_and_degenerate_windows_are_zero() {
+        let r = synthetic(vec![10, 20, 30, 40]);
+        // Empty and inverted ranges cover no full bucket.
+        assert_eq!(
+            r.window_mtps(SimTime::from_secs(2), SimTime::from_secs(2)),
+            0.0
+        );
+        assert_eq!(
+            r.window_mtps(SimTime::from_secs(3), SimTime::from_secs(1)),
+            0.0
+        );
+        // A sub-bucket window straddling a boundary contains no full
+        // bucket either — partial buckets never count.
+        let half = SimDuration::from_secs_f64(0.5);
+        assert_eq!(
+            r.window_mtps(SimTime::ZERO + half, SimTime::from_secs(1) + half),
+            0.0
+        );
+        // A range reaching past the recorded buckets clamps to their end …
+        assert_eq!(
+            r.window_mtps(SimTime::from_secs(2), SimTime::from_secs(100)),
+            35.0
+        );
+        // … and one entirely past it is empty.
+        assert_eq!(
+            r.window_mtps(SimTime::from_secs(50), SimTime::from_secs(100)),
+            0.0
+        );
+        // Exact bucket edges include exactly the covered buckets.
+        assert_eq!(r.window_mtps(SimTime::ZERO, SimTime::from_secs(2)), 15.0);
+    }
+
+    #[test]
+    fn recovery_that_never_sustains_threshold_is_none() {
+        // Post-heal throughput flickers but no three consecutive buckets
+        // reach 70 % of the pre-fault mean (needed sum: 10 × 3 × 0.7 = 21).
+        let r = synthetic(vec![10, 10, 10, 0, 0, 0, 9, 0, 0, 9, 0, 0]);
+        assert_eq!(
+            r.recovery_secs(SimTime::from_secs(3), SimTime::from_secs(6), 0.7),
+            None
+        );
+    }
+
+    #[test]
+    fn recovery_without_pre_fault_throughput_is_none() {
+        // Nothing committed before the crash: there is no baseline to
+        // recover to.
+        let r = synthetic(vec![0, 0, 0, 10, 10, 10]);
+        assert_eq!(
+            r.recovery_secs(SimTime::from_secs(2), SimTime::from_secs(3), 0.7),
+            None
+        );
+        // A crash at t = 0 leaves an empty pre-fault window: same verdict.
+        let r = synthetic(vec![10, 10, 10, 10]);
+        assert_eq!(
+            r.recovery_secs(SimTime::ZERO, SimTime::from_secs(1), 0.7),
+            None
+        );
+    }
+
+    #[test]
+    fn recovery_at_exact_bucket_boundaries_is_instant() {
+        // Crash and heal on exact bucket edges with an immediate comeback:
+        // the heal bucket itself sustains, so recovery is 0 s.
+        let r = synthetic(vec![10, 10, 0, 0, 10, 10, 10]);
+        assert_eq!(
+            r.recovery_secs(SimTime::from_secs(2), SimTime::from_secs(4), 0.7),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn recovery_with_heal_past_recorded_buckets_is_none() {
+        // The heal lands beyond the recorded timeline: no sliding window
+        // exists to sustain, so the run never counts as recovered.
+        let r = synthetic(vec![10, 10, 0, 0]);
+        assert_eq!(
+            r.recovery_secs(SimTime::from_secs(1), SimTime::from_secs(9), 0.7),
+            None
+        );
+    }
 }

@@ -96,6 +96,22 @@ pub fn unit_seed(root: u64, scope: &str, unit: BenchmarkUnit, template: &Benchma
     seed_of(root, scope, Some(unit), template)
 }
 
+/// The content-addressed seed of one fault-sweep cell: a pure function of
+/// `(root, fault kind, system, severity)`. Filtering the campaign to a
+/// subset of systems or kinds, reordering the grid, or changing the worker
+/// count cannot change any remaining cell's stream — which is what lets
+/// `repro chaos --sweep --systems …` reproduce exactly the cells of the
+/// full sweep.
+pub fn sweep_cell_seed(
+    root: u64,
+    fault: &str,
+    system: crate::params::SystemKind,
+    severity: u32,
+) -> u64 {
+    let severity = severity.to_string();
+    SeedDeriver::new(root).seed_parts(&["chaos-sweep", fault, system.label(), severity.as_str()])
+}
+
 fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &BenchmarkSpec) -> u64 {
     let unit = unit.map_or(String::new(), |u| format!("{u:?}"));
     let nodes = spec
@@ -192,6 +208,18 @@ mod tests {
         // Scope and root separate streams.
         assert_ne!(a, cell_seed(7, "fig-sweep", &spec));
         assert_ne!(a, cell_seed(8, "run-many", &spec));
+    }
+
+    #[test]
+    fn sweep_cell_seed_is_content_addressed() {
+        let a = sweep_cell_seed(7, "crash", SystemKind::Fabric, 2);
+        // Same content, same seed — independent of any campaign context.
+        assert_eq!(a, sweep_cell_seed(7, "crash", SystemKind::Fabric, 2));
+        // Kind, system, severity, and root each separate streams.
+        assert_ne!(a, sweep_cell_seed(7, "loss", SystemKind::Fabric, 2));
+        assert_ne!(a, sweep_cell_seed(7, "crash", SystemKind::Quorum, 2));
+        assert_ne!(a, sweep_cell_seed(7, "crash", SystemKind::Fabric, 1));
+        assert_ne!(a, sweep_cell_seed(8, "crash", SystemKind::Fabric, 2));
     }
 
     #[test]

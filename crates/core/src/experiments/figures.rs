@@ -6,8 +6,9 @@ use std::collections::HashMap;
 use coconut_simnet::NetConfig;
 use coconut_types::PayloadKind;
 
+use crate::json::Json;
 use crate::params::{BlockParam, SystemKind, SystemSetup};
-use crate::report;
+use crate::report::{self, Report};
 use crate::runner::{run_unit, BenchmarkResult, BenchmarkSpec};
 use crate::workload::BenchmarkUnit;
 
@@ -25,11 +26,9 @@ pub struct Fig3Result {
 }
 
 impl Fig3Result {
-    /// Renders the heat map in the paper's layout.
-    pub fn render(&self) -> String {
-        let benchmarks: Vec<&str> = PayloadKind::ALL.iter().map(|b| b.label()).collect();
-        let systems: Vec<&str> = SystemKind::ALL.iter().map(|s| s.label()).collect();
-        report::heatmap(&benchmarks, &systems, &self.grid)
+    /// The best cells flattened in grid order — the serialization row set.
+    fn flat_rows(&self) -> Vec<BenchmarkResult> {
+        self.grid.iter().flatten().flatten().cloned().collect()
     }
 
     /// The best cell for `(benchmark, system)`, if any configuration
@@ -38,6 +37,25 @@ impl Fig3Result {
         let bi = PayloadKind::ALL.iter().position(|b| *b == benchmark)?;
         let si = SystemKind::ALL.iter().position(|s| *s == system)?;
         self.grid[bi][si].as_ref()
+    }
+}
+
+impl Report for Fig3Result {
+    /// Renders the heat map in the paper's layout.
+    fn render(&self) -> String {
+        let benchmarks: Vec<&str> = PayloadKind::ALL.iter().map(|b| b.label()).collect();
+        let systems: Vec<&str> = SystemKind::ALL.iter().map(|s| s.label()).collect();
+        report::heatmap(&benchmarks, &systems, &self.grid)
+    }
+
+    /// The best cells as a flat JSON row array (grid order).
+    fn to_json(&self) -> String {
+        report::to_json(&self.flat_rows())
+    }
+
+    /// The best cells as flat CSV rows (grid order).
+    fn to_csv(&self) -> Option<String> {
+        Some(report::to_csv(&self.flat_rows()))
     }
 }
 
@@ -265,17 +283,50 @@ pub struct Fig5Result {
 }
 
 impl Fig5Result {
-    /// Renders the scalability table (the log-scale figure's data).
-    pub fn render(&self) -> String {
-        let systems: Vec<&str> = SystemKind::ALL.iter().map(|s| s.label()).collect();
-        report::scalability_table(&systems, &self.node_counts, &self.mtps)
-    }
-
     /// MTPS of `system` at `nodes`, if that cell was measured.
     pub fn mtps_of(&self, system: SystemKind, nodes: u32) -> Option<f64> {
         let si = SystemKind::ALL.iter().position(|s| *s == system)?;
         let ni = self.node_counts.iter().position(|n| *n == nodes)?;
         Some(self.mtps[si][ni])
+    }
+}
+
+impl Report for Fig5Result {
+    /// Renders the scalability table (the log-scale figure's data).
+    fn render(&self) -> String {
+        let systems: Vec<&str> = SystemKind::ALL.iter().map(|s| s.label()).collect();
+        report::scalability_table(&systems, &self.node_counts, &self.mtps)
+    }
+
+    /// The scalability study as JSON: the node-count axis plus one MTPS
+    /// series per system.
+    fn to_json(&self) -> String {
+        let series = SystemKind::ALL
+            .iter()
+            .zip(&self.mtps)
+            .map(|(s, row)| {
+                Json::Obj(vec![
+                    ("system".into(), Json::Str(s.label().into())),
+                    (
+                        "mtps".into(),
+                        Json::Arr(row.iter().map(|&m| Json::Num(m)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "node_counts".into(),
+                Json::Arr(
+                    self.node_counts
+                        .iter()
+                        .map(|&n| Json::Num(f64::from(n)))
+                        .collect(),
+                ),
+            ),
+            ("systems".into(), Json::Arr(series)),
+        ])
+        .to_pretty()
     }
 }
 

@@ -18,7 +18,10 @@ pub use ablations::{
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
     ablation_sawtooth_queue, all_ablations,
 };
-pub use chaos::{chaos, ChaosCell, ChaosResult};
+pub use chaos::{
+    byzantine_domain, chaos, chaos_sweep, fault_domain, ByzantineDomain, ChaosCell, ChaosResult,
+    DegradationCurve, FaultCampaign, FaultDomain, FaultKind, SweepCell, SweepResult,
+};
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
 pub use tables::{
     table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, TableResult,

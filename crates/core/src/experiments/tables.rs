@@ -7,7 +7,7 @@
 use coconut_types::{PayloadKind, SimDuration};
 
 use crate::params::{BlockParam, SystemKind, SystemSetup};
-use crate::report;
+use crate::report::{self, Report};
 use crate::runner::{run_unit, BenchmarkResult, BenchmarkSpec};
 use crate::workload::BenchmarkUnit;
 
@@ -22,10 +22,20 @@ pub struct TableResult {
     pub rows: Vec<BenchmarkResult>,
 }
 
-impl TableResult {
+impl Report for TableResult {
     /// Renders the rows in the paper's table layout.
-    pub fn render(&self) -> String {
+    fn render(&self) -> String {
         format!("{}\n{}", self.title, report::table(&self.rows))
+    }
+
+    /// The rows as a flat JSON array (the [`report::to_json`] layout).
+    fn to_json(&self) -> String {
+        report::to_json(&self.rows)
+    }
+
+    /// The rows as CSV (the [`report::to_csv`] layout).
+    fn to_csv(&self) -> Option<String> {
+        Some(report::to_csv(&self.rows))
     }
 }
 

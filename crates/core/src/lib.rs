@@ -46,8 +46,9 @@ pub mod stats;
 pub mod workload;
 
 pub use chaos::{run_chaos, ChaosRun, DeliveryAccounting, RetryPolicy};
-pub use exec::{cell_seed, run_grid, unit_seed};
+pub use exec::{cell_seed, run_grid, sweep_cell_seed, unit_seed};
 pub use params::{BlockParam, SystemKind, SystemSetup};
+pub use report::Report;
 pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
 pub use saturation::{SaturationResult, SaturationSearch};
 pub use stats::Stats;
@@ -55,7 +56,7 @@ pub use stats::Stats;
 /// Everything most users need, in one import.
 pub mod prelude {
     pub use crate::params::{BlockParam, SystemKind, SystemSetup};
-    pub use crate::report::{heatmap, table};
+    pub use crate::report::{heatmap, table, Report};
     pub use crate::runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
     pub use crate::stats::Stats;
     pub use coconut_types::{PayloadKind, SimDuration, SimTime};

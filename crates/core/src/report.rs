@@ -7,6 +7,34 @@ use crate::json::Json;
 use crate::runner::BenchmarkResult;
 use crate::stats::Stats;
 
+/// A renderable experiment report.
+///
+/// Every experiment-family result — [`Fig3Result`], [`Fig5Result`],
+/// [`TableResult`], [`ChaosResult`], [`SweepResult`] — emits a fixed-width
+/// text rendering and a deterministic pretty-JSON form through this one
+/// interface, so the `repro` binary dispatches output format uniformly
+/// instead of matching per result type. Both forms are pure functions of
+/// the result: identical configs and seeds serialize byte-identically.
+///
+/// [`Fig3Result`]: crate::experiments::Fig3Result
+/// [`Fig5Result`]: crate::experiments::Fig5Result
+/// [`TableResult`]: crate::experiments::TableResult
+/// [`ChaosResult`]: crate::experiments::ChaosResult
+/// [`SweepResult`]: crate::experiments::SweepResult
+pub trait Report {
+    /// Renders the result as fixed-width text in the paper's layout.
+    fn render(&self) -> String;
+
+    /// The result as pretty-printed JSON (same determinism guarantee).
+    fn to_json(&self) -> String;
+
+    /// The result as CSV, for reports whose rows are flat
+    /// [`BenchmarkResult`]s; `None` where no flat-row form exists.
+    fn to_csv(&self) -> Option<String> {
+        None
+    }
+}
+
 /// Renders results as a paper-style table with MTPS / MFLS statistics and
 /// transaction counts (the layout of Tables 7–20).
 ///
@@ -100,6 +128,66 @@ pub fn heatmap(
         }
         out.push_str(&lines.join("\n"));
         out.push_str("\n\n");
+    }
+    out
+}
+
+/// Renders a generic aligned-text heat map: one row per `rows` label, one
+/// column per `cols` label, with `cells[r][c]` holding the stacked text
+/// lines of that cell (an empty cell renders blank). The column width fits
+/// the longest line; output is a pure function of the inputs.
+///
+/// This is the renderer behind the chaos sweep's system × fault-kind grid;
+/// [`heatmap`] stays the [`BenchmarkResult`]-specific Figure 3/4 layout.
+///
+/// # Panics
+///
+/// Panics unless `cells` is exactly `rows.len()` × `cols.len()`.
+pub fn grid_heatmap(rows: &[&str], cols: &[&str], cells: &[Vec<Vec<String>>]) -> String {
+    assert_eq!(cells.len(), rows.len(), "one cell row per row label");
+    let label_w = rows.iter().map(|r| r.len()).max().unwrap_or(0).max(1) + 2;
+    let cell_w = cols
+        .iter()
+        .map(|c| c.len())
+        .chain(
+            cells
+                .iter()
+                .flat_map(|row| row.iter().flat_map(|cell| cell.iter().map(String::len))),
+        )
+        .max()
+        .unwrap_or(0)
+        .max(4)
+        + 4;
+    let mut out = String::new();
+    out.push_str(&format!("{:label_w$}", ""));
+    for c in cols {
+        out.push_str(&format!("{c:^cell_w$}"));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+    for (ri, r) in rows.iter().enumerate() {
+        assert_eq!(cells[ri].len(), cols.len(), "one cell per column label");
+        let depth = cells[ri].iter().map(Vec::len).max().unwrap_or(0).max(1);
+        for line in 0..depth {
+            if line == 0 {
+                out.push_str(&format!("{r:<label_w$}"));
+            } else {
+                out.push_str(&format!("{:label_w$}", ""));
+            }
+            for cell in &cells[ri] {
+                let text = cell.get(line).map_or("", String::as_str);
+                out.push_str(&format!("{text:^cell_w$}"));
+            }
+            // Centering pads both sides; strip the trailing run so the
+            // output has no invisible end-of-line whitespace.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out.push('\n');
     }
     out
 }
@@ -356,6 +444,34 @@ mod tests {
         assert!(h.contains("MTPS=1400.00"));
         assert!(h.contains("MTPS=0.00"), "failed cells show zeroes");
         assert!(h.contains("DoNothing"));
+    }
+
+    #[test]
+    fn grid_heatmap_aligns_and_handles_empty_cells() {
+        let cells = vec![
+            vec![
+                vec!["rec=0.0 s".to_string(), "deliv=1.000".to_string()],
+                vec![],
+            ],
+            vec![vec!["n/a".to_string()], vec!["rec=2.0 s".to_string()]],
+        ];
+        let h = grid_heatmap(&["Fabric", "Quorum"], &["crash", "loss"], &cells);
+        assert!(h.contains("crash"));
+        assert!(h.contains("rec=0.0 s"));
+        assert!(h.contains("n/a"));
+        // No line carries trailing whitespace (byte-stable rendering).
+        assert!(h.lines().all(|l| l == l.trim_end()), "{h:?}");
+        // Deterministic.
+        assert_eq!(
+            h,
+            grid_heatmap(&["Fabric", "Quorum"], &["crash", "loss"], &cells)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell row per row label")]
+    fn grid_heatmap_validates_shape() {
+        let _ = grid_heatmap(&["A", "B"], &["C"], &[vec![vec![]]]);
     }
 
     #[test]

@@ -150,6 +150,31 @@ impl FaultPlan {
         self
     }
 
+    /// A severity-parameterized loss window: from `from` until `until`,
+    /// messages — and client submissions, where the driver mirrors the
+    /// burst at ingress — drop with probability `p` (builder style). The
+    /// sweep campaigns walk `p` as their loss-severity axis; `p = 0.0` is a
+    /// legal no-op step so degradation curves can start at a fault-free
+    /// baseline cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` or `p` is outside `[0, 1]`.
+    pub fn loss_window(self, p: f64, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "the loss window must have positive length");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.at(
+            from,
+            FaultEvent::LossBurst {
+                p,
+                window: until - from,
+            },
+        )
+    }
+
     /// The classic Byzantine window: from `from` until `until`, every node
     /// in `nodes` both equivocates as proposer and double-votes as
     /// validator (builder style). Both events share the timestamp `from`;
@@ -403,6 +428,35 @@ mod tests {
                     FaultEvent::EquivocateProposer { window, .. }
                     | FaultEvent::DoubleVote { window, .. } if *window == w
                 )));
+    }
+
+    #[test]
+    fn loss_window_schedules_one_burst() {
+        let plan =
+            FaultPlan::new().loss_window(0.05, SimTime::from_secs(6), SimTime::from_secs(12));
+        assert_eq!(plan.len(), 1);
+        let (at, ev) = &plan.events()[0];
+        assert_eq!(*at, SimTime::from_secs(6));
+        assert!(matches!(
+            ev,
+            FaultEvent::LossBurst { p, window }
+                if *p == 0.05 && *window == SimDuration::from_secs(6)
+        ));
+        // p = 0 is a legal baseline step.
+        let baseline = FaultPlan::new().loss_window(0.0, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(baseline.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn loss_window_rejects_bad_probability() {
+        let _ = FaultPlan::new().loss_window(1.5, SimTime::ZERO, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_loss_window_rejected() {
+        let _ = FaultPlan::new().loss_window(0.1, SimTime::from_secs(3), SimTime::from_secs(3));
     }
 
     #[test]

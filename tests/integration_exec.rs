@@ -4,7 +4,9 @@
 //! position).
 
 use coconut::client::Windows;
-use coconut::experiments::{chaos, table17_18, ExperimentConfig};
+use coconut::experiments::{
+    chaos, chaos_sweep, table17_18, ExperimentConfig, FaultCampaign, FaultKind,
+};
 use coconut::prelude::*;
 use coconut::report;
 use coconut::runner::run_many;
@@ -126,4 +128,93 @@ fn regenerate_chaos_golden() {
     json.push('\n');
     std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
     std::fs::write(path, json).unwrap();
+}
+
+/// The configuration behind the sweep golden file — also the one CI runs
+/// through `repro chaos --sweep` and diffs (seed 0xC0C0 = 49344).
+fn golden_sweep_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.02,
+        repetitions: 1,
+        seed: 0xC0C0,
+        full_sweep: false,
+        jobs: Some(2),
+    }
+}
+
+/// The full fault sweep's JSON — every system's degradation curve over
+/// f = 0..=beyond-f, the loss and Byzantine axes, and the heat map —
+/// pinned byte-for-byte like the classic campaign above.
+#[test]
+fn chaos_sweep_json_matches_golden_file() {
+    let rendered = chaos_sweep(&golden_sweep_cfg(), &FaultCampaign::full()).to_json();
+    let golden = include_str!("golden/chaos_sweep_scale002_seed_c0c0.json");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "fault-sweep JSON drifted from tests/golden/chaos_sweep_scale002_seed_c0c0.json; \
+         if the change is intentional run: \
+         cargo test --release --test integration_exec regenerate_chaos_sweep_golden -- --ignored"
+    );
+}
+
+/// Rewrites the sweep golden file from the current implementation.
+#[test]
+#[ignore = "regenerates tests/golden/chaos_sweep_scale002_seed_c0c0.json; run explicitly after intentional changes"]
+fn regenerate_chaos_sweep_golden() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/chaos_sweep_scale002_seed_c0c0.json"
+    );
+    let mut json = chaos_sweep(&golden_sweep_cfg(), &FaultCampaign::full()).to_json();
+    json.push('\n');
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, json).unwrap();
+}
+
+/// Filtering the sweep to a subset of systems must not change any
+/// remaining cell: sweep seeds are content-addressed by
+/// (fault kind, system, severity), never by campaign shape or position.
+#[test]
+fn sweep_subset_reproduces_full_campaign_cells() {
+    let cfg = golden_sweep_cfg();
+    let full = chaos_sweep(&cfg, &FaultCampaign::full());
+    let subset = chaos_sweep(
+        &cfg,
+        &FaultCampaign::full().with_systems(&[SystemKind::Sawtooth]),
+    );
+    for kind in FaultKind::ALL {
+        let a = full
+            .curve(SystemKind::Sawtooth, kind)
+            .expect("full sweep has the curve");
+        let b = subset
+            .curve(SystemKind::Sawtooth, kind)
+            .expect("subset keeps the curve");
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.severity, y.severity);
+            assert_eq!(
+                x.run.buckets, y.run.buckets,
+                "{kind} severity {}",
+                x.severity
+            );
+            assert_eq!(x.run.accounting, y.run.accounting);
+        }
+    }
+}
+
+/// The sweep is jobs-invariant like every other grid experiment.
+#[test]
+fn chaos_sweep_is_jobs_invariant() {
+    let cfg = |jobs| ExperimentConfig {
+        jobs,
+        ..golden_sweep_cfg()
+    };
+    let campaign = FaultCampaign::full()
+        .with_systems(&[SystemKind::Fabric, SystemKind::Diem])
+        .with_kinds(&[FaultKind::Crash]);
+    let a = chaos_sweep(&cfg(Some(1)), &campaign);
+    let b = chaos_sweep(&cfg(Some(8)), &campaign);
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.to_json(), b.to_json());
 }

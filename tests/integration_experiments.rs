@@ -5,7 +5,7 @@ use coconut::experiments::{
     fig5, table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10,
     ExperimentConfig,
 };
-use coconut::prelude::SystemKind;
+use coconut::prelude::{Report, SystemKind};
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig {
