@@ -19,6 +19,9 @@
 //!   chaos     fault-injection campaign (crash/heal, beyond-f halt, loss burst);
 //!             with --sweep: degradation curves over fault severity plus the
 //!             system × fault-kind heat map
+//!   overload  goodput-vs-offered-load curves with saturation knees under
+//!             tight admission pools, plus the metastable-failure probe
+//!             (budget + breaker vs bare retries around an 8x pulse)
 //!   all       everything
 //!
 //! flags:
@@ -43,8 +46,9 @@ use std::path::PathBuf;
 
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, chaos, chaos_sweep, fig3, fig4, fig5, table11_12, table13_14, table15_16,
-    table17_18, table19_20, table7_8, table9_10, ExperimentConfig, FaultCampaign, TableResult,
+    all_ablations, chaos, chaos_sweep, fig3, fig4, fig5, overload, table11_12, table13_14,
+    table15_16, table17_18, table19_20, table7_8, table9_10, ExperimentConfig, FaultCampaign,
+    TableResult,
 };
 use coconut::params::SystemKind;
 use coconut::report::Report;
@@ -182,6 +186,7 @@ fn main() {
         }
         "ablations" => run_ablations(&cfg),
         "chaos" => run_chaos_campaign(&cfg, sweep, &systems, &out_dir),
+        "overload" => run_overload_campaign(&cfg, &out_dir),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &out_dir, name);
@@ -189,6 +194,7 @@ fn main() {
             run_ablations(&cfg);
             run_chaos_campaign(&cfg, false, &None, &out_dir);
             run_chaos_campaign(&cfg, true, &systems, &out_dir);
+            run_overload_campaign(&cfg, &out_dir);
             let base = fig3(&cfg);
             emit("Figure 3", &base, &out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
@@ -247,6 +253,16 @@ fn run_chaos_campaign(
     }
 }
 
+fn run_overload_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
+    let r = overload(cfg);
+    emit(
+        "Overload campaign — goodput collapse under tight admission pools + metastable probe",
+        &r,
+        out,
+        "overload",
+    );
+}
+
 fn print_table(t: TableResult, out: &Option<PathBuf>, name: &str) {
     emit("", &t, out, name);
 }
@@ -299,7 +315,7 @@ fn parse_systems(list: &str) -> Vec<SystemKind> {
 
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|all> \
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|all> \
          [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--out DIR]"
     );
 }

@@ -37,7 +37,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, cut_by_budget, ChainRuntime};
+use crate::runtime::{command_for, cut_by_budget, ChainRuntime, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the BitShares deployment.
@@ -60,6 +60,9 @@ pub struct BitsharesConfig {
     /// Conflicted transactions after which event emission stalls (the
     /// liveness violation); `None` disables the stall.
     pub stall_after_conflicts: Option<u64>,
+    /// Bounded-pool parameters for the runtime's pending store; at
+    /// capacity the node answers `Busy` instead of queueing unboundedly.
+    pub pool: PoolLimits,
 }
 
 impl Default for BitsharesConfig {
@@ -74,6 +77,7 @@ impl Default for BitsharesConfig {
             slot_budget: 0.8,
             conflict_rejection: true,
             stall_after_conflicts: Some(300),
+            pool: PoolLimits::bounded(100_000),
         }
     }
 }
@@ -118,8 +122,10 @@ impl Bitshares {
             // the count bound loose.
             .batch(BatchConfig::new(100_000, config.block_interval))
             .build();
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.witnesses, config.witnesses);
+        rt.set_pool_limits(config.pool);
         Bitshares {
-            rt: ChainRuntime::new(&seeds, &config.net, config.witnesses, config.witnesses),
+            rt,
             exec_cpu: CpuModel::new(config.witnesses),
             dpos,
             state: WorldState::new(),
@@ -264,6 +270,12 @@ impl BlockchainSystem for Bitshares {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        // A pool at capacity sheds with backpressure before any per-tx
+        // work (footprint checks) is spent on the submission.
+        self.rt.evict_expired(now);
+        if self.rt.pool_full() {
+            return self.rt.busy();
+        }
         self.rt.accept();
         if self.config.conflict_rejection {
             // Release footprints whose cooling window has passed.

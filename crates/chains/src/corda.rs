@@ -29,7 +29,7 @@ use coconut_types::{
     tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
-use crate::runtime::{ChainRuntime, IngressLoad};
+use crate::runtime::{ChainRuntime, IngressLoad, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Which Corda product is being modelled.
@@ -69,6 +69,10 @@ pub struct CordaConfig {
     pub flow_base: SimDuration,
     /// Notary service time per request.
     pub notary_service: SimDuration,
+    /// Bounded-pool parameters. Corda queues flows per node, so the
+    /// capacity bounds each node's not-yet-finished flow backlog; a node
+    /// at capacity answers `Busy` at RPC ingress.
+    pub pool: PoolLimits,
 }
 
 impl CordaConfig {
@@ -87,6 +91,7 @@ impl CordaConfig {
             ingress_cost: SimDuration::from_millis(24),
             flow_base: SimDuration::from_millis(5),
             notary_service: SimDuration::from_millis(5),
+            pool: PoolLimits::bounded(10_000),
         }
     }
 
@@ -105,6 +110,7 @@ impl CordaConfig {
             ingress_cost: SimDuration::from_millis(2),
             flow_base: SimDuration::from_millis(3),
             notary_service: SimDuration::from_millis(2),
+            pool: PoolLimits::bounded(10_000),
         }
     }
 }
@@ -125,6 +131,9 @@ pub struct Corda {
     now: SimTime,
     /// Per-node ingress-load estimators (submission-rate slowdown).
     ingress: Vec<IngressLoad>,
+    /// Per-node completion times of flows still running — the node's
+    /// backlog for backpressure purposes.
+    pending_flows: Vec<Vec<SimTime>>,
 }
 
 impl Corda {
@@ -137,8 +146,11 @@ impl Corda {
         assert!(config.nodes > 0, "need at least one node");
         assert!(config.notaries > 0, "need at least one notary");
         let seeds = SeedDeriver::new(seed);
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.notaries);
+        rt.set_pool_limits(config.pool);
         Corda {
-            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.notaries),
+            rt,
+            pending_flows: (0..config.nodes).map(|_| Vec::new()).collect(),
             workers: (0..config.nodes)
                 .map(|_| WorkerPool::new(config.flow_workers))
                 .collect(),
@@ -233,9 +245,15 @@ impl BlockchainSystem for Corda {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
-        self.rt.accept();
         self.now = self.now.max(now);
         let node = (tx.id().client().0 % self.config.nodes) as usize;
+        // RPC ingress backpressure: a node whose flow backlog is at
+        // capacity answers `Busy` before any flow work is queued.
+        self.pending_flows[node].retain(|&done| done > now);
+        if self.pending_flows[node].len() >= self.rt.pool_limits().capacity {
+            return self.rt.busy();
+        }
+        self.rt.accept();
         let arrival = now + self.hop();
         let payload = &tx.payloads()[0];
         let kind = payload.kind();
@@ -264,6 +282,7 @@ impl BlockchainSystem for Corda {
                 // The flow errors after doing the scan work.
                 let cost = (self.config.flow_base + scan_cost).mul_f64(slowdown);
                 let done = self.workers[node].process(arrival, cost);
+                self.pending_flows[node].push(done);
                 let event_at = done + self.hop();
                 self.rt
                     .emit_failed(tx.id(), FailReason::ExecutionError, event_at);
@@ -276,6 +295,7 @@ impl BlockchainSystem for Corda {
                     cost += self.signing_time();
                 }
                 let done = self.workers[node].process(arrival, cost.mul_f64(slowdown));
+                self.pending_flows[node].push(done);
                 if read_only {
                     // Get/Balance: answered locally after the scan.
                     let event_at = done + self.hop();

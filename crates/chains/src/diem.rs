@@ -26,7 +26,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, IngressLoad};
+use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Diem deployment.
@@ -52,6 +52,10 @@ pub struct DiemConfig {
     /// within this time is discarded by the validators (Diem's
     /// `expiration_timestamp`); the client never hears about it.
     pub tx_expiration: SimDuration,
+    /// Bounded-pool parameters for the runtime's pending store; the
+    /// capacity backstops `mempool_limit` with a `Busy` backpressure
+    /// verdict instead of a silent drop.
+    pub pool: PoolLimits,
 }
 
 impl Default for DiemConfig {
@@ -68,6 +72,7 @@ impl Default for DiemConfig {
             spike_interval: Some(SimDuration::from_secs(25)),
             spike_duration: SimDuration::from_secs(5),
             tx_expiration: SimDuration::from_secs(30),
+            pool: PoolLimits::bounded(100_000),
         }
     }
 }
@@ -111,8 +116,10 @@ impl Diem {
             Some(interval) => SimTime::ZERO + interval,
             None => SimTime::MAX,
         };
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        rt.set_pool_limits(config.pool);
         Diem {
-            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
+            rt,
             exec_cpu: CpuModel::new(config.nodes),
             engine,
             state: WorldState::new(),
@@ -188,7 +195,7 @@ impl BlockchainSystem for Diem {
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
         let full = self.engine.pending_len() >= self.config.mempool_limit;
-        let outcome = self.rt.admit(&tx, full);
+        let outcome = self.rt.admit(now, &tx, full);
         if outcome.is_accepted() {
             // Mempool admission: every validator verifies and shares the
             // tx — a higher rate limiter leaves less CPU for execution

@@ -30,7 +30,7 @@ use coconut_simnet::{EventQueue, FaultEvent, NetConfig};
 use coconut_types::{ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome};
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime};
+use crate::runtime::{command_for, ChainRuntime, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 use crate::util::WorkerPool;
 
@@ -63,6 +63,10 @@ pub struct FabricConfig {
     /// added network latency throttles endorsement throughput — the §5.8.1
     /// finding that Fabric loses 33–40% under netem.
     pub endorse_workers: u32,
+    /// Bounded-pool parameters: the capacity bounds the endorsed-but-
+    /// uncommitted in-flight set; at capacity submissions get `Busy`
+    /// backpressure instead of piling further onto the orderer.
+    pub pool: PoolLimits,
 }
 
 impl Default for FabricConfig {
@@ -80,6 +84,7 @@ impl Default for FabricConfig {
             event_drop_backlog: SimDuration::from_secs(8),
             event_break_at: Some(16),
             endorse_workers: 6,
+            pool: PoolLimits::bounded(100_000),
         }
     }
 }
@@ -131,8 +136,10 @@ impl Fabric {
                 config.batch_timeout,
             ))
             .build();
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.peers, config.orderers);
+        rt.set_pool_limits(config.pool);
         Fabric {
-            rt: ChainRuntime::new(&seeds, &config.net, config.peers, config.orderers),
+            rt,
             peer_cpu: CpuModel::new(config.peers),
             endorse_pool: (0..config.peers)
                 .map(|_| WorkerPool::new(config.endorse_workers))
@@ -233,6 +240,12 @@ impl BlockchainSystem for Fabric {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        // The in-flight (endorsed, uncommitted) set is Fabric's pending
+        // store; at capacity the peer sheds with backpressure before any
+        // endorsement work is spent.
+        if self.in_flight.len() >= self.rt.pool_limits().capacity {
+            return self.rt.busy();
+        }
         self.rt.accept();
         // Endorsement at the client's peer: the simulation consumes peer
         // CPU (shared with block validation), and the gRPC slot stays held

@@ -52,5 +52,5 @@ pub mod sawtooth;
 pub mod system;
 mod util;
 
-pub use runtime::{ChainRuntime, IngressLoad, Mempool};
+pub use runtime::{ChainRuntime, IngressLoad, Mempool, PoolLimits};
 pub use system::{BlockchainSystem, SubmitOutcome, SystemStats};

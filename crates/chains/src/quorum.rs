@@ -28,7 +28,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime};
+use crate::runtime::{command_for, ChainRuntime, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Quorum deployment.
@@ -59,6 +59,10 @@ pub struct QuorumConfig {
     /// Pool depth that, combined with a short block period, freezes the
     /// pool.
     pub stall_pool_threshold: usize,
+    /// Bounded-pool parameters for the runtime's pending store; the
+    /// capacity backstops `txpool_limit` with a `Busy` backpressure
+    /// verdict instead of a silent geth-style drop.
+    pub pool: PoolLimits,
 }
 
 impl Default for QuorumConfig {
@@ -77,6 +81,7 @@ impl Default for QuorumConfig {
             stall_anomaly: true,
             stall_period_threshold: SimDuration::from_secs(2),
             stall_pool_threshold: 500,
+            pool: PoolLimits::bounded(50_000),
         }
     }
 }
@@ -108,8 +113,10 @@ impl Quorum {
             .block_period(config.block_period)
             .batch(BatchConfig::new(config.block_tx_limit, config.block_period))
             .build();
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        rt.set_pool_limits(config.pool);
         Quorum {
-            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
+            rt,
             exec_cpu: CpuModel::new(config.nodes),
             ibft,
             state: WorldState::new(),
@@ -171,7 +178,7 @@ impl BlockchainSystem for Quorum {
         self.config.nodes
     }
 
-    fn submit(&mut self, _now: SimTime, tx: ClientTx) -> SubmitOutcome {
+    fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
         if self.stalled {
             // The pool still accepts (geth keeps queueing) but nothing is
             // ever processed; the client sees the transaction as lost.
@@ -192,7 +199,7 @@ impl BlockchainSystem for Quorum {
             return SubmitOutcome::Accepted;
         }
         let full = self.ibft.pending_len() >= self.config.txpool_limit;
-        let outcome = self.rt.admit(&tx, full);
+        let outcome = self.rt.admit(now, &tx, full);
         if outcome.is_accepted() {
             self.ibft.submit(command_for(&tx));
         }

@@ -90,6 +90,13 @@ impl IngressLoad {
 
     /// Records `items` arriving at `now` and returns the current
     /// slowdown factor (`≥ 1.0`).
+    ///
+    /// During warm-up (`now` still inside the first window) the rate
+    /// divides by the elapsed time rather than the full window, floored
+    /// at 250 ms so the very first arrivals don't divide by ~zero. The
+    /// floor applies *after* shrinking to the elapsed time — clamping in
+    /// the other order would re-inflate sub-250 ms windows to the elapsed
+    /// time and overestimate λ for the whole run.
     pub fn record(&mut self, now: SimTime, items: u32) -> f64 {
         self.arrivals.push_back((now, items));
         while let Some(&(front, _)) = self.arrivals.front() {
@@ -99,23 +106,89 @@ impl IngressLoad {
                 break;
             }
         }
-        let window_secs = self.window.as_secs_f64().min(now.as_secs_f64().max(0.25));
+        let window_secs = self.window.as_secs_f64().min(now.as_secs_f64()).max(0.25);
         let rate = self.arrivals.iter().map(|&(_, n)| n as u64).sum::<u64>() as f64 / window_secs;
         let utilization = (rate * self.per_item.as_secs_f64()).min(self.cap);
         1.0 / (1.0 - utilization)
     }
 }
 
+/// Capacity, TTL and backpressure parameters of a bounded mempool.
+///
+/// Every real system in the paper bounds its pending pool — Sawtooth's
+/// validator queue, Diem's per-account mempool windows, Quorum's txpool,
+/// Corda's RPC ingress buffers — and sheds load once it fills instead of
+/// growing without limit. `capacity` is the hard entry bound (a full pool
+/// answers [`SubmitOutcome::Busy`] with `retry_after`), `ttl` evicts
+/// entries that sat unexecuted for too long (counted in
+/// [`SystemStats::evicted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLimits {
+    /// Maximum pending transactions before new submissions get `Busy`.
+    pub capacity: usize,
+    /// Evict entries older than this, if set (scanned on admission).
+    pub ttl: Option<SimDuration>,
+    /// Advisory client back-off carried by the `Busy` verdict.
+    pub retry_after: SimDuration,
+}
+
+impl PoolLimits {
+    /// An effectively unbounded pool (the pre-backpressure behaviour).
+    pub fn unbounded() -> Self {
+        PoolLimits {
+            capacity: usize::MAX,
+            ttl: None,
+            retry_after: SimDuration::from_millis(250),
+        }
+    }
+
+    /// A bounded pool without TTL eviction.
+    pub fn bounded(capacity: usize) -> Self {
+        PoolLimits {
+            capacity,
+            ..PoolLimits::unbounded()
+        }
+    }
+
+    /// Sets the TTL.
+    pub fn with_ttl(mut self, ttl: SimDuration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the advisory retry delay.
+    pub fn with_retry_after(mut self, retry_after: SimDuration) -> Self {
+        self.retry_after = retry_after;
+        self
+    }
+}
+
+impl Default for PoolLimits {
+    fn default() -> Self {
+        PoolLimits::unbounded()
+    }
+}
+
 /// The pending-payload store: client transactions waiting between
-/// acceptance and block execution, keyed by id.
+/// acceptance and block execution, keyed by id, with age tracked for TTL
+/// eviction.
+///
+/// Entries are remembered in arrival order (submissions reach a model in
+/// non-decreasing virtual time), so expiry is a pop-from-the-front scan.
+/// Taken transactions leave stale order entries behind; the scan skips
+/// them — wire-level transaction ids are never reused, so a stale id can
+/// never alias a live entry.
 #[derive(Debug, Default)]
 pub struct Mempool {
     txs: HashMap<TxId, ClientTx>,
+    order: VecDeque<(SimTime, TxId)>,
 }
 
 impl Mempool {
-    /// Stores a pending transaction.
+    /// Stores a pending transaction; its [`ClientTx::created_at`] stamp
+    /// (the submission instant) is its insertion time for TTL purposes.
     pub fn insert(&mut self, tx: ClientTx) {
+        self.order.push_back((tx.created_at(), tx.id()));
         self.txs.insert(tx.id(), tx);
     }
 
@@ -127,6 +200,23 @@ impl Mempool {
     /// Drops every pending transaction (Quorum's pool freeze).
     pub fn clear(&mut self) {
         self.txs.clear();
+        self.order.clear();
+    }
+
+    /// Drops entries that have waited longer than `ttl` as of `now`,
+    /// returning how many live transactions were evicted.
+    pub fn evict_expired(&mut self, now: SimTime, ttl: SimDuration) -> u64 {
+        let mut evicted = 0;
+        while let Some(&(at, id)) = self.order.front() {
+            if now - at <= ttl {
+                break;
+            }
+            self.order.pop_front();
+            if self.txs.remove(&id).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// Number of pending transactions.
@@ -145,6 +235,7 @@ impl Mempool {
 pub struct ChainRuntime {
     stats: SystemStats,
     mempool: Mempool,
+    pool: PoolLimits,
     outcomes: EventQueue<TxOutcome>,
     rng: coconut_types::SimRng,
     inter: LatencyModel,
@@ -167,6 +258,7 @@ impl ChainRuntime {
         ChainRuntime {
             stats: SystemStats::default(),
             mempool: Mempool::default(),
+            pool: PoolLimits::unbounded(),
             outcomes: EventQueue::new(),
             rng: seeds.rng("hops", 0),
             inter: net.inter_server,
@@ -193,12 +285,53 @@ impl ChainRuntime {
         self.stats.rejected += n;
     }
 
-    /// The common admission gate: a full ingress rejects, anything else
-    /// is accepted and stored in the mempool.
-    pub fn admit(&mut self, tx: &ClientTx, full: bool) -> SubmitOutcome {
+    /// Installs the bounded-pool parameters (models pass their config's
+    /// [`PoolLimits`] at construction).
+    pub fn set_pool_limits(&mut self, pool: PoolLimits) {
+        self.pool = pool;
+    }
+
+    /// The installed bounded-pool parameters.
+    pub fn pool_limits(&self) -> PoolLimits {
+        self.pool
+    }
+
+    /// `true` once the mempool is at capacity — the next plain insert
+    /// would overflow the bound.
+    pub fn pool_full(&self) -> bool {
+        self.mempool.len() >= self.pool.capacity
+    }
+
+    /// Drops mempool entries older than the configured TTL (no-op
+    /// without one), counting them in [`SystemStats::evicted`].
+    pub fn evict_expired(&mut self, now: SimTime) {
+        if let Some(ttl) = self.pool.ttl {
+            self.stats.evicted += self.mempool.evict_expired(now, ttl);
+        }
+    }
+
+    /// Counts one backpressured submission and returns the `Busy`
+    /// verdict carrying the configured retry delay. For models that shed
+    /// load outside [`ChainRuntime::admit`] (Fabric's endorsement
+    /// pipeline, Corda's per-node flow queues).
+    pub fn busy(&mut self) -> SubmitOutcome {
+        self.stats.busy += 1;
+        SubmitOutcome::Busy {
+            retry_after: self.pool.retry_after,
+        }
+    }
+
+    /// The common admission gate, in verdict order: TTL eviction first,
+    /// then the model's own `full` signal rejects, then a pool at
+    /// capacity answers `Busy` backpressure; anything else is accepted
+    /// and stored in the mempool.
+    pub fn admit(&mut self, now: SimTime, tx: &ClientTx, full: bool) -> SubmitOutcome {
+        self.evict_expired(now);
         if full {
             self.reject();
             SubmitOutcome::Rejected
+        } else if self.pool_full() {
+            self.busy()
         } else {
             self.accept();
             self.mempool.insert(tx.clone());
@@ -332,14 +465,78 @@ mod tests {
     #[test]
     fn admission_counts_and_stores() {
         let mut r = rt();
-        assert!(r.admit(&tx(1), false).is_accepted());
-        assert!(!r.admit(&tx(2), true).is_accepted());
+        assert!(r.admit(SimTime::ZERO, &tx(1), false).is_accepted());
+        assert!(!r.admit(SimTime::ZERO, &tx(2), true).is_accepted());
         r.reject_n(3);
         let s = r.stats();
         assert_eq!(s.accepted, 1);
         assert_eq!(s.rejected, 4);
+        assert_eq!(s.busy, 0);
         assert_eq!(r.mempool().len(), 1);
         assert!(r.mempool().take(&tx(1).id()).is_some());
+        assert!(r.mempool().is_empty());
+    }
+
+    #[test]
+    fn bounded_pool_answers_busy_at_capacity() {
+        let mut r = rt();
+        r.set_pool_limits(PoolLimits::bounded(3).with_retry_after(SimDuration::from_millis(100)));
+        for i in 0..3 {
+            assert!(r.admit(SimTime::ZERO, &tx(i), false).is_accepted());
+        }
+        let verdict = r.admit(SimTime::ZERO, &tx(3), false);
+        assert!(verdict.is_busy());
+        assert_eq!(verdict.retry_after(), Some(SimDuration::from_millis(100)));
+        assert_eq!(r.mempool().len(), 3, "pool never exceeds its cap");
+        let s = r.stats();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.busy, 1);
+        assert_eq!(s.rejected, 0, "backpressure is not a rejection");
+        // A model-level `full` still wins over the capacity check.
+        assert_eq!(
+            r.admit(SimTime::ZERO, &tx(4), true),
+            SubmitOutcome::Rejected
+        );
+        // Draining the pool re-opens admission.
+        assert!(r.mempool().take(&tx(0).id()).is_some());
+        assert!(r.admit(SimTime::ZERO, &tx(5), false).is_accepted());
+    }
+
+    #[test]
+    fn ttl_eviction_frees_capacity_and_counts() {
+        let mut r = rt();
+        r.set_pool_limits(PoolLimits::bounded(2).with_ttl(SimDuration::from_secs(5)));
+        let old = ClientTx::single(
+            TxId::new(ClientId(0), 1),
+            ThreadId(0),
+            Payload::DoNothing,
+            SimTime::ZERO,
+        );
+        let young = ClientTx::single(
+            TxId::new(ClientId(0), 2),
+            ThreadId(0),
+            Payload::DoNothing,
+            SimTime::from_secs(4),
+        );
+        assert!(r.admit(SimTime::ZERO, &old, false).is_accepted());
+        assert!(r.admit(SimTime::from_secs(4), &young, false).is_accepted());
+        // At t = 6 the pool is nominally full, but the t = 0 entry has
+        // expired: eviction frees the slot before the capacity check.
+        let late = ClientTx::single(
+            TxId::new(ClientId(0), 3),
+            ThreadId(0),
+            Payload::DoNothing,
+            SimTime::from_secs(6),
+        );
+        assert!(r.admit(SimTime::from_secs(6), &late, false).is_accepted());
+        assert_eq!(r.stats().evicted, 1);
+        assert_eq!(r.mempool().len(), 2);
+        assert!(r.mempool().take(&old.id()).is_none(), "evicted is gone");
+        // Taken transactions leave stale order entries; eviction skips
+        // them without counting.
+        assert!(r.mempool().take(&young.id()).is_some());
+        r.evict_expired(SimTime::from_secs(60));
+        assert_eq!(r.stats().evicted, 2, "only the live entry counted");
         assert!(r.mempool().is_empty());
     }
 
@@ -427,6 +624,47 @@ mod tests {
         }
         assert!(last > 2.0, "a 1000/s flood must stretch service: {last}");
         assert!(last <= 10.0 + 1e-9, "capped at u = 0.9");
+    }
+
+    #[test]
+    fn ingress_load_warm_up_divides_by_elapsed_time() {
+        // Inside the first window the rate estimate divides by the
+        // elapsed time, not the full window: 100 items by t = 0.5 s is a
+        // 200/s arrival rate even though the window is 2 s.
+        let mut l = IngressLoad::new(SimDuration::from_secs(2), SimDuration::from_millis(1), 0.9);
+        let slow = l.record(SimTime::from_millis(500), 100);
+        let expected = 1.0 / (1.0 - 200.0 * 0.001);
+        assert!(
+            (slow - expected).abs() < 1e-9,
+            "warm-up rate must use elapsed time: {slow} vs {expected}"
+        );
+        // Once past the window the denominator is the window itself.
+        let mut l = IngressLoad::new(SimDuration::from_secs(2), SimDuration::from_millis(1), 0.9);
+        let slow = l.record(SimTime::from_secs(10), 100);
+        let expected = 1.0 / (1.0 - 50.0 * 0.001);
+        assert!(
+            (slow - expected).abs() < 1e-9,
+            "steady-state uses the window"
+        );
+    }
+
+    #[test]
+    fn ingress_load_floor_holds_for_sub_floor_windows() {
+        // A window shorter than the 250 ms floor must not defeat the
+        // floor: the first arrivals divide by 0.25 s, not by the tiny
+        // window (which overestimated λ before the clamp fix).
+        let mut l = IngressLoad::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(1),
+            0.9,
+        );
+        let slow = l.record(SimTime::from_millis(10), 100);
+        let expected = 1.0 / (1.0 - 400.0 * 0.001);
+        assert!(
+            (slow - expected).abs() < 1e-9,
+            "floor applies after the window clamp: {slow} vs {expected}"
+        );
+        assert!(slow < 2.0, "pre-fix this hit the utilization cap");
     }
 
     #[test]

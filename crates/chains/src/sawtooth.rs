@@ -31,7 +31,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, IngressLoad};
+use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Sawtooth deployment.
@@ -57,6 +57,10 @@ pub struct SawtoothConfig {
     /// Node count at which batches stay pending forever (§5.8.2 observes
     /// 16); `None` disables the anomaly.
     pub pending_stall_at: Option<u32>,
+    /// Bounded-pool parameters for the runtime's pending store. The
+    /// validator queue (`queue_limit`) still rejects first, paper-style;
+    /// the pool capacity is a second line of defence that answers `Busy`.
+    pub pool: PoolLimits,
 }
 
 impl Default for SawtoothConfig {
@@ -71,6 +75,7 @@ impl Default for SawtoothConfig {
             exec_per_tx: SimDuration::from_micros(7_500),
             ingress_per_tx: SimDuration::from_micros(800),
             pending_stall_at: Some(16),
+            pool: PoolLimits::bounded(50_000),
         }
     }
 }
@@ -119,8 +124,10 @@ impl Sawtooth {
                 config.publishing_delay,
             ))
             .build();
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        rt.set_pool_limits(config.pool);
         Sawtooth {
-            rt: ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes),
+            rt,
             exec_cpu: CpuModel::new(config.nodes),
             pbft,
             state: WorldState::new(),
@@ -211,6 +218,13 @@ impl BlockchainSystem for Sawtooth {
         if self.occupancy(now) >= self.config.queue_limit {
             self.rt.reject();
             return SubmitOutcome::Rejected;
+        }
+        // The bounded pending store is a second line of defence behind
+        // the validator queue: at capacity it sheds with backpressure
+        // rather than the queue's hard reject.
+        self.rt.evict_expired(now);
+        if self.rt.pool_full() {
+            return self.rt.busy();
         }
         self.rt.accept();
         if self.pending_stalled() {

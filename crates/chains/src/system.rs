@@ -2,7 +2,7 @@
 
 use coconut_consensus::SafetyReport;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent};
-use coconut_types::{ClientTx, NodeId, SimTime, TxOutcome};
+use coconut_types::{ClientTx, NodeId, SimDuration, SimTime, TxOutcome};
 
 /// What happened to a submission at the system's ingress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,12 +14,35 @@ pub enum SubmitOutcome {
     /// full validator queue). No further outcome will be produced; from the
     /// client's perspective the transaction is lost unless re-sent.
     Rejected,
+    /// The system is overloaded and sheds the submission with explicit
+    /// backpressure: the client should wait at least `retry_after` before
+    /// re-sending. Like [`SubmitOutcome::Rejected`] no outcome follows, but
+    /// the signal is retryable by design — a well-behaved client treats it
+    /// as flow control, not as failure.
+    Busy {
+        /// Minimum advisory delay before re-submission.
+        retry_after: SimDuration,
+    },
 }
 
 impl SubmitOutcome {
     /// `true` if the transaction entered the system.
     pub fn is_accepted(self) -> bool {
         matches!(self, SubmitOutcome::Accepted)
+    }
+
+    /// `true` if the system shed the submission with backpressure.
+    pub fn is_busy(self) -> bool {
+        matches!(self, SubmitOutcome::Busy { .. })
+    }
+
+    /// The advisory retry delay carried by a [`SubmitOutcome::Busy`]
+    /// verdict, if any.
+    pub fn retry_after(self) -> Option<SimDuration> {
+        match self {
+            SubmitOutcome::Busy { retry_after } => Some(retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -30,6 +53,11 @@ pub struct SystemStats {
     pub accepted: u64,
     /// Transactions rejected at ingress.
     pub rejected: u64,
+    /// Submissions shed with a [`SubmitOutcome::Busy`] backpressure signal.
+    pub busy: u64,
+    /// Pending transactions evicted from a bounded mempool (capacity or
+    /// TTL) before they could execute.
+    pub evicted: u64,
     /// Blocks (or finality rounds) produced.
     pub blocks: u64,
     /// Client-visible outcomes emitted.
@@ -135,6 +163,14 @@ mod tests {
     fn submit_outcome_predicates() {
         assert!(SubmitOutcome::Accepted.is_accepted());
         assert!(!SubmitOutcome::Rejected.is_accepted());
+        let busy = SubmitOutcome::Busy {
+            retry_after: SimDuration::from_millis(250),
+        };
+        assert!(!busy.is_accepted());
+        assert!(busy.is_busy());
+        assert!(!SubmitOutcome::Rejected.is_busy());
+        assert_eq!(busy.retry_after(), Some(SimDuration::from_millis(250)));
+        assert_eq!(SubmitOutcome::Accepted.retry_after(), None);
     }
 
     #[test]

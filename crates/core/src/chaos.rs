@@ -12,8 +12,17 @@
 //! Number-of-transactions accounting separates the failure modes the paper
 //! lumps together: [`DeliveryAccounting`] splits unconfirmed transactions
 //! into `rejected` (the system said no and retries ran out), `timed_out`
-//! (accepted but never confirmed), and `lost_in_fault` (the submission
-//! itself was swallowed by an active loss burst).
+//! (accepted but never confirmed), `lost_in_fault` (the submission itself
+//! was swallowed by an active loss burst), `backpressured` (the system
+//! answered `Busy` and the client gave up or was held off), and `unsent`
+//! (the send slot fell outside the listen window).
+//!
+//! For overload campaigns the client can additionally arm
+//! [`ClientProtection`]: a [`RetryBudget`] token bucket bounding total
+//! re-sends, a [`CircuitBreaker`] that stops hammering a system answering
+//! `Busy`, and an optional [`AimdPolicy`] rate controller. All three are
+//! seeded-deterministic; with [`ClientProtection::disabled`] the loop is
+//! bit-identical to the unprotected client.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -23,7 +32,7 @@ use coconut_consensus::SafetyReport;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, FaultPlan, FaultScheduler};
 use coconut_types::{SeedDeriver, SimDuration, SimRng, SimTime, TxId};
 
-use crate::client::build_schedule;
+use crate::client::{build_schedule, ScheduledTx};
 use crate::runner::BenchmarkSpec;
 use crate::stats::percentile;
 
@@ -87,16 +96,310 @@ impl RetryPolicy {
     }
 }
 
+/// A token bucket bounding the *total* re-sends the client may issue in
+/// one run. Every retry (from a rejection, a `Busy` answer, or a
+/// finalization timeout) spends one token; when the bucket is dry the
+/// transaction is abandoned instead of re-sent. This is what breaks the
+/// retry-amplification loop behind metastable failures: without a budget,
+/// an overload pulse makes every client re-send, which sustains the
+/// overload after the pulse ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl RetryBudget {
+    /// A bucket holding `capacity` tokens, regaining `refill_per_sec`
+    /// tokens per virtual second (capped at `capacity`). Starts full.
+    pub fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        RetryBudget {
+            capacity: capacity as f64,
+            refill_per_sec,
+            tokens: capacity as f64,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Takes one token at virtual time `now`, refilling first. `false`
+    /// means the budget is exhausted and the retry must be dropped.
+    pub fn try_spend(&mut self, now: SimTime) -> bool {
+        if now > self.last {
+            let gained = (now - self.last).as_secs_f64() * self.refill_per_sec;
+            self.tokens = (self.tokens + gained).min(self.capacity);
+            self.last = now;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (before any refill due at a later time).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Parameters of the client-side circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive `Busy`/timeout responses that trip the breaker.
+    pub failure_threshold: u32,
+    /// Base cooldown once tripped; a server `retry_after` hint extends it.
+    pub open_for: SimDuration,
+    /// Jitter fraction applied (from the seeded `breaker` stream) when
+    /// deferred sends re-queue at the cooldown's end, so the reopening
+    /// breaker is not hit by a synchronized thundering herd.
+    pub jitter: f64,
+}
+
+impl BreakerPolicy {
+    /// The overload-suite default: trip after 5 consecutive failures,
+    /// hold off for 1 s, 20% reopen jitter.
+    pub fn overload_default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 5,
+            open_for: SimDuration::from_secs(1),
+            jitter: 0.2,
+        }
+    }
+}
+
+/// Where a [`CircuitBreaker`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Sends flow freely; consecutive failures are counted.
+    Closed,
+    /// Sends are held back until the cooldown expires.
+    Open,
+    /// The cooldown expired; sends probe the system. One success closes
+    /// the breaker, one failure re-opens it.
+    HalfOpen,
+}
+
+/// A seeded-deterministic circuit breaker: `Closed → Open` after
+/// [`BreakerPolicy::failure_threshold`] consecutive `Busy`/timeout
+/// responses, `Open → HalfOpen` once the cooldown elapses, and
+/// `HalfOpen → Closed` (probe confirmed) or `HalfOpen → Open` (probe
+/// failed). Rejections are semantic refusals, not overload, and do not
+/// count as failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: SimTime,
+    opens: u64,
+    open_secs: f64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: SimTime::ZERO,
+            opens: 0,
+            open_secs: 0.0,
+        }
+    }
+
+    /// Whether a send may proceed at `now`. An open breaker whose
+    /// cooldown has elapsed transitions to `HalfOpen` and lets the send
+    /// through as a probe.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open if now >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// When sends are denied, the earliest time to try again.
+    pub fn retry_at(&self) -> SimTime {
+        self.open_until
+    }
+
+    /// Records an accepted submission. A half-open probe's success closes
+    /// the breaker; any success resets the consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Records a `Busy` or finalization-timeout failure at `now`;
+    /// `retry_after` is the server's hold-off hint, which extends the
+    /// cooldown beyond [`BreakerPolicy::open_for`] when longer.
+    pub fn on_failure(&mut self, now: SimTime, retry_after: Option<SimDuration>) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.failure_threshold {
+                    self.trip(now, retry_after);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now, retry_after),
+            // Stragglers failing while already open don't extend the
+            // cooldown (they were sent before the trip).
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: SimTime, retry_after: Option<SimDuration>) {
+        let cooldown = self
+            .policy
+            .open_for
+            .max(retry_after.unwrap_or(SimDuration::ZERO));
+        self.state = BreakerState::Open;
+        self.open_until = now + cooldown;
+        self.opens += 1;
+        self.open_secs += cooldown.as_secs_f64();
+        self.consecutive_failures = 0;
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The policy the breaker was built with.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Times the breaker tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Total virtual seconds of cooldown the breaker imposed.
+    pub fn open_secs(&self) -> f64 {
+        self.open_secs
+    }
+}
+
+/// Additive-increase / multiplicative-decrease client rate control: the
+/// client paces its sends at an adaptive rate that grows on accepted
+/// submissions and collapses on `Busy`/timeouts (TCP-style congestion
+/// avoidance applied to the benchmark client).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdPolicy {
+    /// Initial pacing rate (sends per virtual second).
+    pub start_rate: f64,
+    /// Floor the rate never drops below.
+    pub min_rate: f64,
+    /// Ceiling the rate never exceeds.
+    pub max_rate: f64,
+    /// Additive rate gain per accepted submission (per second).
+    pub increase_per_success: f64,
+    /// Multiplicative factor applied on each failure (in `(0, 1)`).
+    pub decrease_factor: f64,
+}
+
+impl AimdPolicy {
+    /// A controller starting at `rate` sends/s, halving on failure and
+    /// regaining 2% of the start rate per success.
+    pub fn for_rate(rate: f64) -> Self {
+        AimdPolicy {
+            start_rate: rate,
+            min_rate: (rate / 100.0).max(0.1),
+            max_rate: rate * 4.0,
+            increase_per_success: rate / 50.0,
+            decrease_factor: 0.5,
+        }
+    }
+}
+
+/// The adaptive state of an [`AimdPolicy`] during a run.
+#[derive(Debug, Clone, Copy)]
+struct AimdState {
+    policy: AimdPolicy,
+    rate: f64,
+    gate: SimTime,
+}
+
+impl AimdState {
+    fn new(policy: AimdPolicy) -> Self {
+        AimdState {
+            policy,
+            rate: policy.start_rate.clamp(policy.min_rate, policy.max_rate),
+            gate: SimTime::ZERO,
+        }
+    }
+
+    /// Advances the pacing gate after a send goes out at `now`.
+    fn pace(&mut self, now: SimTime) {
+        self.gate = now + SimDuration::from_secs_f64(1.0 / self.rate);
+    }
+
+    fn on_success(&mut self) {
+        self.rate = (self.rate + self.policy.increase_per_success).min(self.policy.max_rate);
+    }
+
+    fn on_failure(&mut self) {
+        self.rate = (self.rate * self.policy.decrease_factor).max(self.policy.min_rate);
+    }
+}
+
+/// The client-side overload protections, all optional. With everything
+/// `None` ([`ClientProtection::disabled`]) the chaos loop draws no extra
+/// randomness and behaves bit-identically to the classic client.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientProtection {
+    /// Cap on total re-sends per run.
+    pub budget: Option<RetryBudget>,
+    /// Circuit breaker on consecutive `Busy`/timeout responses.
+    pub breaker: Option<BreakerPolicy>,
+    /// AIMD send-rate controller.
+    pub aimd: Option<AimdPolicy>,
+}
+
+impl ClientProtection {
+    /// No protection: the classic chaos client.
+    pub fn disabled() -> Self {
+        ClientProtection::default()
+    }
+
+    /// The overload-suite default: a retry budget of 100 tokens refilling
+    /// at 10/s plus a [`BreakerPolicy::overload_default`] breaker. AIMD
+    /// stays off so the protected arm differs from the unprotected one by
+    /// exactly the two mechanisms under test.
+    pub fn overload_default() -> Self {
+        ClientProtection {
+            budget: Some(RetryBudget::new(100, 10.0)),
+            breaker: Some(BreakerPolicy::overload_default()),
+            aimd: None,
+        }
+    }
+
+    /// `true` when any protection is armed.
+    pub fn enabled(&self) -> bool {
+        self.budget.is_some() || self.breaker.is_some() || self.aimd.is_some()
+    }
+}
+
 /// Number-of-transactions accounting for one chaos run. Every scheduled
 /// transaction lands in exactly one terminal class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeliveryAccounting {
     /// Transactions the client scheduled.
     pub scheduled: u64,
     /// Transactions confirmed at least once within the listen window.
     pub confirmed: u64,
     /// Transactions whose every submission was rejected at ingress and
-    /// whose retry budget ran out.
+    /// whose retry allowance ran out.
     pub rejected: u64,
     /// Transactions the system accepted but never confirmed before the
     /// client terminated.
@@ -104,8 +407,23 @@ pub struct DeliveryAccounting {
     /// Transactions whose last submission was swallowed by an active loss
     /// burst before reaching the system.
     pub lost_in_fault: u64,
+    /// Transactions whose send slot fell outside the listen window, so
+    /// the client terminated before ever attempting them.
+    pub unsent: u64,
+    /// Transactions whose last answer was `Busy` (and the client gave up
+    /// or ran out of budget), or that the circuit breaker held back until
+    /// the run ended.
+    pub backpressured: u64,
     /// Total re-sends performed (not counted in `scheduled`).
     pub retries: u64,
+    /// `Busy` answers received across all submissions.
+    pub busy_responses: u64,
+    /// Retries wanted but dropped because the [`RetryBudget`] was dry.
+    pub budget_exhausted: u64,
+    /// Times the [`CircuitBreaker`] tripped open.
+    pub breaker_opens: u64,
+    /// Total virtual seconds of breaker-imposed cooldown.
+    pub breaker_open_secs: f64,
 }
 
 impl DeliveryAccounting {
@@ -118,9 +436,27 @@ impl DeliveryAccounting {
         }
     }
 
+    /// Sends per scheduled transaction: `(scheduled + retries) /
+    /// scheduled`. 1.0 means no transaction was ever re-sent; values well
+    /// above 1 during an overload pulse are the amplification that
+    /// sustains metastable failures.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            (self.scheduled + self.retries) as f64 / self.scheduled as f64
+        }
+    }
+
     /// `true` when every scheduled transaction is classified exactly once.
     pub fn is_complete(&self) -> bool {
-        self.confirmed + self.rejected + self.timed_out + self.lost_in_fault == self.scheduled
+        self.confirmed
+            + self.rejected
+            + self.timed_out
+            + self.lost_in_fault
+            + self.unsent
+            + self.backpressured
+            == self.scheduled
     }
 }
 
@@ -204,7 +540,28 @@ struct Track {
     attempts: u32,
     accepted_once: bool,
     last_was_client_lost: bool,
+    last_was_busy: bool,
     confirmed: bool,
+}
+
+/// Spends a retry token, counting the drop when the bucket is dry. A run
+/// without a budget always allows the retry.
+fn take_retry_token(
+    budget: &mut Option<RetryBudget>,
+    now: SimTime,
+    accounting: &mut DeliveryAccounting,
+) -> bool {
+    match budget {
+        None => true,
+        Some(b) => {
+            if b.try_spend(now) {
+                true
+            } else {
+                accounting.budget_exhausted += 1;
+                false
+            }
+        }
+    }
 }
 
 /// Runs `spec`'s schedule against `system` while replaying `plan`, with
@@ -229,17 +586,61 @@ pub fn run_chaos(
     policy: &RetryPolicy,
     seed: u64,
 ) -> ChaosRun {
-    let seeds = SeedDeriver::new(seed);
-    let mut loss_rng = seeds.rng("client-loss", 0);
-    let mut backoff_rng = seeds.rng("backoff", 0);
+    run_chaos_protected(
+        system,
+        spec,
+        plan,
+        policy,
+        &ClientProtection::disabled(),
+        seed,
+    )
+}
 
+/// [`run_chaos`] with client-side overload protections armed. The
+/// schedule is the spec's own; see [`run_chaos_with_schedule`] for
+/// campaigns that overlay extra traffic (overload pulses).
+pub fn run_chaos_protected(
+    system: &mut (dyn BlockchainSystem + Send),
+    spec: &BenchmarkSpec,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    protection: &ClientProtection,
+    seed: u64,
+) -> ChaosRun {
     let schedule = build_schedule(
         spec.benchmark,
         spec.rate,
         spec.ops_per_tx,
         spec.windows,
-        seeds.seed("schedule", 0),
+        SeedDeriver::new(seed).seed("schedule", 0),
     );
+    run_chaos_with_schedule(system, spec, plan, policy, protection, &schedule, seed)
+}
+
+/// The chaos loop against an explicit, already-sorted `schedule` (must be
+/// ordered by `(at, tx.id())` with distinct ids). This is the overload
+/// experiment's entry point: it merges a baseline schedule with a pulse
+/// overlay before handing both to the same client.
+pub fn run_chaos_with_schedule(
+    system: &mut (dyn BlockchainSystem + Send),
+    spec: &BenchmarkSpec,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    protection: &ClientProtection,
+    schedule: &[ScheduledTx],
+    seed: u64,
+) -> ChaosRun {
+    let seeds = SeedDeriver::new(seed);
+    let mut loss_rng = seeds.rng("client-loss", 0);
+    let mut backoff_rng = seeds.rng("backoff", 0);
+    // Drawn from only when a breaker defers sends, so unprotected runs
+    // stay bit-identical.
+    let mut breaker_rng = seeds.rng("breaker", 0);
+
+    let mut budget = protection.budget;
+    let mut breaker = protection.breaker.map(CircuitBreaker::new);
+    let mut aimd = protection.aimd.map(AimdState::new);
+
     let listen_end = SimTime::ZERO + spec.windows.listen;
     let bucket_len = SimDuration::from_secs(1);
     let n_buckets = (spec.windows.listen.as_secs_f64() / bucket_len.as_secs_f64()).ceil() as usize;
@@ -254,7 +655,7 @@ pub fn run_chaos(
     // submit, then by insertion order via the sequence number.
     let mut queue: BinaryHeap<Reverse<(SimTime, Action, u64)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    for sched in &schedule {
+    for sched in schedule {
         queue.push(Reverse((sched.at, Action::Submit(sched.tx.id()), seq)));
         seq += 1;
         payloads.insert(sched.tx.id(), sched.tx.clone());
@@ -361,10 +762,39 @@ pub fn run_chaos(
                     attempts: 0,
                     accepted_once: false,
                     last_was_client_lost: false,
+                    last_was_busy: false,
                     confirmed: false,
                 });
                 if track.confirmed {
                     continue; // confirmed while this retry was queued
+                }
+                // Client-side gates run before the attempt is counted: a
+                // deferred send is re-queued, not consumed.
+                if let Some(a) = aimd.as_mut() {
+                    if at < a.gate {
+                        queue.push(Reverse((a.gate, Action::Submit(orig), seq)));
+                        seq += 1;
+                        continue;
+                    }
+                    a.pace(at);
+                }
+                if let Some(b) = breaker.as_mut() {
+                    if !b.allow(at) {
+                        // Re-queue at the cooldown's end, jittered so the
+                        // reopening breaker isn't hit by a synchronized
+                        // herd of deferred sends.
+                        let jitter = b
+                            .policy()
+                            .open_for
+                            .mul_f64(b.policy().jitter.max(0.0) * breaker_rng.gen_f64());
+                        queue.push(Reverse((
+                            b.retry_at().max(at) + jitter,
+                            Action::Submit(orig),
+                            seq,
+                        )));
+                        seq += 1;
+                        continue;
+                    }
                 }
                 track.attempts += 1;
                 t_fstx.get_or_insert(at);
@@ -404,9 +834,17 @@ pub fn run_chaos(
                     }
                 }
                 track.last_was_client_lost = false;
+                track.last_was_busy = false;
 
-                if system.submit(at, tx).is_accepted() {
+                let outcome = system.submit(at, tx);
+                if outcome.is_accepted() {
                     track.accepted_once = true;
+                    if let Some(b) = breaker.as_mut() {
+                        b.on_success();
+                    }
+                    if let Some(a) = aimd.as_mut() {
+                        a.on_success();
+                    }
                     if policy.enabled() {
                         queue.push(Reverse((
                             at + policy.finalization_timeout,
@@ -415,7 +853,33 @@ pub fn run_chaos(
                         )));
                         seq += 1;
                     }
-                } else if policy.enabled() && track.attempts <= policy.max_retries {
+                } else if let Some(retry_after) = outcome.retry_after() {
+                    // Busy: overload backpressure. The client honors the
+                    // hold-off hint and the breaker counts the failure.
+                    accounting.busy_responses += 1;
+                    track.last_was_busy = true;
+                    if let Some(b) = breaker.as_mut() {
+                        b.on_failure(at, Some(retry_after));
+                    }
+                    if let Some(a) = aimd.as_mut() {
+                        a.on_failure();
+                    }
+                    if policy.enabled()
+                        && track.attempts <= policy.max_retries
+                        && take_retry_token(&mut budget, at, &mut accounting)
+                    {
+                        let delay = policy
+                            .backoff(track.attempts, &mut backoff_rng)
+                            .max(retry_after);
+                        queue.push(Reverse((at + delay, Action::Submit(orig), seq)));
+                        seq += 1;
+                    }
+                } else if policy.enabled()
+                    && track.attempts <= policy.max_retries
+                    && take_retry_token(&mut budget, at, &mut accounting)
+                {
+                    // Rejected: a semantic refusal, not overload — the
+                    // breaker ignores it.
                     let delay = policy.backoff(track.attempts, &mut backoff_rng);
                     queue.push(Reverse((at + delay, Action::Submit(orig), seq)));
                     seq += 1;
@@ -425,6 +889,15 @@ pub fn run_chaos(
             Action::Timeout(orig) => {
                 let track = tracks.get_mut(&orig).expect("timeout implies track");
                 if track.confirmed || track.attempts > policy.max_retries {
+                    continue;
+                }
+                if let Some(b) = breaker.as_mut() {
+                    b.on_failure(at, None);
+                }
+                if let Some(a) = aimd.as_mut() {
+                    a.on_failure();
+                }
+                if !take_retry_token(&mut budget, at, &mut accounting) {
                     continue;
                 }
                 let delay = policy.backoff(track.attempts, &mut backoff_rng);
@@ -444,13 +917,25 @@ pub fn run_chaos(
         &mut t_lrtx,
     );
 
+    if let Some(b) = &breaker {
+        accounting.breaker_opens = b.opens();
+        accounting.breaker_open_secs = b.open_secs();
+    }
+
     // Terminal classification of everything unconfirmed.
-    for sched in &schedule {
+    for sched in schedule {
         match tracks.get(&sched.tx.id()) {
-            None => accounting.lost_in_fault += 1, // never reached its send slot
+            // The client terminated before the send slot came up: the
+            // transaction was never attempted, which is a distinct class
+            // from a submission swallowed mid-fault.
+            None => accounting.unsent += 1,
             Some(t) if t.confirmed => {}
             Some(t) if t.last_was_client_lost => accounting.lost_in_fault += 1,
             Some(t) if t.accepted_once => accounting.timed_out += 1,
+            // Popped at least once but every send was deferred by the
+            // breaker (attempts == 0), or the last answer was `Busy`:
+            // the transaction was backpressured away.
+            Some(t) if t.last_was_busy || t.attempts == 0 => accounting.backpressured += 1,
             Some(_) => accounting.rejected += 1,
         }
     }
@@ -713,6 +1198,119 @@ mod tests {
         assert_eq!(
             r.recovery_secs(SimTime::from_secs(1), SimTime::from_secs(9), 0.7),
             None
+        );
+    }
+
+    #[test]
+    fn breaker_trips_only_at_consecutive_failure_threshold() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::overload_default());
+        let t = SimTime::from_secs(1);
+        for _ in 0..4 {
+            b.on_failure(t, None);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // A success resets the consecutive count: four more failures still
+        // stay below the threshold of five.
+        b.on_success();
+        for _ in 0..4 {
+            b.on_failure(t, None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(t, None);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.allow(t), "sends are held while the cooldown runs");
+        assert_eq!(b.retry_at(), t + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn breaker_half_open_probe_success_closes() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::overload_default());
+        let t = SimTime::from_secs(1);
+        for _ in 0..5 {
+            b.on_failure(t, None);
+        }
+        // The cooldown elapses: the next allow() transitions to HalfOpen
+        // and lets one probe through.
+        let after = b.retry_at() + SimDuration::from_millis(1);
+        assert!(b.allow(after));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::overload_default());
+        let t = SimTime::from_secs(1);
+        for _ in 0..5 {
+            b.on_failure(t, None);
+        }
+        let after = b.retry_at() + SimDuration::from_millis(1);
+        assert!(b.allow(after));
+        // One failed probe re-opens without needing five more failures.
+        b.on_failure(after, None);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert_eq!(b.retry_at(), after + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn breaker_cooldown_honors_retry_after_hint_and_accumulates_open_secs() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::overload_default());
+        let t = SimTime::from_secs(1);
+        for _ in 0..5 {
+            b.on_failure(t, Some(SimDuration::from_secs(3)));
+        }
+        // The server's 3 s hold-off hint beats the 1 s policy cooldown.
+        assert_eq!(b.retry_at(), t + SimDuration::from_secs(3));
+        assert!((b.open_secs() - 3.0).abs() < 1e-9);
+        // Stragglers failing while already open don't extend the cooldown.
+        b.on_failure(
+            t + SimDuration::from_secs(1),
+            Some(SimDuration::from_secs(30)),
+        );
+        assert_eq!(b.retry_at(), t + SimDuration::from_secs(3));
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn retry_budget_drains_and_refills_in_virtual_time() {
+        let mut budget = RetryBudget::new(2, 1.0);
+        let t = SimTime::from_secs(1);
+        assert!(budget.try_spend(t));
+        assert!(budget.try_spend(t));
+        assert!(!budget.try_spend(t), "the bucket starts with two tokens");
+        // Half a virtual second refills half a token: still empty.
+        assert!(!budget.try_spend(t + SimDuration::from_millis(500)));
+        // Another second refills past one whole token ...
+        assert!(budget.try_spend(t + SimDuration::from_millis(1500)));
+        // ... and a long idle stretch caps at capacity, not beyond.
+        let late = t + SimDuration::from_secs(60);
+        assert!(budget.try_spend(late));
+        assert!(budget.try_spend(late));
+        assert!(!budget.try_spend(late));
+    }
+
+    #[test]
+    fn aimd_rate_adapts_within_bounds() {
+        let mut a = AimdState::new(AimdPolicy::for_rate(100.0));
+        // Failures halve the rate down to the floor ...
+        for _ in 0..20 {
+            a.on_failure();
+        }
+        assert_eq!(a.rate, a.policy.min_rate);
+        // ... successes regain it additively up to the ceiling.
+        for _ in 0..1000 {
+            a.on_success();
+        }
+        assert_eq!(a.rate, a.policy.max_rate);
+        // Pacing schedules the next send one inter-send gap out.
+        a.pace(SimTime::from_secs(2));
+        assert_eq!(
+            a.gate,
+            SimTime::from_secs(2) + SimDuration::from_secs_f64(1.0 / a.rate)
         );
     }
 }

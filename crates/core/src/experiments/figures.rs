@@ -129,6 +129,7 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
             nodes,
             net: net.clone(),
             block_param: item.param,
+            admission: None,
         };
         let template = BenchmarkSpec::new(item.system, PayloadKind::DoNothing)
             .setup(setup)
@@ -237,6 +238,7 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
             nodes: None,
             net: net.clone(),
             block_param: item.param,
+            admission: None,
         };
         let template = BenchmarkSpec::new(item.system, item.unit.benchmarks()[0])
             .setup(setup)
@@ -373,6 +375,7 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
             nodes: Some(item.nodes),
             net: NetConfig::emulated_latency(),
             block_param: item.param,
+            admission: None,
         };
         let spec = BenchmarkSpec::new(item.system, PayloadKind::DoNothing)
             .setup(setup)

@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod figures;
+pub mod overload;
 pub mod tables;
 
 pub use ablations::{
@@ -23,6 +24,10 @@ pub use chaos::{
     DegradationCurve, FaultCampaign, FaultDomain, FaultKind, SweepCell, SweepResult,
 };
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
+pub use overload::{
+    overload, overload_curves_for, overload_probes_for, tight_limits, MetastableProbe,
+    OverloadCell, OverloadCurve, OverloadResult, ProbeArm,
+};
 pub use tables::{
     table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, TableResult,
 };

@@ -45,7 +45,11 @@ pub mod saturation;
 pub mod stats;
 pub mod workload;
 
-pub use chaos::{run_chaos, ChaosRun, DeliveryAccounting, RetryPolicy};
+pub use chaos::{
+    run_chaos, run_chaos_protected, run_chaos_with_schedule, AimdPolicy, BreakerPolicy,
+    BreakerState, ChaosRun, CircuitBreaker, ClientProtection, DeliveryAccounting, RetryBudget,
+    RetryPolicy,
+};
 pub use exec::{cell_seed, run_grid, sweep_cell_seed, unit_seed};
 pub use params::{BlockParam, SystemKind, SystemSetup};
 pub use report::Report;

@@ -5,6 +5,7 @@ use coconut_chains::corda::{Corda, CordaConfig};
 use coconut_chains::diem::{Diem, DiemConfig};
 use coconut_chains::fabric::{Fabric, FabricConfig};
 use coconut_chains::quorum::{Quorum, QuorumConfig};
+use coconut_chains::runtime::PoolLimits;
 use coconut_chains::sawtooth::{Sawtooth, SawtoothConfig};
 use coconut_chains::BlockchainSystem;
 use coconut_simnet::NetConfig;
@@ -148,6 +149,11 @@ pub struct SystemSetup {
     pub net: NetConfig,
     /// Block finalization parameter.
     pub block_param: BlockParam,
+    /// Admission-control override: replaces the per-system default
+    /// [`PoolLimits`] when set (overload experiments tighten the pools so
+    /// saturation manifests as `Busy` backpressure rather than unbounded
+    /// queueing).
+    pub admission: Option<PoolLimits>,
 }
 
 impl Default for SystemSetup {
@@ -156,6 +162,7 @@ impl Default for SystemSetup {
             nodes: None,
             net: NetConfig::lan(),
             block_param: BlockParam::None,
+            admission: None,
         }
     }
 }
@@ -178,6 +185,12 @@ impl SystemSetup {
     /// Overrides the network configuration.
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Overrides every system's bounded-pool parameters.
+    pub fn with_admission(mut self, limits: PoolLimits) -> Self {
+        self.admission = Some(limits);
         self
     }
 }
@@ -211,6 +224,9 @@ pub fn build_system(
                 cfg.notaries = n.min(4);
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Corda::new(cfg, seed))
         }
         SystemKind::Bitshares => {
@@ -224,6 +240,9 @@ pub fn build_system(
                 cfg.witnesses = n.saturating_sub(1).max(1);
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Bitshares::new(cfg, seed))
         }
         SystemKind::Fabric => {
@@ -237,6 +256,9 @@ pub fn build_system(
                 cfg.peers = n;
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Fabric::new(cfg, seed))
         }
         SystemKind::Quorum => {
@@ -250,6 +272,9 @@ pub fn build_system(
                 cfg.nodes = n;
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Quorum::new(cfg, seed))
         }
         SystemKind::Sawtooth => {
@@ -263,6 +288,9 @@ pub fn build_system(
                 cfg.nodes = n;
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Sawtooth::new(cfg, seed))
         }
         SystemKind::Diem => {
@@ -276,6 +304,9 @@ pub fn build_system(
                 cfg.nodes = n;
             }
             cfg.net = setup.net.clone();
+            if let Some(limits) = setup.admission {
+                cfg.pool = limits;
+            }
             Box::new(Diem::new(cfg, seed))
         }
     }
