@@ -22,6 +22,10 @@
 //!   overload  goodput-vs-offered-load curves with saturation knees under
 //!             tight admission pools, plus the metastable-failure probe
 //!             (budget + breaker vs bare retries around an 8x pulse)
+//!   churn     membership-churn campaign: single join, single leave, rolling
+//!             replacement, and join-under-overload per system, with the
+//!             throughput dip, re-stabilization time, epoch count, and
+//!             safety verdict per membership change
 //!   all       everything
 //!
 //! flags:
@@ -35,9 +39,10 @@
 //!   --sweep       chaos only: run the fault-sweep campaign (f = 0..=beyond-f
 //!                 crash curves, loss-rate and Byzantine-count steps) instead
 //!                 of the classic four arms
-//!   --systems A,B chaos --sweep only: restrict the sweep to these systems
-//!                 (labels as printed, case-insensitive, e.g.
-//!                 "fabric,corda os"); remaining cells keep their numbers
+//!   --systems A,B chaos --sweep and churn: restrict the campaign to these
+//!                 systems (labels as printed, case-insensitive, e.g.
+//!                 "fabric,corda os"); remaining cells keep their numbers.
+//!                 Unknown names are a hard error with a did-you-mean hint
 //!   --out DIR     also write results as JSON (and CSV where applicable)
 //!                 into DIR
 //! ```
@@ -46,9 +51,9 @@ use std::path::PathBuf;
 
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, chaos, chaos_sweep, fig3, fig4, fig5, overload, table11_12, table13_14,
-    table15_16, table17_18, table19_20, table7_8, table9_10, ExperimentConfig, FaultCampaign,
-    TableResult,
+    all_ablations, chaos, chaos_sweep, churn_for, fig3, fig4, fig5, overload, table11_12,
+    table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, ChurnCampaign,
+    ExperimentConfig, FaultCampaign, TableResult,
 };
 use coconut::params::SystemKind;
 use coconut::report::Report;
@@ -187,6 +192,7 @@ fn main() {
         "ablations" => run_ablations(&cfg),
         "chaos" => run_chaos_campaign(&cfg, sweep, &systems, &out_dir),
         "overload" => run_overload_campaign(&cfg, &out_dir),
+        "churn" => run_churn_campaign(&cfg, &systems, &out_dir),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &out_dir, name);
@@ -195,6 +201,7 @@ fn main() {
             run_chaos_campaign(&cfg, false, &None, &out_dir);
             run_chaos_campaign(&cfg, true, &systems, &out_dir);
             run_overload_campaign(&cfg, &out_dir);
+            run_churn_campaign(&cfg, &systems, &out_dir);
             let base = fig3(&cfg);
             emit("Figure 3", &base, &out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
@@ -253,6 +260,24 @@ fn run_chaos_campaign(
     }
 }
 
+fn run_churn_campaign(
+    cfg: &ExperimentConfig,
+    systems: &Option<Vec<SystemKind>>,
+    out: &Option<PathBuf>,
+) {
+    let mut campaign = ChurnCampaign::full();
+    if let Some(list) = systems {
+        campaign = campaign.with_systems(list);
+    }
+    let r = churn_for(cfg, &campaign);
+    emit(
+        "Churn campaign — join/leave/rolling-replacement/join-under-overload per system",
+        &r,
+        out,
+        "churn",
+    );
+}
+
 fn run_overload_campaign(cfg: &ExperimentConfig, out: &Option<PathBuf>) {
     let r = overload(cfg);
     emit(
@@ -287,7 +312,9 @@ fn emit(heading: &str, r: &dyn Report, out: &Option<PathBuf>, name: &str) {
 }
 
 /// Parses a comma-separated, case-insensitive list of system labels
-/// ("fabric,corda os") against [`SystemKind::ALL`].
+/// ("fabric,corda os") against [`SystemKind::ALL`]. An unknown name is a
+/// hard error — never silently skipped — with a did-you-mean hint naming
+/// the closest known label plus the full listing.
 fn parse_systems(list: &str) -> Vec<SystemKind> {
     let mut out = Vec::new();
     for part in list.split(',') {
@@ -300,11 +327,16 @@ fn parse_systems(list: &str) -> Vec<SystemKind> {
             .find(|s| s.label().to_lowercase() == want)
         {
             Some(s) => out.push(s),
-            None => die(&format!(
-                "unknown system \"{}\" (known: {})",
-                part.trim(),
-                SystemKind::ALL.map(|s| s.label()).join(", ")
-            )),
+            None => {
+                let hint = closest_label(&want)
+                    .map(|l| format!(" — did you mean \"{l}\"?"))
+                    .unwrap_or_default();
+                die(&format!(
+                    "unknown system \"{}\" in --systems{hint} (known: {})",
+                    part.trim(),
+                    SystemKind::ALL.map(|s| s.label()).join(", ")
+                ))
+            }
         }
     }
     if out.is_empty() {
@@ -313,9 +345,38 @@ fn parse_systems(list: &str) -> Vec<SystemKind> {
     out
 }
 
+/// The known label closest to `want` (lowercase), when the edit distance
+/// is small enough to plausibly be a typo (≤ 3, and less than the typed
+/// name's length).
+fn closest_label(want: &str) -> Option<&'static str> {
+    SystemKind::ALL
+        .into_iter()
+        .map(|s| s.label())
+        .map(|l| (edit_distance(want, &l.to_lowercase()), l))
+        .min()
+        .filter(|&(d, _)| d <= 3 && d < want.len())
+        .map(|(_, l)| l)
+}
+
+/// Levenshtein distance between two short strings.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|all> \
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|all> \
          [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--out DIR]"
     );
 }

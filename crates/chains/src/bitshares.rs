@@ -45,6 +45,10 @@ use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 pub struct BitsharesConfig {
     /// Number of witnesses (Table 4: n − 1 = 3 for the 4-node baseline).
     pub witnesses: u32,
+    /// Pre-provisioned standby witnesses (ids after the baseline) that
+    /// start outside the schedule and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// `block_interval`: the witness slot length.
     pub block_interval: SimDuration,
     /// Network characteristics.
@@ -70,6 +74,7 @@ impl Default for BitsharesConfig {
     fn default() -> Self {
         BitsharesConfig {
             witnesses: 3,
+            standby: 0,
             block_interval: SimDuration::from_secs(1),
             net: NetConfig::lan(),
             per_tx_overhead: SimDuration::from_micros(1_350),
@@ -110,23 +115,22 @@ impl Bitshares {
     pub fn new(config: BitsharesConfig, seed: u64) -> Self {
         assert!(config.witnesses > 0, "need at least one witness");
         let seeds = SeedDeriver::new(seed);
+        let total = config.witnesses + config.standby;
         let dpos = DposCluster::builder(config.witnesses)
+            .standby(config.standby)
             .seed(seeds.seed("dpos", 0))
             .net(config.net.clone())
-            .topology(Topology::round_robin(
-                config.witnesses,
-                config.witnesses.min(8),
-            ))
+            .topology(Topology::round_robin(total, total.min(8)))
             .block_interval(config.block_interval)
             // The slot CPU budget, not a count, bounds block content; keep
             // the count bound loose.
             .batch(BatchConfig::new(100_000, config.block_interval))
             .build();
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.witnesses, config.witnesses);
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.witnesses, total);
         rt.set_pool_limits(config.pool);
         Bitshares {
             rt,
-            exec_cpu: CpuModel::new(config.witnesses),
+            exec_cpu: CpuModel::new(total),
             dpos,
             state: WorldState::new(),
             pending_touched: HashMap::new(),
@@ -322,11 +326,13 @@ impl BlockchainSystem for Bitshares {
                 break;
             }
             let blocks = self.dpos.run_until(t);
+            self.rt.sync_membership(self.dpos.active_count());
             for block in blocks {
                 self.process_block(block);
             }
         }
         self.dpos.run_until(deadline); // advance the clock to the window end
+        self.rt.sync_membership(self.dpos.active_count());
         self.rt.drain(deadline)
     }
 
@@ -352,6 +358,18 @@ impl BlockchainSystem for Bitshares {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.dpos.apply_net_fault(at, event)
+    }
+
+    fn join_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.dpos.join(node)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.dpos.leave(node)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.dpos.config_epoch()
     }
 
     fn inject_byzantine(

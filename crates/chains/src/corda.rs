@@ -50,6 +50,10 @@ pub struct CordaConfig {
     pub nodes: u32,
     /// Number of notaries (Table 4: one per server).
     pub notaries: u32,
+    /// Pre-provisioned standby notaries (ids after the baseline) that
+    /// start outside the cluster and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// Flow workers per node.
     pub flow_workers: u32,
     /// Network characteristics.
@@ -82,6 +86,7 @@ impl CordaConfig {
             edition: Edition::OpenSource,
             nodes: 4,
             notaries: 4,
+            standby: 0,
             flow_workers: 1,
             net: NetConfig::lan(),
             sign_cost: SimDuration::from_millis(250),
@@ -101,6 +106,7 @@ impl CordaConfig {
             edition: Edition::Enterprise,
             nodes: 4,
             notaries: 4,
+            standby: 0,
             flow_workers: 1,
             net: NetConfig::lan(),
             sign_cost: SimDuration::from_millis(55),
@@ -121,6 +127,10 @@ use crate::util::WorkerPool;
 #[derive(Debug)]
 pub struct Corda {
     config: CordaConfig,
+    /// Notaries currently in the cluster (joins/leaves reconcile against
+    /// this; participant-node replication is a separate role and does not
+    /// move with notary churn).
+    notary_members: u32,
     rt: ChainRuntime,
     workers: Vec<WorkerPool>,
     vault: Vault,
@@ -146,16 +156,23 @@ impl Corda {
         assert!(config.nodes > 0, "need at least one node");
         assert!(config.notaries > 0, "need at least one notary");
         let seeds = SeedDeriver::new(seed);
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.notaries);
+        let mut rt = ChainRuntime::new(
+            &seeds,
+            &config.net,
+            config.nodes,
+            config.notaries + config.standby,
+        );
         rt.set_pool_limits(config.pool);
         Corda {
+            notary_members: config.notaries,
             rt,
             pending_flows: (0..config.nodes).map(|_| Vec::new()).collect(),
             workers: (0..config.nodes)
                 .map(|_| WorkerPool::new(config.flow_workers))
                 .collect(),
             vault: Vault::new(),
-            notary: NotaryPool::new(config.notaries, config.notary_service),
+            notary: NotaryPool::new(config.notaries, config.notary_service)
+                .with_standby(config.standby),
             ingress: (0..config.nodes)
                 .map(|_| IngressLoad::new(SimDuration::from_secs(1), config.ingress_cost, 0.95))
                 .collect(),
@@ -339,6 +356,16 @@ impl BlockchainSystem for Corda {
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         self.now = self.now.max(deadline);
+        self.notary.settle(deadline);
+        let active = self.notary.active_count();
+        while self.notary_members < active {
+            self.rt.note_join();
+            self.notary_members += 1;
+        }
+        while self.notary_members > active {
+            self.rt.note_leave();
+            self.notary_members -= 1;
+        }
         self.rt.drain(deadline)
     }
 
@@ -356,6 +383,18 @@ impl BlockchainSystem for Corda {
 
     fn recover_node(&mut self, node: coconut_types::NodeId) -> bool {
         self.recover_notary(node.0)
+    }
+
+    fn join_node(&mut self, now: SimTime, node: coconut_types::NodeId) -> bool {
+        self.notary.join(now, node.0 as usize)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: coconut_types::NodeId) -> bool {
+        self.notary.leave(node.0 as usize)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.notary.config_epoch()
     }
 }
 

@@ -34,6 +34,10 @@ use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 pub struct DiemConfig {
     /// Number of validators (paper baseline: 4).
     pub nodes: u32,
+    /// Pre-provisioned standby validators (ids after the baseline) that
+    /// start outside the membership and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// `max_block_size`: transactions per proposal (paper: 100–2000).
     pub max_block_size: usize,
     /// Mempool bound; submissions beyond it are dropped.
@@ -64,6 +68,7 @@ impl Default for DiemConfig {
     fn default() -> Self {
         DiemConfig {
             nodes: 4,
+            standby: 0,
             max_block_size: 3000,
             mempool_limit: 50_000,
             net: NetConfig::lan(),
@@ -103,10 +108,12 @@ impl Diem {
     pub fn new(config: DiemConfig, seed: u64) -> Self {
         assert!(config.nodes > 0, "need at least one validator");
         let seeds = SeedDeriver::new(seed);
+        let total = config.nodes + config.standby;
         let engine = DiemBftCluster::builder(config.nodes)
+            .standby(config.standby)
             .seed(seeds.seed("diembft", 0))
             .net(config.net.clone())
-            .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
+            .topology(Topology::round_robin(total, total.min(8)))
             .batch(BatchConfig::new(
                 config.max_block_size,
                 SimDuration::from_millis(250),
@@ -116,11 +123,11 @@ impl Diem {
             Some(interval) => SimTime::ZERO + interval,
             None => SimTime::MAX,
         };
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, total);
         rt.set_pool_limits(config.pool);
         Diem {
             rt,
-            exec_cpu: CpuModel::new(config.nodes),
+            exec_cpu: CpuModel::new(total),
             engine,
             state: WorldState::new(),
             ingress: IngressLoad::new(SimDuration::from_secs(2), config.ingress_per_tx, 0.9),
@@ -212,6 +219,7 @@ impl BlockchainSystem for Diem {
         loop {
             let upto = self.next_spike.min(deadline);
             let blocks = self.engine.run_until(upto);
+            self.rt.sync_membership(self.engine.active_count());
             self.process_blocks(blocks);
             if self.next_spike > deadline {
                 break;
@@ -256,6 +264,18 @@ impl BlockchainSystem for Diem {
         }
         self.engine.set_byzantine(node, behaviour, until);
         true
+    }
+
+    fn join_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.engine.join(node)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.engine.leave(node)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.engine.config_epoch()
     }
 
     fn safety_report(&self) -> Option<SafetyReport> {

@@ -41,6 +41,10 @@ pub struct FabricConfig {
     pub peers: u32,
     /// Number of Raft orderers (the paper: 3, on servers 1–3).
     pub orderers: u32,
+    /// Pre-provisioned standby orderers (ids after the baseline) that
+    /// start outside the Raft voter set and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// `MaxMessageCount`: transactions per block before a cut.
     pub max_message_count: usize,
     /// `BatchTimeout`: maximum wait before a partial block is cut.
@@ -76,6 +80,7 @@ impl Default for FabricConfig {
         FabricConfig {
             peers: 4,
             orderers: 3,
+            standby: 0,
             max_message_count: 500,
             batch_timeout: SimDuration::from_secs(2),
             net: NetConfig::lan(),
@@ -106,6 +111,10 @@ struct InFlight {
 #[derive(Debug)]
 pub struct Fabric {
     config: FabricConfig,
+    /// Orderers currently in the Raft voter set (joins/leaves reconcile
+    /// against this; peer-side replication width is a separate role and
+    /// does not move with orderer churn).
+    orderer_members: u32,
     rt: ChainRuntime,
     raft: RaftCluster,
     peer_cpu: CpuModel,
@@ -129,6 +138,7 @@ impl Fabric {
         assert!(config.orderers > 0, "need at least one orderer");
         let seeds = SeedDeriver::new(seed);
         let raft = RaftCluster::builder(config.orderers)
+            .standby(config.standby)
             .seed(seeds.seed("orderers", 0))
             .net(config.net.clone())
             .batch(BatchConfig::new(
@@ -136,9 +146,15 @@ impl Fabric {
                 config.batch_timeout,
             ))
             .build();
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.peers, config.orderers);
+        let mut rt = ChainRuntime::new(
+            &seeds,
+            &config.net,
+            config.peers,
+            config.orderers + config.standby,
+        );
         rt.set_pool_limits(config.pool);
         Fabric {
+            orderer_members: config.orderers,
             rt,
             peer_cpu: CpuModel::new(config.peers),
             endorse_pool: (0..config.peers)
@@ -307,6 +323,15 @@ impl BlockchainSystem for Fabric {
         }
         let batches = self.raft.run_until(deadline);
         self.process_batches(batches);
+        let active = self.raft.active_count();
+        while self.orderer_members < active {
+            self.rt.note_join();
+            self.orderer_members += 1;
+        }
+        while self.orderer_members > active {
+            self.rt.note_leave();
+            self.orderer_members -= 1;
+        }
         self.rt.drain(deadline)
     }
 
@@ -332,6 +357,18 @@ impl BlockchainSystem for Fabric {
 
     fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
         self.raft.apply_net_fault(at, event)
+    }
+
+    fn join_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.raft.join(node)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.raft.leave(node)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.raft.config_epoch()
     }
 }
 

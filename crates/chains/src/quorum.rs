@@ -36,6 +36,10 @@ use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 pub struct QuorumConfig {
     /// Number of validators (paper baseline: 4).
     pub nodes: u32,
+    /// Pre-provisioned standby validators (ids after the baseline) that start
+    /// outside the membership and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// `istanbul.blockperiod`: minimum spacing between blocks.
     pub block_period: SimDuration,
     /// Maximum transactions pulled into one block.
@@ -71,6 +75,7 @@ impl Default for QuorumConfig {
     fn default() -> Self {
         QuorumConfig {
             nodes: 4,
+            standby: 0,
             block_period: SimDuration::from_secs(1),
             block_tx_limit: 4096,
             txpool_limit: 5120,
@@ -106,18 +111,20 @@ impl Quorum {
     pub fn new(config: QuorumConfig, seed: u64) -> Self {
         assert!(config.nodes > 0, "need at least one validator");
         let seeds = SeedDeriver::new(seed);
+        let total = config.nodes + config.standby;
         let ibft = IbftCluster::builder(config.nodes)
+            .standby(config.standby)
             .seed(seeds.seed("ibft", 0))
             .net(config.net.clone())
-            .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
+            .topology(Topology::round_robin(total, total.min(8)))
             .block_period(config.block_period)
             .batch(BatchConfig::new(config.block_tx_limit, config.block_period))
             .build();
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, total);
         rt.set_pool_limits(config.pool);
         Quorum {
             rt,
-            exec_cpu: CpuModel::new(config.nodes),
+            exec_cpu: CpuModel::new(total),
             ibft,
             state: WorldState::new(),
             config,
@@ -208,6 +215,7 @@ impl BlockchainSystem for Quorum {
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         let blocks = self.ibft.run_until(deadline);
+        self.rt.sync_membership(self.ibft.active_count());
         for block in blocks {
             let block_id = self.rt.append_block(
                 block.proposer,
@@ -288,6 +296,18 @@ impl BlockchainSystem for Quorum {
         }
         self.ibft.set_byzantine(node, behaviour, until);
         true
+    }
+
+    fn join_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.ibft.join(node)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.ibft.leave(node)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.ibft.config_epoch()
     }
 
     fn safety_report(&self) -> Option<SafetyReport> {

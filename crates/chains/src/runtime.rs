@@ -428,6 +428,48 @@ impl ChainRuntime {
         node.0 < self.crashable
     }
 
+    // --- membership churn ---------------------------------------------------
+
+    /// Counts a completed join (for models whose replication width is a
+    /// different role than the one churning, e.g. Fabric's peers vs its
+    /// orderers).
+    pub fn note_join(&mut self) {
+        self.stats.joins += 1;
+    }
+
+    /// Counts a completed leave.
+    pub fn note_leave(&mut self) {
+        self.stats.leaves += 1;
+    }
+
+    /// Reconciles the replication barrier with the engine's active member
+    /// count, counting each completed join/leave along the way: from now
+    /// on an admitted member must also persist a block before the client
+    /// is notified, and a departed one no longer gates it. The mempool,
+    /// admission counters, and outcome bus all carry over untouched —
+    /// membership changes must not drop pending work.
+    pub fn sync_membership(&mut self, active: u32) {
+        while self.nodes < active {
+            self.stats.joins += 1;
+            self.nodes += 1;
+        }
+        while self.nodes > active.max(1) {
+            self.stats.leaves += 1;
+            self.nodes -= 1;
+        }
+    }
+
+    /// Widens the crashable-role registry to cover pre-provisioned
+    /// standby nodes, so fault injection can target them once admitted.
+    pub fn set_crashable(&mut self, crashable: u32) {
+        self.crashable = crashable;
+    }
+
+    /// Current replication width.
+    pub fn replication_width(&self) -> u32 {
+        self.nodes
+    }
+
     // --- stats -------------------------------------------------------------
 
     /// The scaffold's counters.
@@ -538,6 +580,73 @@ mod tests {
         r.evict_expired(SimTime::from_secs(60));
         assert_eq!(r.stats().evicted, 2, "only the live entry counted");
         assert!(r.mempool().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_pool_sheds_every_submission() {
+        // Degenerate but legal configuration: a pool with no room answers
+        // `Busy` from the very first submission and never stores anything.
+        let mut r = rt();
+        r.set_pool_limits(PoolLimits::bounded(0));
+        for i in 0..3 {
+            let verdict = r.admit(SimTime::ZERO, &tx(i), false);
+            assert!(verdict.is_busy(), "zero capacity must backpressure");
+        }
+        assert!(r.mempool().is_empty(), "nothing may enter a zero-size pool");
+        let s = r.stats();
+        assert_eq!(s.busy, 3);
+        assert_eq!(s.accepted, 0);
+        assert_eq!(s.rejected, 0, "capacity shedding is not a rejection");
+        // A model-level `full` reject still takes precedence over `Busy`.
+        assert_eq!(
+            r.admit(SimTime::ZERO, &tx(9), true),
+            SubmitOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn ttl_eviction_boundary_is_exclusive() {
+        // An entry aged *exactly* `ttl` is still alive; one instant older
+        // is evicted (`now - at <= ttl` keeps, `>` evicts).
+        let ttl = SimDuration::from_secs(5);
+        let mut r = rt();
+        r.set_pool_limits(PoolLimits::bounded(10).with_ttl(ttl));
+        assert!(r.admit(SimTime::ZERO, &tx(1), false).is_accepted());
+        r.evict_expired(SimTime::from_secs(5));
+        assert_eq!(r.stats().evicted, 0, "age == ttl is not expired");
+        assert_eq!(r.mempool().len(), 1);
+        r.evict_expired(SimTime::from_secs(5) + SimDuration::from_micros(1));
+        assert_eq!(r.stats().evicted, 1, "one tick past ttl evicts");
+        assert!(r.mempool().is_empty());
+    }
+
+    #[test]
+    fn membership_sync_moves_replication_width() {
+        let mut r = rt();
+        assert_eq!(r.replication_width(), 4);
+        r.sync_membership(5);
+        assert_eq!(r.replication_width(), 5);
+        r.sync_membership(3);
+        assert_eq!(r.replication_width(), 3);
+        let s = r.stats();
+        assert_eq!(s.joins, 1);
+        assert_eq!(s.leaves, 2);
+        // Reconciling to the same count is a no-op.
+        r.sync_membership(3);
+        assert_eq!(r.stats().joins, 1);
+        // The registry can widen to cover admitted standby nodes.
+        assert!(!r.has_node(NodeId(3)));
+        r.set_crashable(5);
+        assert!(r.has_node(NodeId(4)));
+        // The barrier never collapses to zero nodes.
+        r.sync_membership(0);
+        assert_eq!(r.replication_width(), 1);
+        // Count-only notes leave the width alone (Fabric's orderer churn
+        // does not gate peer replication).
+        r.note_join();
+        r.note_leave();
+        assert_eq!(r.replication_width(), 1);
+        assert_eq!(r.stats().joins, 2);
     }
 
     #[test]

@@ -39,6 +39,10 @@ use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 pub struct SawtoothConfig {
     /// Number of validators (paper baseline: 4).
     pub nodes: u32,
+    /// Pre-provisioned standby validators (ids after the baseline) that start
+    /// outside the membership and can be admitted at runtime via
+    /// [`crate::system::BlockchainSystem::join_node`].
+    pub standby: u32,
     /// `sawtooth.consensus.pbft.block_publishing_delay`.
     pub publishing_delay: SimDuration,
     /// Maximum batches per block.
@@ -68,6 +72,7 @@ impl Default for SawtoothConfig {
     fn default() -> Self {
         SawtoothConfig {
             nodes: 4,
+            standby: 0,
             publishing_delay: SimDuration::from_secs(1),
             batches_per_block: 100,
             queue_limit: 100,
@@ -110,10 +115,12 @@ impl Sawtooth {
     pub fn new(config: SawtoothConfig, seed: u64) -> Self {
         assert!(config.nodes > 0, "need at least one validator");
         let seeds = SeedDeriver::new(seed);
+        let total = config.nodes + config.standby;
         let pbft = PbftCluster::builder(config.nodes)
+            .standby(config.standby)
             .seed(seeds.seed("pbft", 0))
             .net(config.net.clone())
-            .topology(Topology::round_robin(config.nodes, config.nodes.min(8)))
+            .topology(Topology::round_robin(total, total.min(8)))
             .publishing_delay(config.publishing_delay)
             // The view-change timeout must comfortably exceed the
             // publishing cadence, or idle gaps between slow blocks would
@@ -124,11 +131,11 @@ impl Sawtooth {
                 config.publishing_delay,
             ))
             .build();
-        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, config.nodes);
+        let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, total);
         rt.set_pool_limits(config.pool);
         Sawtooth {
             rt,
-            exec_cpu: CpuModel::new(config.nodes),
+            exec_cpu: CpuModel::new(total),
             pbft,
             state: WorldState::new(),
             ingress: IngressLoad::new(SimDuration::from_secs(2), config.ingress_per_tx, 0.9),
@@ -238,6 +245,7 @@ impl BlockchainSystem for Sawtooth {
 
     fn run_until(&mut self, deadline: SimTime) -> Vec<TxOutcome> {
         let blocks = self.pbft.run_until(deadline);
+        self.rt.sync_membership(self.pbft.active_count());
         for block in blocks {
             if block.commands.is_empty() {
                 continue;
@@ -326,6 +334,18 @@ impl BlockchainSystem for Sawtooth {
         }
         self.pbft.set_byzantine(node, behaviour, until);
         true
+    }
+
+    fn join_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.pbft.join(node)
+    }
+
+    fn leave_node(&mut self, _now: SimTime, node: NodeId) -> bool {
+        self.pbft.leave(node)
+    }
+
+    fn config_epoch(&self) -> u64 {
+        self.pbft.config_epoch()
     }
 
     fn safety_report(&self) -> Option<SafetyReport> {

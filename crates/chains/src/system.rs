@@ -64,6 +64,10 @@ pub struct SystemStats {
     pub outcomes_emitted: u64,
     /// Consensus-level network messages sent.
     pub consensus_messages: u64,
+    /// Nodes admitted to the membership at runtime (completed joins).
+    pub joins: u64,
+    /// Nodes removed from the membership at runtime (completed leaves).
+    pub leaves: u64,
 }
 
 /// A blockchain system under test: the COCONUT framework submits
@@ -145,6 +149,34 @@ pub trait BlockchainSystem {
     ) -> bool {
         let _ = (node, behaviour, until);
         false
+    }
+
+    /// Starts admitting a pre-provisioned standby node `node` to the
+    /// system's membership at virtual time `now`. The node syncs the
+    /// ledger first (state transfer) and only becomes a full member — able
+    /// to vote, lead, produce, or notarize — once catch-up completes, at
+    /// which point the configuration epoch advances. Returns `true` if the
+    /// join was initiated; the default implementation models no membership
+    /// changes and returns `false`.
+    fn join_node(&mut self, now: SimTime, node: NodeId) -> bool {
+        let _ = (now, node);
+        false
+    }
+
+    /// Removes member `node` from the system's membership at virtual time
+    /// `now` through the system's own reconfiguration path (config entry,
+    /// epoch change, schedule regeneration, pool resize). Returns `true`
+    /// if the departure was initiated.
+    fn leave_node(&mut self, now: SimTime, node: NodeId) -> bool {
+        let _ = (now, node);
+        false
+    }
+
+    /// The membership configuration epoch: how many completed membership
+    /// changes the system has reconfigured through. Systems without
+    /// dynamic membership stay at 0.
+    fn config_epoch(&self) -> u64 {
+        0
     }
 
     /// The consensus safety monitor's verdict, if the system carries one.

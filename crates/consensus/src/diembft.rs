@@ -28,13 +28,18 @@
 //! `f + 1` colluders can certify two blocks in one round — counted as
 //! conflicting certificates, never a panic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
-use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
+
+/// Base catch-up time a joiner spends before it may vote (state-transfer
+/// handshake), plus a per-committed-block transfer cost.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_BATCH: SimDuration = SimDuration::from_millis(2);
 
 /// DiemBFT protocol messages and pacemaker timers.
 #[derive(Debug, Clone)]
@@ -57,6 +62,7 @@ enum DiemMsg {
         batch: Vec<Command>,
     },
     Vote {
+        epoch: u64,
         round: u64,
         digest: u64,
         from: NodeId,
@@ -64,6 +70,10 @@ enum DiemMsg {
     Timeout {
         round: u64,
         from: NodeId,
+    },
+    /// A joiner's catch-up/state transfer finished: activate it.
+    SyncDone {
+        node: NodeId,
     },
 }
 
@@ -89,6 +99,7 @@ struct DiemNode {
 #[derive(Debug, Clone)]
 pub struct DiemBftBuilder {
     nodes: u32,
+    standby: u32,
     topology: Option<Topology>,
     net: NetConfig,
     seed: u64,
@@ -103,6 +114,14 @@ impl DiemBftBuilder {
     /// Node placement (defaults to one node per server).
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = Some(t);
+        self
+    }
+
+    /// Pre-provisions `k` standby validators (ids `nodes..nodes + k`) that
+    /// start outside the active membership and can be admitted at runtime
+    /// via [`DiemBftCluster::join`]. Default 0.
+    pub fn standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 
@@ -152,8 +171,15 @@ impl DiemBftBuilder {
     /// Builds the cluster; round 1's leader proposes after one interval.
     pub fn build(self) -> DiemBftCluster {
         let n = self.nodes;
-        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
-        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let total = n + self.standby;
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::round_robin(total, total));
+        assert_eq!(
+            topology.node_count(),
+            total,
+            "topology must cover baseline + standby nodes"
+        );
         let mut net = NetSim::new(topology, self.net, self.seed);
         let first_leader = NodeId((1 % n as u64) as u32);
         net.timer(
@@ -176,15 +202,16 @@ impl DiemBftBuilder {
         let mut qc_round_of = HashMap::new();
         qc_round_of.insert(0u64, 0u64); // genesis is certified
         DiemBftCluster {
-            nodes: (0..n)
+            nodes: (0..total)
                 .map(|_| DiemNode {
                     round: 1,
                     highest_voted: 0,
                     alive: true,
                 })
                 .collect(),
+            membership: Membership::new(n, self.standby),
             net,
-            cpu: CpuModel::new(n),
+            cpu: CpuModel::new(total),
             batch: self.batch,
             pending: Vec::new(),
             committed: Vec::new(),
@@ -200,8 +227,10 @@ impl DiemBftBuilder {
             proc_per_msg: self.proc_per_msg,
             proc_per_command: self.proc_per_command,
             proposed_rounds: HashSet::new(),
-            byz: vec![ByzantineFlags::default(); n as usize],
+            byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
+            stale_epoch_rejections: 0,
+            committed_txs: BTreeSet::new(),
         }
     }
 }
@@ -222,6 +251,8 @@ impl DiemBftBuilder {
 #[derive(Debug)]
 pub struct DiemBftCluster {
     nodes: Vec<DiemNode>,
+    /// Epoch-versioned active membership over the provisioned universe.
+    membership: Membership,
     net: NetSim<DiemMsg>,
     cpu: CpuModel,
     batch: BatchConfig,
@@ -247,6 +278,11 @@ pub struct DiemBftCluster {
     byz: Vec<ByzantineFlags>,
     /// Message-level safety observer (never influences the protocol).
     monitor: SafetyMonitor,
+    /// Votes dropped because they carried a superseded membership epoch.
+    stale_epoch_rejections: u64,
+    /// Transactions already finalized, so a block orphaned by a timeout or
+    /// epoch change is never re-proposed after its commands committed.
+    committed_txs: BTreeSet<u64>,
 }
 
 impl DiemBftCluster {
@@ -259,6 +295,7 @@ impl DiemBftCluster {
         assert!(nodes > 0, "a cluster needs at least one node");
         DiemBftBuilder {
             nodes,
+            standby: 0,
             topology: None,
             net: NetConfig::lan(),
             seed: 0,
@@ -349,12 +386,58 @@ impl DiemBftCluster {
         self.net.next_event_time()
     }
 
+    /// Validators currently in the active membership.
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current membership configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Votes dropped because they carried a superseded membership epoch.
+    pub fn stale_epoch_rejections(&self) -> u64 {
+        self.stale_epoch_rejections
+    }
+
+    /// Starts admitting a pre-provisioned standby validator: it first syncs
+    /// the chain (catch-up takes longer the more blocks were committed) and
+    /// only joins the active membership — bumping the epoch — when the
+    /// transfer completes. Returns `false` if `node` is unknown, already
+    /// active, or already syncing.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.membership.provisioned()
+            || self.membership.is_active(node)
+            || self.monitor.is_syncing(node)
+        {
+            return false;
+        }
+        self.monitor.observe_sync_start(node);
+        let sync = SYNC_BASE + SYNC_PER_BATCH * self.committed_digests.len() as u64;
+        self.net.timer(node, sync, DiemMsg::SyncDone { node });
+        true
+    }
+
+    /// Removes a validator from the active membership, bumping the epoch
+    /// and recomputing the quorum. Returns `false` if `node` is not an
+    /// active member or is the last one.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.membership.leave(node) {
+            return false;
+        }
+        self.on_epoch_change();
+        true
+    }
+
     fn quorum(&self) -> u32 {
-        bft_quorum(self.nodes.len() as u32)
+        bft_quorum(self.membership.active_count())
     }
 
     fn leader_of(&self, round: u64) -> NodeId {
-        NodeId((round % self.nodes.len() as u64) as u32)
+        // Rotation over the active membership; identical to `round mod n`
+        // until the first join/leave.
+        self.membership.select(round)
     }
 
     fn kick_current_leader(&mut self) {
@@ -378,7 +461,7 @@ impl DiemBftCluster {
     /// round always starts a local timeout in DiemBFT).
     fn arm_round_timeouts(&mut self, round: u64) {
         for i in 0..self.nodes.len() {
-            if self.nodes[i].alive {
+            if self.nodes[i].alive && self.membership.is_active(NodeId(i as u32)) {
                 self.net.timer(
                     NodeId(i as u32),
                     self.round_timeout,
@@ -390,6 +473,14 @@ impl DiemBftCluster {
 
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: DiemMsg) {
         if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        if !self.membership.is_active(me) {
+            // A standby/departed validator ignores the protocol entirely;
+            // only its own sync-completion timer is meaningful.
+            if let DiemMsg::SyncDone { node } = msg {
+                self.on_sync_done(node);
+            }
             return;
         }
         match msg {
@@ -404,12 +495,83 @@ impl DiemBftCluster {
                 batch,
             } => self.on_proposal(me, at, round, digest, parent, parent_round, qc_round, batch),
             DiemMsg::Vote {
+                epoch,
                 round,
                 digest,
                 from,
-            } => self.on_vote(me, at, round, digest, from),
+            } => {
+                if epoch != self.membership.epoch() {
+                    self.stale_epoch_rejections += 1;
+                    return;
+                }
+                self.on_vote(me, at, round, digest, from)
+            }
             DiemMsg::Timeout { round, from } => self.on_timeout_msg(me, at, round, from),
+            DiemMsg::SyncDone { .. } => {}
         }
+    }
+
+    /// A joiner finished its catch-up: admit it to the active membership at
+    /// the current frontier round and bump the configuration epoch.
+    fn on_sync_done(&mut self, node: NodeId) {
+        if !self.monitor.is_syncing(node) || !self.membership.join(node) {
+            return;
+        }
+        self.monitor.observe_sync_complete(node);
+        {
+            let frontier = self.highest_qc.0;
+            let joiner = &mut self.nodes[node.0 as usize];
+            joiner.round = joiner.round.max(frontier + 1);
+            // The joiner must never retro-vote a pre-sync round.
+            joiner.highest_voted = joiner.highest_voted.max(frontier);
+        }
+        self.on_epoch_change();
+    }
+
+    /// Applies a membership change: recompute the quorum over the new
+    /// active count, reset in-flight vote/timeout tallies (their epoch is
+    /// superseded — a quorum of the old membership must not certify a
+    /// block), reclaim commands stuck in uncertified frontier blocks, and
+    /// restart the proposal chain over the new membership.
+    fn on_epoch_change(&mut self) {
+        let quorum = self.quorum();
+        self.monitor.begin_epoch(self.membership.epoch(), quorum);
+        self.votes.clear();
+        self.timeout_votes.clear();
+        // Blocks proposed past the highest QC can no longer certify (their
+        // vote tallies are void); reclaim their commands, deduplicated and
+        // filtered against already-finalized transactions, in digest order
+        // (block-store iteration order is not deterministic).
+        let frontier = self.highest_qc.0;
+        let mut stranded: Vec<u64> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.round > frontier && !b.batch.is_empty())
+            .map(|(&d, _)| d)
+            .collect();
+        stranded.sort_unstable();
+        let mut seen: BTreeSet<u64> = self.pending.iter().map(|c| c.tx.as_u64()).collect();
+        let mut reclaimed: Vec<Command> = Vec::new();
+        for d in stranded {
+            if let Some(b) = self.blocks.get_mut(&d) {
+                for c in b.batch.drain(..) {
+                    if !self.committed_txs.contains(&c.tx.as_u64()) && seen.insert(c.tx.as_u64()) {
+                        reclaimed.push(c);
+                    }
+                }
+            }
+        }
+        reclaimed.append(&mut self.pending);
+        self.pending = reclaimed;
+        // The frontier round may be re-proposed under the new epoch.
+        self.proposed_rounds.retain(|&r| r <= frontier);
+        let next = frontier + 1;
+        self.net.timer(
+            self.leader_of(next),
+            self.round_interval,
+            DiemMsg::ProposeTimer { round: next },
+        );
+        self.arm_round_timeouts(next);
     }
 
     /// Whether there is any reason to keep proposing: work in the mempool,
@@ -603,12 +765,14 @@ impl DiemBftCluster {
         if next_leader == me {
             self.on_vote(me, now, round, digest, me);
         } else {
+            let epoch = self.membership.epoch();
             self.net.send_delayed(
                 me,
                 next_leader,
                 done - now,
                 64,
                 DiemMsg::Vote {
+                    epoch,
                     round,
                     digest,
                     from: me,
@@ -677,7 +841,13 @@ impl DiemBftCluster {
             }
             self.committed_digests.insert(digest);
             self.last_committed_round = info.round;
-            self.monitor.observe_commit(info.round, digest);
+            // Vote tallies are reset on every membership change, so the QC
+            // behind this commit formed entirely in the current epoch.
+            self.monitor
+                .observe_epoch_commit(self.membership.epoch(), info.round, digest);
+            for c in &info.batch {
+                self.committed_txs.insert(c.tx.as_u64());
+            }
             if !info.batch.is_empty() {
                 self.committed.push(CommittedBatch {
                     commands: info.batch.clone(),
@@ -717,17 +887,26 @@ impl DiemBftCluster {
                 // (nobody votes it again, and a skip proposal extends the
                 // highest QC, not it). Re-queue its commands at the front
                 // of the mempool — real mempools only evict on commit.
-                let stranded: Vec<u64> = self
+                let mut stranded: Vec<u64> = self
                     .blocks
                     .iter()
                     .filter(|(_, b)| b.round == round && !b.batch.is_empty())
                     .map(|(&d, _)| d)
                     .collect();
+                stranded.sort_unstable();
                 if !stranded.is_empty() {
+                    let mut seen: BTreeSet<u64> =
+                        self.pending.iter().map(|c| c.tx.as_u64()).collect();
                     let mut reclaimed = Vec::new();
                     for d in stranded {
                         if let Some(b) = self.blocks.get_mut(&d) {
-                            reclaimed.append(&mut b.batch);
+                            for c in b.batch.drain(..) {
+                                if !self.committed_txs.contains(&c.tx.as_u64())
+                                    && seen.insert(c.tx.as_u64())
+                                {
+                                    reclaimed.push(c);
+                                }
+                            }
                         }
                     }
                     reclaimed.append(&mut self.pending);
@@ -913,6 +1092,85 @@ mod tests {
         c.submit(tx(1));
         let blocks = c.run_until(c.now() + SimDuration::from_secs(5));
         assert_eq!(blocks.iter().map(|b| b.commands.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn join_grows_membership_after_sync_without_violations() {
+        let mut c = DiemBftCluster::builder(4).standby(1).seed(41).build();
+        assert_eq!((c.active_count(), c.config_epoch()), (4, 0));
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(5));
+        assert_eq!(first.iter().map(|b| b.commands.len()).sum::<usize>(), 1);
+        assert!(c.join(NodeId(4)), "standby is admitted");
+        assert!(!c.join(NodeId(4)), "double join rejected");
+        assert_eq!(c.active_count(), 4, "not active until synced");
+        for s in 2..8 {
+            c.submit(tx(s));
+        }
+        let more = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(
+            more.iter().any(|b| !b.commands.is_empty()),
+            "commits continue through the join"
+        );
+        assert_eq!((c.active_count(), c.config_epoch()), (5, 1));
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn leave_shrinks_membership_and_keeps_committing() {
+        let mut c = DiemBftCluster::builder(4).seed(42).build();
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(5));
+        assert!(!first.is_empty());
+        assert!(c.leave(NodeId(0)));
+        assert_eq!((c.active_count(), c.config_epoch()), (3, 1));
+        for s in 2..6 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(
+            blocks.iter().any(|b| !b.commands.is_empty()),
+            "the shrunken validator set keeps committing"
+        );
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+        assert!(!c.leave(NodeId(0)), "already departed");
+    }
+
+    #[test]
+    fn joiner_never_votes_before_sync_completes() {
+        let mut c = DiemBftCluster::builder(4).standby(1).seed(43).build();
+        for s in 0..4 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(6));
+        assert!(c.join(NodeId(4)));
+        for s in 4..10 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(c.now() + SimDuration::from_secs(30));
+        let r = c.safety_report();
+        assert_eq!(r.violations.presync_votes, 0, "no vote before catch-up");
+        assert_eq!(r.violations.stale_epoch_commits, 0);
+        assert_eq!(c.active_count(), 5);
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let run = || {
+            let mut c = DiemBftCluster::builder(4).standby(1).seed(44).build();
+            for s in 0..12 {
+                c.submit(tx(s));
+            }
+            let mut got = c.run_until(SimTime::from_secs(4)).len();
+            c.join(NodeId(4));
+            got += c.run_until(SimTime::from_secs(8)).len();
+            c.leave(NodeId(1));
+            got += c.run_until(SimTime::from_secs(40)).len();
+            (got, c.config_epoch(), format!("{:?}", c.safety_report()))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

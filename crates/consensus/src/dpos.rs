@@ -10,10 +10,17 @@
 //! insensitive to the network size (§5.8.2: "shifting witnesses finalizing
 //! blocks is a reason for the constant performance").
 
+use std::collections::BTreeSet;
+
 use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{NodeId, SimDuration, SimRng, SimTime};
 
-use crate::{BatchConfig, Command, CommittedBatch, CpuModel};
+use crate::{BatchConfig, Command, CommittedBatch, CpuModel, Membership};
+
+/// Base chain-sync time for a joining witness plus a per-produced-block
+/// replay cost; the joiner is only scheduled for slots after this completes.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_BLOCK: SimDuration = SimDuration::from_millis(2);
 
 /// DPoS messages: slot timers and block announcements.
 #[derive(Debug, Clone)]
@@ -22,12 +29,15 @@ enum DposMsg {
     SlotTimer { slot: u64 },
     /// A produced block being gossiped to the other nodes (apply cost only).
     BlockAnnounce,
+    /// A joining witness finished replaying the chain.
+    SyncDone { node: NodeId },
 }
 
 /// Configuration for a [`DposCluster`]; build with [`DposCluster::builder`].
 #[derive(Debug, Clone)]
 pub struct DposBuilder {
     witnesses: u32,
+    standby: u32,
     topology: Option<Topology>,
     net: NetConfig,
     seed: u64,
@@ -40,6 +50,14 @@ impl DposBuilder {
     /// Witness placement (defaults to one witness per server).
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = Some(t);
+        self
+    }
+
+    /// Pre-provisions `k` standby witnesses (ids `witnesses..witnesses + k`)
+    /// that start outside the schedule and can be admitted at runtime via
+    /// [`DposCluster::join`]. Default 0.
+    pub fn standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 
@@ -76,11 +94,14 @@ impl DposBuilder {
     /// Builds the cluster; the first slot fires after one interval.
     pub fn build(self) -> DposCluster {
         let w = self.witnesses;
-        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(w, w));
+        let total = w + self.standby;
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::round_robin(total, total));
         assert_eq!(
             topology.node_count(),
-            w,
-            "topology must match witness count"
+            total,
+            "topology must cover baseline + standby witnesses"
         );
         let mut rng = SimRng::seed_from_u64(self.seed ^ 0xD905);
         let mut schedule: Vec<NodeId> = (0..w).map(NodeId).collect();
@@ -93,9 +114,11 @@ impl DposBuilder {
         );
         DposCluster {
             witnesses: w,
-            alive: vec![true; w as usize],
+            membership: Membership::new(w, self.standby),
+            syncing: BTreeSet::new(),
+            alive: vec![true; total as usize],
             net,
-            cpu: CpuModel::new(w),
+            cpu: CpuModel::new(total),
             rng,
             schedule,
             batch: self.batch,
@@ -128,6 +151,10 @@ impl DposBuilder {
 #[derive(Debug)]
 pub struct DposCluster {
     witnesses: u32,
+    /// Epoch-versioned witness set over the provisioned universe.
+    membership: Membership,
+    /// Joiners replaying the chain before they may be scheduled.
+    syncing: BTreeSet<NodeId>,
     alive: Vec<bool>,
     net: NetSim<DposMsg>,
     cpu: CpuModel,
@@ -152,6 +179,7 @@ impl DposCluster {
         assert!(witnesses > 0, "at least one witness required");
         DposBuilder {
             witnesses,
+            standby: 0,
             topology: None,
             net: NetConfig::lan(),
             seed: 0,
@@ -179,6 +207,54 @@ impl DposCluster {
     /// Slots missed by crashed witnesses.
     pub fn slots_missed(&self) -> u64 {
         self.missed
+    }
+
+    /// Witnesses currently in the production schedule.
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current witness-set configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Starts admitting a pre-provisioned standby witness: it replays the
+    /// chain (longer the more blocks were produced) and only enters the
+    /// regenerated schedule — bumping the epoch — once sync completes.
+    /// Returns `false` if `node` is unknown, already scheduled, or already
+    /// syncing.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.membership.provisioned()
+            || self.membership.is_active(node)
+            || self.syncing.contains(&node)
+        {
+            return false;
+        }
+        self.syncing.insert(node);
+        let sync = SYNC_BASE + SYNC_PER_BLOCK * self.produced;
+        self.net.timer(node, sync, DposMsg::SyncDone { node });
+        true
+    }
+
+    /// Removes a witness from the schedule, regenerating it over the
+    /// remaining members and bumping the epoch. An in-flight slot assigned
+    /// to the departed witness is skipped like a crashed witness's slot.
+    /// Returns `false` if `node` is not scheduled or is the last witness.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.membership.leave(node) {
+            return false;
+        }
+        self.regenerate_schedule();
+        true
+    }
+
+    /// Rebuilds the production schedule from the current members (a new
+    /// shuffle of the active set, as BitShares does each maintenance round).
+    fn regenerate_schedule(&mut self) {
+        let mut schedule = self.membership.active_nodes();
+        self.rng.shuffle(&mut schedule);
+        self.schedule = schedule;
     }
 
     /// Network counters.
@@ -229,7 +305,7 @@ impl DposCluster {
     }
 
     fn witness_of(&self, slot: u64) -> NodeId {
-        self.schedule[(slot % self.witnesses as u64) as usize]
+        self.schedule[(slot % self.schedule.len() as u64) as usize]
     }
 
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: DposMsg) {
@@ -239,13 +315,26 @@ impl DposCluster {
                 // Receiving nodes apply the block; cost only.
                 let _ = self.cpu.process(me, at, SimDuration::from_micros(50));
             }
+            DposMsg::SyncDone { node } => self.on_sync_done(node),
+        }
+    }
+
+    /// A joiner finished replaying the chain: admit it and regenerate the
+    /// schedule. Its first slot can only come after this point, so a joiner
+    /// never produces before sync completes.
+    fn on_sync_done(&mut self, node: NodeId) {
+        if !self.syncing.remove(&node) {
+            return;
+        }
+        if self.membership.join(node) {
+            self.regenerate_schedule();
         }
     }
 
     fn on_slot(&mut self, me: NodeId, at: SimTime, slot: u64) {
         // Schedule the next slot first (the schedule reshuffles each round).
         let next_slot = slot + 1;
-        if next_slot.is_multiple_of(self.witnesses as u64) {
+        if next_slot.is_multiple_of(self.schedule.len() as u64) {
             let mut schedule = std::mem::take(&mut self.schedule);
             self.rng.shuffle(&mut schedule);
             self.schedule = schedule;
@@ -257,7 +346,9 @@ impl DposCluster {
             DposMsg::SlotTimer { slot: next_slot },
         );
 
-        if !self.alive[me.0 as usize] {
+        // A crashed witness misses its slot; so does one removed from the
+        // membership while its slot timer was already in flight.
+        if !self.alive[me.0 as usize] || !self.membership.is_active(me) {
             self.missed += 1;
             return;
         }
@@ -389,6 +480,126 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(6), run(6));
+    }
+
+    #[test]
+    fn join_extends_schedule_after_sync() {
+        let mut c = DposCluster::builder(3)
+            .standby(1)
+            .seed(61)
+            .batch(BatchConfig::new(5, SimDuration::from_secs(1)))
+            .block_interval(SimDuration::from_millis(200))
+            .build();
+        assert!(c.join(NodeId(3)));
+        assert!(!c.join(NodeId(3)), "already syncing");
+        for s in 0..100 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(20));
+        assert_eq!(c.active_count(), 4);
+        assert_eq!(c.config_epoch(), 1);
+        assert!(
+            blocks.iter().any(|b| b.proposer == NodeId(3)),
+            "the admitted witness must get slots"
+        );
+        assert_eq!(
+            blocks.iter().map(|b| b.commands.len()).sum::<usize>(),
+            100,
+            "no commands lost across the join"
+        );
+    }
+
+    #[test]
+    fn joiner_never_produces_before_sync_completes() {
+        let mut c = DposCluster::builder(3)
+            .standby(1)
+            .seed(63)
+            .block_interval(SimDuration::from_millis(100))
+            .build();
+        for s in 0..50 {
+            c.submit(tx(s));
+        }
+        // Produce some chain history first, then start the join.
+        c.run_until(SimTime::from_secs(2));
+        assert!(c.join(NodeId(3)));
+        let sync_deadline = c.now() + SYNC_BASE + SYNC_PER_BLOCK * c.blocks_produced();
+        for s in 50..80 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(20));
+        for b in &blocks {
+            if b.proposer == NodeId(3) {
+                assert!(
+                    b.committed_at > sync_deadline,
+                    "joiner produced at {:?} before sync completed at {:?}",
+                    b.committed_at,
+                    sync_deadline
+                );
+            }
+        }
+        assert_eq!(c.config_epoch(), 1);
+    }
+
+    #[test]
+    fn leave_regenerates_schedule_without_departed_witness() {
+        let mut c = DposCluster::builder(3)
+            .seed(62)
+            .batch(BatchConfig::new(5, SimDuration::from_secs(1)))
+            .block_interval(SimDuration::from_millis(200))
+            .build();
+        for s in 0..40 {
+            c.submit(tx(s));
+        }
+        c.run_until(SimTime::from_secs(2));
+        assert!(c.leave(NodeId(0)));
+        assert!(!c.leave(NodeId(0)), "already departed");
+        for s in 40..80 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(SimTime::from_secs(20));
+        assert_eq!(c.active_count(), 2);
+        assert_eq!(c.config_epoch(), 1);
+        assert!(
+            blocks.iter().all(|b| b.proposer != NodeId(0)),
+            "departed witness must not produce after leaving"
+        );
+        // The chain keeps packing everything with the smaller witness set.
+        let mut seqs: Vec<u64> = blocks
+            .iter()
+            .flat_map(|b| b.commands.iter().map(|c| c.tx.seq()))
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (40..80).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let run = || {
+            let mut c = DposCluster::builder(3)
+                .standby(1)
+                .seed(64)
+                .block_interval(SimDuration::from_millis(250))
+                .build();
+            for s in 0..30 {
+                c.submit(tx(s));
+            }
+            c.run_until(SimTime::from_secs(2));
+            c.join(NodeId(3));
+            c.run_until(SimTime::from_secs(4));
+            c.leave(NodeId(1));
+            let got = c.run_until(SimTime::from_secs(20));
+            let commits: Vec<(u64, u32, usize)> = got
+                .iter()
+                .map(|b| (b.round, b.proposer.0, b.commands.len()))
+                .collect();
+            (
+                commits,
+                c.active_count(),
+                c.config_epoch(),
+                c.slots_missed(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

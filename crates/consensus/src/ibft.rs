@@ -20,13 +20,18 @@
 //! prepare and commit votes. The embedded [`SafetyMonitor`] counts
 //! observed misbehaviour and any invariant actually broken.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
-use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
+
+/// Base catch-up time a joiner spends before it may vote (state-transfer
+/// handshake), plus a per-committed-block transfer cost.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_BATCH: SimDuration = SimDuration::from_millis(2);
 
 /// IBFT protocol messages and timers.
 #[derive(Debug, Clone)]
@@ -42,12 +47,14 @@ enum IbftMsg {
         batch: Vec<Command>,
     },
     Prepare {
+        epoch: u64,
         height: u64,
         round: u64,
         digest: u64,
         from: NodeId,
     },
     Commit {
+        epoch: u64,
         height: u64,
         round: u64,
         digest: u64,
@@ -58,6 +65,8 @@ enum IbftMsg {
         round: u64,
         from: NodeId,
     },
+    /// A joiner's catch-up/state transfer finished: activate it.
+    SyncDone { node: NodeId },
 }
 
 /// Per-(height, round) progress at one validator; vote tallies are kept per
@@ -100,6 +109,7 @@ impl IbftNode {
 #[derive(Debug, Clone)]
 pub struct IbftBuilder {
     nodes: u32,
+    standby: u32,
     topology: Option<Topology>,
     net: NetConfig,
     seed: u64,
@@ -114,6 +124,14 @@ impl IbftBuilder {
     /// Node placement (defaults to one node per server).
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = Some(t);
+        self
+    }
+
+    /// Pre-provisions `k` standby validators (ids `nodes..nodes + k`) that
+    /// start outside the active membership and can be admitted at runtime
+    /// via [`IbftCluster::join`]. Default 0.
+    pub fn standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 
@@ -163,8 +181,15 @@ impl IbftBuilder {
     /// Builds the cluster; the first proposal fires after one block period.
     pub fn build(self) -> IbftCluster {
         let n = self.nodes;
-        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
-        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let total = n + self.standby;
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::round_robin(total, total));
+        assert_eq!(
+            topology.node_count(),
+            total,
+            "topology must cover baseline + standby nodes"
+        );
         let mut net = NetSim::new(topology, self.net, self.seed);
         net.timer(
             NodeId(0),
@@ -187,9 +212,10 @@ impl IbftBuilder {
             );
         }
         IbftCluster {
-            nodes: (0..n).map(|_| IbftNode::new()).collect(),
+            nodes: (0..total).map(|_| IbftNode::new()).collect(),
+            membership: Membership::new(n, self.standby),
             net,
-            cpu: CpuModel::new(n),
+            cpu: CpuModel::new(total),
             batch: self.batch,
             pending: Vec::new(),
             committed: Vec::new(),
@@ -200,9 +226,11 @@ impl IbftBuilder {
             proc_per_command: self.proc_per_command,
             commit_quorum: HashMap::new(),
             emit_empty_blocks: true,
-            byz: vec![ByzantineFlags::default(); n as usize],
+            byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
             equiv_sibling: HashMap::new(),
+            stale_epoch_rejections: 0,
+            committed_txs: BTreeSet::new(),
         }
     }
 }
@@ -226,6 +254,8 @@ impl IbftBuilder {
 #[derive(Debug)]
 pub struct IbftCluster {
     nodes: Vec<IbftNode>,
+    /// Epoch-versioned active membership over the provisioned universe.
+    membership: Membership,
     net: NetSim<IbftMsg>,
     cpu: CpuModel,
     batch: BatchConfig,
@@ -245,6 +275,11 @@ pub struct IbftCluster {
     /// (height, round) → the conflicting sibling digest an equivocating
     /// proposer broadcast alongside its real proposal.
     equiv_sibling: HashMap<(u64, u64), u64>,
+    /// Votes dropped because they carried a superseded membership epoch.
+    stale_epoch_rejections: u64,
+    /// Transactions already finalized, so a batch orphaned by a round or
+    /// epoch change is never re-proposed after its commands committed.
+    committed_txs: BTreeSet<u64>,
 }
 
 impl IbftCluster {
@@ -257,6 +292,7 @@ impl IbftCluster {
         assert!(nodes > 0, "a cluster needs at least one node");
         IbftBuilder {
             nodes,
+            standby: 0,
             topology: None,
             net: NetConfig::lan(),
             seed: 0,
@@ -348,16 +384,70 @@ impl IbftCluster {
         self.net.next_event_time()
     }
 
+    /// Validators currently in the active membership.
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current membership configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Votes dropped because they carried a superseded membership epoch.
+    pub fn stale_epoch_rejections(&self) -> u64 {
+        self.stale_epoch_rejections
+    }
+
+    /// Starts admitting a pre-provisioned standby validator: it first syncs
+    /// the chain (catch-up takes longer the more blocks were committed) and
+    /// only joins the active membership — bumping the epoch — when the
+    /// transfer completes. Returns `false` if `node` is unknown, already
+    /// active, or already syncing.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.membership.provisioned()
+            || self.membership.is_active(node)
+            || self.monitor.is_syncing(node)
+        {
+            return false;
+        }
+        self.monitor.observe_sync_start(node);
+        let sync = SYNC_BASE + SYNC_PER_BATCH * self.next_height;
+        self.net.timer(node, sync, IbftMsg::SyncDone { node });
+        true
+    }
+
+    /// Removes a validator from the active membership, bumping the epoch
+    /// and recomputing the quorum. Returns `false` if `node` is not an
+    /// active member or is the last one.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.membership.leave(node) {
+            return false;
+        }
+        self.on_epoch_change();
+        true
+    }
+
     fn quorum(&self) -> u32 {
-        bft_quorum(self.nodes.len() as u32)
+        bft_quorum(self.membership.active_count())
     }
 
     fn proposer_of(&self, height: u64, round: u64) -> NodeId {
-        NodeId(((height + round) % self.nodes.len() as u64) as u32)
+        // Rotation over the active membership; identical to
+        // `(height + round) mod n` until the first join/leave.
+        self.membership.select(height + round)
     }
 
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: IbftMsg) {
         if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        if !self.membership.is_active(me) {
+            // A standby/departed validator ignores the protocol entirely;
+            // only its own sync-completion timer is meaningful.
+            if let IbftMsg::SyncDone { node } = msg {
+                self.on_sync_done(node);
+            }
             return;
         }
         match msg {
@@ -370,23 +460,115 @@ impl IbftCluster {
                 batch,
             } => self.on_pre_prepare(me, at, height, round, digest, batch),
             IbftMsg::Prepare {
+                epoch,
                 height,
                 round,
                 digest,
                 from,
-            } => self.on_prepare(me, at, height, round, digest, from),
+            } => {
+                if epoch != self.membership.epoch() {
+                    self.stale_epoch_rejections += 1;
+                    return;
+                }
+                self.on_prepare(me, at, height, round, digest, from)
+            }
             IbftMsg::Commit {
+                epoch,
                 height,
                 round,
                 digest,
                 from,
-            } => self.on_commit(me, at, height, round, digest, from),
+            } => {
+                if epoch != self.membership.epoch() {
+                    self.stale_epoch_rejections += 1;
+                    return;
+                }
+                self.on_commit(me, at, height, round, digest, from)
+            }
             IbftMsg::RoundChange {
                 height,
                 round,
                 from,
             } => self.on_round_change(me, at, height, round, from),
+            IbftMsg::SyncDone { .. } => {}
         }
+    }
+
+    /// A joiner finished its catch-up: admit it to the active membership at
+    /// the next open height and bump the configuration epoch.
+    fn on_sync_done(&mut self, node: NodeId) {
+        if !self.monitor.is_syncing(node) || !self.membership.join(node) {
+            return;
+        }
+        self.monitor.observe_sync_complete(node);
+        {
+            let joiner = &mut self.nodes[node.0 as usize];
+            joiner.height = self.next_height;
+            joiner.round = 0;
+        }
+        self.on_epoch_change();
+    }
+
+    /// Applies a membership change: recompute the quorum over the new
+    /// active count, abandon in-flight slots (their epoch is superseded —
+    /// a quorum of the old membership must not certify a commit), reclaim
+    /// their commands, and restart the proposal cadence over the new
+    /// membership.
+    fn on_epoch_change(&mut self) {
+        let quorum = self.quorum();
+        self.monitor.begin_epoch(self.membership.epoch(), quorum);
+        // Reclaim commands stuck in uncommitted slots, in (height, round)
+        // order, deduplicated (several validators hold the same in-flight
+        // block) and filtered against already-finalized transactions.
+        let mut by_slot: BTreeMap<(u64, u64), Vec<Command>> = BTreeMap::new();
+        for node in &mut self.nodes {
+            for (&(height, round), slot) in node.slots.iter() {
+                if slot.committed {
+                    continue;
+                }
+                if let Some(batch) = &slot.batch {
+                    by_slot
+                        .entry((height, round))
+                        .or_insert_with(|| batch.clone());
+                }
+            }
+            node.slots.retain(|_, s| s.committed);
+            node.round_change_votes.clear();
+            node.voted_round.clear();
+        }
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut restored: Vec<Command> = Vec::new();
+        for batch in by_slot.into_values() {
+            for c in batch {
+                if !self.committed_txs.contains(&c.tx.as_u64()) && seen.insert(c.tx.as_u64()) {
+                    restored.push(c);
+                }
+            }
+        }
+        restored.append(&mut self.pending);
+        self.pending = restored;
+        let height = self.next_height;
+        self.commit_quorum.retain(|&(h, _), _| h < height);
+        // Restart the pipeline under the new epoch: every active validator
+        // realigns on (next_height, round 0) and the proposer re-proposes.
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if self.nodes[i].alive && self.membership.is_active(id) {
+                let node = &mut self.nodes[i];
+                node.height = height;
+                node.round = 0;
+                self.net.timer(
+                    id,
+                    self.round_timeout,
+                    IbftMsg::RoundTimeout { height, round: 0 },
+                );
+            }
+        }
+        self.net.timer(
+            self.proposer_of(height, 0),
+            self.block_period,
+            IbftMsg::ProposeTimer { height, round: 0 },
+        );
     }
 
     fn on_propose_timer(&mut self, me: NodeId, height: u64, round: u64) {
@@ -502,6 +684,7 @@ impl IbftCluster {
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let done = self.cpu.process(me, at, cost);
         let extra = done - at;
+        let epoch = self.membership.epoch();
         {
             let node = &mut self.nodes[me.0 as usize];
             if height != node.height || round != node.round {
@@ -515,6 +698,7 @@ impl IbftCluster {
                     // votes for it anyway without adopting it.
                     self.net
                         .broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
+                            epoch,
                             height,
                             round,
                             digest,
@@ -522,6 +706,7 @@ impl IbftCluster {
                         });
                     self.net
                         .broadcast_delayed(me, extra, 64, |_| IbftMsg::Commit {
+                            epoch,
                             height,
                             round,
                             digest,
@@ -541,6 +726,7 @@ impl IbftCluster {
             .observe_vote(me, VotePhase::Prepare, round, height, digest, me);
         self.net
             .broadcast_delayed(me, extra, 64, |_| IbftMsg::Prepare {
+                epoch,
                 height,
                 round,
                 digest,
@@ -600,9 +786,11 @@ impl IbftCluster {
                 .observe_quorum(me, VotePhase::Prepare, round, height, digest);
             self.monitor
                 .observe_vote(me, VotePhase::Commit, round, height, digest, me);
+            let epoch = self.membership.epoch();
             let done = self.cpu.process(me, now, self.proc_per_msg);
             self.net
                 .broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
+                    epoch,
                     height,
                     round,
                     digest,
@@ -615,6 +803,7 @@ impl IbftCluster {
                     if alt != digest {
                         self.net
                             .broadcast_delayed(me, done - now, 64, |_| IbftMsg::Commit {
+                                epoch,
                                 height,
                                 round,
                                 digest: alt,
@@ -675,7 +864,10 @@ impl IbftCluster {
         }
         self.monitor
             .observe_quorum(me, VotePhase::Commit, round, height, digest);
-        self.monitor.observe_commit(height, digest);
+        // Vote tallies are reset on every membership change, so the quorum
+        // behind this commit formed entirely in the current epoch.
+        self.monitor
+            .observe_epoch_commit(self.membership.epoch(), height, digest);
         // Watch the next height: its proposer might be dead.
         self.net.timer(
             me,
@@ -697,6 +889,9 @@ impl IbftCluster {
                 .find_map(|n| n.slots.get(&(height, round)).and_then(|s| s.batch.clone()))
                 .unwrap_or_default();
             self.next_height = height + 1;
+            for c in &batch {
+                self.committed_txs.insert(c.tx.as_u64());
+            }
             if !batch.is_empty() || self.emit_empty_blocks {
                 self.committed.push(CommittedBatch {
                     commands: batch,
@@ -774,6 +969,28 @@ impl IbftCluster {
             {
                 let node = &mut self.nodes[me.0 as usize];
                 node.round = round;
+                // Blocks stuck in the abandoned rounds of this height are
+                // reclaimed so their commands are re-proposed, not
+                // stranded. Reclaim in round order (slot iteration order is
+                // not deterministic).
+                let mut by_round: BTreeMap<u64, Vec<Command>> = BTreeMap::new();
+                for (&(h, r), slot) in node.slots.iter_mut() {
+                    if h == height && r < round && !slot.committed {
+                        if let Some(batch) = slot.batch.take() {
+                            by_round.insert(r, batch);
+                        }
+                    }
+                }
+                let mut seen: BTreeSet<u64> = self.pending.iter().map(|c| c.tx.as_u64()).collect();
+                for batch in by_round.into_values() {
+                    for c in batch {
+                        if !self.committed_txs.contains(&c.tx.as_u64())
+                            && seen.insert(c.tx.as_u64())
+                        {
+                            self.pending.push(c);
+                        }
+                    }
+                }
             }
             if self.proposer_of(height, round) == me {
                 self.net.timer(
@@ -1014,6 +1231,86 @@ mod tests {
             }
             let blocks = c.run_until(SimTime::from_secs(30));
             (format!("{:?}", c.safety_report()), blocks.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn join_grows_membership_after_sync_without_violations() {
+        let mut c = IbftCluster::builder(4).standby(1).seed(31).build();
+        assert_eq!((c.active_count(), c.config_epoch()), (4, 0));
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(3));
+        assert!(first.iter().any(|b| !b.commands.is_empty()));
+        assert!(c.join(NodeId(4)), "standby is admitted");
+        assert!(!c.join(NodeId(4)), "double join rejected");
+        assert_eq!(c.active_count(), 4, "not active until synced");
+        for s in 2..8 {
+            c.submit(tx(s));
+        }
+        let more = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(
+            more.iter().any(|b| !b.commands.is_empty()),
+            "commits continue through the join"
+        );
+        assert_eq!((c.active_count(), c.config_epoch()), (5, 1));
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn leave_shrinks_membership_and_keeps_minting() {
+        let mut c = IbftCluster::builder(4).seed(32).build();
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(3));
+        assert!(first.iter().any(|b| !b.commands.is_empty()));
+        assert!(c.leave(NodeId(0)));
+        assert_eq!((c.active_count(), c.config_epoch()), (3, 1));
+        for s in 2..6 {
+            c.submit(tx(s));
+        }
+        let blocks = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(
+            blocks.iter().any(|b| !b.commands.is_empty()),
+            "the shrunken validator set keeps committing"
+        );
+        assert!(blocks.iter().all(|b| b.proposer != NodeId(0)));
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+        assert!(!c.leave(NodeId(0)), "already departed");
+    }
+
+    #[test]
+    fn joiner_never_votes_before_sync_completes() {
+        let mut c = IbftCluster::builder(4).standby(1).seed(33).build();
+        for s in 0..4 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(6));
+        assert!(c.join(NodeId(4)));
+        for s in 4..10 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(c.now() + SimDuration::from_secs(30));
+        let r = c.safety_report();
+        assert_eq!(r.violations.presync_votes, 0, "no vote before catch-up");
+        assert_eq!(r.violations.stale_epoch_commits, 0);
+        assert_eq!(c.active_count(), 5);
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let run = || {
+            let mut c = IbftCluster::builder(4).standby(1).seed(34).build();
+            for s in 0..12 {
+                c.submit(tx(s));
+            }
+            let mut got = c.run_until(SimTime::from_secs(4)).len();
+            c.join(NodeId(4));
+            got += c.run_until(SimTime::from_secs(8)).len();
+            c.leave(NodeId(1));
+            got += c.run_until(SimTime::from_secs(40)).len();
+            (got, c.config_epoch(), format!("{:?}", c.safety_report()))
         };
         assert_eq!(run(), run());
     }

@@ -220,6 +220,126 @@ pub fn majority_quorum(n: u32) -> u32 {
     n / 2 + 1
 }
 
+/// Epoch-versioned membership of a consensus cluster over a fixed universe
+/// of provisioned node ids (`baseline` initially active members plus
+/// `standby` pre-provisioned joiners).
+///
+/// The provisioned universe is fixed at construction — topology, CPU
+/// queues and network links exist for every provisioned node — while the
+/// *active* subset changes at runtime through [`Membership::join`] /
+/// [`Membership::leave`]. Every membership change advances the
+/// configuration epoch, and `n`, `f` and quorum sizes are recomputed from
+/// the active count; votes tagged with a superseded epoch are rejected by
+/// the engines.
+///
+/// # Example
+///
+/// ```
+/// use coconut_consensus::{bft_quorum, Membership};
+/// use coconut_types::NodeId;
+///
+/// let mut m = Membership::new(4, 1);
+/// assert_eq!((m.active_count(), m.epoch()), (4, 0));
+/// assert!(m.join(NodeId(4)));
+/// assert_eq!((m.active_count(), m.epoch()), (5, 1));
+/// assert_eq!(bft_quorum(m.active_count()), 3);
+/// assert!(m.leave(NodeId(0)));
+/// assert_eq!((m.active_count(), m.epoch()), (4, 2));
+/// assert_eq!(m.select(0), NodeId(1), "selection skips departed nodes");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    active: Vec<bool>,
+    epoch: u64,
+}
+
+impl Membership {
+    /// A membership of `baseline` active members (`0..baseline`) plus
+    /// `standby` inactive pre-provisioned joiners
+    /// (`baseline..baseline + standby`), at epoch 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is zero.
+    pub fn new(baseline: u32, standby: u32) -> Self {
+        assert!(baseline > 0, "membership needs at least one active node");
+        let mut active = vec![true; baseline as usize];
+        active.resize((baseline + standby) as usize, false);
+        Membership { active, epoch: 0 }
+    }
+
+    /// Total provisioned node ids (active or not).
+    pub fn provisioned(&self) -> u32 {
+        self.active.len() as u32
+    }
+
+    /// Current active-member count — the `n` quorum arithmetic runs on.
+    pub fn active_count(&self) -> u32 {
+        self.active.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// `true` when `node` is provisioned and currently active.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The current configuration epoch (0 = genesis membership; each join
+    /// or leave advances it by one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Activates a provisioned standby node and advances the epoch.
+    /// Returns `false` (no epoch change) when `node` is unprovisioned or
+    /// already active.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        match self.active.get_mut(node.0 as usize) {
+            Some(a) if !*a => {
+                *a = true;
+                self.epoch += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Deactivates an active node and advances the epoch. Returns `false`
+    /// (no epoch change) when `node` is not active or is the last active
+    /// member — an empty membership cannot run consensus.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.is_active(node) || self.active_count() <= 1 {
+            return false;
+        }
+        self.active[node.0 as usize] = false;
+        self.epoch += 1;
+        true
+    }
+
+    /// The active members in ascending id order.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Deterministic rotation over the active set: the `index mod n`-th
+    /// active member in id order. With the genesis membership `0..n` fully
+    /// active this reduces to `NodeId(index % n)`, so engines that adopt it
+    /// keep their pre-churn leader schedules bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node is active (construction and [`Membership::leave`]
+    /// make that unreachable).
+    pub fn select(&self, index: u64) -> NodeId {
+        let nodes = self.active_nodes();
+        nodes[(index % nodes.len() as u64) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +423,77 @@ mod tests {
         assert!(2 >= bft_quorum(3), "n=3: two survivors still reach q");
         // ...and two one-node quorums can be disjoint (2q < n + f + 1).
         assert!(2 * bft_quorum(3) < 3 + 1);
+    }
+
+    /// Membership churn property: walking a cluster up from 1 active node
+    /// to `baseline + standby` and back down, `f` and `q` are recomputed
+    /// from the *active* count at every epoch — for both quorum families —
+    /// and the epoch advances exactly once per membership change.
+    #[test]
+    fn quorums_recompute_across_membership_epochs() {
+        for baseline in 1..=16u32 {
+            for standby in 0..=8u32 {
+                let mut m = Membership::new(baseline, standby);
+                let mut expected_epoch = 0u64;
+                // Grow: admit every standby in id order.
+                for j in 0..standby {
+                    assert!(m.join(NodeId(baseline + j)));
+                    expected_epoch += 1;
+                    let n = baseline + j + 1;
+                    assert_eq!(m.active_count(), n);
+                    assert_eq!(m.epoch(), expected_epoch);
+                    let f = (n - 1) / 3;
+                    assert_eq!(bft_quorum(n), 2 * f + 1, "grow to n={n}");
+                    assert!(n - f >= bft_quorum(n), "f crashes leave a quorum");
+                    assert_eq!(majority_quorum(n), n / 2 + 1);
+                    assert!(2 * majority_quorum(n) > n);
+                }
+                // Shrink back to a single node, leaving highest id first.
+                let full = baseline + standby;
+                for gone in 1..full {
+                    assert!(m.leave(NodeId(full - gone)));
+                    expected_epoch += 1;
+                    let n = full - gone;
+                    assert_eq!(m.active_count(), n);
+                    assert_eq!(m.epoch(), expected_epoch);
+                    let f = (n - 1) / 3;
+                    assert_eq!(bft_quorum(n), 2 * f + 1, "shrink to n={n}");
+                    assert_eq!(majority_quorum(n), n / 2 + 1);
+                }
+                // The last member may never leave: n = 0 has no quorum.
+                assert!(!m.leave(NodeId(0)));
+                assert_eq!(m.active_count(), 1);
+                assert_eq!(m.epoch(), expected_epoch);
+            }
+        }
+    }
+
+    /// Membership bookkeeping: joins/leaves are idempotent-rejecting, the
+    /// provisioned universe never changes, and rotation reduces to plain
+    /// modulo order on the genesis membership.
+    #[test]
+    fn membership_join_leave_semantics() {
+        let mut m = Membership::new(4, 2);
+        assert_eq!(m.provisioned(), 6);
+        assert_eq!(m.active_nodes(), (0..4).map(NodeId).collect::<Vec<_>>());
+        for i in 0..40u64 {
+            assert_eq!(m.select(i), NodeId((i % 4) as u32), "genesis = modulo");
+        }
+        assert!(!m.join(NodeId(0)), "already active");
+        assert!(!m.join(NodeId(6)), "unprovisioned");
+        assert!(!m.leave(NodeId(5)), "not active");
+        assert_eq!(m.epoch(), 0, "rejected changes keep the epoch");
+        assert!(m.join(NodeId(5)));
+        assert!(m.leave(NodeId(1)));
+        assert_eq!(m.provisioned(), 6, "universe is fixed");
+        assert_eq!(
+            m.active_nodes(),
+            vec![NodeId(0), NodeId(2), NodeId(3), NodeId(5)]
+        );
+        // Rotation skips the departed node and folds in the joiner.
+        assert_eq!(m.select(1), NodeId(2));
+        assert_eq!(m.select(3), NodeId(5));
+        assert_eq!(m.select(7), NodeId(5));
     }
 
     /// Majority quorums: any two always intersect, for every n.

@@ -14,7 +14,14 @@
 
 use std::collections::HashSet;
 
-use coconut_types::{SimDuration, SimTime, StateRef, TxId};
+use coconut_types::{NodeId, SimDuration, SimTime, StateRef, TxId};
+
+use crate::Membership;
+
+/// Base catch-up time for a notary joining the pool plus a per-consumed-state
+/// transfer cost; the joiner serves no requests until this completes.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_STATE: SimDuration = SimDuration::from_micros(20);
 
 /// The verdict of a notarization request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +188,12 @@ impl NotaryService {
 #[derive(Debug, Clone)]
 pub struct NotaryPool {
     notaries: Vec<NotaryService>,
+    /// Epoch-versioned cluster membership: only members serve requests.
+    membership: Membership,
+    /// Joining notaries copying the uniqueness database: `(who, ready_at)`.
+    /// Promotion happens lazily when a request at or after `ready_at`
+    /// arrives, so a joiner never signs before its sync completes.
+    pending_join: Vec<(NodeId, SimTime)>,
 }
 
 impl NotaryPool {
@@ -193,10 +206,27 @@ impl NotaryPool {
         assert!(n > 0, "pool needs at least one notary");
         NotaryPool {
             notaries: (0..n).map(|_| NotaryService::new(service_time)).collect(),
+            membership: Membership::new(n, 0),
+            pending_join: Vec::new(),
         }
     }
 
-    /// Number of notaries in the pool.
+    /// Pre-provisions `k` standby notaries that start outside the cluster
+    /// and can be admitted at runtime via [`NotaryPool::join`]. Must be
+    /// called before any requests are served.
+    pub fn with_standby(mut self, k: u32) -> Self {
+        let n = self.membership.active_count();
+        let service_time = self.notaries[0].service_time;
+        let per_input = self.notaries[0].per_input_time;
+        for _ in 0..k {
+            self.notaries
+                .push(NotaryService::new(service_time).with_per_input_time(per_input));
+        }
+        self.membership = Membership::new(n, k);
+        self
+    }
+
+    /// Number of provisioned notaries (members plus standby).
     pub fn len(&self) -> usize {
         self.notaries.len()
     }
@@ -204,6 +234,83 @@ impl NotaryPool {
     /// `true` if the pool is empty (never true after construction).
     pub fn is_empty(&self) -> bool {
         self.notaries.is_empty()
+    }
+
+    /// Notaries currently in the cluster (serving shards).
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current cluster configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Starts admitting a standby notary at `now`: it copies the
+    /// consumed-state database (longer the more states are spent) and only
+    /// joins the sharding ring — bumping the epoch — once the copy
+    /// completes. Returns `false` if `idx` is unknown, already a member, or
+    /// already syncing.
+    pub fn join(&mut self, now: SimTime, idx: usize) -> bool {
+        let node = NodeId(idx as u32);
+        if idx >= self.notaries.len()
+            || self.membership.is_active(node)
+            || self.pending_join.iter().any(|(n, _)| *n == node)
+        {
+            return false;
+        }
+        let states: u64 = self.notaries.iter().map(|n| n.consumed.len() as u64).sum();
+        let ready_at = now + SYNC_BASE + SYNC_PER_STATE * states;
+        self.pending_join.push((node, ready_at));
+        true
+    }
+
+    /// Removes a member from the sharding ring, handing its consumed-state
+    /// table over to the remaining members and bumping the epoch. Returns
+    /// `false` if `idx` is not a member or is the last one.
+    pub fn leave(&mut self, idx: usize) -> bool {
+        if !self.membership.leave(NodeId(idx as u32)) {
+            return false;
+        }
+        self.reshard();
+        true
+    }
+
+    /// Promotes joiners whose database copy completed by `now`. Called
+    /// automatically on every request; a driver may also call it directly
+    /// to reconcile membership at a time boundary.
+    pub fn settle(&mut self, now: SimTime) {
+        let mut changed = false;
+        let mut still_waiting = Vec::new();
+        for (node, ready_at) in std::mem::take(&mut self.pending_join) {
+            if ready_at <= now && self.membership.join(node) {
+                changed = true;
+            } else if ready_at > now {
+                still_waiting.push((node, ready_at));
+            }
+        }
+        self.pending_join = still_waiting;
+        if changed {
+            self.reshard();
+        }
+    }
+
+    /// Resizing moves states between home shards, so the uniqueness
+    /// database is redistributed: every member ends up able to detect a
+    /// double-spend of any state consumed anywhere before the epoch change
+    /// (set union — order-independent, so iteration order cannot leak into
+    /// results).
+    fn reshard(&mut self) {
+        let union: HashSet<StateRef> = self
+            .notaries
+            .iter()
+            .flat_map(|n| n.consumed.iter().copied())
+            .collect();
+        for (i, n) in self.notaries.iter_mut().enumerate() {
+            if self.membership.is_active(NodeId(i as u32)) {
+                n.consumed.extend(union.iter().copied());
+            }
+        }
     }
 
     /// Routes and processes a request (see [`NotaryService::request`]).
@@ -221,13 +328,15 @@ impl NotaryPool {
         tx: TxId,
         inputs: &[StateRef],
     ) -> Option<NotaryResponse> {
-        let n = self.notaries.len();
+        self.settle(arrival);
+        let members = self.membership.active_nodes();
+        let n = members.len();
         let home = match inputs.first() {
             Some(s) => (s.tx().as_u64() % n as u64) as usize,
             None => (tx.as_u64() % n as u64) as usize,
         };
         let shard = (0..n)
-            .map(|off| (home + off) % n)
+            .map(|off| members[(home + off) % n].0 as usize)
             .find(|&i| self.notaries[i].is_alive())?;
         Some(self.notaries[shard].request(arrival, tx, inputs))
     }
@@ -254,9 +363,14 @@ impl NotaryPool {
         }
     }
 
-    /// Notaries currently serving requests.
+    /// Members currently serving requests (crashed and standby notaries
+    /// excluded).
     pub fn alive_count(&self) -> usize {
-        self.notaries.iter().filter(|s| s.is_alive()).count()
+        self.notaries
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.is_alive() && self.membership.is_active(NodeId(*i as u32)))
+            .count()
     }
 
     /// Total requests processed across the pool.
@@ -403,6 +517,66 @@ mod tests {
             !r.is_signed(),
             "fail-over target still detects the double-spend"
         );
+    }
+
+    #[test]
+    fn pool_join_resizes_after_database_copy() {
+        let mut pool = NotaryPool::new(2, SimDuration::from_millis(1)).with_standby(1);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.active_count(), 2);
+        // Consume some states to give the joiner a database to copy.
+        for i in 0..10 {
+            assert!(pool
+                .request(SimTime::from_millis(i * 5), tx(100 + i), &[state(i, 0)])
+                .unwrap()
+                .is_signed());
+        }
+        assert!(pool.join(SimTime::from_millis(60), 2));
+        assert!(!pool.join(SimTime::from_millis(60), 2), "already syncing");
+        // A request before the copy completes does not see the joiner...
+        pool.request(SimTime::from_millis(70), tx(200), &[state(50, 0)])
+            .unwrap();
+        assert_eq!(pool.active_count(), 2);
+        assert_eq!(pool.config_epoch(), 0);
+        // ...but one after the sync window does.
+        pool.request(SimTime::from_secs(2), tx(201), &[state(51, 0)])
+            .unwrap();
+        assert_eq!(pool.active_count(), 3);
+        assert_eq!(pool.config_epoch(), 1);
+        // Double-spend detection survives the reshard: a state consumed
+        // before the resize still conflicts wherever it now routes.
+        for i in 0..10 {
+            let r = pool
+                .request(SimTime::from_secs(3), tx(300 + i), &[state(i, 0)])
+                .unwrap();
+            assert!(!r.is_signed(), "state {i} must still read as consumed");
+        }
+    }
+
+    #[test]
+    fn pool_leave_hands_state_over_to_remaining_members() {
+        let mut pool = NotaryPool::new(3, SimDuration::from_millis(1));
+        for i in 0..12 {
+            assert!(pool
+                .request(SimTime::from_millis(i * 5), tx(100 + i), &[state(i, 0)])
+                .unwrap()
+                .is_signed());
+        }
+        assert!(pool.leave(1));
+        assert!(!pool.leave(1), "already departed");
+        assert_eq!(pool.active_count(), 2);
+        assert_eq!(pool.config_epoch(), 1);
+        assert_eq!(pool.alive_count(), 2, "departed notary no longer serves");
+        // Every previously consumed state still conflicts after the resize.
+        for i in 0..12 {
+            let r = pool
+                .request(SimTime::from_secs(2), tx(300 + i), &[state(i, 0)])
+                .unwrap();
+            assert!(!r.is_signed(), "state {i} must still read as consumed");
+        }
+        // The last member cannot leave.
+        assert!(pool.leave(0));
+        assert!(!pool.leave(2), "a singleton cluster must refuse to shrink");
     }
 
     #[test]

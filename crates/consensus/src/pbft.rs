@@ -24,13 +24,18 @@
 //! below quorum and the report stays clean; beyond f the forged votes
 //! carry a conflicting block to commit and the monitor records it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
-use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
+
+/// Base catch-up time a joiner spends before it may vote (state-transfer
+/// handshake), plus a per-committed-batch transfer cost.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_BATCH: SimDuration = SimDuration::from_millis(2);
 
 /// PBFT protocol messages and local timers.
 #[derive(Debug, Clone)]
@@ -52,12 +57,14 @@ enum PbftMsg {
         batch: Vec<Command>,
     },
     Prepare {
+        epoch: u64,
         view: u64,
         seq: u64,
         digest: u64,
         from: NodeId,
     },
     Commit {
+        epoch: u64,
         view: u64,
         seq: u64,
         digest: u64,
@@ -69,6 +76,10 @@ enum PbftMsg {
     },
     NewView {
         view: u64,
+    },
+    /// A joiner's catch-up/state transfer finished: activate it.
+    SyncDone {
+        node: NodeId,
     },
 }
 
@@ -113,6 +124,7 @@ impl PbftNode {
 #[derive(Debug, Clone)]
 pub struct PbftBuilder {
     nodes: u32,
+    standby: u32,
     topology: Option<Topology>,
     net: NetConfig,
     seed: u64,
@@ -127,6 +139,14 @@ impl PbftBuilder {
     /// Node placement (defaults to one node per server).
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = Some(t);
+        self
+    }
+
+    /// Pre-provisions `k` standby replicas (ids `nodes..nodes + k`) that
+    /// start outside the active membership and can be admitted at runtime
+    /// via [`PbftCluster::join`]. Default 0.
+    pub fn standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 
@@ -178,15 +198,22 @@ impl PbftBuilder {
     /// publish timer immediately.
     pub fn build(self) -> PbftCluster {
         let n = self.nodes;
-        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
-        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let total = n + self.standby;
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::round_robin(total, total));
+        assert_eq!(
+            topology.node_count(),
+            total,
+            "topology must cover baseline + standby nodes"
+        );
         let mut net = NetSim::new(topology, self.net, self.seed);
         net.timer(
             NodeId(0),
             self.publishing_delay,
             PbftMsg::PublishTimer { view: 0, seq: 0 },
         );
-        // Every replica watches the first sequence so a dead initial
+        // Every active replica watches the first sequence so a dead initial
         // primary is detected even though it never sends a pre-prepare.
         for i in 0..n {
             net.timer(
@@ -196,9 +223,10 @@ impl PbftBuilder {
             );
         }
         PbftCluster {
-            nodes: (0..n).map(|_| PbftNode::new()).collect(),
+            nodes: (0..total).map(|_| PbftNode::new()).collect(),
+            membership: Membership::new(n, self.standby),
             net,
-            cpu: CpuModel::new(n),
+            cpu: CpuModel::new(total),
             batch: self.batch,
             pending: Vec::new(),
             committed: Vec::new(),
@@ -208,9 +236,11 @@ impl PbftBuilder {
             proc_per_msg: self.proc_per_msg,
             proc_per_command: self.proc_per_command,
             commit_quorum_times: HashMap::new(),
-            byz: vec![ByzantineFlags::default(); n as usize],
+            byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
             equiv_sibling: HashMap::new(),
+            stale_epoch_rejections: 0,
+            committed_txs: BTreeSet::new(),
         }
     }
 }
@@ -231,6 +261,8 @@ impl PbftBuilder {
 #[derive(Debug)]
 pub struct PbftCluster {
     nodes: Vec<PbftNode>,
+    /// Epoch-versioned active membership over the provisioned universe.
+    membership: Membership,
     net: NetSim<PbftMsg>,
     cpu: CpuModel,
     batch: BatchConfig,
@@ -250,6 +282,11 @@ pub struct PbftCluster {
     /// (view, seq) → the conflicting sibling digest an equivocating primary
     /// broadcast alongside its real proposal.
     equiv_sibling: HashMap<(u64, u64), u64>,
+    /// Votes dropped because they carried a superseded membership epoch.
+    stale_epoch_rejections: u64,
+    /// Transactions already finalized, so a batch orphaned by a view or
+    /// epoch change is never re-proposed after its commands committed.
+    committed_txs: BTreeSet<u64>,
 }
 
 impl PbftCluster {
@@ -262,6 +299,7 @@ impl PbftCluster {
         assert!(nodes > 0, "a cluster needs at least one node");
         PbftBuilder {
             nodes,
+            standby: 0,
             topology: None,
             net: NetConfig::lan(),
             seed: 0,
@@ -337,6 +375,50 @@ impl PbftCluster {
         self.nodes[node.0 as usize].alive = true;
     }
 
+    /// Current active-membership size (`n` of the quorum arithmetic).
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current membership-configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Votes dropped for carrying a superseded membership epoch.
+    pub fn stale_epoch_rejections(&self) -> u64 {
+        self.stale_epoch_rejections
+    }
+
+    /// Admits standby replica `node`: catch-up (state transfer of the
+    /// committed ledger) starts now, and only once it completes does the
+    /// epoch advance and the joiner vote or lead. Returns `false` when
+    /// `node` is not a provisioned standby or is already joining/active.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.membership.provisioned()
+            || self.membership.is_active(node)
+            || self.monitor.is_syncing(node)
+        {
+            return false;
+        }
+        self.monitor.observe_sync_start(node);
+        let sync = SYNC_BASE + SYNC_PER_BATCH * self.next_commit_seq;
+        self.net.timer(node, sync, PbftMsg::SyncDone { node });
+        true
+    }
+
+    /// Removes `node` from the active membership: the epoch advances,
+    /// quorum sizes shrink with `n`, and in-flight votes of the superseded
+    /// epoch are rejected. Returns `false` when `node` is not active or is
+    /// the last active replica.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.membership.leave(node) {
+            return false;
+        }
+        self.on_epoch_change();
+        true
+    }
+
     /// Runs the protocol until `deadline`, returning batches that reached
     /// commit quorum in this window.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<CommittedBatch> {
@@ -353,11 +435,19 @@ impl PbftCluster {
     }
 
     fn quorum(&self) -> u32 {
-        bft_quorum(self.nodes.len() as u32)
+        bft_quorum(self.membership.active_count())
     }
 
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: PbftMsg) {
         if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        // Only the sync-completion timer reaches a node outside the active
+        // membership: standbys and departed replicas neither vote nor lead.
+        if !self.membership.is_active(me) {
+            if let PbftMsg::SyncDone { node } = msg {
+                self.on_sync_done(node);
+            }
             return;
         }
         match msg {
@@ -370,19 +460,124 @@ impl PbftCluster {
                 batch,
             } => self.on_pre_prepare(me, at, view, seq, digest, batch),
             PbftMsg::Prepare {
+                epoch,
                 view,
                 seq,
                 digest,
                 from,
-            } => self.on_prepare(me, at, view, seq, digest, from),
+            } => {
+                if epoch != self.membership.epoch() {
+                    self.stale_epoch_rejections += 1;
+                    return;
+                }
+                self.on_prepare(me, at, view, seq, digest, from);
+            }
             PbftMsg::Commit {
+                epoch,
                 view,
                 seq,
                 digest,
                 from,
-            } => self.on_commit(me, at, view, seq, digest, from),
+            } => {
+                if epoch != self.membership.epoch() {
+                    self.stale_epoch_rejections += 1;
+                    return;
+                }
+                self.on_commit(me, at, view, seq, digest, from);
+            }
             PbftMsg::ViewChange { new_view, from } => self.on_view_change(me, at, new_view, from),
             PbftMsg::NewView { view } => self.on_new_view(me, view),
+            PbftMsg::SyncDone { .. } => {} // already active: stale sync timer
+        }
+    }
+
+    /// A joiner finished catch-up: it enters the membership, the epoch
+    /// advances, and quorum arithmetic now runs over the grown `n`.
+    fn on_sync_done(&mut self, node: NodeId) {
+        if !self.monitor.is_syncing(node) || !self.membership.join(node) {
+            return;
+        }
+        self.monitor.observe_sync_complete(node);
+        // The joiner adopts the highest view among its peers and starts
+        // watching the next open sequence.
+        let view = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| n.alive && self.membership.is_active(NodeId(i as u32)))
+            .map(|(_, n)| n.view)
+            .max()
+            .unwrap_or(0);
+        {
+            let joiner = &mut self.nodes[node.0 as usize];
+            joiner.view = view;
+            joiner.voted_view = joiner.voted_view.max(view);
+            joiner.low_water = self.next_commit_seq;
+        }
+        self.on_epoch_change();
+    }
+
+    /// Applies a membership change: recompute the quorum over the new
+    /// active count, abandon in-flight slots (their epoch is superseded —
+    /// a quorum of the old membership must not certify a commit), reclaim
+    /// their commands, and restart proposal/watchdog timers over the new
+    /// membership.
+    fn on_epoch_change(&mut self) {
+        let quorum = self.quorum();
+        self.monitor.begin_epoch(self.membership.epoch(), quorum);
+        // Reclaim commands stuck in uncommitted slots, in sequence order,
+        // deduplicated (several replicas hold the same in-flight batch).
+        let mut by_slot: BTreeMap<(u64, u64), Vec<Command>> = BTreeMap::new();
+        for node in &mut self.nodes {
+            for (&(view, seq), slot) in node.slots.iter() {
+                if slot.committed {
+                    continue;
+                }
+                if let Some(batch) = &slot.batch {
+                    by_slot.entry((seq, view)).or_insert_with(|| batch.clone());
+                }
+            }
+            node.slots.retain(|_, s| s.committed);
+        }
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut restored: Vec<Command> = Vec::new();
+        for batch in by_slot.into_values() {
+            for c in batch {
+                if !self.committed_txs.contains(&c.tx.as_u64()) && seen.insert(c.tx.as_u64()) {
+                    restored.push(c);
+                }
+            }
+        }
+        restored.append(&mut self.pending);
+        self.pending = restored;
+        self.commit_quorum_times
+            .retain(|&(_, seq), _| seq < self.next_commit_seq);
+        // Restart the pipeline under the new epoch: the primary of the
+        // highest active view proposes the next sequence, and every active
+        // replica watches it.
+        let view = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| n.alive && self.membership.is_active(NodeId(i as u32)))
+            .map(|(_, n)| n.view)
+            .max()
+            .unwrap_or(0);
+        let seq = self.next_commit_seq;
+        self.net.timer(
+            self.primary_of(view),
+            self.publishing_delay,
+            PbftMsg::PublishTimer { view, seq },
+        );
+        for i in 0..self.nodes.len() {
+            let dst = NodeId(i as u32);
+            if self.nodes[i].alive && self.membership.is_active(dst) {
+                self.net.timer(
+                    dst,
+                    self.commit_timeout,
+                    PbftMsg::CommitTimeout { view, seq },
+                );
+            }
         }
     }
 
@@ -503,6 +698,7 @@ impl PbftCluster {
         let cost = self.proc_per_msg + self.proc_per_command * batch.len() as u64;
         let done = self.cpu.process(me, at, cost);
         let extra = done - at;
+        let epoch = self.membership.epoch();
         {
             let node = &mut self.nodes[me.0 as usize];
             if view != node.view || seq < node.low_water {
@@ -517,6 +713,7 @@ impl PbftCluster {
                     // without adopting it.
                     self.net
                         .broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
+                            epoch,
                             view,
                             seq,
                             digest,
@@ -524,6 +721,7 @@ impl PbftCluster {
                         });
                     self.net
                         .broadcast_delayed(me, extra, 64, |_| PbftMsg::Commit {
+                            epoch,
                             view,
                             seq,
                             digest,
@@ -543,6 +741,7 @@ impl PbftCluster {
             .observe_vote(me, VotePhase::Prepare, view, seq, digest, me);
         self.net
             .broadcast_delayed(me, extra, 64, |_| PbftMsg::Prepare {
+                epoch,
                 view,
                 seq,
                 digest,
@@ -598,6 +797,7 @@ impl PbftCluster {
             }
         }
         if should_commit {
+            let epoch = self.membership.epoch();
             self.monitor
                 .observe_quorum(me, VotePhase::Prepare, view, seq, digest);
             self.monitor
@@ -605,6 +805,7 @@ impl PbftCluster {
             let done = self.cpu.process(me, now, self.proc_per_msg);
             self.net
                 .broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
+                    epoch,
                     view,
                     seq,
                     digest,
@@ -617,6 +818,7 @@ impl PbftCluster {
                     if alt != digest {
                         self.net
                             .broadcast_delayed(me, done - now, 64, |_| PbftMsg::Commit {
+                                epoch,
                                 view,
                                 seq,
                                 digest: alt,
@@ -676,7 +878,10 @@ impl PbftCluster {
         }
         self.monitor
             .observe_quorum(me, VotePhase::Commit, view, seq, digest);
-        self.monitor.observe_commit(seq, digest);
+        // Vote tallies are reset on every membership change, so the quorum
+        // behind this commit formed entirely in the current epoch.
+        self.monitor
+            .observe_epoch_commit(self.membership.epoch(), seq, digest);
         // Watch the next sequence so a primary that dies between blocks is
         // detected.
         self.net.timer(
@@ -701,6 +906,9 @@ impl PbftCluster {
                 .find_map(|n| n.slots.get(&(view, seq)).and_then(|s| s.batch.clone()))
                 .unwrap_or_default();
             self.next_commit_seq = seq + 1;
+            for c in &batch {
+                self.committed_txs.insert(c.tx.as_u64());
+            }
             self.committed.push(CommittedBatch {
                 commands: batch,
                 proposer: self.primary_of(view),
@@ -803,16 +1011,39 @@ impl PbftCluster {
     }
 
     fn adopt_view(&mut self, me: NodeId, view: u64) {
+        let next = self.next_commit_seq;
         let node = &mut self.nodes[me.0 as usize];
         node.view = view;
         node.voted_view = node.voted_view.max(view);
-        // Outstanding uncommitted slots from older views are abandoned; the
-        // new primary re-proposes pending commands.
+        // Outstanding uncommitted slots from older views are abandoned, but
+        // their commands are reclaimed into the pending queue so a proposal
+        // orphaned by the view change is re-proposed rather than stranded.
+        // Reclaim in (seq, view) order: slot iteration order is not
+        // deterministic and the pending order feeds the next proposal.
+        let mut by_slot: BTreeMap<(u64, u64), Vec<Command>> = BTreeMap::new();
+        for (&(v, seq), slot) in node.slots.iter_mut() {
+            if v < view && !slot.committed && seq >= next {
+                if let Some(batch) = slot.batch.take() {
+                    by_slot.insert((seq, v), batch);
+                }
+            }
+        }
         node.slots.retain(|&(v, _), s| v >= view || s.committed);
+        let reclaimed: Vec<Command> = by_slot.into_values().flatten().collect();
+        if !reclaimed.is_empty() {
+            let mut seen: BTreeSet<u64> = self.pending.iter().map(|c| c.tx.as_u64()).collect();
+            for c in reclaimed {
+                if !self.committed_txs.contains(&c.tx.as_u64()) && seen.insert(c.tx.as_u64()) {
+                    self.pending.push(c);
+                }
+            }
+        }
     }
 
     fn primary_of(&self, view: u64) -> NodeId {
-        NodeId((view % self.nodes.len() as u64) as u32)
+        // Rotation over the active membership; identical to `view mod n`
+        // until the first join/leave.
+        self.membership.select(view)
     }
 }
 
@@ -1042,6 +1273,81 @@ mod tests {
             }
             let batches = c.run_until(SimTime::from_secs(30));
             (format!("{:?}", c.safety_report()), batches.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn join_grows_membership_after_sync_without_violations() {
+        let mut c = PbftCluster::builder(4).standby(1).seed(21).build();
+        assert_eq!((c.active_count(), c.config_epoch()), (4, 0));
+        c.submit(tx(1));
+        let first = c.run_until(SimTime::from_secs(5));
+        assert_eq!(first.len(), 1);
+        assert!(c.join(NodeId(4)), "standby is admitted");
+        assert!(!c.join(NodeId(4)), "double join rejected");
+        assert_eq!(c.active_count(), 4, "not active until synced");
+        for s in 2..8 {
+            c.submit(tx(s));
+        }
+        let more = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(!more.is_empty(), "commits continue through the join");
+        assert_eq!((c.active_count(), c.config_epoch()), (5, 1));
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn leave_shrinks_membership_and_rotates_primary_away() {
+        let mut c = PbftCluster::builder(4).seed(22).build();
+        c.submit(tx(1));
+        assert_eq!(c.run_until(SimTime::from_secs(5)).len(), 1);
+        // The current primary departs: the epoch advances and the next
+        // blocks must come from surviving members.
+        assert!(c.leave(NodeId(0)));
+        assert_eq!((c.active_count(), c.config_epoch()), (3, 1));
+        for s in 2..6 {
+            c.submit(tx(s));
+        }
+        let batches = c.run_until(c.now() + SimDuration::from_secs(30));
+        assert!(!batches.is_empty(), "the shrunken cluster keeps committing");
+        assert!(batches.iter().all(|b| b.proposer != NodeId(0)));
+        let r = c.safety_report();
+        assert!(r.violations.is_clean(), "{:?}", r.violations);
+        assert!(!c.leave(NodeId(0)), "already departed");
+    }
+
+    #[test]
+    fn joiner_never_votes_before_sync_completes() {
+        let mut c = PbftCluster::builder(4).standby(1).seed(23).build();
+        for s in 0..4 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(SimTime::from_secs(6));
+        assert!(c.join(NodeId(4)));
+        for s in 4..10 {
+            c.submit(tx(s));
+        }
+        let _ = c.run_until(c.now() + SimDuration::from_secs(30));
+        let r = c.safety_report();
+        assert_eq!(r.violations.presync_votes, 0, "no vote before catch-up");
+        assert_eq!(r.violations.stale_epoch_commits, 0);
+        assert_eq!(c.active_count(), 5);
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let run = || {
+            let mut c = PbftCluster::builder(4).standby(1).seed(24).build();
+            for s in 0..12 {
+                c.submit(tx(s));
+            }
+            let mut got = c.run_until(SimTime::from_secs(4)).len();
+            c.join(NodeId(4));
+            got += c.run_until(SimTime::from_secs(8)).len();
+            c.leave(NodeId(1));
+            got += c.run_until(SimTime::from_secs(40)).len();
+            (got, c.config_epoch(), format!("{:?}", c.safety_report()))
         };
         assert_eq!(run(), run());
     }

@@ -11,10 +11,26 @@
 //! remaining nodes elect a new leader and keep committing as long as a
 //! majority is alive.
 
+use std::collections::BTreeSet;
+
 use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{NodeId, SimDuration, SimTime};
 
-use crate::{majority_quorum, BatchConfig, Command, CommittedBatch, CpuModel};
+use crate::{majority_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
+
+/// Base catch-up time a learner spends replicating state before its
+/// `AddVoter` entry is proposed, plus a per-committed-entry transfer cost.
+const SYNC_BASE: SimDuration = SimDuration::from_millis(250);
+const SYNC_PER_BATCH: SimDuration = SimDuration::from_millis(2);
+const RECONFIG_RETRY: SimDuration = SimDuration::from_millis(100);
+
+/// A single-server membership change carried by a log entry (Raft applies
+/// reconfiguration through the log, one server at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConfigChange {
+    AddVoter(NodeId),
+    RemoveVoter(NodeId),
+}
 
 /// Raft protocol messages plus local timers.
 #[derive(Debug, Clone)]
@@ -50,13 +66,19 @@ enum RaftMsg {
         success: bool,
         match_index: u64,
     },
+    /// A learner's catch-up finished: propose its `AddVoter` entry.
+    SyncDone { node: NodeId },
+    /// Retry queued membership changes until a leader can append them.
+    ReconfigTimer,
 }
 
-/// One replicated log entry: a batch of commands cut by the leader.
+/// One replicated log entry: a batch of commands cut by the leader, or a
+/// single-server membership change.
 #[derive(Debug, Clone)]
 struct LogEntry {
     term: u64,
     batch: Vec<Command>,
+    config: Option<ConfigChange>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +140,7 @@ impl RaftNode {
 #[derive(Debug, Clone)]
 pub struct RaftBuilder {
     nodes: u32,
+    standby: u32,
     topology: Option<Topology>,
     net: NetConfig,
     seed: u64,
@@ -132,6 +155,14 @@ impl RaftBuilder {
     /// Node placement (defaults to round-robin over `nodes` servers).
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = Some(t);
+        self
+    }
+
+    /// Pre-provisions `k` standby servers (ids `nodes..nodes + k`) that
+    /// start outside the voter set and can be admitted at runtime via
+    /// [`RaftCluster::join`]. Default 0.
+    pub fn standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 
@@ -180,12 +211,20 @@ impl RaftBuilder {
     /// Builds the cluster.
     pub fn build(self) -> RaftCluster {
         let n = self.nodes;
-        let topology = self.topology.unwrap_or_else(|| Topology::round_robin(n, n));
-        assert_eq!(topology.node_count(), n, "topology must match node count");
+        let total = n + self.standby;
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::round_robin(total, total));
+        assert_eq!(
+            topology.node_count(),
+            total,
+            "topology must cover baseline + standby nodes"
+        );
         let mut net = NetSim::new(topology, self.net, self.seed);
-        let mut nodes: Vec<RaftNode> = (0..n).map(|_| RaftNode::new(n as usize)).collect();
-        // Arm initial election timers with per-node jitter.
-        for (i, node) in nodes.iter_mut().enumerate() {
+        let mut nodes: Vec<RaftNode> = (0..total).map(|_| RaftNode::new(total as usize)).collect();
+        // Arm initial election timers with per-node jitter (voters only;
+        // standby servers stay inert until admitted).
+        for (i, node) in nodes.iter_mut().enumerate().take(n as usize) {
             node.timer_generation = 1;
             let jitter = SimDuration::from_micros(
                 self.election_timeout_min.as_micros() * (i as u64 + 1) / n as u64,
@@ -198,8 +237,11 @@ impl RaftBuilder {
         }
         RaftCluster {
             nodes,
+            membership: Membership::new(n, self.standby),
+            syncing: BTreeSet::new(),
+            pending_reconfig: Vec::new(),
             net,
-            cpu: CpuModel::new(n),
+            cpu: CpuModel::new(total),
             batch: self.batch,
             pending: Vec::new(),
             pending_since: None,
@@ -232,6 +274,12 @@ impl RaftBuilder {
 #[derive(Debug)]
 pub struct RaftCluster {
     nodes: Vec<RaftNode>,
+    /// Epoch-versioned voter set over the provisioned universe.
+    membership: Membership,
+    /// Learners replicating state ahead of their `AddVoter` entry.
+    syncing: BTreeSet<NodeId>,
+    /// Membership changes waiting for a leader to append them.
+    pending_reconfig: Vec<ConfigChange>,
     net: NetSim<RaftMsg>,
     cpu: CpuModel,
     batch: BatchConfig,
@@ -256,6 +304,7 @@ impl RaftCluster {
         assert!(nodes > 0, "a cluster needs at least one node");
         RaftBuilder {
             nodes,
+            standby: 0,
             topology: None,
             net: NetConfig::lan(),
             seed: 0,
@@ -282,8 +331,71 @@ impl RaftCluster {
         let max_term = self.nodes.iter().map(|n| n.term).max()?;
         self.nodes
             .iter()
-            .position(|n| n.alive && n.role == Role::Leader && n.term == max_term)
+            .enumerate()
+            .position(|(i, n)| {
+                n.alive
+                    && n.role == Role::Leader
+                    && n.term == max_term
+                    && self.membership.is_active(NodeId(i as u32))
+            })
             .map(|i| NodeId(i as u32))
+    }
+
+    /// Servers currently in the voter set.
+    pub fn active_count(&self) -> u32 {
+        self.membership.active_count()
+    }
+
+    /// Current membership configuration epoch (bumps when a config entry
+    /// commits).
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Starts admitting a pre-provisioned standby server: it becomes a
+    /// learner that replicates the log (catch-up takes longer the more
+    /// entries were committed), and when the transfer completes its
+    /// `AddVoter` entry is proposed through the log. The server only joins
+    /// the voter set — bumping the epoch — when that entry commits.
+    /// Returns `false` if `node` is unknown, already a voter, or already
+    /// syncing.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if node.0 >= self.membership.provisioned()
+            || self.membership.is_active(node)
+            || self.syncing.contains(&node)
+        {
+            return false;
+        }
+        self.syncing.insert(node);
+        // Reset every server's replication cursor for the learner so the
+        // leader ships it the full log from entry 1.
+        let idx = node.0 as usize;
+        for n in &mut self.nodes {
+            n.next_index[idx] = 1;
+            n.match_index[idx] = 0;
+        }
+        let sync = SYNC_BASE + SYNC_PER_BATCH * self.emitted_index;
+        self.net.timer(node, sync, RaftMsg::SyncDone { node });
+        true
+    }
+
+    /// Initiates removal of a voter through the log: a `RemoveVoter` entry
+    /// is appended by the leader and takes effect — bumping the epoch —
+    /// when it commits. Returns `false` if `node` is not a voter or is the
+    /// last one.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.membership.is_active(node) || self.membership.active_count() <= 1 {
+            return false;
+        }
+        if self
+            .pending_reconfig
+            .contains(&ConfigChange::RemoveVoter(node))
+        {
+            return false;
+        }
+        self.pending_reconfig.push(ConfigChange::RemoveVoter(node));
+        self.try_submit_reconfig();
+        true
     }
 
     /// Network counters.
@@ -336,6 +448,10 @@ impl RaftCluster {
             n.timer_generation += 1;
             gen = n.timer_generation;
         }
+        // Non-voters stay inert: no election timer until promoted.
+        if !self.membership.is_active(node) {
+            return;
+        }
         self.net.timer(
             node,
             self.election_timeout_min * 2,
@@ -360,6 +476,34 @@ impl RaftCluster {
 
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: RaftMsg) {
         if !self.nodes[me.0 as usize].alive {
+            return;
+        }
+        if !self.membership.is_active(me) {
+            // Non-voters: a learner replicates the log (so it is caught up
+            // before its `AddVoter` entry commits) but holds no vote and
+            // starts no election; other standby servers are inert.
+            match msg {
+                RaftMsg::SyncDone { node } => self.on_sync_done(node),
+                RaftMsg::ReconfigTimer => self.try_submit_reconfig(),
+                RaftMsg::AppendEntries {
+                    term,
+                    leader,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                } if self.syncing.contains(&me) => self.on_append_entries(
+                    me,
+                    at,
+                    term,
+                    leader,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                ),
+                _ => {}
+            }
             return;
         }
         match msg {
@@ -404,6 +548,76 @@ impl RaftCluster {
                 success,
                 match_index,
             } => self.on_append_resp(me, at, term, from, success, match_index),
+            RaftMsg::SyncDone { node } => self.on_sync_done(node),
+            RaftMsg::ReconfigTimer => self.try_submit_reconfig(),
+        }
+    }
+
+    /// A learner finished state transfer: queue its `AddVoter` entry. The
+    /// node stays a non-voting learner until that entry commits.
+    fn on_sync_done(&mut self, node: NodeId) {
+        if !self.syncing.contains(&node) || self.membership.is_active(node) {
+            return;
+        }
+        self.pending_reconfig.push(ConfigChange::AddVoter(node));
+        self.try_submit_reconfig();
+    }
+
+    /// Appends queued membership changes at the current leader as config
+    /// log entries; retries on a timer while no leader is available.
+    fn try_submit_reconfig(&mut self) {
+        if self.pending_reconfig.is_empty() {
+            return;
+        }
+        let Some(leader) = self.leader() else {
+            // Host the retry timer on the change's subject node, which is
+            // alive by construction.
+            let host = match self.pending_reconfig[0] {
+                ConfigChange::AddVoter(n) | ConfigChange::RemoveVoter(n) => n,
+            };
+            self.net.timer(host, RECONFIG_RETRY, RaftMsg::ReconfigTimer);
+            return;
+        };
+        for change in std::mem::take(&mut self.pending_reconfig) {
+            let node = &mut self.nodes[leader.0 as usize];
+            let term = node.term;
+            node.log.push(LogEntry {
+                term,
+                batch: Vec::new(),
+                config: Some(change),
+            });
+            let last = node.last_log_index();
+            node.match_index[leader.0 as usize] = last;
+        }
+        self.replicate(leader);
+        if self.membership.active_count() == 1 {
+            self.try_advance_commit(leader);
+        }
+    }
+
+    /// Applies a committed config entry: this is the epoch boundary.
+    fn apply_config(&mut self, change: ConfigChange) {
+        match change {
+            ConfigChange::AddVoter(node) => {
+                if self.membership.join(node) {
+                    self.syncing.remove(&node);
+                    if self.nodes[node.0 as usize].alive {
+                        self.arm_election_timer(node);
+                    }
+                }
+            }
+            ConfigChange::RemoveVoter(node) => {
+                if self.membership.leave(node) {
+                    let n = &mut self.nodes[node.0 as usize];
+                    // A removed leader steps down; a removed follower just
+                    // stops being counted. Bumping the generation cancels
+                    // any outstanding timers either way.
+                    if n.role == Role::Leader {
+                        n.role = Role::Follower;
+                    }
+                    n.timer_generation += 1;
+                }
+            }
         }
     }
 
@@ -444,7 +658,7 @@ impl RaftCluster {
             last_log_term = node.last_log_term();
         }
         self.arm_election_timer(me);
-        if self.nodes.len() == 1 {
+        if self.membership.active_count() == 1 {
             self.become_leader(me);
             return;
         }
@@ -521,7 +735,7 @@ impl RaftCluster {
                 return;
             }
             node.votes += 1;
-            should_lead = node.votes >= majority_quorum(self.nodes.len() as u32);
+            should_lead = node.votes >= majority_quorum(self.membership.active_count());
         }
         if should_lead {
             self.become_leader(me);
@@ -585,7 +799,11 @@ impl RaftCluster {
         {
             let term = self.nodes[leader.0 as usize].term;
             let node = &mut self.nodes[leader.0 as usize];
-            node.log.push(LogEntry { term, batch });
+            node.log.push(LogEntry {
+                term,
+                batch,
+                config: None,
+            });
             let last = node.last_log_index();
             node.match_index[leader.0 as usize] = last;
         }
@@ -595,8 +813,8 @@ impl RaftCluster {
                 .timer(leader, self.batch.max_wait, RaftMsg::BatchTimer);
         }
         self.replicate(leader);
-        // Single-node cluster commits instantly.
-        if self.nodes.len() == 1 {
+        // A single-voter cluster commits instantly.
+        if self.membership.active_count() == 1 {
             self.try_advance_commit(leader);
         }
     }
@@ -606,7 +824,9 @@ impl RaftCluster {
         let now = self.net.now();
         for peer in 0..n {
             let peer_id = NodeId(peer as u32);
-            if peer_id == leader {
+            if peer_id == leader
+                || (!self.membership.is_active(peer_id) && !self.syncing.contains(&peer_id))
+            {
                 continue;
             }
             let (term, prev_index, prev_term, entries, leader_commit, bytes);
@@ -743,6 +963,11 @@ impl RaftCluster {
             if success {
                 node.match_index[peer] = node.match_index[peer].max(match_index);
                 node.next_index[peer] = node.match_index[peer] + 1;
+            } else if self.syncing.contains(&from) {
+                // A learner is doing explicit state transfer: restart its
+                // replication from the beginning instead of walking back one
+                // entry per heartbeat.
+                node.next_index[peer] = 1;
             } else {
                 node.next_index[peer] = node.next_index[peer].saturating_sub(1).max(1);
             }
@@ -751,11 +976,19 @@ impl RaftCluster {
     }
 
     fn try_advance_commit(&mut self, leader: NodeId) {
-        let quorum = majority_quorum(self.nodes.len() as u32) as usize;
+        let quorum = majority_quorum(self.membership.active_count()) as usize;
         let new_commit;
         {
             let node = &self.nodes[leader.0 as usize];
-            let mut sorted = node.match_index.clone();
+            // Only voters count toward the commit quorum; learner replicas
+            // advance match_index but carry no weight.
+            let mut sorted: Vec<u64> = node
+                .match_index
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.membership.is_active(NodeId(*i as u32)))
+                .map(|(_, &m)| m)
+                .collect();
             sorted.sort_unstable_by(|a, b| b.cmp(a));
             let candidate = sorted[quorum - 1];
             if candidate > node.commit_index && node.term_at(candidate) == node.term {
@@ -765,18 +998,25 @@ impl RaftCluster {
             }
         }
         self.nodes[leader.0 as usize].commit_index = new_commit;
-        // Emit newly committed batches exactly once, in order.
+        // Emit newly committed batches exactly once, in order; committed
+        // config entries take effect here.
         let now = self.net.now();
         while self.emitted_index < new_commit {
             self.emitted_index += 1;
-            self.round += 1;
-            let entry = &self.nodes[leader.0 as usize].log[(self.emitted_index - 1) as usize];
-            self.committed.push(CommittedBatch {
-                commands: entry.batch.clone(),
-                proposer: leader,
-                round: self.round,
-                committed_at: now,
-            });
+            let entry =
+                self.nodes[leader.0 as usize].log[(self.emitted_index - 1) as usize].clone();
+            if let Some(change) = entry.config {
+                self.apply_config(change);
+            }
+            if !entry.batch.is_empty() {
+                self.round += 1;
+                self.committed.push(CommittedBatch {
+                    commands: entry.batch,
+                    proposer: leader,
+                    round: self.round,
+                    committed_at: now,
+                });
+            }
         }
     }
 }
@@ -814,6 +1054,112 @@ mod tests {
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].commands.len(), 1);
         assert_eq!(batches[0].commands[0].tx.seq(), 1);
+    }
+
+    #[test]
+    fn join_promotes_learner_through_the_log() {
+        let mut c = RaftCluster::builder(3).standby(1).seed(51).build();
+        c.run_until(SimTime::from_secs(3));
+        assert!(c.leader().is_some());
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        let before = c.run_until(SimTime::from_secs(8));
+        assert_eq!(c.active_count(), 3);
+        assert_eq!(c.config_epoch(), 0);
+        assert!(c.join(NodeId(3)));
+        // Duplicate join requests are rejected while syncing.
+        assert!(!c.join(NodeId(3)));
+        for s in 6..12 {
+            c.submit(tx(s));
+        }
+        let after = c.run_until(SimTime::from_secs(20));
+        assert_eq!(c.active_count(), 4, "AddVoter entry must have committed");
+        assert_eq!(c.config_epoch(), 1);
+        // The promoted voter holds the full log.
+        let leader = c.leader().unwrap();
+        assert_eq!(
+            c.nodes[3].last_log_index(),
+            c.nodes[leader.0 as usize].last_log_index(),
+            "joiner must be caught up"
+        );
+        let total: usize = before
+            .iter()
+            .chain(after.iter())
+            .map(|b| b.commands.len())
+            .sum();
+        assert_eq!(total, 12, "all commands commit across the join");
+    }
+
+    #[test]
+    fn leave_removes_voter_and_reelects_if_leader() {
+        let mut c = settled(4, 52);
+        let leader = c.leader().unwrap();
+        for s in 0..6 {
+            c.submit(tx(s));
+        }
+        c.run_until(SimTime::from_secs(8));
+        assert!(c.leave(leader), "removing the current leader is allowed");
+        for s in 6..12 {
+            c.submit(tx(s));
+        }
+        let got = c.run_until(SimTime::from_secs(30));
+        assert_eq!(c.active_count(), 3, "RemoveVoter entry must have committed");
+        assert_eq!(c.config_epoch(), 1);
+        let new_leader = c.leader().expect("a replacement leader must emerge");
+        assert_ne!(new_leader, leader, "departed node must not lead");
+        assert!(
+            got.iter().flat_map(|b| b.commands.iter()).count() >= 6,
+            "cluster keeps committing after the leave"
+        );
+        // The departed node can no longer be removed again.
+        assert!(!c.leave(leader));
+    }
+
+    #[test]
+    fn learner_never_counts_toward_commit_quorum() {
+        let mut c = RaftCluster::builder(3).standby(1).seed(53).build();
+        c.run_until(SimTime::from_secs(3));
+        assert!(c.join(NodeId(3)));
+        // Crash a voter so only 2 of 3 voters are alive: commits still need
+        // a majority of *voters*, which 2/3 satisfies; now crash another so
+        // quorum is unreachable even with the learner replicating.
+        c.crash(NodeId(1));
+        c.crash(NodeId(2));
+        for s in 0..4 {
+            c.submit(tx(s));
+        }
+        let got = c.run_until(SimTime::from_secs(12));
+        assert!(
+            got.is_empty(),
+            "a learner replica must not substitute for a voter in the quorum"
+        );
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let run = || {
+            let mut c = RaftCluster::builder(3).standby(1).seed(54).build();
+            c.run_until(SimTime::from_secs(3));
+            for s in 0..12 {
+                c.submit(tx(s));
+            }
+            c.run_until(SimTime::from_secs(4));
+            c.join(NodeId(3));
+            c.run_until(SimTime::from_secs(8));
+            c.leave(NodeId(1));
+            let got = c.run_until(SimTime::from_secs(40));
+            let commits: Vec<(u64, u64, u32)> = got
+                .iter()
+                .flat_map(|b| {
+                    let r = b.round;
+                    let p = b.proposer.0;
+                    b.commands.iter().map(move |c| (c.tx.seq(), r, p))
+                })
+                .collect();
+            (commits, c.active_count(), c.config_epoch())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

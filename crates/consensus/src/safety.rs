@@ -51,12 +51,22 @@ pub struct SafetyViolations {
     pub conflicting_certificates: u64,
     /// A node acted on a "quorum" backed by < 2f+1 distinct voters.
     pub undersized_quorums: u64,
+    /// A commit was certified by a quorum of a superseded configuration
+    /// epoch (membership had already changed when the certificate was
+    /// acted on).
+    pub stale_epoch_commits: u64,
+    /// A joiner voted before its catch-up/state transfer completed.
+    pub presync_votes: u64,
 }
 
 impl SafetyViolations {
     /// Total violations across all invariants.
     pub fn total(&self) -> u64 {
-        self.conflicting_commits + self.conflicting_certificates + self.undersized_quorums
+        self.conflicting_commits
+            + self.conflicting_certificates
+            + self.undersized_quorums
+            + self.stale_epoch_commits
+            + self.presync_votes
     }
 
     /// `true` when every invariant held.
@@ -97,6 +107,15 @@ pub struct SafetyReport {
 #[derive(Debug, Clone)]
 pub struct SafetyMonitor {
     quorum: u32,
+    /// The cluster's current membership-configuration epoch (0 = genesis
+    /// membership). Distinct from the view/round "epoch" in the observe
+    /// keys: this one only advances on join/leave reconfiguration.
+    config_epoch: u64,
+    /// Reconfigurations seen (number of `begin_epoch` calls).
+    reconfigurations: u64,
+    /// Joiners whose catch-up/state transfer has started but not finished.
+    /// Any vote by such a node is a `presync_votes` violation.
+    syncing: BTreeSet<NodeId>,
     /// (epoch, slot, proposer) → digests proposed.
     proposals: BTreeMap<(u64, u64, NodeId), BTreeSet<u64>>,
     /// (phase, epoch, slot, voter) → digests voted for (global view,
@@ -122,6 +141,9 @@ impl SafetyMonitor {
     pub fn new(quorum: u32) -> Self {
         SafetyMonitor {
             quorum,
+            config_epoch: 0,
+            reconfigurations: 0,
+            syncing: BTreeSet::new(),
             proposals: BTreeMap::new(),
             voter_digests: BTreeMap::new(),
             tallies: BTreeMap::new(),
@@ -137,6 +159,56 @@ impl SafetyMonitor {
     /// The quorum threshold this monitor checks against.
     pub fn quorum(&self) -> u32 {
         self.quorum
+    }
+
+    /// The current membership-configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch
+    }
+
+    /// Reconfigurations recorded so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Advances the membership-configuration epoch to `epoch` with the
+    /// recomputed `quorum` threshold of the new membership. From this point
+    /// on, quorum-size checks use the new threshold and any commit whose
+    /// certificate was formed under a superseded epoch is a
+    /// `stale_epoch_commits` violation.
+    pub fn begin_epoch(&mut self, epoch: u64, quorum: u32) {
+        self.config_epoch = epoch;
+        self.quorum = quorum;
+        self.reconfigurations += 1;
+    }
+
+    /// Records that joiner `node` started its catch-up/state transfer. Any
+    /// vote it casts before [`SafetyMonitor::observe_sync_complete`] is a
+    /// `presync_votes` violation.
+    pub fn observe_sync_start(&mut self, node: NodeId) {
+        self.syncing.insert(node);
+    }
+
+    /// Records that joiner `node` finished catch-up and may vote and lead.
+    pub fn observe_sync_complete(&mut self, node: NodeId) {
+        self.syncing.remove(&node);
+    }
+
+    /// `true` while `node` is a joiner mid-catch-up.
+    pub fn is_syncing(&self, node: NodeId) -> bool {
+        self.syncing.contains(&node)
+    }
+
+    /// Records that some node committed `digest` at `slot` on the strength
+    /// of a certificate formed in membership epoch `cert_epoch`. Besides
+    /// the agreement check of [`SafetyMonitor::observe_commit`], a
+    /// certificate from a superseded epoch is a `stale_epoch_commits`
+    /// violation: the quorum that signed it no longer is one.
+    pub fn observe_epoch_commit(&mut self, cert_epoch: u64, slot: u64, digest: u64) {
+        if cert_epoch != self.config_epoch {
+            self.violations.stale_epoch_commits += 1;
+        }
+        self.observe_commit(slot, digest);
     }
 
     /// Records that `proposer` proposed `digest` for `(epoch, slot)`. A
@@ -164,6 +236,9 @@ impl SafetyMonitor {
         digest: u64,
         voter: NodeId,
     ) {
+        if self.syncing.contains(&voter) {
+            self.violations.presync_votes += 1;
+        }
         let digests = self
             .voter_digests
             .entry((phase, epoch, slot, voter))
@@ -347,6 +422,45 @@ mod tests {
         assert_eq!(r.violations.conflicting_certificates, 1);
         assert_eq!(r.violations.conflicting_commits, 1);
         assert_eq!(r.violations.total(), 2);
+    }
+
+    #[test]
+    fn presync_votes_are_violations_until_sync_completes() {
+        let mut m = SafetyMonitor::new(Q);
+        m.observe_sync_start(NodeId(4));
+        assert!(m.is_syncing(NodeId(4)));
+        m.observe_vote(NodeId(1), VotePhase::Prepare, 0, 1, 0xAA, NodeId(4));
+        assert_eq!(m.report().violations.presync_votes, 1);
+        m.observe_sync_complete(NodeId(4));
+        assert!(!m.is_syncing(NodeId(4)));
+        m.observe_vote(NodeId(1), VotePhase::Prepare, 0, 2, 0xBB, NodeId(4));
+        assert_eq!(m.report().violations.presync_votes, 1, "synced: clean");
+    }
+
+    #[test]
+    fn stale_epoch_commits_are_violations() {
+        let mut m = SafetyMonitor::new(Q);
+        m.observe_epoch_commit(0, 1, 0xAA);
+        assert!(m.report().violations.is_clean());
+        m.begin_epoch(1, 3);
+        assert_eq!(m.config_epoch(), 1);
+        assert_eq!(m.reconfigurations(), 1);
+        // A certificate formed under epoch 0 must not commit in epoch 1.
+        m.observe_epoch_commit(0, 2, 0xBB);
+        assert_eq!(m.report().violations.stale_epoch_commits, 1);
+        m.observe_epoch_commit(1, 3, 0xCC);
+        assert_eq!(m.report().violations.stale_epoch_commits, 1);
+    }
+
+    #[test]
+    fn begin_epoch_updates_quorum_threshold() {
+        let mut m = SafetyMonitor::new(Q);
+        // Membership grows 4 → 5: quorum stays 2f+1 = 3; shrink to 3 → 1.
+        m.begin_epoch(1, 1);
+        assert_eq!(m.quorum(), 1);
+        m.observe_vote(NodeId(1), VotePhase::Commit, 0, 9, 0xAA, NodeId(0));
+        m.observe_quorum(NodeId(1), VotePhase::Commit, 0, 9, 0xAA);
+        assert_eq!(m.report().violations.undersized_quorums, 0);
     }
 
     #[test]

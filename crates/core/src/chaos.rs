@@ -574,6 +574,9 @@ fn take_retry_token(
 /// [`BlockchainSystem::inject_byzantine`] with the event's window converted
 /// to an absolute expiry (CFT systems decline the injection and the run's
 /// [`ChaosRun::safety`] stays `None`);
+/// `JoinNode`/`LeaveNode` route to [`BlockchainSystem::join_node`] /
+/// [`BlockchainSystem::leave_node`] (membership churn — the join starts the
+/// catch-up path, the engine admits the voter only after sync completes);
 /// network faults route to [`BlockchainSystem::apply_net_fault`]. A
 /// [`FaultEvent::LossBurst`] additionally applies to the *client ingress*:
 /// while the burst is active each submission is dropped with probability
@@ -729,6 +732,12 @@ pub fn run_chaos_with_schedule(
                     }
                     FaultEvent::DoubleVote { node, window } => {
                         system.inject_byzantine(node, ByzantineBehaviour::DoubleVote, fat + window);
+                    }
+                    FaultEvent::JoinNode(node) => {
+                        system.join_node(fat, node);
+                    }
+                    FaultEvent::LeaveNode(node) => {
+                        system.leave_node(fat, node);
                     }
                     ref net_fault => {
                         if let FaultEvent::LossBurst { p, window } = *net_fault {

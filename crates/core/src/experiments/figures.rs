@@ -130,6 +130,7 @@ fn best_cells(cfg: &ExperimentConfig, net: NetConfig, nodes: Option<u32>) -> Fig
             net: net.clone(),
             block_param: item.param,
             admission: None,
+            standby: 0,
         };
         let template = BenchmarkSpec::new(item.system, PayloadKind::DoNothing)
             .setup(setup)
@@ -239,6 +240,7 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
             net: net.clone(),
             block_param: item.param,
             admission: None,
+            standby: 0,
         };
         let template = BenchmarkSpec::new(item.system, item.unit.benchmarks()[0])
             .setup(setup)
@@ -376,6 +378,7 @@ pub fn fig5(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig5Resul
             net: NetConfig::emulated_latency(),
             block_param: item.param,
             admission: None,
+            standby: 0,
         };
         let spec = BenchmarkSpec::new(item.system, PayloadKind::DoNothing)
             .setup(setup)

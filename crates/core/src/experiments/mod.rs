@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod churn;
 pub mod figures;
 pub mod overload;
 pub mod tables;
@@ -23,6 +24,7 @@ pub use chaos::{
     byzantine_domain, chaos, chaos_sweep, fault_domain, ByzantineDomain, ChaosCell, ChaosResult,
     DegradationCurve, FaultCampaign, FaultDomain, FaultKind, SweepCell, SweepResult,
 };
+pub use churn::{churn, churn_for, ChurnArm, ChurnCampaign, ChurnCell, ChurnResult};
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
 pub use overload::{
     overload, overload_curves_for, overload_probes_for, tight_limits, MetastableProbe,

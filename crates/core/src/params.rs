@@ -154,6 +154,10 @@ pub struct SystemSetup {
     /// saturation manifests as `Busy` backpressure rather than unbounded
     /// queueing).
     pub admission: Option<PoolLimits>,
+    /// Pre-provisioned standby nodes per system (membership-churn
+    /// experiments admit them at runtime via
+    /// [`BlockchainSystem::join_node`]).
+    pub standby: u32,
 }
 
 impl Default for SystemSetup {
@@ -163,6 +167,7 @@ impl Default for SystemSetup {
             net: NetConfig::lan(),
             block_param: BlockParam::None,
             admission: None,
+            standby: 0,
         }
     }
 }
@@ -191,6 +196,12 @@ impl SystemSetup {
     /// Overrides every system's bounded-pool parameters.
     pub fn with_admission(mut self, limits: PoolLimits) -> Self {
         self.admission = Some(limits);
+        self
+    }
+
+    /// Pre-provisions standby nodes for membership-churn experiments.
+    pub fn with_standby(mut self, k: u32) -> Self {
+        self.standby = k;
         self
     }
 }
@@ -227,6 +238,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Corda::new(cfg, seed))
         }
         SystemKind::Bitshares => {
@@ -243,6 +255,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Bitshares::new(cfg, seed))
         }
         SystemKind::Fabric => {
@@ -259,6 +272,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Fabric::new(cfg, seed))
         }
         SystemKind::Quorum => {
@@ -275,6 +289,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Quorum::new(cfg, seed))
         }
         SystemKind::Sawtooth => {
@@ -291,6 +306,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Sawtooth::new(cfg, seed))
         }
         SystemKind::Diem => {
@@ -307,6 +323,7 @@ pub fn build_system(
             if let Some(limits) = setup.admission {
                 cfg.pool = limits;
             }
+            cfg.standby = setup.standby;
             Box::new(Diem::new(cfg, seed))
         }
     }

@@ -96,6 +96,16 @@ pub enum FaultEvent {
         /// How long the behaviour lasts from its scheduled start.
         window: SimDuration,
     },
+    /// Membership churn: admit a pre-provisioned standby node into the
+    /// active validator/witness/notary set. The consensus engine starts the
+    /// joiner's catch-up (state transfer); only once the sync completes does
+    /// the epoch advance and the joiner vote, lead, or notarise.
+    JoinNode(NodeId),
+    /// Membership churn: remove a node from the active set. Unlike
+    /// [`FaultEvent::CrashNode`], the departure is protocol-visible — the
+    /// engine advances its configuration epoch and recomputes `n`, `f`, and
+    /// quorum sizes over the shrunken membership.
+    LeaveNode(NodeId),
 }
 
 impl FaultEvent {
@@ -108,6 +118,8 @@ impl FaultEvent {
                 | FaultEvent::RestartNode(_)
                 | FaultEvent::EquivocateProposer { .. }
                 | FaultEvent::DoubleVote { .. }
+                | FaultEvent::JoinNode(_)
+                | FaultEvent::LeaveNode(_)
         )
     }
 }
@@ -207,6 +219,18 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// A single membership join at `at` (builder style): the standby node
+    /// `node` starts catch-up and becomes active once synced.
+    pub fn join_at(self, node: NodeId, at: SimTime) -> Self {
+        self.at(at, FaultEvent::JoinNode(node))
+    }
+
+    /// A single membership leave at `at` (builder style): `node` departs
+    /// the active set and the configuration epoch advances.
+    pub fn leave_at(self, node: NodeId, at: SimTime) -> Self {
+        self.at(at, FaultEvent::LeaveNode(node))
+    }
+
     /// The scheduled events in insertion order.
     pub fn events(&self) -> &[(SimTime, FaultEvent)] {
         &self.events
@@ -300,7 +324,9 @@ impl<M> NetSim<M> {
             FaultEvent::CrashNode(_)
             | FaultEvent::RestartNode(_)
             | FaultEvent::EquivocateProposer { .. }
-            | FaultEvent::DoubleVote { .. } => false,
+            | FaultEvent::DoubleVote { .. }
+            | FaultEvent::JoinNode(_)
+            | FaultEvent::LeaveNode(_) => false,
         }
     }
 }
@@ -408,6 +434,34 @@ mod tests {
         };
         assert!(!dv.is_network_fault());
         assert!(!net.apply_fault(SimTime::ZERO, &dv));
+        // Membership churn is node-level too: the chain model routes it to
+        // its consensus engine, never the network layer.
+        for ev in [
+            FaultEvent::JoinNode(NodeId(4)),
+            FaultEvent::LeaveNode(NodeId(3)),
+        ] {
+            assert!(!ev.is_network_fault());
+            assert!(!net.apply_fault(SimTime::ZERO, &ev));
+        }
+    }
+
+    #[test]
+    fn churn_builders_schedule_in_order() {
+        let plan = FaultPlan::new()
+            .join_at(NodeId(4), SimTime::from_secs(5))
+            .leave_at(NodeId(0), SimTime::from_secs(9));
+        assert_eq!(plan.len(), 2);
+        let mut s = FaultScheduler::new(plan);
+        let (at, ev) = s.pop_due(SimTime::from_secs(20)).unwrap();
+        assert_eq!(
+            (at, ev),
+            (SimTime::from_secs(5), FaultEvent::JoinNode(NodeId(4)))
+        );
+        let (at, ev) = s.pop_due(SimTime::from_secs(20)).unwrap();
+        assert_eq!(
+            (at, ev),
+            (SimTime::from_secs(9), FaultEvent::LeaveNode(NodeId(0)))
+        );
     }
 
     #[test]
