@@ -112,6 +112,14 @@ pub fn sweep_cell_seed(
     SeedDeriver::new(root).seed_parts(&["chaos-sweep", fault, system.label(), severity.as_str()])
 }
 
+/// The content-addressed seed of one named-scenario cell: a pure function
+/// of `(root, scenario name, system)`. Running one scenario via
+/// `repro scenario --name …` or filtering `--systems` reproduces exactly
+/// the cells of the full library run.
+pub fn scenario_cell_seed(root: u64, name: &str, system: crate::params::SystemKind) -> u64 {
+    SeedDeriver::new(root).seed_parts(&["scenario", name, system.label()])
+}
+
 fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &BenchmarkSpec) -> u64 {
     let unit = unit.map_or(String::new(), |u| format!("{u:?}"));
     let nodes = spec
@@ -220,6 +228,18 @@ mod tests {
         assert_ne!(a, sweep_cell_seed(7, "crash", SystemKind::Quorum, 2));
         assert_ne!(a, sweep_cell_seed(7, "crash", SystemKind::Fabric, 1));
         assert_ne!(a, sweep_cell_seed(8, "crash", SystemKind::Fabric, 2));
+    }
+
+    #[test]
+    fn scenario_cell_seed_is_content_addressed() {
+        let a = scenario_cell_seed(7, "crash-heal", SystemKind::Fabric);
+        assert_eq!(a, scenario_cell_seed(7, "crash-heal", SystemKind::Fabric));
+        assert_ne!(
+            a,
+            scenario_cell_seed(7, "beyond-f-halt", SystemKind::Fabric)
+        );
+        assert_ne!(a, scenario_cell_seed(7, "crash-heal", SystemKind::Quorum));
+        assert_ne!(a, scenario_cell_seed(8, "crash-heal", SystemKind::Fabric));
     }
 
     #[test]

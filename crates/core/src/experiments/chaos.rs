@@ -24,13 +24,12 @@
 //! [`ExperimentConfig`] renders byte-identical reports.
 
 use super::ExperimentConfig;
-use crate::chaos::{run_chaos, ChaosRun, RetryPolicy};
+use crate::chaos::{ChaosRun, RetryPolicy};
 use crate::client::Windows;
 use crate::json::Json;
-use crate::params::{build_system, SystemKind, SystemSetup};
+use crate::params::SystemKind;
 use crate::report::{self, Report};
-use crate::runner::BenchmarkSpec;
-use coconut_simnet::{FaultEvent, FaultPlan};
+use crate::scenario::ScenarioBuilder;
 use coconut_types::{NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime};
 
 /// The crashable consensus role of one system's baseline deployment: which
@@ -338,13 +337,13 @@ pub struct ChaosResult {
 
 /// Virtual-time anchors of the campaign, derived from the config's scale.
 #[derive(Debug, Clone, Copy)]
-struct Timeline {
+struct Anchors {
     windows: Windows,
     crash_at: SimTime,
     heal_at: SimTime,
 }
 
-fn timeline(cfg: &ExperimentConfig) -> Timeline {
+fn anchors(cfg: &ExperimentConfig) -> Anchors {
     // At least 20 virtual seconds of sending so every phase (pre / fault /
     // post) spans several 1 s buckets, plus a 10 s listen margin so the
     // send-window tail and time-outed retries can still confirm.
@@ -353,14 +352,16 @@ fn timeline(cfg: &ExperimentConfig) -> Timeline {
         send: SimDuration::from_secs(send_secs),
         listen: SimDuration::from_secs(send_secs + 10),
     };
-    Timeline {
+    Anchors {
         windows,
         crash_at: SimTime::from_secs(send_secs / 4),
         heal_at: SimTime::from_secs(send_secs / 2),
     }
 }
 
-fn spec(kind: SystemKind, windows: Windows) -> BenchmarkSpec {
+/// The campaign's base scenario for one system: workload, rate, and
+/// windows, before any fault timeline is attached.
+fn scenario(kind: SystemKind, anchors: Anchors) -> ScenarioBuilder {
     // A write workload for Corda (DoNothing has no states and is answered
     // locally, so it would bypass the notary under test); DoNothing for
     // the block-based systems.
@@ -379,10 +380,7 @@ fn spec(kind: SystemKind, windows: Windows) -> BenchmarkSpec {
         SystemKind::CordaOs | SystemKind::CordaEnterprise => 4.0,
         _ => 50.0,
     };
-    BenchmarkSpec::new(kind, payload)
-        .rate(rate)
-        .windows(windows)
-        .repetitions(1)
+    ScenarioBuilder::new(payload, rate, anchors.windows)
 }
 
 /// The measured metrics of one cell, classic or sweep.
@@ -395,21 +393,18 @@ struct Measured {
     run: ChaosRun,
 }
 
-/// Runs one cell: builds a fresh deployment of `kind`, replays `plan`
-/// against it with `policy`, and windows the run into pre/fault/post MTPS
-/// plus the recovery time (computed only for `healed` cells — halt arms
-/// are not heal-and-recover experiments).
+/// Runs one cell's compiled scenario timeline against a fresh deployment
+/// of `kind` and windows the run into pre/fault/post MTPS plus the
+/// recovery time (computed only for `healed` cells — halt arms are not
+/// heal-and-recover experiments).
 fn measure(
     kind: SystemKind,
-    tl: Timeline,
-    plan: &FaultPlan,
-    policy: &RetryPolicy,
+    tl: Anchors,
+    timeline: &crate::scenario::Timeline,
     healed: bool,
     seed: u64,
 ) -> Measured {
-    let spec = spec(kind, tl.windows);
-    let mut sys = build_system(kind, &SystemSetup::default(), seed);
-    let run = run_chaos(sys.as_mut(), &spec, plan, policy, seed);
+    let run = timeline.run(kind, seed).run;
     let listen_end = SimTime::ZERO + tl.windows.listen;
     let pre_mtps = run.window_mtps(SimTime::ZERO, tl.crash_at);
     let fault_mtps = run.window_mtps(tl.crash_at, tl.heal_at);
@@ -420,7 +415,7 @@ fn measure(
         None
     };
     Measured {
-        rate: spec.rate,
+        rate: timeline.rate(),
         pre_mtps,
         fault_mtps,
         post_mtps,
@@ -429,42 +424,45 @@ fn measure(
     }
 }
 
-/// The fault description and plan of one sweep cell. All kinds share the
-/// `[crash_at, heal_at)` fault window so the during-fault measurement
-/// window lines up across axes; severity 0 always maps to an empty plan
-/// (the curve's fault-free baseline).
-fn sweep_plan(
+/// The fault description and scenario of one sweep cell. All kinds share
+/// the `[crash_at, heal_at)` fault window so the during-fault measurement
+/// window lines up across axes; severity 0 always maps to an event-free
+/// timeline (the curve's fault-free baseline).
+fn sweep_scenario(
     system: SystemKind,
     kind: FaultKind,
     severity: u32,
-    tl: Timeline,
-) -> (String, FaultPlan) {
+    tl: Anchors,
+) -> (String, crate::scenario::Timeline) {
+    let base = scenario(system, tl);
     match kind {
         FaultKind::Crash => {
             let d = fault_domain(system);
             let nodes: Vec<NodeId> = (0..severity).map(NodeId).collect();
             (
                 d.describe(severity),
-                FaultPlan::new().crash_window(&nodes, tl.crash_at, tl.heal_at),
+                base.at(tl.crash_at).crash_until(&nodes, tl.heal_at).build(),
             )
         }
         FaultKind::Loss => {
-            let plan = if severity == 0 {
-                FaultPlan::new()
+            let timeline = if severity == 0 {
+                base.build()
             } else {
-                FaultPlan::new().loss_window(f64::from(severity) / 100.0, tl.crash_at, tl.heal_at)
+                base.at(tl.crash_at)
+                    .loss(f64::from(severity) / 100.0, tl.heal_at)
+                    .build()
             };
-            (format!("{severity}% loss"), plan)
+            (format!("{severity}% loss"), timeline)
         }
         FaultKind::Byzantine => {
             let d = byzantine_domain(system).expect("severities() admits Byzantine only for BFT");
             let nodes: Vec<NodeId> = (0..severity).map(NodeId).collect();
-            let plan = if severity == 0 {
-                FaultPlan::new()
+            let timeline = if severity == 0 {
+                base.build()
             } else {
-                FaultPlan::new().byzantine_window(&nodes, tl.crash_at, tl.heal_at)
+                base.at(tl.crash_at).byzantine(&nodes, tl.heal_at).build()
             };
-            (d.describe(severity), plan)
+            (d.describe(severity), timeline)
         }
     }
 }
@@ -476,35 +474,34 @@ fn sweep_plan(
 /// axes; each cell's seed comes from [`crate::exec::sweep_cell_seed`], so
 /// any filtering or worker count reproduces the same cell bytes.
 pub fn chaos_sweep(cfg: &ExperimentConfig, campaign: &FaultCampaign) -> SweepResult {
-    let tl = timeline(cfg);
+    let tl = anchors(cfg);
 
     struct SpecCell {
         system: SystemKind,
         kind: FaultKind,
         severity: u32,
         faults: String,
-        plan: FaultPlan,
+        timeline: crate::scenario::Timeline,
         seed: u64,
     }
     let specs: Vec<SpecCell> = campaign
         .cells()
         .into_iter()
         .map(|(system, kind, severity)| {
-            let (faults, plan) = sweep_plan(system, kind, severity, tl);
+            let (faults, timeline) = sweep_scenario(system, kind, severity, tl);
             SpecCell {
                 system,
                 kind,
                 severity,
                 faults,
-                plan,
+                timeline,
                 seed: crate::exec::sweep_cell_seed(cfg.seed, kind.label(), system, severity),
             }
         })
         .collect();
 
     let cells = crate::exec::run_grid(&specs, cfg.jobs, |_, s| {
-        let policy = RetryPolicy::chaos_default();
-        let m = measure(s.system, tl, &s.plan, &policy, true, s.seed);
+        let m = measure(s.system, tl, &s.timeline, true, s.seed);
         SweepCell {
             system: s.system,
             kind: s.kind,
@@ -548,15 +545,14 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, campaign: &FaultCampaign) -> SweepRes
 /// from its arm and system — never from loop order — so any worker count
 /// produces byte-identical reports.
 pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
-    let tl = timeline(cfg);
+    let tl = anchors(cfg);
     let seeds = SeedDeriver::new(cfg.seed);
 
     struct Arm {
         kind: SystemKind,
         arm: &'static str,
         faults: String,
-        plan: FaultPlan,
-        policy: RetryPolicy,
+        timeline: crate::scenario::Timeline,
         healed: bool,
         seed: u64,
     }
@@ -568,26 +564,28 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
             kind,
             arm: "crash-f",
             faults: d.describe(d.f_tolerant),
-            plan: FaultPlan::new().crash_window(&nodes, tl.crash_at, tl.heal_at),
-            policy: RetryPolicy::chaos_default(),
+            timeline: scenario(kind, tl)
+                .at(tl.crash_at)
+                .crash_until(&nodes, tl.heal_at)
+                .build(),
             healed: true,
             seed: seeds.seed_parts(&["chaos-tolerant", kind.label()]),
         });
     }
     for kind in SystemKind::ALL {
         let d = fault_domain(kind);
-        let mut plan = FaultPlan::new();
-        for n in (0..d.beyond_f).map(NodeId) {
-            plan = plan.at(tl.crash_at, FaultEvent::CrashNode(n));
-        }
+        let nodes: Vec<NodeId> = (0..d.beyond_f).map(NodeId).collect();
         arms.push(Arm {
             kind,
             arm: "crash-beyond-f",
             faults: d.describe(d.beyond_f),
-            plan,
             // No retries: a retry storm against a halted system only
             // reclassifies losses; the halt must show in raw commits.
-            policy: RetryPolicy::disabled(),
+            timeline: scenario(kind, tl)
+                .policy(RetryPolicy::disabled())
+                .at(tl.crash_at)
+                .crash(&nodes)
+                .build(),
             healed: false,
             seed: seeds.seed_parts(&["chaos-halt", kind.label()]),
         });
@@ -598,8 +596,10 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
             kind,
             arm: "loss-burst",
             faults: "5% loss".to_string(),
-            plan: FaultPlan::new().at(tl.crash_at, FaultEvent::LossBurst { p: 0.05, window }),
-            policy: RetryPolicy::chaos_default(),
+            timeline: scenario(kind, tl)
+                .at(tl.crash_at)
+                .loss_burst(0.05, window)
+                .build(),
             healed: true,
             seed: seeds.seed_parts(&["chaos-burst", kind.label()]),
         });
@@ -614,8 +614,10 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
                 kind,
                 arm,
                 faults: d.describe(count),
-                plan: FaultPlan::new().byzantine_window(&nodes, tl.crash_at, tl.heal_at),
-                policy: RetryPolicy::chaos_default(),
+                timeline: scenario(kind, tl)
+                    .at(tl.crash_at)
+                    .byzantine(&nodes, tl.heal_at)
+                    .build(),
                 healed: false,
                 seed: seeds.seed_parts(&["chaos-byz", arm, kind.label()]),
             });
@@ -623,7 +625,7 @@ pub fn chaos(cfg: &ExperimentConfig) -> ChaosResult {
     }
 
     let mut cells = crate::exec::run_grid(&arms, cfg.jobs, |_, a| {
-        let m = measure(a.kind, tl, &a.plan, &a.policy, a.healed, a.seed);
+        let m = measure(a.kind, tl, &a.timeline, a.healed, a.seed);
         ChaosCell {
             system: a.kind,
             arm: a.arm,
@@ -1215,7 +1217,7 @@ mod tests {
     }
 
     fn quick_crash_secs() -> u64 {
-        let tl = timeline(&quick());
+        let tl = anchors(&quick());
         tl.crash_at.as_secs_f64() as u64
     }
 

@@ -27,13 +27,12 @@
 use super::chaos::fault_domain;
 use super::overload::tight_limits;
 use super::ExperimentConfig;
-use crate::chaos::{run_chaos, ChaosRun, RetryPolicy};
+use crate::chaos::ChaosRun;
 use crate::client::Windows;
 use crate::json::Json;
-use crate::params::{build_system, SystemKind, SystemSetup};
+use crate::params::{SystemKind, SystemSetup};
 use crate::report::Report;
-use crate::runner::BenchmarkSpec;
-use coconut_simnet::FaultPlan;
+use crate::scenario::ScenarioBuilder;
 use coconut_types::{NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime};
 
 /// The offered-load multiplier of the join-under-overload arm, relative
@@ -225,7 +224,7 @@ impl ChurnResult {
 
 /// Virtual-time anchors of the campaign, derived from the config's scale.
 #[derive(Debug, Clone, Copy)]
-struct Timeline {
+struct Anchors {
     windows: Windows,
     /// The first membership event (join, or the leave of the leave arm).
     first_at: SimTime,
@@ -234,12 +233,12 @@ struct Timeline {
     second_at: SimTime,
 }
 
-fn timeline(cfg: &ExperimentConfig) -> Timeline {
+fn anchors(cfg: &ExperimentConfig) -> Anchors {
     // Same anchors as the chaos campaign: at least 20 virtual seconds of
     // sending so pre / churn / post each span several 1 s buckets, plus a
     // 10 s listen margin for the send-window tail and time-outed retries.
     let send_secs = ((300.0 * cfg.scale).round() as u64).max(20);
-    Timeline {
+    Anchors {
         windows: Windows {
             send: SimDuration::from_secs(send_secs),
             listen: SimDuration::from_secs(send_secs + 10),
@@ -269,29 +268,44 @@ fn payload(kind: SystemKind) -> PayloadKind {
     }
 }
 
-/// The membership events and description of one cell. The joiner is the
-/// first provisioned standby (`NodeId(total)`); the leaver is the
+/// The scenario and description of one cell. The joiner is the first
+/// provisioned standby (`NodeId(total)`); the leaver is the
 /// highest-numbered original member (`NodeId(total − 1)`) — never node 0,
 /// so the initial leader/primary keeps the chain moving while the
 /// membership changes around it.
-fn churn_plan(system: SystemKind, arm: ChurnArm, tl: Timeline) -> (String, FaultPlan) {
+fn churn_scenario(
+    system: SystemKind,
+    arm: ChurnArm,
+    tl: Anchors,
+) -> (String, crate::scenario::Timeline) {
     let d = fault_domain(system);
     let joiner = NodeId(d.total);
     let leaver = NodeId(d.total - 1);
+    let rate = match arm {
+        ChurnArm::JoinUnderLoad => steady_rate(system) * OVERLOAD_MULTIPLIER,
+        _ => steady_rate(system),
+    };
+    let mut setup = SystemSetup::default().with_standby(arm.standby());
+    if arm == ChurnArm::JoinUnderLoad {
+        setup = setup.with_admission(tight_limits(system));
+    }
+    let base = ScenarioBuilder::new(payload(system), rate, tl.windows).setup(setup);
     match arm {
         ChurnArm::SingleJoin => (
             format!("join {}→{} {}", d.total, d.total + 1, d.role_label),
-            FaultPlan::new().join_at(joiner, tl.first_at),
+            base.at(tl.first_at).join(joiner).build(),
         ),
         ChurnArm::SingleLeave => (
             format!("leave {}→{} {}", d.total, d.total - 1, d.role_label),
-            FaultPlan::new().leave_at(leaver, tl.first_at),
+            base.at(tl.first_at).leave(leaver).build(),
         ),
         ChurnArm::RollingReplace => (
             format!("replace 1/{} {}", d.total, d.role_label),
-            FaultPlan::new()
-                .join_at(joiner, tl.first_at)
-                .leave_at(leaver, tl.second_at),
+            base.at(tl.first_at)
+                .join(joiner)
+                .at(tl.second_at)
+                .leave(leaver)
+                .build(),
         ),
         ChurnArm::JoinUnderLoad => (
             format!(
@@ -301,7 +315,7 @@ fn churn_plan(system: SystemKind, arm: ChurnArm, tl: Timeline) -> (String, Fault
                 d.role_label,
                 OVERLOAD_MULTIPLIER as u64
             ),
-            FaultPlan::new().join_at(joiner, tl.first_at),
+            base.at(tl.first_at).join(joiner).build(),
         ),
     }
 }
@@ -315,53 +329,34 @@ pub fn churn(cfg: &ExperimentConfig) -> ChurnResult {
 /// cell's seed is content-addressed by `("churn", system, arm)`, so any
 /// worker count or campaign subset reproduces the same cell bytes.
 pub fn churn_for(cfg: &ExperimentConfig, campaign: &ChurnCampaign) -> ChurnResult {
-    let tl = timeline(cfg);
+    let tl = anchors(cfg);
     let seeds = SeedDeriver::new(cfg.seed);
 
     struct SpecCell {
         system: SystemKind,
         arm: ChurnArm,
         churn: String,
-        plan: FaultPlan,
+        timeline: crate::scenario::Timeline,
         seed: u64,
     }
     let specs: Vec<SpecCell> = campaign
         .cells()
         .into_iter()
         .map(|(system, arm)| {
-            let (churn, plan) = churn_plan(system, arm, tl);
+            let (churn, timeline) = churn_scenario(system, arm, tl);
             SpecCell {
                 system,
                 arm,
                 churn,
-                plan,
+                timeline,
                 seed: seeds.seed_parts(&["churn", system.label(), arm.label()]),
             }
         })
         .collect();
 
     let cells = crate::exec::run_grid(&specs, cfg.jobs, |_, s| {
-        let rate = match s.arm {
-            ChurnArm::JoinUnderLoad => steady_rate(s.system) * OVERLOAD_MULTIPLIER,
-            _ => steady_rate(s.system),
-        };
-        let spec = BenchmarkSpec::new(s.system, payload(s.system))
-            .rate(rate)
-            .windows(tl.windows)
-            .repetitions(1);
-        let mut setup = SystemSetup::default().with_standby(s.arm.standby());
-        if s.arm == ChurnArm::JoinUnderLoad {
-            setup = setup.with_admission(tight_limits(s.system));
-        }
-        let mut sys = build_system(s.system, &setup, s.seed);
-        let run = run_chaos(
-            sys.as_mut(),
-            &spec,
-            &s.plan,
-            &RetryPolicy::chaos_default(),
-            s.seed,
-        );
-        let stats = sys.stats();
+        let sr = s.timeline.run(s.system, s.seed);
+        let run = sr.run;
         let listen_end = SimTime::ZERO + tl.windows.listen;
         let last_event = match s.arm {
             ChurnArm::RollingReplace => tl.second_at,
@@ -375,7 +370,7 @@ pub fn churn_for(cfg: &ExperimentConfig, campaign: &ChurnCampaign) -> ChurnResul
             system: s.system,
             arm: s.arm,
             churn: s.churn.clone(),
-            rate,
+            rate: s.timeline.rate(),
             pre_mtps,
             churn_mtps,
             post_mtps,
@@ -387,9 +382,9 @@ pub fn churn_for(cfg: &ExperimentConfig, campaign: &ChurnCampaign) -> ChurnResul
             mfls: run.mfls,
             p95: run.p95,
             restabilize_secs,
-            epochs: sys.config_epoch(),
-            joins: stats.joins,
-            leaves: stats.leaves,
+            epochs: sr.epochs,
+            joins: sr.stats.joins,
+            leaves: sr.stats.leaves,
             safety_ok: run.safety.as_ref().is_none_or(|r| r.violations.is_clean()),
             run,
         }
@@ -559,12 +554,12 @@ mod tests {
 
     #[test]
     fn churn_plan_schedules_the_described_events() {
-        let tl = timeline(&quick());
+        let tl = anchors(&quick());
         // The rolling arm joins before it leaves, with the sync window
         // (≈ 250 ms) fitting comfortably between the two events.
-        let (desc, plan) = churn_plan(SystemKind::Quorum, ChurnArm::RollingReplace, tl);
+        let (desc, timeline) = churn_scenario(SystemKind::Quorum, ChurnArm::RollingReplace, tl);
         assert!(desc.contains("replace"));
-        assert_eq!(plan.events().len(), 2);
+        assert_eq!(timeline.plan().events().len(), 2);
         assert!(tl.second_at - tl.first_at >= SimDuration::from_secs(1));
         // The single-leave arm needs no standby; every join arm needs one.
         assert_eq!(ChurnArm::SingleLeave.standby(), 0);

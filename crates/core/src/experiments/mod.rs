@@ -13,6 +13,7 @@ pub mod chaos;
 pub mod churn;
 pub mod figures;
 pub mod overload;
+pub mod scenarios;
 pub mod tables;
 
 pub use ablations::{
@@ -29,6 +30,10 @@ pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
 pub use overload::{
     overload, overload_curves_for, overload_probes_for, tight_limits, MetastableProbe,
     OverloadCell, OverloadCurve, OverloadResult, ProbeArm,
+};
+pub use scenarios::{
+    render_scenario_list, scenario_library, scenario_names, scenarios, scenarios_for,
+    NamedScenario, ScenarioCampaign, ScenarioCell, ScenarioResult,
 };
 pub use tables::{
     table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, TableResult,

@@ -27,17 +27,14 @@
 //! difference is purely the protection under test.
 
 use super::ExperimentConfig;
-use crate::chaos::{
-    run_chaos_protected, run_chaos_with_schedule, ChaosRun, ClientProtection, RetryPolicy,
-};
-use crate::client::{build_schedule, ScheduledTx, Windows};
+use crate::chaos::{ChaosRun, ClientProtection};
+use crate::client::Windows;
 use crate::json::Json;
-use crate::params::{build_system, SystemKind, SystemSetup};
+use crate::params::{SystemKind, SystemSetup};
 use crate::report::Report;
-use crate::runner::BenchmarkSpec;
+use crate::scenario::ScenarioBuilder;
 use coconut_chains::runtime::PoolLimits;
-use coconut_simnet::FaultPlan;
-use coconut_types::{ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxId};
+use coconut_types::{PayloadKind, SeedDeriver, SimDuration, SimTime};
 
 /// The offered-load multipliers of the goodput curve, relative to the
 /// system's reference rate.
@@ -45,11 +42,6 @@ pub const MULTIPLIERS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 
 /// The probe's pulse height relative to the base rate.
 pub const PULSE_MULTIPLIER: f64 = 8.0;
-
-/// Tag bit marking pulse-overlay transaction ids so they cannot collide
-/// with the base schedule (per-client sequence numbers use bits 0..44;
-/// threads sit at 48..56 and retry derivation at 56..).
-const PULSE_TAG: u64 = 1 << 44;
 
 /// The curve's 1× reference: the paper's largest rate limiter (1600 tx/s;
 /// one tenth for the Cordas), so the multiplier grid straddles every
@@ -94,18 +86,18 @@ fn payload(kind: SystemKind) -> PayloadKind {
 /// within seconds, and the top multiplier offers 8× the largest rate
 /// limiter.
 #[derive(Debug, Clone, Copy)]
-struct Timeline {
+struct Anchors {
     windows: Windows,
     pulse_start: SimTime,
     pulse_end: SimTime,
 }
 
-fn timeline(cfg: &ExperimentConfig) -> Timeline {
+fn anchors(cfg: &ExperimentConfig) -> Anchors {
     // At least 10 virtual seconds of sending so the pre/pulse/post phases
     // each span multiple 1 s buckets, plus an 8 s listen margin matching
     // the retry client's finalization timeout.
     let send_secs = ((100.0 * cfg.scale).round() as u64).max(10);
-    Timeline {
+    Anchors {
         windows: Windows {
             send: SimDuration::from_secs(send_secs),
             listen: SimDuration::from_secs(send_secs + 8),
@@ -233,41 +225,29 @@ impl OverloadResult {
     }
 }
 
-/// The base schedule plus the pulse overlay: baseline traffic over the
-/// full send window, `(PULSE_MULTIPLIER − 1) ×` extra over
-/// `[pulse_start, pulse_end)`, merged and re-sorted. Overlay ids carry
-/// [`PULSE_TAG`] so the two sub-schedules cannot collide.
-fn pulse_schedule(kind: SystemKind, base_rate: f64, tl: Timeline, seed: u64) -> Vec<ScheduledTx> {
-    let seeds = SeedDeriver::new(seed);
-    let mut all = build_schedule(
-        payload(kind),
-        base_rate,
-        1,
-        tl.windows,
-        seeds.seed("schedule", 0),
-    );
-    let pulse_len = tl.pulse_end - tl.pulse_start;
-    let overlay = build_schedule(
-        payload(kind),
-        base_rate * (PULSE_MULTIPLIER - 1.0),
-        1,
-        Windows {
-            send: pulse_len,
-            listen: pulse_len,
-        },
-        seeds.seed("pulse", 0),
-    );
-    let offset = tl.pulse_start - SimTime::ZERO;
-    for s in overlay {
-        let at = s.at + offset;
-        let id = TxId::new(s.tx.id().client(), s.tx.id().seq() | PULSE_TAG);
-        all.push(ScheduledTx {
-            at,
-            tx: ClientTx::new(id, s.tx.thread(), s.tx.payloads().to_vec(), at),
-        });
-    }
-    all.sort_by_key(|s| (s.at, s.tx.id()));
-    all
+/// One goodput-curve cell as a scenario: base load at the offered rate
+/// over the whole window, tight admission pools, no faults.
+fn curve_scenario(kind: SystemKind, offered: f64, tl: Anchors) -> crate::scenario::Timeline {
+    ScenarioBuilder::new(payload(kind), offered, tl.windows)
+        .setup(SystemSetup::default().with_admission(tight_limits(kind)))
+        .build()
+}
+
+/// One probe arm as a scenario: baseline traffic over the full send
+/// window, a `PULSE_MULTIPLIER ×` flash crowd over
+/// `[pulse_start, pulse_end)`, and the protection under test.
+fn probe_scenario(kind: SystemKind, protected: bool, tl: Anchors) -> crate::scenario::Timeline {
+    let protection = if protected {
+        ClientProtection::overload_default()
+    } else {
+        ClientProtection::disabled()
+    };
+    ScenarioBuilder::new(payload(kind), probe_base_rate(kind), tl.windows)
+        .setup(SystemSetup::default().with_admission(tight_limits(kind)))
+        .protection(protection)
+        .at(tl.pulse_start)
+        .flash_crowd(PULSE_MULTIPLIER, tl.pulse_end)
+        .build()
 }
 
 /// Runs the overload campaign: the goodput curve (7 systems ×
@@ -286,7 +266,7 @@ pub fn overload(cfg: &ExperimentConfig) -> OverloadResult {
 /// by (system, multiplier), so a subset's cells are byte-identical to the
 /// same cells of the full campaign.
 pub fn overload_curves_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Vec<OverloadCurve> {
-    let tl = timeline(cfg);
+    let tl = anchors(cfg);
     let seeds = SeedDeriver::new(cfg.seed);
 
     struct CurveItem {
@@ -315,29 +295,15 @@ pub fn overload_curves_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Ve
 
     let cells = crate::exec::run_grid(&curve_items, cfg.jobs, |_, item| {
         let offered = reference_rate(item.system) * item.multiplier;
-        let spec = BenchmarkSpec::new(item.system, payload(item.system))
-            .rate(offered)
-            .windows(tl.windows)
-            .repetitions(1);
-        let setup = SystemSetup::default().with_admission(tight_limits(item.system));
-        let mut sys = build_system(item.system, &setup, item.seed);
-        let run = run_chaos_protected(
-            sys.as_mut(),
-            &spec,
-            &FaultPlan::new(),
-            &RetryPolicy::chaos_default(),
-            &ClientProtection::disabled(),
-            item.seed,
-        );
-        let stats = sys.stats();
+        let sr = curve_scenario(item.system, offered, tl).run(item.system, item.seed);
         OverloadCell {
             system: item.system,
             multiplier: item.multiplier,
             offered,
-            goodput: run.accounting.confirmed as f64 / tl.windows.send.as_secs_f64(),
-            busy: stats.busy,
-            evicted: stats.evicted,
-            run,
+            goodput: sr.run.accounting.confirmed as f64 / tl.windows.send.as_secs_f64(),
+            busy: sr.stats.busy,
+            evicted: sr.stats.evicted,
+            run: sr.run,
         }
     });
 
@@ -358,7 +324,7 @@ pub fn overload_curves_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Ve
 /// The metastable probes of `systems` only (seeds content-addressed by
 /// system, as with the curves).
 pub fn overload_probes_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Vec<MetastableProbe> {
-    let tl = timeline(cfg);
+    let tl = anchors(cfg);
     let seeds = SeedDeriver::new(cfg.seed);
 
     struct ProbeItem {
@@ -380,29 +346,8 @@ pub fn overload_probes_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Ve
         .collect();
 
     let arms = crate::exec::run_grid(&probe_items, cfg.jobs, |_, item| {
-        let base = probe_base_rate(item.system);
-        let schedule = pulse_schedule(item.system, base, tl, item.seed);
-        let spec = BenchmarkSpec::new(item.system, payload(item.system))
-            .rate(base)
-            .windows(tl.windows)
-            .repetitions(1);
-        let setup = SystemSetup::default().with_admission(tight_limits(item.system));
-        let mut sys = build_system(item.system, &setup, item.seed);
-        let protection = if item.protected {
-            ClientProtection::overload_default()
-        } else {
-            ClientProtection::disabled()
-        };
-        let run = run_chaos_with_schedule(
-            sys.as_mut(),
-            &spec,
-            &FaultPlan::new(),
-            &RetryPolicy::chaos_default(),
-            &protection,
-            &schedule,
-            item.seed,
-        );
-        let stats = sys.stats();
+        let sr = probe_scenario(item.system, item.protected, tl).run(item.system, item.seed);
+        let run = sr.run;
         let listen_end = SimTime::ZERO + tl.windows.listen;
         ProbeArm {
             protected: item.protected,
@@ -411,8 +356,8 @@ pub fn overload_probes_for(cfg: &ExperimentConfig, systems: &[SystemKind]) -> Ve
             post_mtps: run.window_mtps(tl.pulse_end, listen_end),
             recovery_secs: run.recovery_secs(tl.pulse_start, tl.pulse_end, 0.7),
             amplification: run.accounting.retry_amplification(),
-            busy: stats.busy,
-            evicted: stats.evicted,
+            busy: sr.stats.busy,
+            evicted: sr.stats.evicted,
             run,
         }
     });
@@ -678,8 +623,10 @@ mod tests {
 
     #[test]
     fn pulse_schedule_merges_sorted_and_collision_free() {
-        let tl = timeline(&quick());
-        let sched = pulse_schedule(SystemKind::Fabric, 200.0, tl, 42);
+        use crate::scenario::overlay_tag;
+        let tl = anchors(&quick());
+        let sched = probe_scenario(SystemKind::Fabric, false, tl).schedule(42);
+        let base_rate = probe_base_rate(SystemKind::Fabric);
         // Sorted by (at, id) …
         assert!(sched
             .windows(2)
@@ -691,14 +638,15 @@ mod tests {
         assert_eq!(ids.len(), sched.len());
         // … and all overlay sends inside the pulse window.
         for s in &sched {
-            if s.tx.id().seq() & PULSE_TAG != 0 {
+            if s.tx.id().seq() & overlay_tag(0) != 0 {
                 assert!(s.at >= tl.pulse_start && s.at < tl.pulse_end + SimDuration::from_secs(1));
             }
         }
         // The overlay adds (PULSE_MULTIPLIER − 1)× base over the pulse
         // window: total ≈ base · (send + (mult − 1) · pulse_len).
         let pulse_len = (tl.pulse_end - tl.pulse_start).as_secs_f64();
-        let expect = 200.0 * (tl.windows.send.as_secs_f64() + (PULSE_MULTIPLIER - 1.0) * pulse_len);
+        let expect =
+            base_rate * (tl.windows.send.as_secs_f64() + (PULSE_MULTIPLIER - 1.0) * pulse_len);
         let got = sched.len() as f64;
         assert!(
             (got - expect).abs() / expect < 0.05,

@@ -42,6 +42,7 @@ pub mod params;
 pub mod report;
 pub mod runner;
 pub mod saturation;
+pub mod scenario;
 pub mod stats;
 pub mod workload;
 
@@ -50,11 +51,14 @@ pub use chaos::{
     BreakerState, ChaosRun, CircuitBreaker, ClientProtection, DeliveryAccounting, RetryBudget,
     RetryPolicy,
 };
-pub use exec::{cell_seed, run_grid, sweep_cell_seed, unit_seed};
+pub use exec::{cell_seed, run_grid, scenario_cell_seed, sweep_cell_seed, unit_seed};
 pub use params::{BlockParam, SystemKind, SystemSetup};
 pub use report::Report;
 pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};
 pub use saturation::{SaturationResult, SaturationSearch};
+pub use scenario::{
+    Check, CheckOutcome, Cursor, LoadPhase, LoadShape, ScenarioBuilder, ScenarioRun, Timeline,
+};
 pub use stats::Stats;
 
 /// Everything most users need, in one import.

@@ -219,6 +219,25 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// A partition window: isolate `isolated` from the rest of the network
+    /// at `from` and heal every active partition at `until` (builder
+    /// style). Links within the isolated set and within the complement stay
+    /// up. Note that the heal is global — [`FaultEvent::Heal`] removes
+    /// *every* active partition, so overlapping partition windows share
+    /// their earliest heal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn partition_window(self, isolated: &[NodeId], from: SimTime, until: SimTime) -> Self {
+        assert!(
+            until > from,
+            "the partition window must have positive length"
+        );
+        self.at(from, FaultEvent::Partition(isolated.to_vec()))
+            .at(until, FaultEvent::Heal)
+    }
+
     /// A single membership join at `at` (builder style): the standby node
     /// `node` starts catch-up and becomes active once synced.
     pub fn join_at(self, node: NodeId, at: SimTime) -> Self {
@@ -443,6 +462,32 @@ mod tests {
             assert!(!ev.is_network_fault());
             assert!(!net.apply_fault(SimTime::ZERO, &ev));
         }
+    }
+
+    #[test]
+    fn partition_window_isolates_then_heals() {
+        let plan = FaultPlan::new().partition_window(
+            &[NodeId(3)],
+            SimTime::from_secs(4),
+            SimTime::from_secs(8),
+        );
+        assert_eq!(plan.len(), 2);
+        let mut s = FaultScheduler::new(plan);
+        let (at, ev) = s.pop_due(SimTime::from_secs(20)).unwrap();
+        assert_eq!(at, SimTime::from_secs(4));
+        assert!(matches!(ev, FaultEvent::Partition(ref set) if set == &[NodeId(3)]));
+        let (at, ev) = s.pop_due(SimTime::from_secs(20)).unwrap();
+        assert_eq!((at, ev), (SimTime::from_secs(8), FaultEvent::Heal));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_partition_window_rejected() {
+        let _ = FaultPlan::new().partition_window(
+            &[NodeId(0)],
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
     }
 
     #[test]
