@@ -31,6 +31,11 @@
 //!             partition-flash-crowd, and rolling-restart-diurnal, each
 //!             with checkpointed assertions in the report. --list shows
 //!             the library; --name A,B runs a subset
+//!   bottleneck per-stage bottleneck attribution: one ramp-to-saturation
+//!             cell per system with the pipeline stage probes armed,
+//!             reporting per-stage residence shares, queue depths,
+//!             utilization, sheds, and a machine-checked verdict naming
+//!             the stage each system tops out in
 //!   all       everything
 //!
 //! flags:
@@ -44,8 +49,8 @@
 //!   --sweep       chaos only: run the fault-sweep campaign (f = 0..=beyond-f
 //!                 crash curves, loss-rate and Byzantine-count steps) instead
 //!                 of the classic four arms
-//!   --systems A,B chaos --sweep, overload, churn, scenario: restrict the
-//!                 campaign to these systems (labels as printed,
+//!   --systems A,B chaos --sweep, overload, churn, scenario, bottleneck:
+//!                 restrict the campaign to these systems (labels as printed,
 //!                 case-insensitive, e.g. "fabric,corda os"); remaining
 //!                 cells keep their numbers. Unknown names are a hard
 //!                 error with a did-you-mean hint
@@ -54,12 +59,12 @@
 //!   --out DIR     also write results as JSON (and CSV where applicable)
 //!                 into DIR
 //!
-//! Every campaign target (chaos, overload, churn, scenario, all) also
-//! writes `BENCH_0007.json` — wall-clock timing of the run itself
-//! (simulated tx/s and client events/s per wall second) — into --out DIR
-//! when given, the working directory otherwise. It is a perf trajectory
-//! for the harness, not a result: timings vary by machine, so it is never
-//! golden-diffed.
+//! Every campaign target (chaos, overload, churn, scenario, bottleneck,
+//! all) also writes `BENCH_0008.json` — wall-clock timing of the run
+//! itself (simulated tx/s and client events/s per wall second) — into
+//! --out DIR when given, the working directory otherwise. It is a perf
+//! trajectory for the harness, not a result: timings vary by machine, so
+//! it is never golden-diffed.
 //! ```
 
 use std::path::PathBuf;
@@ -68,11 +73,11 @@ use std::time::Instant;
 use coconut::chaos::ChaosRun;
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, chaos, chaos_sweep, churn_for, fig3, fig4, fig5, overload_curves_for,
-    overload_probes_for, render_scenario_list, scenario_names, scenarios_for, table11_12,
-    table13_14, table15_16, table17_18, table19_20, table7_8, table9_10, ChaosResult,
-    ChurnCampaign, ChurnResult, ExperimentConfig, FaultCampaign, OverloadResult, ScenarioCampaign,
-    ScenarioResult, SweepResult, TableResult,
+    all_ablations, bottleneck_for, chaos, chaos_sweep, churn_for, fig3, fig4, fig5,
+    overload_curves_for, overload_probes_for, render_scenario_list, scenario_names, scenarios_for,
+    table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10,
+    BottleneckResult, ChaosResult, ChurnCampaign, ChurnResult, ExperimentConfig, FaultCampaign,
+    OverloadResult, ScenarioCampaign, ScenarioResult, SweepResult, TableResult,
 };
 use coconut::json::Json;
 use coconut::params::SystemKind;
@@ -257,6 +262,7 @@ fn main() {
         "scenario" => {
             run_scenario_campaign(&cfg, &cli.systems, &cli.names, &cli.out_dir, &mut bench)
         }
+        "bottleneck" => run_bottleneck_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &cli.out_dir, name);
@@ -267,6 +273,7 @@ fn main() {
             run_overload_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             run_churn_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             run_scenario_campaign(&cfg, &cli.systems, &cli.names, &cli.out_dir, &mut bench);
+            run_bottleneck_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             let base = fig3(&cfg);
             emit("Figure 3", &base, &cli.out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
@@ -369,6 +376,23 @@ fn run_overload_campaign(
     );
 }
 
+fn run_bottleneck_campaign(
+    cfg: &ExperimentConfig,
+    systems: &Option<Vec<SystemKind>>,
+    out: &Option<PathBuf>,
+    bench: &mut BenchRecorder,
+) {
+    let list = systems.clone().unwrap_or_else(|| SystemKind::ALL.to_vec());
+    let (r, wall) = timed(|| bottleneck_for(cfg, &list));
+    bench.record("bottleneck", wall, &bottleneck_runs(&r));
+    emit(
+        "Bottleneck attribution — per-stage residence, saturation, and verdicts",
+        &r,
+        out,
+        "bottleneck",
+    );
+}
+
 fn run_scenario_campaign(
     cfg: &ExperimentConfig,
     systems: &Option<Vec<SystemKind>>,
@@ -425,7 +449,7 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
-/// Per-campaign counts feeding `BENCH_0007.json`: cells, scheduled and
+/// Per-campaign counts feeding `BENCH_0008.json`: cells, scheduled and
 /// confirmed simulated transactions, and client-visible simulator events
 /// (sends + re-sends + confirmations).
 #[derive(Default, Clone, Copy)]
@@ -479,6 +503,10 @@ fn churn_runs(r: &ChurnResult) -> Vec<&ChaosRun> {
     r.cells.iter().map(|c| &c.run).collect()
 }
 
+fn bottleneck_runs(r: &BottleneckResult) -> Vec<&ChaosRun> {
+    r.cells.iter().map(|c| &c.run).collect()
+}
+
 fn scenario_counts(r: &ScenarioResult) -> BenchCounts {
     let mut counts = BenchCounts::default();
     for c in &r.cells {
@@ -491,7 +519,7 @@ fn scenario_counts(r: &ScenarioResult) -> BenchCounts {
 }
 
 /// Collects per-campaign wall-clock measurements and writes
-/// `BENCH_0007.json`. The file is a harness perf trajectory (how fast the
+/// `BENCH_0008.json`. The file is a harness perf trajectory (how fast the
 /// simulator runs, not what it computes): `sim_tx_per_sec` is confirmed
 /// simulated transactions per wall second, `wall_events_per_sec` is
 /// client-visible simulator events (sends + re-sends + confirmations) per
@@ -536,7 +564,7 @@ impl BenchRecorder {
             })
             .collect();
         let mut json = Json::Obj(vec![
-            ("bench_id".into(), Json::Str("BENCH_0007".into())),
+            ("bench_id".into(), Json::Str("BENCH_0008".into())),
             ("campaigns".into(), Json::Arr(campaigns)),
         ])
         .to_pretty();
@@ -544,8 +572,8 @@ impl BenchRecorder {
         let path = out
             .clone()
             .unwrap_or_else(|| PathBuf::from("."))
-            .join("BENCH_0007.json");
-        std::fs::write(&path, json).expect("write BENCH_0007.json");
+            .join("BENCH_0008.json");
+        std::fs::write(&path, json).expect("write BENCH_0008.json");
         eprintln!("# wrote {}", path.display());
     }
 }
@@ -645,7 +673,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|all> \
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|bottleneck|all> \
          [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--name A,B] [--list] [--out DIR]"
     );
 }

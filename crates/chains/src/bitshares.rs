@@ -37,7 +37,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, cut_by_budget, ChainRuntime, PoolLimits};
+use crate::runtime::{command_for, cut_by_budget, ChainRuntime, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the BitShares deployment.
@@ -128,6 +128,10 @@ impl Bitshares {
             .build();
         let mut rt = ChainRuntime::new(&seeds, &config.net, config.witnesses, total);
         rt.set_pool_limits(config.pool);
+        // The pool bound guards the witness-slot pipeline: a full pool
+        // means slots are not draining fast enough — sheds book to
+        // `Consensus`.
+        rt.probe_mut().set_queue_stage(Stage::Consensus);
         Bitshares {
             rt,
             exec_cpu: CpuModel::new(total),
@@ -216,7 +220,7 @@ impl Bitshares {
         );
         // Execute packed transactions atomically.
         let exec_done = self.exec_cpu.process(witness, block.committed_at, used);
-        let mut emitted: Vec<(TxId, u32, bool)> = Vec::new();
+        let mut emitted: Vec<(TxId, u32, bool, SimTime)> = Vec::new();
         let cooling_until = block.committed_at + self.config.block_interval * 2;
         for cmd in &packed {
             let Some(tx) = self.rt.mempool().take(&cmd.tx) else {
@@ -240,10 +244,15 @@ impl Bitshares {
             if ok {
                 self.state = scratch;
             }
-            emitted.push((cmd.tx, cmd.ops, ok));
+            emitted.push((cmd.tx, cmd.ops, ok, tx.created_at()));
         }
         if self.stalled {
-            return; // liveness violation: no events leave the node
+            // Liveness violation: no events leave the node — everything
+            // executed here is shed at the notify stage.
+            self.rt
+                .probe_mut()
+                .shed(Stage::Notify, emitted.len() as u64);
+            return;
         }
         // Distribute the block to the other witnesses, then notify.
         let mut persist = exec_done;
@@ -252,13 +261,25 @@ impl Bitshares {
                 persist = persist.max(exec_done + self.rt.hop());
             }
         }
-        for (txid, ops, ok) in emitted {
+        for (txid, ops, ok, created_at) in emitted {
+            // Stage boundaries: the slot wait (including overflow re-
+            // packing) is ordering, the witness's packed-block execution
+            // spans committed_at → exec_done, and commit is block
+            // distribution to the other witnesses.
+            let probe = self.rt.probe_mut();
+            probe.span(Stage::Consensus, txid, created_at, block.committed_at);
+            probe.span(Stage::Execution, txid, block.committed_at, exec_done);
+            probe.span(Stage::Commit, txid, exec_done, persist);
             if !ok {
                 // Atomic abort: the transaction vanishes; the client is
                 // never notified (a lost transaction).
+                self.rt.probe_mut().shed(Stage::Execution, 1);
                 continue;
             }
             let event_at = persist + self.rt.hop();
+            self.rt
+                .probe_mut()
+                .span(Stage::Notify, txid, persist, event_at);
             self.rt.emit_committed(txid, block_id, event_at, ops);
         }
     }
@@ -274,6 +295,7 @@ impl BlockchainSystem for Bitshares {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
         // A pool at capacity sheds with backpressure before any per-tx
         // work (footprint checks) is spent on the submission.
         self.rt.evict_expired(now);
@@ -299,8 +321,10 @@ impl BlockchainSystem for Bitshares {
             keys.sort_unstable();
             keys.dedup();
             if keys.iter().any(|k| self.pending_touched.contains_key(k)) {
-                // Interacting transaction: silently discarded.
+                // Interacting transaction: silently discarded — shed by
+                // the interference check guarding execution.
                 self.rt.reject();
+                self.rt.probe_mut().shed(Stage::Execution, 1);
                 if let Some(limit) = self.config.stall_after_conflicts {
                     if self.conflicts() >= limit {
                         self.stalled = true;
@@ -389,6 +413,14 @@ impl BlockchainSystem for Bitshares {
 
     fn is_live(&self) -> bool {
         !self.stalled
+    }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
     }
 }
 

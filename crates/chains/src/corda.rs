@@ -29,7 +29,7 @@ use coconut_types::{
     tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxOutcome,
 };
 
-use crate::runtime::{ChainRuntime, IngressLoad, PoolLimits};
+use crate::runtime::{ChainRuntime, IngressLoad, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Which Corda product is being modelled.
@@ -163,6 +163,9 @@ impl Corda {
             config.notaries + config.standby,
         );
         rt.set_pool_limits(config.pool);
+        // The flow-backlog cap guards work headed for notarization, so
+        // generic sheds (busy answers) book against the commit stage.
+        rt.probe_mut().set_queue_stage(Stage::Commit);
         Corda {
             notary_members: config.notaries,
             rt,
@@ -268,10 +271,14 @@ impl BlockchainSystem for Corda {
         // capacity answers `Busy` before any flow work is queued.
         self.pending_flows[node].retain(|&done| done > now);
         if self.pending_flows[node].len() >= self.rt.pool_limits().capacity {
+            self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
             return self.rt.busy();
         }
         self.rt.accept();
         let arrival = now + self.hop();
+        self.rt
+            .probe_mut()
+            .span(Stage::Ingress, tx.id(), now, arrival);
         let payload = &tx.payloads()[0];
         let kind = payload.kind();
 
@@ -294,13 +301,22 @@ impl BlockchainSystem for Corda {
         // the paper's observation that raising RL from 20 to 160 *drops*
         // Corda OS from 4.08 to 1.04 MTPS (Tables 7–8).
         let slowdown = self.ingress[node].record(arrival, 1);
+        self.rt
+            .probe_mut()
+            .utilization(Stage::Ingress, 1.0 - 1.0 / slowdown);
         match built {
             Err(_) => {
                 // The flow errors after doing the scan work.
                 let cost = (self.config.flow_base + scan_cost).mul_f64(slowdown);
-                let done = self.workers[node].process(arrival, cost);
+                let (_, done) = self.workers[node].process_spanned(arrival, cost);
                 self.pending_flows[node].push(done);
                 let event_at = done + self.hop();
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Execution, tx.id(), arrival, done);
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Notify, tx.id(), done, event_at);
                 self.rt
                     .emit_failed(tx.id(), FailReason::ExecutionError, event_at);
                 SubmitOutcome::Accepted
@@ -311,14 +327,33 @@ impl BlockchainSystem for Corda {
                 if !read_only {
                     cost += self.signing_time();
                 }
-                let done = self.workers[node].process(arrival, cost.mul_f64(slowdown));
+                let (start, done) =
+                    self.workers[node].process_spanned(arrival, cost.mul_f64(slowdown));
                 self.pending_flows[node].push(done);
                 if read_only {
                     // Get/Balance: answered locally after the scan.
                     let event_at = done + self.hop();
+                    self.rt
+                        .probe_mut()
+                        .span(Stage::Execution, tx.id(), arrival, done);
+                    self.rt
+                        .probe_mut()
+                        .span(Stage::Notify, tx.id(), done, event_at);
                     self.rt.emit_committed(tx.id(), BlockId(0), event_at, 1);
                     return SubmitOutcome::Accepted;
                 }
+                // Waiting on a free flow worker is time spent queued for the
+                // signing/notarization path, so it books against Commit; the
+                // scan+build portion of the service time is Execution, the
+                // signature collection onward is Commit again.
+                let exec_part = (self.config.flow_base + scan_cost).mul_f64(slowdown);
+                let exec_end = start + exec_part;
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Commit, tx.id(), arrival, start);
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Execution, tx.id(), start, exec_end);
                 // Notarization.
                 let notary_arrival = done + self.hop();
                 let Some(response) = self
@@ -329,11 +364,24 @@ impl BlockchainSystem for Corda {
                     // signature that never comes. The client never hears
                     // back — finality has halted.
                     self.lost_to_notary_outage += 1;
+                    self.rt.probe_mut().shed(Stage::Commit, 1);
                     return SubmitOutcome::Accepted;
                 };
                 if !response.is_signed() {
                     self.notary_conflicts += 1;
                     let event_at = response.completed_at + self.hop() + self.hop();
+                    self.rt.probe_mut().span(
+                        Stage::Commit,
+                        tx.id(),
+                        exec_end,
+                        response.completed_at,
+                    );
+                    self.rt.probe_mut().span(
+                        Stage::Notify,
+                        tx.id(),
+                        response.completed_at,
+                        event_at,
+                    );
                     self.rt.emit_failed(tx.id(), FailReason::Conflict, event_at);
                     return SubmitOutcome::Accepted;
                 }
@@ -348,6 +396,12 @@ impl BlockchainSystem for Corda {
                     persist = persist.max(back + self.hop());
                 }
                 let event_at = persist + self.hop();
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Commit, tx.id(), exec_end, persist);
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Notify, tx.id(), persist, event_at);
                 self.rt.emit_committed(tx.id(), BlockId(0), event_at, 1);
                 SubmitOutcome::Accepted
             }
@@ -395,6 +449,14 @@ impl BlockchainSystem for Corda {
 
     fn config_epoch(&self) -> u64 {
         self.notary.config_epoch()
+    }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
     }
 }
 

@@ -26,7 +26,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits};
+use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Diem deployment.
@@ -201,6 +201,7 @@ impl BlockchainSystem for Diem {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
         let full = self.engine.pending_len() >= self.config.mempool_limit;
         let outcome = self.rt.admit(now, &tx, full);
         if outcome.is_accepted() {
@@ -208,6 +209,9 @@ impl BlockchainSystem for Diem {
             // tx — a higher rate limiter leaves less CPU for execution
             // (Table 19: 64 MTPS at RL = 200 vs 37 at RL = 1600).
             self.current_slowdown = self.ingress.record(now, tx.op_count() as u32);
+            self.rt
+                .probe_mut()
+                .utilization(Stage::Ingress, 1.0 - 1.0 / self.current_slowdown);
             self.engine.submit(command_for(&tx));
         }
         outcome
@@ -281,6 +285,14 @@ impl BlockchainSystem for Diem {
     fn safety_report(&self) -> Option<SafetyReport> {
         Some(self.engine.safety_report())
     }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
+    }
 }
 
 impl Diem {
@@ -307,21 +319,32 @@ impl Diem {
                 // no execution, no client notification (a lost tx).
                 if block.committed_at - tx.created_at() > self.config.tx_expiration {
                     expired += 1;
+                    self.rt.probe_mut().shed(Stage::MempoolWait, 1);
                     continue;
                 }
                 let n_factor = 1.0 + 0.02 * self.config.nodes.saturating_sub(4) as f64;
                 total_cost +=
                     (self.config.exec_per_tx * tx.op_count() as u64).mul_f64(slowdown * n_factor);
                 let ok = self.state.apply(&tx.payloads()[0]).is_ok();
-                results.push((cmd.tx, cmd.ops, ok));
+                results.push((cmd.tx, cmd.ops, ok, tx.created_at()));
             }
             self.expired += expired;
             // Every validator re-executes; the slowest gates notification.
             let persist = self
                 .rt
                 .replicate(&mut self.exec_cpu, block.committed_at, total_cost);
-            for (txid, ops, ok) in results {
+            // Stage boundaries: mempool wait spans submission → block
+            // commitment (DiemBFT's pickup), execution is the block-wide
+            // re-execution on every validator, commit waits for the
+            // slowest replica.
+            let exec_end = block.committed_at + total_cost;
+            for (txid, ops, ok, created_at) in results {
                 let event_at = persist + self.rt.hop();
+                let probe = self.rt.probe_mut();
+                probe.span(Stage::MempoolWait, txid, created_at, block.committed_at);
+                probe.span(Stage::Execution, txid, block.committed_at, exec_end);
+                probe.span(Stage::Commit, txid, exec_end, persist);
+                probe.span(Stage::Notify, txid, persist, event_at);
                 if ok {
                     self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {

@@ -30,7 +30,7 @@ use coconut_simnet::{EventQueue, FaultEvent, NetConfig};
 use coconut_types::{ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome};
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, PoolLimits};
+use crate::runtime::{command_for, ChainRuntime, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 use crate::util::WorkerPool;
 
@@ -105,6 +105,8 @@ struct EndorsedTx {
 struct InFlight {
     rwset: RwSet,
     ops: u32,
+    /// When endorsement completed (the ordering stage starts here).
+    endorsed_at: SimTime,
 }
 
 /// The modelled Fabric network (see module docs).
@@ -153,6 +155,9 @@ impl Fabric {
             config.orderers + config.standby,
         );
         rt.set_pool_limits(config.pool);
+        // The in-flight cap guards the endorsement pipeline, so generic
+        // sheds book to `Execution`.
+        rt.probe_mut().set_queue_stage(Stage::Execution);
         Fabric {
             orderer_members: config.orderers,
             rt,
@@ -228,6 +233,13 @@ impl Fabric {
                 let Some(fl) = self.in_flight.remove(&cmd.tx) else {
                     continue;
                 };
+                // Stage boundaries: ordering spans endorsement completion
+                // → batch cut, commit is block validation on every peer.
+                {
+                    let probe = self.rt.probe_mut();
+                    probe.span(Stage::Consensus, cmd.tx, fl.endorsed_at, tb);
+                    probe.span(Stage::Commit, cmd.tx, tb, persist);
+                }
                 // MVCC validation in commit order; invalid txs stay on the
                 // chain (and in the client's received count) but do not
                 // touch the world state.
@@ -237,9 +249,15 @@ impl Fabric {
                     self.invalid_txs += 1;
                 }
                 if events_broken || events_dropped {
-                    continue; // client never learns
+                    // The client never learns: shed at the notify stage
+                    // (broken event service / dropped backlog).
+                    self.rt.probe_mut().shed(Stage::Notify, 1);
+                    continue;
                 }
                 let event_at = persist + self.rt.hop();
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Notify, cmd.tx, persist, event_at);
                 self.rt.emit_committed(cmd.tx, block, event_at, fl.ops);
             }
         }
@@ -260,6 +278,7 @@ impl BlockchainSystem for Fabric {
         // store; at capacity the peer sheds with backpressure before any
         // endorsement work is spent.
         if self.in_flight.len() >= self.rt.pool_limits().capacity {
+            self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
             return self.rt.busy();
         }
         self.rt.accept();
@@ -278,6 +297,13 @@ impl BlockchainSystem for Fabric {
         let done = self.endorse_pool[peer.0 as usize]
             .process(arrive, hold)
             .max(cpu_done);
+        // Stage boundaries: ingress is the client → peer leg, execution
+        // is the endorsement sojourn (gRPC slot wait + chaincode CPU).
+        {
+            let probe = self.rt.probe_mut();
+            probe.span(Stage::Ingress, tx.id(), now, arrive);
+            probe.span(Stage::Execution, tx.id(), arrive, done);
+        }
         // Simulate against the committed state as of submission; conflicts
         // appear when the state moves before validation.
         let payload = &tx.payloads()[0];
@@ -288,6 +314,9 @@ impl BlockchainSystem for Fabric {
                 // the endorsement round-trip and the tx never reaches the
                 // orderer. (Rare in the paper's workloads.)
                 let event_at = done + self.rt.hop();
+                self.rt
+                    .probe_mut()
+                    .span(Stage::Notify, tx.id(), done, event_at);
                 self.rt.emit_failed(
                     tx.id(),
                     coconut_types::tx::FailReason::ExecutionError,
@@ -301,6 +330,7 @@ impl BlockchainSystem for Fabric {
             InFlight {
                 rwset: sim.rwset,
                 ops: tx.op_count() as u32,
+                endorsed_at: done,
             },
         );
         let command = command_for(&tx);
@@ -369,6 +399,14 @@ impl BlockchainSystem for Fabric {
 
     fn config_epoch(&self) -> u64 {
         self.raft.config_epoch()
+    }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
     }
 }
 

@@ -52,5 +52,8 @@ pub mod sawtooth;
 pub mod system;
 mod util;
 
-pub use runtime::{ChainRuntime, IngressLoad, Mempool, PoolLimits};
+pub use runtime::{
+    ChainRuntime, IngressLoad, Mempool, PoolLimits, SpanRecord, Stage, StageAccum, StageProbe,
+    StageReport, StageSnapshot,
+};
 pub use system::{BlockchainSystem, SubmitOutcome, SystemStats};

@@ -28,7 +28,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, PoolLimits};
+use crate::runtime::{command_for, ChainRuntime, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Quorum deployment.
@@ -122,6 +122,9 @@ impl Quorum {
             .build();
         let mut rt = ChainRuntime::new(&seeds, &config.net, config.nodes, total);
         rt.set_pool_limits(config.pool);
+        // The txpool bound guards the ordering pipeline: a full pool means
+        // IBFT is not draining fast enough, so sheds book to `Consensus`.
+        rt.probe_mut().set_queue_stage(Stage::Consensus);
         Quorum {
             rt,
             exec_cpu: CpuModel::new(total),
@@ -186,9 +189,12 @@ impl BlockchainSystem for Quorum {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
         if self.stalled {
             // The pool still accepts (geth keeps queueing) but nothing is
-            // ever processed; the client sees the transaction as lost.
+            // ever processed; the client sees the transaction as lost —
+            // shed inside the frozen ordering stage.
+            self.rt.probe_mut().shed(Stage::Consensus, 1);
             self.rt.accept();
             return SubmitOutcome::Accepted;
         }
@@ -201,6 +207,9 @@ impl BlockchainSystem for Quorum {
             self.stalled = true;
             let dropped = self.ibft.drop_pending();
             self.rt.reject_n(dropped as u64);
+            self.rt
+                .probe_mut()
+                .shed(Stage::Consensus, dropped as u64 + 1);
             self.rt.mempool().clear();
             self.rt.accept();
             return SubmitOutcome::Accepted;
@@ -243,13 +252,22 @@ impl BlockchainSystem for Quorum {
                 // Order-execute: failures (reverts) are still mined and the
                 // client still gets a receipt.
                 let ok = self.state.apply(&tx.payloads()[0]).is_ok();
-                executed.push((cmd.tx, cmd.ops, ok));
+                executed.push((cmd.tx, cmd.ops, ok, tx.created_at()));
             }
             let persist = self
                 .rt
                 .replicate(&mut self.exec_cpu, block.committed_at, costs);
-            for (txid, ops, ok) in executed {
+            // Order-execute stage boundaries: ordering spans submission →
+            // block commitment, every validator then executes the whole
+            // block (`costs`), and commit waits for the slowest replica.
+            let exec_end = block.committed_at + costs;
+            for (txid, ops, ok, created_at) in executed {
                 let event_at = persist + self.rt.hop();
+                let probe = self.rt.probe_mut();
+                probe.span(Stage::Consensus, txid, created_at, block.committed_at);
+                probe.span(Stage::Execution, txid, block.committed_at, exec_end);
+                probe.span(Stage::Commit, txid, exec_end, persist);
+                probe.span(Stage::Notify, txid, persist, event_at);
                 if ok {
                     self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {
@@ -316,6 +334,14 @@ impl BlockchainSystem for Quorum {
 
     fn is_live(&self) -> bool {
         !self.stalled
+    }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
     }
 }
 

@@ -31,7 +31,7 @@ use coconut_types::{
 };
 
 use crate::ledger::Ledger;
-use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits};
+use crate::runtime::{command_for, ChainRuntime, IngressLoad, PoolLimits, Stage, StageProbe};
 use crate::system::{BlockchainSystem, SubmitOutcome, SystemStats};
 
 /// Configuration of the Sawtooth deployment.
@@ -214,16 +214,21 @@ impl BlockchainSystem for Sawtooth {
     }
 
     fn submit(&mut self, now: SimTime, tx: ClientTx) -> SubmitOutcome {
+        self.rt.probe_mut().span(Stage::Ingress, tx.id(), now, now);
         // Admission work is paid even for batches the full queue turns
         // away — feed the load estimator before the queue decides. The
         // flood-induced slowdown (1/(1 − u)) is what collapses Sawtooth
         // from 66.7 MTPS at RL = 200 to 14.3 at RL = 1600 (Table 17).
         self.current_slowdown = self.ingress.record(now, tx.op_count() as u32);
+        self.rt
+            .probe_mut()
+            .utilization(Stage::Ingress, 1.0 - 1.0 / self.current_slowdown);
         // The bounded validator queue is the decisive Sawtooth behaviour:
         // a full queue rejects, and the client must re-send (COCONUT does
         // not, so the batch is lost).
         if self.occupancy(now) >= self.config.queue_limit {
             self.rt.reject();
+            self.rt.probe_mut().shed(Stage::MempoolWait, 1);
             return SubmitOutcome::Rejected;
         }
         // The bounded pending store is a second line of defence behind
@@ -236,6 +241,7 @@ impl BlockchainSystem for Sawtooth {
         self.rt.accept();
         if self.pending_stalled() {
             // §5.8.2: at 16/32 nodes everything stays pending forever.
+            self.rt.probe_mut().shed(Stage::Consensus, 1);
             return SubmitOutcome::Accepted;
         }
         self.rt.mempool().insert(tx.clone());
@@ -281,14 +287,25 @@ impl BlockchainSystem for Sawtooth {
                 } else {
                     self.aborted_batches += 1;
                 }
-                results.push((cmd.tx, cmd.ops, ok));
+                results.push((cmd.tx, cmd.ops, ok, batch.created_at()));
             }
             let persist = self
                 .rt
                 .replicate(&mut self.exec_cpu, block.committed_at, total_cost);
             self.executing.push_back((persist, results.len() as u32));
-            for (txid, ops, ok) in results {
+            // Stage boundaries: batches wait in the validator queue from
+            // submission to block commitment (Sawtooth exposes no separate
+            // ordering boundary — block inclusion *is* the pickup), then
+            // every validator runs the transaction processors, then the
+            // slowest replica gates commit.
+            let exec_end = block.committed_at + total_cost;
+            for (txid, ops, ok, created_at) in results {
                 let event_at = persist + self.rt.hop();
+                let probe = self.rt.probe_mut();
+                probe.span(Stage::MempoolWait, txid, created_at, block.committed_at);
+                probe.span(Stage::Execution, txid, block.committed_at, exec_end);
+                probe.span(Stage::Commit, txid, exec_end, persist);
+                probe.span(Stage::Notify, txid, persist, event_at);
                 if ok {
                     self.rt.emit_committed(txid, block_id, event_at, ops);
                 } else {
@@ -354,6 +371,14 @@ impl BlockchainSystem for Sawtooth {
 
     fn is_live(&self) -> bool {
         !self.pending_stalled()
+    }
+
+    fn probe(&self) -> Option<&StageProbe> {
+        Some(self.rt.probe())
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        Some(self.rt.probe_mut())
     }
 }
 

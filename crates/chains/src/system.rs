@@ -4,6 +4,8 @@ use coconut_consensus::SafetyReport;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent};
 use coconut_types::{ClientTx, NodeId, SimDuration, SimTime, TxOutcome};
 
+use crate::runtime::{StageProbe, StageReport};
+
 /// What happened to a submission at the system's ingress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
@@ -184,6 +186,32 @@ pub trait BlockchainSystem {
     /// BFT systems always return `Some`, even when no fault was injected.
     fn safety_report(&self) -> Option<SafetyReport> {
         None
+    }
+
+    /// The system's pipeline-stage probe, if it carries one. All seven
+    /// modelled systems expose their runtime's probe; the default (for
+    /// test doubles) carries none.
+    fn probe(&self) -> Option<&StageProbe> {
+        None
+    }
+
+    /// The pipeline-stage probe, mutably.
+    fn probe_mut(&mut self) -> Option<&mut StageProbe> {
+        None
+    }
+
+    /// Turns on pipeline-stage recording (no-op without a probe).
+    /// Recording is strictly passive: enabling it must not change any
+    /// timing, verdict, or RNG stream.
+    fn enable_stage_probes(&mut self) {
+        if let Some(p) = self.probe_mut() {
+            p.enable();
+        }
+    }
+
+    /// Aggregated per-stage observations, if a probe is present.
+    fn stage_report(&self) -> Option<StageReport> {
+        self.probe().map(|p| p.report())
     }
 }
 

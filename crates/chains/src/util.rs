@@ -20,6 +20,17 @@ impl WorkerPool {
     /// Reserves a worker for `cost` starting no earlier than `arrival`;
     /// returns the completion time.
     pub(crate) fn process(&mut self, arrival: SimTime, cost: SimDuration) -> SimTime {
+        self.process_spanned(arrival, cost).1
+    }
+
+    /// [`WorkerPool::process`] also reporting when service began:
+    /// returns `(start, done)` so callers can split queue wait from
+    /// service time (the stage probes need the boundary).
+    pub(crate) fn process_spanned(
+        &mut self,
+        arrival: SimTime,
+        cost: SimDuration,
+    ) -> (SimTime, SimTime) {
         let i = self
             .free
             .iter()
@@ -30,7 +41,7 @@ impl WorkerPool {
         let start = arrival.max(self.free[i]);
         let done = start + cost;
         self.free[i] = done;
-        done
+        (start, done)
     }
 }
 
@@ -58,6 +69,19 @@ mod tests {
         assert_eq!(
             p.process(SimTime::ZERO, SimDuration::from_millis(10)),
             SimTime::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn spanned_reports_queue_wait_boundary() {
+        let mut p = WorkerPool::new(1);
+        let (s1, d1) = p.process_spanned(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!((s1, d1), (SimTime::ZERO, SimTime::from_millis(10)));
+        // The second job queues: service starts when the worker frees.
+        let (s2, d2) = p.process_spanned(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(
+            (s2, d2),
+            (SimTime::from_millis(10), SimTime::from_millis(20))
         );
     }
 

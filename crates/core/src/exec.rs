@@ -120,6 +120,13 @@ pub fn scenario_cell_seed(root: u64, name: &str, system: crate::params::SystemKi
     SeedDeriver::new(root).seed_parts(&["scenario", name, system.label()])
 }
 
+/// The content-addressed seed of one bottleneck-attribution cell: a pure
+/// function of `(root, system)`. Filtering `repro bottleneck --systems …`
+/// or changing `--jobs` reproduces exactly the cells of the full campaign.
+pub fn bottleneck_cell_seed(root: u64, system: crate::params::SystemKind) -> u64 {
+    SeedDeriver::new(root).seed_parts(&["bottleneck", system.label()])
+}
+
 fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &BenchmarkSpec) -> u64 {
     let unit = unit.map_or(String::new(), |u| format!("{u:?}"));
     let nodes = spec
@@ -240,6 +247,14 @@ mod tests {
         );
         assert_ne!(a, scenario_cell_seed(7, "crash-heal", SystemKind::Quorum));
         assert_ne!(a, scenario_cell_seed(8, "crash-heal", SystemKind::Fabric));
+    }
+
+    #[test]
+    fn bottleneck_cell_seed_is_content_addressed() {
+        let a = bottleneck_cell_seed(7, SystemKind::Fabric);
+        assert_eq!(a, bottleneck_cell_seed(7, SystemKind::Fabric));
+        assert_ne!(a, bottleneck_cell_seed(7, SystemKind::Quorum));
+        assert_ne!(a, bottleneck_cell_seed(8, SystemKind::Fabric));
     }
 
     #[test]

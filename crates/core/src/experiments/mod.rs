@@ -9,6 +9,7 @@
 //! while runs stay cheap.
 
 pub mod ablations;
+pub mod bottleneck;
 pub mod chaos;
 pub mod churn;
 pub mod figures;
@@ -20,6 +21,9 @@ pub use ablations::{
     ablation_bitshares_ops, ablation_corda_signing, ablation_diem_spiking,
     ablation_endtoend_vs_node, ablation_fabric_block_cutting, ablation_quorum_stall,
     ablation_sawtooth_queue, all_ablations,
+};
+pub use bottleneck::{
+    attribute, bottleneck, bottleneck_for, BottleneckCell, BottleneckResult, BottleneckVerdict,
 };
 pub use chaos::{
     byzantine_domain, chaos, chaos_sweep, fault_domain, ByzantineDomain, ChaosCell, ChaosResult,

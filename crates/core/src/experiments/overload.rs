@@ -46,7 +46,7 @@ pub const PULSE_MULTIPLIER: f64 = 8.0;
 /// The curve's 1× reference: the paper's largest rate limiter (1600 tx/s;
 /// one tenth for the Cordas), so the multiplier grid straddles every
 /// system's saturation point.
-fn reference_rate(kind: SystemKind) -> f64 {
+pub(crate) fn reference_rate(kind: SystemKind) -> f64 {
     *kind
         .rate_limiters()
         .last()
@@ -74,7 +74,7 @@ pub fn tight_limits(kind: SystemKind) -> PoolLimits {
 
 /// Same payload mapping as the chaos campaign: a write workload for the
 /// Cordas (exercising flows and the notary), DoNothing elsewhere.
-fn payload(kind: SystemKind) -> PayloadKind {
+pub(crate) fn payload(kind: SystemKind) -> PayloadKind {
     match kind {
         SystemKind::CordaOs | SystemKind::CordaEnterprise => PayloadKind::KeyValueSet,
         _ => PayloadKind::DoNothing,

@@ -51,7 +51,9 @@ pub use chaos::{
     BreakerState, ChaosRun, CircuitBreaker, ClientProtection, DeliveryAccounting, RetryBudget,
     RetryPolicy,
 };
-pub use exec::{cell_seed, run_grid, scenario_cell_seed, sweep_cell_seed, unit_seed};
+pub use exec::{
+    bottleneck_cell_seed, cell_seed, run_grid, scenario_cell_seed, sweep_cell_seed, unit_seed,
+};
 pub use params::{BlockParam, SystemKind, SystemSetup};
 pub use report::Report;
 pub use runner::{run_benchmark, run_unit, BenchmarkResult, BenchmarkSpec, UnitResult};

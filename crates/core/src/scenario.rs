@@ -37,7 +37,7 @@
 //!    `(at, tx.id())`, and overlay ids carry a per-phase tag bit
 //!    ([`overlay_tag`]) so base and overlay ids can never collide.
 
-use coconut_chains::SystemStats;
+use coconut_chains::{StageReport, SystemStats};
 use coconut_simnet::{FaultEvent, FaultPlan};
 use coconut_types::{
     ClientId, ClientTx, NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId,
@@ -259,6 +259,7 @@ pub struct ScenarioBuilder {
     plan: FaultPlan,
     phases: Vec<LoadPhase>,
     checks: Vec<(SimTime, Check)>,
+    probes: bool,
 }
 
 impl ScenarioBuilder {
@@ -277,6 +278,7 @@ impl ScenarioBuilder {
             plan: FaultPlan::new(),
             phases: Vec::new(),
             checks: Vec::new(),
+            probes: false,
         }
     }
 
@@ -304,6 +306,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Arms per-stage pipeline probes
+    /// ([`coconut_chains::StageProbe`]): the run's [`ScenarioRun`] then
+    /// carries a [`StageReport`] of per-stage residence times, queue
+    /// depths, utilization, and sheds. Probes are passive — they never
+    /// sample randomness or move the clock — so the run's accounting is
+    /// byte-identical with probes on or off.
+    pub fn probes(mut self, on: bool) -> Self {
+        self.probes = on;
+        self
+    }
+
     /// Moves the time cursor to `t`; subsequent cursor calls anchor there.
     pub fn at(self, t: SimTime) -> Cursor {
         Cursor { b: self, t }
@@ -323,6 +336,7 @@ impl ScenarioBuilder {
             plan: self.plan,
             phases: self.phases,
             checks: self.checks,
+            probes: self.probes,
         }
     }
 }
@@ -481,6 +495,7 @@ pub struct Timeline {
     plan: FaultPlan,
     phases: Vec<LoadPhase>,
     checks: Vec<(SimTime, Check)>,
+    probes: bool,
 }
 
 /// The outcome of executing one [`Timeline`] against one system.
@@ -494,6 +509,9 @@ pub struct ScenarioRun {
     pub epochs: u64,
     /// One verdict per checkpointed assertion, in declaration order.
     pub checks: Vec<CheckOutcome>,
+    /// Per-stage pipeline telemetry, present iff the timeline armed
+    /// [`ScenarioBuilder::probes`].
+    pub stage_report: Option<StageReport>,
 }
 
 impl ScenarioRun {
@@ -667,6 +685,9 @@ impl Timeline {
             .windows(self.windows)
             .repetitions(1);
         let mut sys = build_system(system, &self.setup, seed);
+        if self.probes {
+            sys.enable_stage_probes();
+        }
         let schedule = self.schedule(seed);
         let run = run_chaos_with_schedule(
             sys.as_mut(),
@@ -679,6 +700,11 @@ impl Timeline {
         );
         let stats = sys.stats();
         let epochs = sys.config_epoch();
+        let stage_report = if self.probes {
+            sys.stage_report()
+        } else {
+            None
+        };
         let checks = self
             .checks
             .iter()
@@ -689,6 +715,7 @@ impl Timeline {
             stats,
             epochs,
             checks,
+            stage_report,
         }
     }
 }
