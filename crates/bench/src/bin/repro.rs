@@ -36,6 +36,12 @@
 //!             reporting per-stage residence shares, queue depths,
 //!             utilization, sheds, and a machine-checked verdict naming
 //!             the stage each system tops out in
+//!   contention Smallbank + Zipf-skewed YCSB over a bounded account pool at
+//!             three contention levels per system, reporting goodput and
+//!             the loss split by cause (MVCC invalidations, notary
+//!             double-spends, interacting-op rejections, aborted batches)
+//!             plus the workload's ledger invariant. --workloads A,B
+//!             restricts the workload mix
 //!   all       everything
 //!
 //! flags:
@@ -54,13 +60,17 @@
 //!                 case-insensitive, e.g. "fabric,corda os"); remaining
 //!                 cells keep their numbers. Unknown names are a hard
 //!                 error with a did-you-mean hint
+//!   --workloads A,B contention only: restrict the campaign to these
+//!                 workloads ("Smallbank,YCSB", case-insensitive);
+//!                 remaining cells keep their numbers. Unknown names are a
+//!                 hard error with a did-you-mean hint
 //!   --name A,B    scenario only: run just these named scenarios
 //!   --list        scenario only: print the scenario library and exit
 //!   --out DIR     also write results as JSON (and CSV where applicable)
 //!                 into DIR
 //!
 //! Every campaign target (chaos, overload, churn, scenario, bottleneck,
-//! all) also writes `BENCH_0008.json` — wall-clock timing of the run
+//! contention, all) also writes `BENCH_0008.json` — wall-clock timing of the run
 //! itself (simulated tx/s and client events/s per wall second) — into
 //! --out DIR when given, the working directory otherwise. It is a perf
 //! trajectory for the harness, not a result: timings vary by machine, so
@@ -73,11 +83,12 @@ use std::time::Instant;
 use coconut::chaos::ChaosRun;
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, bottleneck_for, chaos, chaos_sweep, churn_for, fig3, fig4, fig5,
-    overload_curves_for, overload_probes_for, render_scenario_list, scenario_names, scenarios_for,
-    table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10,
-    BottleneckResult, ChaosResult, ChurnCampaign, ChurnResult, ExperimentConfig, FaultCampaign,
-    OverloadResult, ScenarioCampaign, ScenarioResult, SweepResult, TableResult,
+    all_ablations, bottleneck_for, chaos, chaos_sweep, churn_for, contention_for, fig3, fig4,
+    fig5, overload_curves_for, overload_probes_for, render_scenario_list, scenario_names,
+    scenarios_for, table11_12, table13_14, table15_16, table17_18, table19_20, table7_8,
+    table9_10, BottleneckResult, ChaosResult, ChurnCampaign, ChurnResult, ContentionResult,
+    ExperimentConfig, FaultCampaign, OverloadResult, ScenarioCampaign, ScenarioResult,
+    SweepResult, TableResult, WORKLOADS,
 };
 use coconut::json::Json;
 use coconut::params::SystemKind;
@@ -92,6 +103,7 @@ struct Cli {
     out_dir: Option<PathBuf>,
     sweep: bool,
     systems: Option<Vec<SystemKind>>,
+    workloads: Option<Vec<&'static str>>,
     names: Option<Vec<String>>,
     list: bool,
 }
@@ -104,6 +116,7 @@ impl Cli {
             out_dir: None,
             sweep: false,
             systems: None,
+            workloads: None,
             names: None,
             list: false,
         };
@@ -159,6 +172,13 @@ impl Cli {
                         .get(i + 1)
                         .unwrap_or_else(|| die("--systems needs a comma-separated list"));
                     cli.systems = Some(parse_systems(list));
+                    i += 2;
+                }
+                "--workloads" => {
+                    let list = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| die("--workloads needs a comma-separated list"));
+                    cli.workloads = Some(parse_workloads(list));
                     i += 2;
                 }
                 "--name" => {
@@ -263,6 +283,9 @@ fn main() {
             run_scenario_campaign(&cfg, &cli.systems, &cli.names, &cli.out_dir, &mut bench)
         }
         "bottleneck" => run_bottleneck_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench),
+        "contention" => {
+            run_contention_campaign(&cfg, &cli.systems, &cli.workloads, &cli.out_dir, &mut bench)
+        }
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &cli.out_dir, name);
@@ -274,6 +297,7 @@ fn main() {
             run_churn_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             run_scenario_campaign(&cfg, &cli.systems, &cli.names, &cli.out_dir, &mut bench);
             run_bottleneck_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
+            run_contention_campaign(&cfg, &cli.systems, &cli.workloads, &cli.out_dir, &mut bench);
             let base = fig3(&cfg);
             emit("Figure 3", &base, &cli.out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
@@ -393,6 +417,25 @@ fn run_bottleneck_campaign(
     );
 }
 
+fn run_contention_campaign(
+    cfg: &ExperimentConfig,
+    systems: &Option<Vec<SystemKind>>,
+    workloads: &Option<Vec<&'static str>>,
+    out: &Option<PathBuf>,
+    bench: &mut BenchRecorder,
+) {
+    let list = systems.clone().unwrap_or_else(|| SystemKind::ALL.to_vec());
+    let wl = workloads.clone().unwrap_or_else(|| WORKLOADS.to_vec());
+    let (r, wall) = timed(|| contention_for(cfg, &list, &wl));
+    bench.record("contention", wall, &contention_runs(&r));
+    emit(
+        "Contention sweeps — Smallbank and Zipf-skewed YCSB, losses split by cause",
+        &r,
+        out,
+        "contention",
+    );
+}
+
 fn run_scenario_campaign(
     cfg: &ExperimentConfig,
     systems: &Option<Vec<SystemKind>>,
@@ -507,6 +550,10 @@ fn bottleneck_runs(r: &BottleneckResult) -> Vec<&ChaosRun> {
     r.cells.iter().map(|c| &c.run).collect()
 }
 
+fn contention_runs(r: &ContentionResult) -> Vec<&ChaosRun> {
+    r.cells.iter().map(|c| &c.run).collect()
+}
+
 fn scenario_counts(r: &ScenarioResult) -> BenchCounts {
     let mut counts = BenchCounts::default();
     for c in &r.cells {
@@ -614,6 +661,37 @@ fn parse_systems(list: &str) -> Vec<SystemKind> {
     out
 }
 
+/// Parses a comma-separated, case-insensitive list of workload names
+/// ("smallbank,ycsb") against
+/// [`WORKLOADS`](coconut::experiments::WORKLOADS), with the same
+/// hard-error + did-you-mean contract as [`parse_systems`].
+fn parse_workloads(list: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for part in list.split(',') {
+        let want = part.trim().to_lowercase();
+        if want.is_empty() {
+            continue;
+        }
+        match WORKLOADS.into_iter().find(|w| w.to_lowercase() == want) {
+            Some(w) => out.push(w),
+            None => {
+                let hint = closest(&want, &WORKLOADS)
+                    .map(|l| format!(" — did you mean \"{l}\"?"))
+                    .unwrap_or_default();
+                die(&format!(
+                    "unknown workload \"{}\" in --workloads{hint} (known: {})",
+                    part.trim(),
+                    WORKLOADS.join(", ")
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        die("--workloads needs at least one workload name");
+    }
+    out
+}
+
 /// Parses a comma-separated list of scenario names against the library,
 /// with the same hard-error + did-you-mean contract as [`parse_systems`].
 fn parse_names(list: &str) -> Vec<String> {
@@ -673,8 +751,8 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|bottleneck|all> \
-         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--name A,B] [--list] [--out DIR]"
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|bottleneck|contention|all> \
+         [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--workloads A,B] [--name A,B] [--list] [--out DIR]"
     );
 }
 

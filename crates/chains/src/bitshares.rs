@@ -161,7 +161,10 @@ impl Bitshares {
     }
 
     /// Transactions rejected for interfering with pending ones (the only
-    /// rejection BitShares has, so it is the runtime's rejected counter).
+    /// rejection BitShares has, so it is the runtime's rejected counter —
+    /// the runtime itself never fills `conflicts`; [`Self::stats`] aliases
+    /// this into that field).
+    #[allow(clippy::misnamed_getters)]
     pub fn conflicts(&self) -> u64 {
         self.rt.stats().rejected
     }
@@ -189,6 +192,19 @@ impl Bitshares {
             Payload::CreateAccount { account, .. } => vec![StateKey::Checking(account)],
             Payload::SendPayment { from, to, .. } => {
                 vec![StateKey::Checking(from), StateKey::Checking(to)]
+            }
+            Payload::TransactSavings { account, .. } | Payload::DepositChecking { account, .. } => {
+                vec![StateKey::Checking(account), StateKey::Saving(account)]
+            }
+            Payload::WriteCheck { from, to, .. } => {
+                vec![StateKey::Checking(from), StateKey::Checking(to)]
+            }
+            Payload::Amalgamate { from, to } => {
+                vec![
+                    StateKey::Checking(from),
+                    StateKey::Saving(from),
+                    StateKey::Checking(to),
+                ]
             }
             _ => vec![],
         }
@@ -361,7 +377,21 @@ impl BlockchainSystem for Bitshares {
     }
 
     fn stats(&self) -> SystemStats {
-        self.rt.stats_with(self.dpos.net_stats().messages_sent)
+        let mut s = self.rt.stats_with(self.dpos.net_stats().messages_sent);
+        // Interference with a pending footprint is BitShares' only
+        // rejection, so the ingress counter doubles as the conflict count.
+        s.conflicts = s.rejected;
+        s
+    }
+
+    fn preload(&mut self, payloads: &[Payload]) {
+        for p in payloads {
+            let _ = self.state.apply(p);
+        }
+    }
+
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        Some(coconut_iel::LedgerState::of_world(&self.state))
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {

@@ -22,11 +22,14 @@
 //! The notary rejects already-consumed states, which is what the
 //! BankingApp-SendPayment benchmark provokes (§4.1).
 
+use std::collections::HashMap;
+
 use coconut_consensus::notary::NotaryPool;
 use coconut_iel::vault::Vault;
 use coconut_simnet::NetConfig;
 use coconut_types::{
-    tx::FailReason, BlockId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, TxOutcome,
+    tx::FailReason, AccountId, BlockId, ClientId, ClientTx, Payload, PayloadKind, SeedDeriver,
+    SimDuration, SimTime, StateRef, TxId, TxOutcome,
 };
 
 use crate::runtime::{ChainRuntime, IngressLoad, PoolLimits, Stage, StageProbe};
@@ -144,6 +147,15 @@ pub struct Corda {
     /// Per-node completion times of flows still running — the node's
     /// backlog for backpressure purposes.
     pending_flows: Vec<Vec<SimTime>>,
+    /// Accounts whose latest Smallbank write has not yet finished finality
+    /// distribution: account → (time the write becomes visible on every
+    /// node, the input refs that write consumed). A flow touching such an
+    /// account before `visible_at` resolved its inputs against the stale
+    /// vault view and presents the already-consumed refs to the notary —
+    /// the double-spend rejection path. Empty for the paper's workloads
+    /// (only Smallbank payload kinds are tracked), so their streams and
+    /// timings are untouched.
+    pending_writes: HashMap<AccountId, (SimTime, Vec<StateRef>)>,
 }
 
 impl Corda {
@@ -179,6 +191,7 @@ impl Corda {
             ingress: (0..config.nodes)
                 .map(|_| IngressLoad::new(SimDuration::from_secs(1), config.ingress_cost, 0.95))
                 .collect(),
+            pending_writes: HashMap::new(),
             config,
             finalized: 0,
             notary_conflicts: 0,
@@ -223,6 +236,21 @@ impl Corda {
 
     fn hop(&mut self) -> SimDuration {
         self.rt.hop()
+    }
+
+    /// The accounts a Smallbank payload writes (the states whose in-flight
+    /// finality opens the notary double-spend window). Empty for every
+    /// paper payload kind.
+    fn smallbank_accounts(payload: &Payload) -> Vec<AccountId> {
+        match *payload {
+            Payload::TransactSavings { account, .. } | Payload::DepositChecking { account, .. } => {
+                vec![account]
+            }
+            Payload::WriteCheck { from, to, .. } | Payload::Amalgamate { from, to } => {
+                vec![from, to]
+            }
+            _ => vec![],
+        }
     }
 
     /// Wall time of the signature collection round.
@@ -288,7 +316,13 @@ impl BlockchainSystem for Corda {
         let built = self.vault.build_tx(payload);
         let scan_cost = match kind {
             PayloadKind::KeyValueSet => self.config.set_scan_per_state * self.vault.len() as u64,
-            PayloadKind::KeyValueGet | PayloadKind::Balance | PayloadKind::SendPayment => {
+            PayloadKind::KeyValueGet
+            | PayloadKind::Balance
+            | PayloadKind::SendPayment
+            | PayloadKind::TransactSavings
+            | PayloadKind::DepositChecking
+            | PayloadKind::WriteCheck
+            | PayloadKind::Amalgamate => {
                 let scanned = built.as_ref().map_or(self.vault.len(), |t| t.scanned);
                 self.config.get_scan_per_state * scanned as u64
             }
@@ -354,11 +388,30 @@ impl BlockchainSystem for Corda {
                 self.rt
                     .probe_mut()
                     .span(Stage::Execution, tx.id(), start, exec_end);
-                // Notarization.
+                // Notarization. A Smallbank flow that resolved an account
+                // whose previous write is still distributing finality built
+                // against the stale vault view: it presents that write's
+                // already-consumed input refs and the notary rejects the
+                // double-spend. Paper payloads never populate
+                // `pending_writes`, so this path costs them nothing.
+                let touched = Self::smallbank_accounts(payload);
+                let mut stale_inputs: Option<Vec<StateRef>> = None;
+                if !touched.is_empty() {
+                    self.pending_writes.retain(|_, (vis, _)| *vis > now);
+                    for a in &touched {
+                        if let Some((vis, refs)) = self.pending_writes.get(a) {
+                            if *vis > arrival && !refs.is_empty() {
+                                stale_inputs = Some(refs.clone());
+                                break;
+                            }
+                        }
+                    }
+                }
+                let request_inputs = stale_inputs.as_ref().unwrap_or(&corda_tx.inputs);
                 let notary_arrival = done + self.hop();
                 let Some(response) = self
                     .notary
-                    .request(notary_arrival, tx.id(), &corda_tx.inputs)
+                    .request(notary_arrival, tx.id(), request_inputs)
                 else {
                     // Every notary is down: the flow hangs awaiting a
                     // signature that never comes. The client never hears
@@ -395,6 +448,10 @@ impl BlockchainSystem for Corda {
                 for _ in 1..self.config.nodes {
                     persist = persist.max(back + self.hop());
                 }
+                for a in touched {
+                    self.pending_writes
+                        .insert(a, (persist, corda_tx.inputs.clone()));
+                }
                 let event_at = persist + self.hop();
                 self.rt
                     .probe_mut()
@@ -424,7 +481,25 @@ impl BlockchainSystem for Corda {
     }
 
     fn stats(&self) -> SystemStats {
-        self.rt.stats()
+        let mut s = self.rt.stats();
+        s.conflicts = self.notary_conflicts;
+        s
+    }
+
+    fn preload(&mut self, payloads: &[Payload]) {
+        // Install states directly in the vault (and nowhere else): preload
+        // bypasses flows, signing, and the notary, so it consumes no
+        // virtual time and draws no RNG.
+        for (i, p) in payloads.iter().enumerate() {
+            if let Ok(built) = self.vault.build_tx(p) {
+                self.vault
+                    .commit(TxId::new(ClientId(u32::MAX), i as u64), &built);
+            }
+        }
+    }
+
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        Some(self.vault.ledger_state())
     }
 
     fn is_live(&self) -> bool {

@@ -237,6 +237,16 @@ impl BlockchainSystem for Diem {
         self.rt.stats_with(self.engine.net_stats().messages_sent)
     }
 
+    fn preload(&mut self, payloads: &[coconut_types::Payload]) {
+        for p in payloads {
+            let _ = self.state.apply(p);
+        }
+    }
+
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        Some(coconut_iel::LedgerState::of_world(&self.state))
+    }
+
     fn crash_node(&mut self, node: NodeId) -> bool {
         if !self.rt.has_node(node) {
             return false;

@@ -366,7 +366,19 @@ impl BlockchainSystem for Fabric {
     }
 
     fn stats(&self) -> SystemStats {
-        self.rt.stats_with(self.raft.net_stats().messages_sent)
+        let mut s = self.rt.stats_with(self.raft.net_stats().messages_sent);
+        s.conflicts = self.invalid_txs;
+        s
+    }
+
+    fn preload(&mut self, payloads: &[coconut_types::Payload]) {
+        for p in payloads {
+            let _ = self.state.apply(p);
+        }
+    }
+
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        Some(coconut_iel::LedgerState::of_world(&self.state))
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {

@@ -317,7 +317,19 @@ impl BlockchainSystem for Sawtooth {
     }
 
     fn stats(&self) -> SystemStats {
-        self.rt.stats_with(self.pbft.net_stats().messages_sent)
+        let mut s = self.rt.stats_with(self.pbft.net_stats().messages_sent);
+        s.conflicts = self.aborted_batches;
+        s
+    }
+
+    fn preload(&mut self, payloads: &[coconut_types::Payload]) {
+        for p in payloads {
+            let _ = self.state.apply(p);
+        }
+    }
+
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        Some(coconut_iel::LedgerState::of_world(&self.state))
     }
 
     fn crash_node(&mut self, node: NodeId) -> bool {

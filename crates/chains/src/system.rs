@@ -70,6 +70,11 @@ pub struct SystemStats {
     pub joins: u64,
     /// Nodes removed from the membership at runtime (completed leaves).
     pub leaves: u64,
+    /// Transactions lost to the system's own concurrency-control path:
+    /// Fabric MVCC invalidations, Corda notary double-spend rejections,
+    /// BitShares interacting-operation rejections, Sawtooth aborted
+    /// batches. Zero for systems (or workloads) that never conflict.
+    pub conflicts: u64,
 }
 
 /// A blockchain system under test: the COCONUT framework submits
@@ -101,6 +106,21 @@ pub trait BlockchainSystem {
 
     /// Aggregate counters.
     fn stats(&self) -> SystemStats;
+
+    /// Installs `payloads` directly into the system's ledger before the
+    /// run, bypassing consensus (workload preload: account pools, initial
+    /// keyspace). The default does nothing — systems without a ledger
+    /// (test doubles) ignore preloads.
+    fn preload(&mut self, payloads: &[coconut_types::Payload]) {
+        let _ = payloads;
+    }
+
+    /// Snapshots the committed ledger for post-run workload invariant
+    /// checks ([`Workload::verify`]-style). `None` when the system exposes
+    /// no inspectable ledger.
+    fn ledger_state(&self) -> Option<coconut_iel::LedgerState> {
+        None
+    }
 
     /// `false` once the system has ceased serving confirmations — the
     /// paper's liveness violation (e.g. Quorum's stalled txpool).

@@ -12,7 +12,7 @@ use coconut_types::{
     ClientId, ClientTx, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId,
 };
 
-use crate::workload::payload_for;
+use crate::workload::{paper, Workload};
 
 /// Number of COCONUT client applications (two per client server).
 pub const CLIENTS: u32 = 4;
@@ -102,6 +102,26 @@ pub fn build_schedule(
     windows: Windows,
     seed: u64,
 ) -> Vec<ScheduledTx> {
+    // Compat shim: the paper benchmark is just a single-kind workload.
+    build_schedule_for(&paper(kind), rate, ops_per_tx, windows, seed)
+}
+
+/// Builds the merged submission schedule of all four COCONUT clients for
+/// an arbitrary [`Workload`] — the trait-based form of [`build_schedule`],
+/// which all call sites route through. The payload stream comes from
+/// [`Workload::payload_at`]; timing is seeded exactly as before, so paper
+/// workloads produce bit-identical schedules via either entry point.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive or `ops_per_tx` is zero.
+pub fn build_schedule_for(
+    workload: &dyn Workload,
+    rate: f64,
+    ops_per_tx: u32,
+    windows: Windows,
+    seed: u64,
+) -> Vec<ScheduledTx> {
     assert!(rate > 0.0, "rate must be positive");
     assert!(ops_per_tx > 0, "ops_per_tx must be at least 1");
     let seeds = SeedDeriver::new(seed);
@@ -123,7 +143,7 @@ pub fn build_schedule(
             let mut tx_seq: u64 = 0;
             while at < send_end {
                 let payloads: Vec<_> = (0..ops_per_tx)
-                    .map(|i| payload_for(kind, client, thread, seq + i as u64))
+                    .map(|i| workload.payload_at(client, thread, seq + i as u64))
                     .collect();
                 seq += ops_per_tx as u64;
                 // Per-client tx ids must be unique across threads.
@@ -223,6 +243,31 @@ mod tests {
         pairs.sort();
         pairs.dedup();
         assert_eq!(pairs.len(), 16);
+    }
+
+    #[test]
+    fn trait_schedule_matches_legacy_entry_point() {
+        use crate::workload::paper;
+        for kind in [PayloadKind::KeyValueSet, PayloadKind::SendPayment] {
+            let legacy = build_schedule(kind, 400.0, 2, Windows::scaled(0.02), 9);
+            let via_trait = build_schedule_for(&paper(kind), 400.0, 2, Windows::scaled(0.02), 9);
+            assert_eq!(legacy.len(), via_trait.len());
+            assert!(legacy
+                .iter()
+                .zip(&via_trait)
+                .all(|(a, b)| a.at == b.at && a.tx == b.tx));
+        }
+    }
+
+    #[test]
+    fn smallbank_schedule_draws_from_the_mix() {
+        use crate::workload::{ContentionKnobs, Smallbank};
+        let w = Smallbank::new(ContentionKnobs::default());
+        let schedule = build_schedule_for(&w, 200.0, 1, Windows::scaled(0.05), 11);
+        assert!(!schedule.is_empty());
+        let kinds: std::collections::HashSet<_> =
+            schedule.iter().map(|s| s.tx.kind()).collect();
+        assert!(kinds.len() >= 4, "mixed stream, got {kinds:?}");
     }
 
     #[test]

@@ -127,6 +127,20 @@ pub fn bottleneck_cell_seed(root: u64, system: crate::params::SystemKind) -> u64
     SeedDeriver::new(root).seed_parts(&["bottleneck", system.label()])
 }
 
+/// The content-addressed seed of one contention-sweep cell: a pure
+/// function of `(root, system, workload, cell)` where `cell` names the
+/// contention level ("low", "mid", "high"). Filtering `repro contention`
+/// by `--systems`/`--workloads` or changing `--jobs` reproduces exactly
+/// the cells of the full campaign.
+pub fn contention_cell_seed(
+    root: u64,
+    system: crate::params::SystemKind,
+    workload: &str,
+    cell: &str,
+) -> u64 {
+    SeedDeriver::new(root).seed_parts(&["contention", system.label(), workload, cell])
+}
+
 fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &BenchmarkSpec) -> u64 {
     let unit = unit.map_or(String::new(), |u| format!("{u:?}"));
     let nodes = spec
@@ -142,7 +156,7 @@ fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &Benchmark
     let send = spec.windows.send.as_micros().to_string();
     let listen = spec.windows.listen.as_micros().to_string();
     let reps = spec.repetitions.to_string();
-    SeedDeriver::new(root).seed_parts(&[
+    let mut parts = vec![
         scope,
         unit.as_str(),
         spec.system.label(),
@@ -155,7 +169,14 @@ fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &Benchmark
         send.as_str(),
         listen.as_str(),
         reps.as_str(),
-    ])
+    ];
+    // The workload component joins the hash only when a non-paper workload
+    // is named, so every pre-existing paper-workload seed is unchanged.
+    if let Some(w) = &spec.workload {
+        parts.push("workload");
+        parts.push(w.as_str());
+    }
+    SeedDeriver::new(root).seed_parts(&parts)
 }
 
 #[cfg(test)]
@@ -255,6 +276,32 @@ mod tests {
         assert_eq!(a, bottleneck_cell_seed(7, SystemKind::Fabric));
         assert_ne!(a, bottleneck_cell_seed(7, SystemKind::Quorum));
         assert_ne!(a, bottleneck_cell_seed(8, SystemKind::Fabric));
+    }
+
+    #[test]
+    fn contention_cell_seed_is_content_addressed() {
+        let a = contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "low");
+        assert_eq!(a, contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "low"));
+        assert_ne!(a, contention_cell_seed(7, SystemKind::Quorum, "Smallbank", "low"));
+        assert_ne!(a, contention_cell_seed(7, SystemKind::Fabric, "YCSB", "low"));
+        assert_ne!(a, contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "high"));
+        assert_ne!(a, contention_cell_seed(8, SystemKind::Fabric, "Smallbank", "low"));
+    }
+
+    #[test]
+    fn workload_component_joins_seed_only_when_named() {
+        let spec = BenchmarkSpec::new(SystemKind::Fabric, PayloadKind::DoNothing);
+        let a = cell_seed(7, "run-many", &spec);
+        // A named workload changes the seed; None leaves the legacy hash
+        // intact (the invariant every existing golden rests on).
+        assert_ne!(
+            a,
+            cell_seed(7, "run-many", &spec.clone().workload_name("Smallbank"))
+        );
+        assert_ne!(
+            cell_seed(7, "run-many", &spec.clone().workload_name("Smallbank")),
+            cell_seed(7, "run-many", &spec.clone().workload_name("YCSB"))
+        );
     }
 
     #[test]

@@ -208,7 +208,7 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
     let mut items: Vec<Item> = Vec::new();
     for &system in SystemKind::ALL.iter() {
         for unit in BenchmarkUnit::ALL {
-            for &benchmark in unit.benchmarks() {
+            for benchmark in unit.benchmarks() {
                 let Some(&(rate, param, ops)) = base.best_config.get(&(benchmark, system)) else {
                     continue;
                 };
@@ -242,7 +242,10 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
             admission: None,
             standby: 0,
         };
-        let template = BenchmarkSpec::new(item.system, item.unit.benchmarks()[0])
+        let template = BenchmarkSpec::new(
+            item.system,
+            item.unit.benchmarks().next().expect("unit has phases"),
+        )
             .setup(setup)
             .rate(item.rate)
             .ops_per_tx(item.ops)

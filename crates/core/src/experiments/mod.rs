@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod bottleneck;
 pub mod chaos;
 pub mod churn;
+pub mod contention;
 pub mod figures;
 pub mod overload;
 pub mod scenarios;
@@ -30,6 +31,10 @@ pub use chaos::{
     DegradationCurve, FaultCampaign, FaultDomain, FaultKind, SweepCell, SweepResult,
 };
 pub use churn::{churn, churn_for, ChurnArm, ChurnCampaign, ChurnCell, ChurnResult};
+pub use contention::{
+    contention, contention_for, workload_named, ContentionCell, ContentionLevel, ContentionResult,
+    ACCOUNT_POOL, LEVELS, WORKLOADS,
+};
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
 pub use overload::{
     overload, overload_curves_for, overload_probes_for, tight_limits, MetastableProbe,

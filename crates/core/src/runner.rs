@@ -6,10 +6,10 @@ use std::collections::HashSet;
 use coconut_chains::BlockchainSystem;
 use coconut_types::{PayloadKind, SeedDeriver, SimDuration, SimTime, TxId};
 
-use crate::client::{build_schedule, Windows};
+use crate::client::{build_schedule_for, Windows};
 use crate::params::{build_system, BlockParam, SystemKind, SystemSetup};
 use crate::stats::{percentile, Stats};
-use crate::workload::BenchmarkUnit;
+use crate::workload::{paper, BenchmarkUnit, Workload};
 
 /// Everything needed to run one benchmark (§4.1's combination of a client
 /// workload and an interface execution layer, plus parameters).
@@ -29,6 +29,10 @@ pub struct BenchmarkSpec {
     pub windows: Windows,
     /// Repetitions to average over (the paper uses 3).
     pub repetitions: u32,
+    /// Name of the non-paper [`Workload`] driving this spec, if any. Paper
+    /// benchmarks leave this `None`; it joins the content-addressed seed
+    /// only when set, so every pre-existing paper seed is unchanged.
+    pub workload: Option<String>,
 }
 
 impl BenchmarkSpec {
@@ -44,7 +48,15 @@ impl BenchmarkSpec {
             ops_per_tx: 1,
             windows: Windows::paper(),
             repetitions: 3,
+            workload: None,
         }
+    }
+
+    /// Names the non-paper workload driving this spec (adds a `workload`
+    /// component to the content-addressed cell seed).
+    pub fn workload_name(mut self, name: &str) -> Self {
+        self.workload = Some(name.to_string());
+        self
     }
 
     /// Sets the aggregate rate limiter.
@@ -206,13 +218,22 @@ pub fn run_one(
     run_tag: u64,
     seed: u64,
 ) -> RepMeasurement {
-    let schedule = build_schedule(
-        spec.benchmark,
-        spec.rate,
-        spec.ops_per_tx,
-        spec.windows,
-        seed,
-    );
+    run_workload_one(system, &paper(spec.benchmark), spec, base, run_tag, seed)
+}
+
+/// [`run_one`] for an arbitrary [`Workload`]: the schedule's payload
+/// stream comes from the trait instance instead of `spec.benchmark`. Both
+/// entry points share the measurement loop, so paper benchmarks measure
+/// bit-identically through either.
+pub fn run_workload_one(
+    system: &mut (dyn BlockchainSystem + Send),
+    workload: &dyn Workload,
+    spec: &BenchmarkSpec,
+    base: SimTime,
+    run_tag: u64,
+    seed: u64,
+) -> RepMeasurement {
+    let schedule = build_schedule_for(workload, spec.rate, spec.ops_per_tx, spec.windows, seed);
     let expected: u64 = schedule.iter().map(|s| s.tx.op_count() as u64).sum();
     let mut my_ids: HashSet<TxId> = HashSet::with_capacity(schedule.len());
     let mut created = std::collections::HashMap::with_capacity(schedule.len());
@@ -306,7 +327,7 @@ pub fn run_unit(
     seed: u64,
 ) -> UnitResult {
     let seeds = SeedDeriver::new(seed);
-    let benchmarks = unit.benchmarks();
+    let benchmarks: Vec<_> = unit.benchmarks().collect();
     // reps[b][rep]
     let mut measurements: Vec<Vec<RepMeasurement>> = vec![Vec::new(); benchmarks.len()];
     // The paper's client lifecycle: terminate at 420 s for a 300 s send

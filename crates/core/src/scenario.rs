@@ -43,12 +43,14 @@ use coconut_types::{
     ClientId, ClientTx, NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId,
 };
 
+use std::sync::Arc;
+
 use crate::chaos::{run_chaos_with_schedule, ChaosRun, ClientProtection, RetryPolicy};
-use crate::client::{build_schedule, ScheduledTx, Windows};
+use crate::client::{build_schedule_for, ScheduledTx, Windows};
 use crate::json::Json;
 use crate::params::{build_system, SystemKind, SystemSetup};
 use crate::runner::BenchmarkSpec;
-use crate::workload::payload_for;
+use crate::workload::{paper, Workload};
 
 /// The shape of one load phase layered over the base rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,6 +252,7 @@ impl CheckOutcome {
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     payload: PayloadKind,
+    workload: Arc<dyn Workload + Send + Sync>,
     rate: f64,
     ops_per_tx: u32,
     windows: Windows,
@@ -269,6 +272,7 @@ impl ScenarioBuilder {
     pub fn new(payload: PayloadKind, rate: f64, windows: Windows) -> Self {
         ScenarioBuilder {
             payload,
+            workload: Arc::new(paper(payload)),
             rate,
             ops_per_tx: 1,
             windows,
@@ -280,6 +284,25 @@ impl ScenarioBuilder {
             checks: Vec::new(),
             probes: false,
         }
+    }
+
+    /// Replaces the transaction generator with an arbitrary [`Workload`]
+    /// instance (e.g. [`crate::workload::Smallbank`] or
+    /// [`crate::workload::Ycsb`]). The builder's `payload` kind is kept
+    /// for spec labelling; the schedule's payload stream comes entirely
+    /// from `workload`. The default is the paper workload of the `payload`
+    /// kind passed to [`ScenarioBuilder::new`], which reproduces the
+    /// legacy `payload_for` stream bit-for-bit.
+    pub fn workload(mut self, workload: impl Workload + Send + Sync + 'static) -> Self {
+        self.workload = Arc::new(workload);
+        self
+    }
+
+    /// [`ScenarioBuilder::workload`] for an already-boxed instance, e.g.
+    /// one picked by name at runtime.
+    pub fn workload_boxed(mut self, workload: Box<dyn Workload + Send + Sync>) -> Self {
+        self.workload = Arc::from(workload);
+        self
     }
 
     /// Sets the deployment (nodes, admission pools, standby count).
@@ -327,6 +350,7 @@ impl ScenarioBuilder {
     pub fn build(self) -> Timeline {
         Timeline {
             payload: self.payload,
+            workload: self.workload,
             rate: self.rate,
             ops_per_tx: self.ops_per_tx,
             windows: self.windows,
@@ -486,6 +510,7 @@ impl Cursor {
 #[derive(Debug, Clone)]
 pub struct Timeline {
     payload: PayloadKind,
+    workload: Arc<dyn Workload + Send + Sync>,
     rate: f64,
     ops_per_tx: u32,
     windows: Windows,
@@ -512,6 +537,9 @@ pub struct ScenarioRun {
     /// Per-stage pipeline telemetry, present iff the timeline armed
     /// [`ScenarioBuilder::probes`].
     pub stage_report: Option<StageReport>,
+    /// The workload's post-run invariant ([`Workload::verify`]) over the
+    /// system's final ledger, or `None` when the system exposes no ledger.
+    pub verified: Option<Result<(), String>>,
 }
 
 impl ScenarioRun {
@@ -547,6 +575,13 @@ impl Timeline {
         &self.checks
     }
 
+    /// The transaction generator driving the schedule — use it to run the
+    /// workload's [`Workload::verify`] invariant over a system's final
+    /// [`coconut_iel::LedgerState`] after [`Timeline::run`].
+    pub fn workload(&self) -> &(dyn Workload + Send + Sync) {
+        self.workload.as_ref()
+    }
+
     /// Builds the full submission schedule: the base schedule (seed stream
     /// `("schedule", 0)` — identical to the classic client's) merged with
     /// one overlay per load phase (seed stream `("pulse", i)`, ids tagged
@@ -558,8 +593,8 @@ impl Timeline {
     /// [`run_chaos`]: crate::chaos::run_chaos
     pub fn schedule(&self, seed: u64) -> Vec<ScheduledTx> {
         let seeds = SeedDeriver::new(seed);
-        let mut all = build_schedule(
-            self.payload,
+        let mut all = build_schedule_for(
+            self.workload.as_ref(),
             self.rate,
             self.ops_per_tx,
             self.windows,
@@ -583,8 +618,8 @@ impl Timeline {
             // construction, reproduced byte-for-byte for phase 0.
             LoadShape::Flash { multiplier } => {
                 let len = phase.end - phase.start;
-                let sub = build_schedule(
-                    self.payload,
+                let sub = build_schedule_for(
+                    self.workload.as_ref(),
                     self.rate * (multiplier - 1.0),
                     self.ops_per_tx,
                     Windows {
@@ -645,7 +680,7 @@ impl Timeline {
                     let thread = ThreadId(((seq / 4) % 4) as u32);
                     let id = TxId::new(client, tag | seq);
                     let payloads: Vec<_> = (0..self.ops_per_tx)
-                        .map(|k| payload_for(self.payload, client, thread, seq + k as u64))
+                        .map(|k| self.workload.payload_at(client, thread, seq + k as u64))
                         .collect();
                     out.push(ScheduledTx {
                         at,
@@ -688,6 +723,12 @@ impl Timeline {
         if self.probes {
             sys.enable_stage_probes();
         }
+        // Install the workload's initial ledger state (no-op for the
+        // paper's self-bootstrapping workloads, whose preload is empty).
+        let preload = self.workload.preload();
+        if !preload.is_empty() {
+            sys.preload(&preload);
+        }
         let schedule = self.schedule(seed);
         let run = run_chaos_with_schedule(
             sys.as_mut(),
@@ -699,6 +740,7 @@ impl Timeline {
             seed,
         );
         let stats = sys.stats();
+        let verified = sys.ledger_state().map(|l| self.workload.verify(&l));
         let epochs = sys.config_epoch();
         let stage_report = if self.probes {
             sys.stage_report()
@@ -716,6 +758,7 @@ impl Timeline {
             epochs,
             checks,
             stage_report,
+            verified,
         }
     }
 }
@@ -723,6 +766,7 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::build_schedule;
 
     fn windows() -> Windows {
         Windows {

@@ -28,5 +28,5 @@ pub mod state;
 pub mod vault;
 
 pub use rwset::{simulate, validate_and_apply, RwSet, SimulatedTx};
-pub use state::{ExecEffect, ExecError, StateKey, WorldState};
+pub use state::{ExecEffect, ExecError, LedgerState, StateKey, WorldState};
 pub use vault::{CordaTx, Vault, VaultQuery};

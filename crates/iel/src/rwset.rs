@@ -104,6 +104,73 @@ pub fn simulate(payload: &Payload, state: &WorldState) -> Result<SimulatedTx, Ex
             let saving = read(StateKey::Saving(account), &mut rwset)?;
             value = Some(checking + saving);
         }
+        Payload::TransactSavings { account, amount } => {
+            let checking = read(StateKey::Checking(account), &mut rwset)?;
+            let saving = read(StateKey::Saving(account), &mut rwset)?;
+            if checking < amount {
+                return Err(ExecError::InsufficientFunds {
+                    account,
+                    balance: checking,
+                    requested: amount,
+                });
+            }
+            rwset
+                .writes
+                .push((StateKey::Checking(account), checking - amount));
+            rwset
+                .writes
+                .push((StateKey::Saving(account), saving + amount));
+        }
+        Payload::DepositChecking { account, amount } => {
+            let checking = read(StateKey::Checking(account), &mut rwset)?;
+            let saving = read(StateKey::Saving(account), &mut rwset)?;
+            if saving < amount {
+                return Err(ExecError::InsufficientFunds {
+                    account,
+                    balance: saving,
+                    requested: amount,
+                });
+            }
+            rwset
+                .writes
+                .push((StateKey::Checking(account), checking + amount));
+            rwset
+                .writes
+                .push((StateKey::Saving(account), saving - amount));
+        }
+        Payload::WriteCheck { from, to, amount } => {
+            let from_checking = read(StateKey::Checking(from), &mut rwset)?;
+            let _from_saving = read(StateKey::Saving(from), &mut rwset)?;
+            let to_checking = read(StateKey::Checking(to), &mut rwset)?;
+            if from_checking < amount {
+                return Err(ExecError::InsufficientFunds {
+                    account: from,
+                    balance: from_checking,
+                    requested: amount,
+                });
+            }
+            if from != to {
+                rwset
+                    .writes
+                    .push((StateKey::Checking(from), from_checking - amount));
+                rwset
+                    .writes
+                    .push((StateKey::Checking(to), to_checking + amount));
+            }
+        }
+        Payload::Amalgamate { from, to } => {
+            let from_checking = read(StateKey::Checking(from), &mut rwset)?;
+            let from_saving = read(StateKey::Saving(from), &mut rwset)?;
+            let to_checking = read(StateKey::Checking(to), &mut rwset)?;
+            if from != to {
+                rwset.writes.push((StateKey::Checking(from), 0));
+                rwset.writes.push((StateKey::Saving(from), 0));
+                rwset.writes.push((
+                    StateKey::Checking(to),
+                    to_checking + from_checking + from_saving,
+                ));
+            }
+        }
     }
     Ok(SimulatedTx { rwset, value })
 }

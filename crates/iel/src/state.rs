@@ -215,7 +215,154 @@ impl WorldState {
                 effect.value = Some(checking + saving);
                 Ok(())
             }
+            Payload::TransactSavings { account, amount } => {
+                let checking = self.read(StateKey::Checking(account), effect)?;
+                let saving = self.read(StateKey::Saving(account), effect)?;
+                if checking < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account,
+                        balance: checking,
+                        requested: amount,
+                    });
+                }
+                self.write(StateKey::Checking(account), checking - amount, effect);
+                self.write(StateKey::Saving(account), saving + amount, effect);
+                Ok(())
+            }
+            Payload::DepositChecking { account, amount } => {
+                let checking = self.read(StateKey::Checking(account), effect)?;
+                let saving = self.read(StateKey::Saving(account), effect)?;
+                if saving < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account,
+                        balance: saving,
+                        requested: amount,
+                    });
+                }
+                self.write(StateKey::Checking(account), checking + amount, effect);
+                self.write(StateKey::Saving(account), saving - amount, effect);
+                Ok(())
+            }
+            Payload::WriteCheck { from, to, amount } => {
+                // Smallbank reads *both* of the payer's balances before
+                // deciding, which is what widens the MVCC read set.
+                let from_checking = self.read(StateKey::Checking(from), effect)?;
+                let _from_saving = self.read(StateKey::Saving(from), effect)?;
+                let to_checking = self.read(StateKey::Checking(to), effect)?;
+                if from_checking < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account: from,
+                        balance: from_checking,
+                        requested: amount,
+                    });
+                }
+                // A self-check is a read-only no-op; transferring through
+                // stale intermediate values would mint money.
+                if from != to {
+                    self.write(StateKey::Checking(from), from_checking - amount, effect);
+                    self.write(StateKey::Checking(to), to_checking + amount, effect);
+                }
+                Ok(())
+            }
+            Payload::Amalgamate { from, to } => {
+                let from_checking = self.read(StateKey::Checking(from), effect)?;
+                let from_saving = self.read(StateKey::Saving(from), effect)?;
+                let to_checking = self.read(StateKey::Checking(to), effect)?;
+                if from != to {
+                    self.write(StateKey::Checking(from), 0, effect);
+                    self.write(StateKey::Saving(from), 0, effect);
+                    self.write(
+                        StateKey::Checking(to),
+                        to_checking + from_checking + from_saving,
+                        effect,
+                    );
+                }
+                Ok(())
+            }
         }
+    }
+}
+
+/// A system-agnostic snapshot of final ledger contents.
+///
+/// Workload `verify` hooks run against this view rather than against any
+/// per-system state representation: the order-execute chains build it from
+/// their [`WorldState`], Corda from its vault, so one invariant check (say,
+/// Smallbank's conserved total balance) covers all seven systems.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerState {
+    /// `(account, checking, saving)`, sorted by account id.
+    accounts: Vec<(AccountId, u64, u64)>,
+    /// `(key, value)` KeyValue entries, sorted by key.
+    kv: Vec<(u64, u64)>,
+}
+
+impl LedgerState {
+    /// Builds a snapshot from unordered account and key/value maps.
+    pub fn from_maps(
+        accounts: HashMap<AccountId, (u64, u64)>,
+        kv: HashMap<u64, u64>,
+    ) -> Self {
+        let mut accounts: Vec<(AccountId, u64, u64)> = accounts
+            .into_iter()
+            .map(|(a, (c, s))| (a, c, s))
+            .collect();
+        accounts.sort_unstable_by_key(|&(a, _, _)| a);
+        let mut kv: Vec<(u64, u64)> = kv.into_iter().collect();
+        kv.sort_unstable_by_key(|&(k, _)| k);
+        LedgerState { accounts, kv }
+    }
+
+    /// Snapshots a [`WorldState`] (the order-execute systems' view).
+    pub fn of_world(state: &WorldState) -> Self {
+        let mut accounts: HashMap<AccountId, (u64, u64)> = HashMap::new();
+        let mut kv = HashMap::new();
+        for (&key, &value) in &state.values {
+            match key {
+                StateKey::Kv(k) => {
+                    kv.insert(k, value);
+                }
+                StateKey::Checking(a) => {
+                    accounts.entry(a).or_insert((0, 0)).0 = value;
+                }
+                StateKey::Saving(a) => {
+                    accounts.entry(a).or_insert((0, 0)).1 = value;
+                }
+            }
+        }
+        LedgerState::from_maps(accounts, kv)
+    }
+
+    /// All accounts as `(account, checking, saving)`, sorted by id.
+    pub fn accounts(&self) -> &[(AccountId, u64, u64)] {
+        &self.accounts
+    }
+
+    /// The `(checking, saving)` balances of `account`, if present.
+    pub fn balance(&self, account: AccountId) -> Option<(u64, u64)> {
+        self.accounts
+            .binary_search_by_key(&account, |&(a, _, _)| a)
+            .ok()
+            .map(|i| (self.accounts[i].1, self.accounts[i].2))
+    }
+
+    /// The value stored under KeyValue key `key`, if present.
+    pub fn kv_get(&self, key: u64) -> Option<u64> {
+        self.kv
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.kv[i].1)
+    }
+
+    /// Number of KeyValue entries.
+    pub fn kv_count(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// Sum of every account's checking + saving balance — Smallbank's
+    /// conserved quantity.
+    pub fn total_balance(&self) -> u64 {
+        self.accounts.iter().map(|&(_, c, s)| c + s).sum()
     }
 }
 
@@ -390,6 +537,99 @@ mod tests {
                 .sum();
             assert_eq!(total, 800, "case {case}");
         }
+    }
+
+    fn smallbank_pair(s: &mut WorldState) {
+        s.apply(&Payload::create_account(AccountId(1), 100, 50))
+            .unwrap();
+        s.apply(&Payload::create_account(AccountId(2), 100, 50))
+            .unwrap();
+    }
+
+    fn total(s: &WorldState) -> u64 {
+        LedgerState::of_world(s).total_balance()
+    }
+
+    #[test]
+    fn transact_savings_moves_checking_into_saving() {
+        let mut s = WorldState::new();
+        smallbank_pair(&mut s);
+        let e = s
+            .apply(&Payload::transact_savings(AccountId(1), 30))
+            .unwrap();
+        assert_eq!(e.reads.len(), 2);
+        assert_eq!(s.get(&StateKey::Checking(AccountId(1))), Some(70));
+        assert_eq!(s.get(&StateKey::Saving(AccountId(1))), Some(80));
+        assert_eq!(total(&s), 300);
+        // Overdrawing the checking balance fails without side effects.
+        let err = s
+            .apply(&Payload::transact_savings(AccountId(1), 1000))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InsufficientFunds { .. }));
+        assert_eq!(total(&s), 300);
+    }
+
+    #[test]
+    fn deposit_checking_moves_saving_into_checking() {
+        let mut s = WorldState::new();
+        smallbank_pair(&mut s);
+        s.apply(&Payload::deposit_checking(AccountId(2), 50))
+            .unwrap();
+        assert_eq!(s.get(&StateKey::Checking(AccountId(2))), Some(150));
+        assert_eq!(s.get(&StateKey::Saving(AccountId(2))), Some(0));
+        let err = s
+            .apply(&Payload::deposit_checking(AccountId(2), 1))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InsufficientFunds { .. }));
+        assert_eq!(total(&s), 300);
+    }
+
+    #[test]
+    fn write_check_reads_both_payer_balances() {
+        let mut s = WorldState::new();
+        smallbank_pair(&mut s);
+        let e = s
+            .apply(&Payload::write_check(AccountId(1), AccountId(2), 40))
+            .unwrap();
+        assert_eq!(e.reads.len(), 3, "payer checking+saving, payee checking");
+        assert_eq!(s.get(&StateKey::Checking(AccountId(1))), Some(60));
+        assert_eq!(s.get(&StateKey::Checking(AccountId(2))), Some(140));
+        assert_eq!(total(&s), 300);
+        // A self-check conserves money instead of minting it.
+        s.apply(&Payload::write_check(AccountId(1), AccountId(1), 10))
+            .unwrap();
+        assert_eq!(total(&s), 300);
+    }
+
+    #[test]
+    fn amalgamate_drains_into_checking() {
+        let mut s = WorldState::new();
+        smallbank_pair(&mut s);
+        s.apply(&Payload::amalgamate(AccountId(1), AccountId(2)))
+            .unwrap();
+        assert_eq!(s.get(&StateKey::Checking(AccountId(1))), Some(0));
+        assert_eq!(s.get(&StateKey::Saving(AccountId(1))), Some(0));
+        assert_eq!(s.get(&StateKey::Checking(AccountId(2))), Some(250));
+        assert_eq!(total(&s), 300);
+        let err = s
+            .apply(&Payload::amalgamate(AccountId(1), AccountId(9)))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::NotFound(_)));
+        assert_eq!(total(&s), 300);
+    }
+
+    #[test]
+    fn ledger_state_snapshots_world() {
+        let mut s = WorldState::new();
+        smallbank_pair(&mut s);
+        s.apply(&Payload::key_value_set(7, 42)).unwrap();
+        let snap = LedgerState::of_world(&s);
+        assert_eq!(snap.accounts().len(), 2);
+        assert_eq!(snap.balance(AccountId(1)), Some((100, 50)));
+        assert_eq!(snap.balance(AccountId(9)), None);
+        assert_eq!(snap.kv_get(7), Some(42));
+        assert_eq!(snap.kv_count(), 1);
+        assert_eq!(snap.total_balance(), 300);
     }
 
     #[test]

@@ -266,7 +266,206 @@ impl Vault {
                     _ => Err(ExecError::NotFound(StateKey::Checking(account))),
                 }
             }
+            Payload::TransactSavings { account, amount } => {
+                let q = self.query_account(account);
+                let Some((
+                    r,
+                    StateData::Account {
+                        checking, saving, ..
+                    },
+                )) = q.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(account)));
+                };
+                if checking < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account,
+                        balance: checking,
+                        requested: amount,
+                    });
+                }
+                Ok(CordaTx {
+                    inputs: vec![r],
+                    outputs: vec![StateData::Account {
+                        account,
+                        checking: checking - amount,
+                        saving: saving + amount,
+                    }],
+                    scanned: q.scanned,
+                    value: None,
+                })
+            }
+            Payload::DepositChecking { account, amount } => {
+                let q = self.query_account(account);
+                let Some((
+                    r,
+                    StateData::Account {
+                        checking, saving, ..
+                    },
+                )) = q.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(account)));
+                };
+                if saving < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account,
+                        balance: saving,
+                        requested: amount,
+                    });
+                }
+                Ok(CordaTx {
+                    inputs: vec![r],
+                    outputs: vec![StateData::Account {
+                        account,
+                        checking: checking + amount,
+                        saving: saving - amount,
+                    }],
+                    scanned: q.scanned,
+                    value: None,
+                })
+            }
+            Payload::WriteCheck { from, to, amount } => {
+                let qf = self.query_account(from);
+                let Some((
+                    from_ref,
+                    StateData::Account {
+                        checking: fc,
+                        saving: fs,
+                        ..
+                    },
+                )) = qf.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(from)));
+                };
+                let qt = self.query_account(to);
+                let Some((
+                    to_ref,
+                    StateData::Account {
+                        checking: tc,
+                        saving: ts,
+                        ..
+                    },
+                )) = qt.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(to)));
+                };
+                if fc < amount {
+                    return Err(ExecError::InsufficientFunds {
+                        account: from,
+                        balance: fc,
+                        requested: amount,
+                    });
+                }
+                if from == to {
+                    // Self-transfer: nothing moves; reissue the state as-is.
+                    return Ok(CordaTx {
+                        inputs: vec![from_ref],
+                        outputs: vec![StateData::Account {
+                            account: from,
+                            checking: fc,
+                            saving: fs,
+                        }],
+                        scanned: qf.scanned + qt.scanned,
+                        value: None,
+                    });
+                }
+                Ok(CordaTx {
+                    inputs: vec![from_ref, to_ref],
+                    outputs: vec![
+                        StateData::Account {
+                            account: from,
+                            checking: fc - amount,
+                            saving: fs,
+                        },
+                        StateData::Account {
+                            account: to,
+                            checking: tc + amount,
+                            saving: ts,
+                        },
+                    ],
+                    scanned: qf.scanned + qt.scanned,
+                    value: None,
+                })
+            }
+            Payload::Amalgamate { from, to } => {
+                let qf = self.query_account(from);
+                let Some((
+                    from_ref,
+                    StateData::Account {
+                        checking: fc,
+                        saving: fs,
+                        ..
+                    },
+                )) = qf.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(from)));
+                };
+                let qt = self.query_account(to);
+                let Some((
+                    to_ref,
+                    StateData::Account {
+                        checking: tc,
+                        saving: ts,
+                        ..
+                    },
+                )) = qt.found
+                else {
+                    return Err(ExecError::NotFound(StateKey::Checking(to)));
+                };
+                if from == to {
+                    return Ok(CordaTx {
+                        inputs: vec![from_ref],
+                        outputs: vec![StateData::Account {
+                            account: from,
+                            checking: fc,
+                            saving: fs,
+                        }],
+                        scanned: qf.scanned + qt.scanned,
+                        value: None,
+                    });
+                }
+                Ok(CordaTx {
+                    inputs: vec![from_ref, to_ref],
+                    outputs: vec![
+                        StateData::Account {
+                            account: from,
+                            checking: 0,
+                            saving: 0,
+                        },
+                        StateData::Account {
+                            account: to,
+                            checking: tc + fc + fs,
+                            saving: ts,
+                        },
+                    ],
+                    scanned: qf.scanned + qt.scanned,
+                    value: None,
+                })
+            }
         }
+    }
+
+    /// Snapshots the unconsumed account and KeyValue states as a
+    /// [`LedgerState`](crate::LedgerState) for workload invariant checks.
+    pub fn ledger_state(&self) -> crate::LedgerState {
+        let mut accounts = HashMap::new();
+        let mut kv = HashMap::new();
+        for data in self.states.values() {
+            match *data {
+                StateData::Account {
+                    account,
+                    checking,
+                    saving,
+                } => {
+                    accounts.insert(account, (checking, saving));
+                }
+                StateData::Kv { key, value } => {
+                    kv.insert(key, value);
+                }
+                StateData::Marker => {}
+            }
+        }
+        crate::LedgerState::from_maps(accounts, kv)
     }
 
     /// Commits a notarized transaction: consumes its inputs and adds its
@@ -460,6 +659,40 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 200 * 1000);
+    }
+
+    #[test]
+    fn smallbank_ops_consume_and_conserve() {
+        let mut v = Vault::new();
+        for a in 1..=2u64 {
+            let c = v
+                .build_tx(&Payload::create_account(AccountId(a), 100, 50))
+                .unwrap();
+            v.commit(tx(a), &c);
+        }
+        let ts = v
+            .build_tx(&Payload::transact_savings(AccountId(1), 30))
+            .unwrap();
+        assert_eq!(ts.inputs.len(), 1);
+        assert!(v.commit(tx(10), &ts));
+        let wc = v
+            .build_tx(&Payload::write_check(AccountId(1), AccountId(2), 20))
+            .unwrap();
+        assert_eq!(wc.inputs.len(), 2);
+        assert!(v.commit(tx(11), &wc));
+        let am = v
+            .build_tx(&Payload::amalgamate(AccountId(2), AccountId(1)))
+            .unwrap();
+        assert!(v.commit(tx(12), &am));
+        let ledger = v.ledger_state();
+        assert_eq!(ledger.total_balance(), 300, "Smallbank ops conserve money");
+        assert_eq!(ledger.balance(AccountId(2)), Some((0, 0)));
+        // Self-directed ops reissue the state without minting.
+        let self_wc = v
+            .build_tx(&Payload::write_check(AccountId(1), AccountId(1), 5))
+            .unwrap();
+        assert!(v.commit(tx(13), &self_wc));
+        assert_eq!(v.ledger_state().total_balance(), 300);
     }
 
     #[test]

@@ -35,10 +35,26 @@ pub enum PayloadKind {
     SendPayment,
     /// Checks an account balance.
     Balance,
+    /// Smallbank: moves money from an account's checking into its saving
+    /// balance. Not part of the paper's Table 3; emitted only by the
+    /// Smallbank workload and therefore absent from [`PayloadKind::ALL`].
+    TransactSavings,
+    /// Smallbank: moves money from an account's saving into its checking
+    /// balance.
+    DepositChecking,
+    /// Smallbank: cashes a check — reads both of the payer's balances,
+    /// deducts from its checking, credits the payee's checking.
+    WriteCheck,
+    /// Smallbank: merges an account's checking and saving balances into
+    /// another account's checking balance.
+    Amalgamate,
 }
 
 impl PayloadKind {
-    /// All six payload kinds in the paper's benchmark-unit order.
+    /// All six payload kinds of the paper's Table 3, in benchmark-unit
+    /// order. The Smallbank extension kinds are deliberately *not* listed
+    /// here: `ALL` drives the paper-reproduction sweeps, which know only
+    /// the three original interface execution layers.
     pub const ALL: [PayloadKind; 6] = [
         PayloadKind::DoNothing,
         PayloadKind::KeyValueSet,
@@ -52,16 +68,28 @@ impl PayloadKind {
     pub const fn is_write(self) -> bool {
         matches!(
             self,
-            PayloadKind::KeyValueSet | PayloadKind::CreateAccount | PayloadKind::SendPayment
+            PayloadKind::KeyValueSet
+                | PayloadKind::CreateAccount
+                | PayloadKind::SendPayment
+                | PayloadKind::TransactSavings
+                | PayloadKind::DepositChecking
+                | PayloadKind::WriteCheck
+                | PayloadKind::Amalgamate
         )
     }
 
-    /// `true` for functions that read ledger state (SendPayment both reads
-    /// and writes).
+    /// `true` for functions that read ledger state (SendPayment and the
+    /// Smallbank transfers both read and write).
     pub const fn is_read(self) -> bool {
         matches!(
             self,
-            PayloadKind::KeyValueGet | PayloadKind::Balance | PayloadKind::SendPayment
+            PayloadKind::KeyValueGet
+                | PayloadKind::Balance
+                | PayloadKind::SendPayment
+                | PayloadKind::TransactSavings
+                | PayloadKind::DepositChecking
+                | PayloadKind::WriteCheck
+                | PayloadKind::Amalgamate
         )
     }
 
@@ -74,6 +102,10 @@ impl PayloadKind {
             PayloadKind::CreateAccount => "BankingApp-CreateAccount",
             PayloadKind::SendPayment => "BankingApp-SendPayment",
             PayloadKind::Balance => "BankingApp-Balance",
+            PayloadKind::TransactSavings => "Smallbank-TransactSavings",
+            PayloadKind::DepositChecking => "Smallbank-DepositChecking",
+            PayloadKind::WriteCheck => "Smallbank-WriteCheck",
+            PayloadKind::Amalgamate => "Smallbank-Amalgamate",
         }
     }
 }
@@ -136,6 +168,42 @@ pub enum Payload {
         /// The account to query.
         account: AccountId,
     },
+    /// Smallbank: move `amount` from `account`'s checking balance into its
+    /// saving balance. All four Smallbank extension operations are internal
+    /// transfers, so the total money in the system is conserved — the
+    /// invariant the Smallbank workload's `verify` hook checks.
+    TransactSavings {
+        /// The account whose balances move.
+        account: AccountId,
+        /// Amount moved checking → saving.
+        amount: u64,
+    },
+    /// Smallbank: move `amount` from `account`'s saving balance into its
+    /// checking balance.
+    DepositChecking {
+        /// The account whose balances move.
+        account: AccountId,
+        /// Amount moved saving → checking.
+        amount: u64,
+    },
+    /// Smallbank: cash a check — read both of `from`'s balances, deduct
+    /// `amount` from its checking, credit `to`'s checking.
+    WriteCheck {
+        /// The paying account.
+        from: AccountId,
+        /// The receiving account.
+        to: AccountId,
+        /// The check amount.
+        amount: u64,
+    },
+    /// Smallbank: merge `from`'s checking and saving balances into `to`'s
+    /// checking balance, zeroing `from`.
+    Amalgamate {
+        /// The account being drained.
+        from: AccountId,
+        /// The account receiving both balances.
+        to: AccountId,
+    },
 }
 
 impl Payload {
@@ -168,6 +236,26 @@ impl Payload {
         Payload::Balance { account }
     }
 
+    /// Convenience constructor for [`Payload::TransactSavings`].
+    pub const fn transact_savings(account: AccountId, amount: u64) -> Self {
+        Payload::TransactSavings { account, amount }
+    }
+
+    /// Convenience constructor for [`Payload::DepositChecking`].
+    pub const fn deposit_checking(account: AccountId, amount: u64) -> Self {
+        Payload::DepositChecking { account, amount }
+    }
+
+    /// Convenience constructor for [`Payload::WriteCheck`].
+    pub const fn write_check(from: AccountId, to: AccountId, amount: u64) -> Self {
+        Payload::WriteCheck { from, to, amount }
+    }
+
+    /// Convenience constructor for [`Payload::Amalgamate`].
+    pub const fn amalgamate(from: AccountId, to: AccountId) -> Self {
+        Payload::Amalgamate { from, to }
+    }
+
     /// The function this payload invokes.
     pub const fn kind(&self) -> PayloadKind {
         match self {
@@ -177,6 +265,10 @@ impl Payload {
             Payload::CreateAccount { .. } => PayloadKind::CreateAccount,
             Payload::SendPayment { .. } => PayloadKind::SendPayment,
             Payload::Balance { .. } => PayloadKind::Balance,
+            Payload::TransactSavings { .. } => PayloadKind::TransactSavings,
+            Payload::DepositChecking { .. } => PayloadKind::DepositChecking,
+            Payload::WriteCheck { .. } => PayloadKind::WriteCheck,
+            Payload::Amalgamate { .. } => PayloadKind::Amalgamate,
         }
     }
 
@@ -193,6 +285,10 @@ impl Payload {
                 Payload::CreateAccount { .. } => 24,
                 Payload::SendPayment { .. } => 24,
                 Payload::Balance { .. } => 8,
+                Payload::TransactSavings { .. } => 16,
+                Payload::DepositChecking { .. } => 16,
+                Payload::WriteCheck { .. } => 24,
+                Payload::Amalgamate { .. } => 16,
             }
     }
 
@@ -229,6 +325,27 @@ impl Payload {
             Payload::Balance { account } => {
                 out.push(5);
                 out.extend_from_slice(&account.0.to_le_bytes());
+            }
+            Payload::TransactSavings { account, amount } => {
+                out.push(6);
+                out.extend_from_slice(&account.0.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            Payload::DepositChecking { account, amount } => {
+                out.push(7);
+                out.extend_from_slice(&account.0.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            Payload::WriteCheck { from, to, amount } => {
+                out.push(8);
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&to.0.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            Payload::Amalgamate { from, to } => {
+                out.push(9);
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&to.0.to_le_bytes());
             }
         }
         out
@@ -297,5 +414,48 @@ mod tests {
         kinds.sort();
         kinds.dedup();
         assert_eq!(kinds.len(), 6);
+    }
+
+    #[test]
+    fn smallbank_kinds_are_outside_the_paper_set() {
+        let ext = [
+            PayloadKind::TransactSavings,
+            PayloadKind::DepositChecking,
+            PayloadKind::WriteCheck,
+            PayloadKind::Amalgamate,
+        ];
+        for kind in ext {
+            assert!(!PayloadKind::ALL.contains(&kind), "{kind} must not sweep");
+            assert!(kind.is_write() && kind.is_read(), "{kind} reads and writes");
+            assert!(kind.label().starts_with("Smallbank-"));
+        }
+    }
+
+    #[test]
+    fn smallbank_payloads_round_trip_and_serialize() {
+        let a = AccountId(3);
+        let b = AccountId(4);
+        let payloads = [
+            Payload::transact_savings(a, 5),
+            Payload::deposit_checking(a, 5),
+            Payload::write_check(a, b, 5),
+            Payload::amalgamate(a, b),
+        ];
+        let kinds = [
+            PayloadKind::TransactSavings,
+            PayloadKind::DepositChecking,
+            PayloadKind::WriteCheck,
+            PayloadKind::Amalgamate,
+        ];
+        let mut tags = Vec::new();
+        for (p, kind) in payloads.iter().zip(kinds) {
+            assert_eq!(p.kind(), kind);
+            assert!(p.size_bytes() > 96, "envelope plus arguments");
+            let bytes = p.to_bytes();
+            tags.push(bytes[0]);
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags, vec![6, 7, 8, 9], "distinct wire tags past Balance's 5");
     }
 }
