@@ -42,6 +42,12 @@
 //!             double-spends, interacting-op rejections, aborted batches)
 //!             plus the workload's ledger invariant. --workloads A,B
 //!             restricts the workload mix
+//!   grayfail  gray-failure grid: slow-leader, slow-follower, flaky-link,
+//!             asymmetric (half-open) partition, and region-WAN latency at
+//!             three severities per system, each graded by goodput
+//!             retention, p99 inflation, time-to-recover after the heal,
+//!             and the consensus LivenessMonitor's live/degraded/stalled
+//!             verdict with view-change and storm counters
 //!   all       everything
 //!
 //! flags:
@@ -55,8 +61,8 @@
 //!   --sweep       chaos only: run the fault-sweep campaign (f = 0..=beyond-f
 //!                 crash curves, loss-rate and Byzantine-count steps) instead
 //!                 of the classic four arms
-//!   --systems A,B chaos --sweep, overload, churn, scenario, bottleneck:
-//!                 restrict the campaign to these systems (labels as printed,
+//!   --systems A,B chaos --sweep, overload, churn, scenario, bottleneck,
+//!                 grayfail: restrict the campaign to these systems (labels as printed,
 //!                 case-insensitive, e.g. "fabric,corda os"); remaining
 //!                 cells keep their numbers. Unknown names are a hard
 //!                 error with a did-you-mean hint
@@ -70,7 +76,7 @@
 //!                 into DIR
 //!
 //! Every campaign target (chaos, overload, churn, scenario, bottleneck,
-//! contention, all) also writes `BENCH_0008.json` — wall-clock timing of the run
+//! contention, grayfail, all) also writes `BENCH_0008.json` — wall-clock timing of the run
 //! itself (simulated tx/s and client events/s per wall second) — into
 //! --out DIR when given, the working directory otherwise. It is a perf
 //! trajectory for the harness, not a result: timings vary by machine, so
@@ -83,12 +89,12 @@ use std::time::Instant;
 use coconut::chaos::ChaosRun;
 use coconut::experiments::ablations::render_arms;
 use coconut::experiments::{
-    all_ablations, bottleneck_for, chaos, chaos_sweep, churn_for, contention_for, fig3, fig4,
-    fig5, overload_curves_for, overload_probes_for, render_scenario_list, scenario_names,
-    scenarios_for, table11_12, table13_14, table15_16, table17_18, table19_20, table7_8,
-    table9_10, BottleneckResult, ChaosResult, ChurnCampaign, ChurnResult, ContentionResult,
-    ExperimentConfig, FaultCampaign, OverloadResult, ScenarioCampaign, ScenarioResult,
-    SweepResult, TableResult, WORKLOADS,
+    all_ablations, bottleneck_for, chaos, chaos_sweep, churn_for, contention_for, fig3, fig4, fig5,
+    grayfail_for, overload_curves_for, overload_probes_for, render_scenario_list, scenario_names,
+    scenarios_for, table11_12, table13_14, table15_16, table17_18, table19_20, table7_8, table9_10,
+    BottleneckResult, ChaosResult, ChurnCampaign, ChurnResult, ContentionResult, ExperimentConfig,
+    FaultCampaign, GrayfailResult, OverloadResult, ScenarioCampaign, ScenarioResult, SweepResult,
+    TableResult, WORKLOADS,
 };
 use coconut::json::Json;
 use coconut::params::SystemKind;
@@ -286,6 +292,7 @@ fn main() {
         "contention" => {
             run_contention_campaign(&cfg, &cli.systems, &cli.workloads, &cli.out_dir, &mut bench)
         }
+        "grayfail" => run_grayfail_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench),
         "all" => {
             for (name, t) in all_tables(&cfg) {
                 print_table(t, &cli.out_dir, name);
@@ -298,6 +305,7 @@ fn main() {
             run_scenario_campaign(&cfg, &cli.systems, &cli.names, &cli.out_dir, &mut bench);
             run_bottleneck_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             run_contention_campaign(&cfg, &cli.systems, &cli.workloads, &cli.out_dir, &mut bench);
+            run_grayfail_campaign(&cfg, &cli.systems, &cli.out_dir, &mut bench);
             let base = fig3(&cfg);
             emit("Figure 3", &base, &cli.out_dir, "fig3");
             let f4 = fig4(&cfg, Some(&base));
@@ -414,6 +422,23 @@ fn run_bottleneck_campaign(
         &r,
         out,
         "bottleneck",
+    );
+}
+
+fn run_grayfail_campaign(
+    cfg: &ExperimentConfig,
+    systems: &Option<Vec<SystemKind>>,
+    out: &Option<PathBuf>,
+    bench: &mut BenchRecorder,
+) {
+    let list = systems.clone().unwrap_or_else(|| SystemKind::ALL.to_vec());
+    let (r, wall) = timed(|| grayfail_for(cfg, &list));
+    bench.record("grayfail", wall, &grayfail_runs(&r));
+    emit(
+        "Gray-failure campaign — stragglers, flaky links, half-open partitions, WAN stretch",
+        &r,
+        out,
+        "grayfail",
     );
 }
 
@@ -551,6 +576,10 @@ fn bottleneck_runs(r: &BottleneckResult) -> Vec<&ChaosRun> {
 }
 
 fn contention_runs(r: &ContentionResult) -> Vec<&ChaosRun> {
+    r.cells.iter().map(|c| &c.run).collect()
+}
+
+fn grayfail_runs(r: &GrayfailResult) -> Vec<&ChaosRun> {
     r.cells.iter().map(|c| &c.run).collect()
 }
 
@@ -751,7 +780,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 fn print_usage() {
     println!(
-        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|bottleneck|contention|all> \
+        "repro <fig3|fig4|fig5|table7|table9|table11|table13|table15|table17|table19|tables|ablations|chaos|overload|churn|scenario|bottleneck|contention|grayfail|all> \
          [--scale X] [--reps N] [--full] [--paper] [--seed S] [--jobs N] [--sweep] [--systems A,B] [--workloads A,B] [--name A,B] [--list] [--out DIR]"
     );
 }

@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 
 use coconut_consensus::dpos::DposCluster;
-use coconut_consensus::{BatchConfig, CpuModel};
+use coconut_consensus::{BatchConfig, CpuModel, LivenessReport};
 use coconut_iel::{StateKey, WorldState};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
@@ -443,6 +443,10 @@ impl BlockchainSystem for Bitshares {
 
     fn is_live(&self) -> bool {
         !self.stalled
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.dpos.liveness_report())
     }
 
     fn probe(&self) -> Option<&StageProbe> {

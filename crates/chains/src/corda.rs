@@ -25,7 +25,9 @@
 use std::collections::HashMap;
 
 use coconut_consensus::notary::NotaryPool;
+use coconut_consensus::{LivenessMonitor, LivenessReport};
 use coconut_iel::vault::Vault;
+use coconut_simnet::FaultEvent;
 use coconut_simnet::NetConfig;
 use coconut_types::{
     tx::FailReason, AccountId, BlockId, ClientId, ClientTx, Payload, PayloadKind, SeedDeriver,
@@ -156,6 +158,10 @@ pub struct Corda {
     /// (only Smallbank payload kinds are tracked), so their streams and
     /// timings are untouched.
     pending_writes: HashMap<AccountId, (SimTime, Vec<StateRef>)>,
+    /// Finality-cadence liveness tracker. Corda is block-less, so each
+    /// notarized finality counts as one commit; there is no view-change
+    /// concept (notary fail-over is silent).
+    liveness: LivenessMonitor,
 }
 
 impl Corda {
@@ -192,6 +198,7 @@ impl Corda {
                 .map(|_| IngressLoad::new(SimDuration::from_secs(1), config.ingress_cost, 0.95))
                 .collect(),
             pending_writes: HashMap::new(),
+            liveness: LivenessMonitor::default(),
             config,
             finalized: 0,
             notary_conflicts: 0,
@@ -409,9 +416,7 @@ impl BlockchainSystem for Corda {
                 }
                 let request_inputs = stale_inputs.as_ref().unwrap_or(&corda_tx.inputs);
                 let notary_arrival = done + self.hop();
-                let Some(response) = self
-                    .notary
-                    .request(notary_arrival, tx.id(), request_inputs)
+                let Some(response) = self.notary.request(notary_arrival, tx.id(), request_inputs)
                 else {
                     // Every notary is down: the flow hangs awaiting a
                     // signature that never comes. The client never hears
@@ -440,6 +445,9 @@ impl BlockchainSystem for Corda {
                 }
                 self.vault.commit(tx.id(), &corda_tx);
                 self.finalized += 1;
+                self.liveness.observe_commit(response.completed_at);
+                self.liveness
+                    .observe_progress(coconut_types::NodeId(node as u32), response.completed_at);
                 self.rt.note_finality(); // block-less: each finality counts
                                          // Finality distribution: the transaction must reach every
                                          // node before the client hears about it.
@@ -524,6 +532,27 @@ impl BlockchainSystem for Corda {
 
     fn config_epoch(&self) -> u64 {
         self.notary.config_epoch()
+    }
+
+    fn apply_net_fault(&mut self, at: SimTime, event: &FaultEvent) -> bool {
+        // Corda's flows are point-to-point RPC — there is no consensus
+        // message fabric to partition. The one gray failure with a faithful
+        // mapping is a slow node: the notary keeps answering, just
+        // stretched, which is exactly a gray-degraded uniqueness service.
+        match event {
+            FaultEvent::SlowNode {
+                node,
+                factor,
+                window,
+            } => self
+                .notary
+                .slow_down(node.0 as usize, *factor, at + *window),
+            _ => false,
+        }
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.liveness.report(self.now))
     }
 
     fn probe(&self) -> Option<&StageProbe> {

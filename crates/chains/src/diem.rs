@@ -18,7 +18,7 @@
 //!   client stops listening (Table 20: 16,752 of 60,000 received).
 
 use coconut_consensus::diembft::DiemBftCluster;
-use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
+use coconut_consensus::{BatchConfig, CpuModel, LivenessReport, SafetyReport};
 use coconut_iel::WorldState;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
@@ -294,6 +294,10 @@ impl BlockchainSystem for Diem {
 
     fn safety_report(&self) -> Option<SafetyReport> {
         Some(self.engine.safety_report())
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.engine.liveness_report())
     }
 
     fn probe(&self) -> Option<&StageProbe> {

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use coconut_consensus::raft::RaftCluster;
-use coconut_consensus::{BatchConfig, Command, CpuModel};
+use coconut_consensus::{BatchConfig, Command, CpuModel, LivenessReport};
 use coconut_iel::{simulate, validate_and_apply, RwSet, WorldState};
 use coconut_simnet::{EventQueue, FaultEvent, NetConfig};
 use coconut_types::{ClientTx, NodeId, SeedDeriver, SimDuration, SimTime, TxId, TxOutcome};
@@ -411,6 +411,10 @@ impl BlockchainSystem for Fabric {
 
     fn config_epoch(&self) -> u64 {
         self.raft.config_epoch()
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.raft.liveness_report())
     }
 
     fn probe(&self) -> Option<&StageProbe> {

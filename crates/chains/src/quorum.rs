@@ -20,7 +20,7 @@
 //!   transactions.
 
 use coconut_consensus::ibft::IbftCluster;
-use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
+use coconut_consensus::{BatchConfig, CpuModel, LivenessReport, SafetyReport};
 use coconut_iel::WorldState;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
@@ -340,6 +340,10 @@ impl BlockchainSystem for Quorum {
 
     fn safety_report(&self) -> Option<SafetyReport> {
         Some(self.ibft.safety_report())
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.ibft.liveness_report())
     }
 
     fn is_live(&self) -> bool {

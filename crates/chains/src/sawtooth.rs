@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 
 use coconut_consensus::pbft::PbftCluster;
-use coconut_consensus::{BatchConfig, CpuModel, SafetyReport};
+use coconut_consensus::{BatchConfig, CpuModel, LivenessReport, SafetyReport};
 use coconut_iel::WorldState;
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, Topology};
 use coconut_types::{
@@ -379,6 +379,10 @@ impl BlockchainSystem for Sawtooth {
 
     fn safety_report(&self) -> Option<SafetyReport> {
         Some(self.pbft.safety_report())
+    }
+
+    fn liveness_report(&self) -> Option<LivenessReport> {
+        Some(self.pbft.liveness_report())
     }
 
     fn is_live(&self) -> bool {

@@ -1,6 +1,6 @@
 //! The common interface every modelled blockchain system implements.
 
-use coconut_consensus::SafetyReport;
+use coconut_consensus::{LivenessReport, SafetyReport};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent};
 use coconut_types::{ClientTx, NodeId, SimDuration, SimTime, TxOutcome};
 
@@ -205,6 +205,15 @@ pub trait BlockchainSystem {
     /// `None` means safety invariants are not applicable (CFT systems);
     /// BFT systems always return `Some`, even when no fault was injected.
     fn safety_report(&self) -> Option<SafetyReport> {
+        None
+    }
+
+    /// The consensus liveness monitor's verdict as of the system's current
+    /// virtual time, if the system carries one. All seven modelled systems
+    /// expose a monitor; the default (for test doubles) carries none. The
+    /// verdict is passive — computing it must not change any timing, RNG
+    /// stream, or protocol decision.
+    fn liveness_report(&self) -> Option<LivenessReport> {
         None
     }
 

@@ -33,6 +33,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::liveness::{LivenessMonitor, LivenessReport};
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
 
@@ -229,6 +230,7 @@ impl DiemBftBuilder {
             proposed_rounds: HashSet::new(),
             byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
+            liveness: LivenessMonitor::default(),
             stale_epoch_rejections: 0,
             committed_txs: BTreeSet::new(),
         }
@@ -278,6 +280,8 @@ pub struct DiemBftCluster {
     byz: Vec<ByzantineFlags>,
     /// Message-level safety observer (never influences the protocol).
     monitor: SafetyMonitor,
+    /// Commit-cadence and timeout-storm liveness tracker.
+    liveness: LivenessMonitor,
     /// Votes dropped because they carried a superseded membership epoch.
     stale_epoch_rejections: u64,
     /// Transactions already finalized, so a block orphaned by a timeout or
@@ -347,6 +351,11 @@ impl DiemBftCluster {
     /// The safety monitor's verdict over everything observed so far.
     pub fn safety_report(&self) -> SafetyReport {
         self.monitor.report()
+    }
+
+    /// The liveness monitor's verdict as of the current virtual time.
+    pub fn liveness_report(&self) -> LivenessReport {
+        self.liveness.report(self.net.now())
     }
 
     /// Crashes a validator (models Diem's "spiking" stalls when paired with
@@ -741,6 +750,7 @@ impl DiemBftCluster {
         // round it just voted in with a second vote, violating the
         // vote-once safety rule.
         let dv = self.byz[me.0 as usize].double_votes(at);
+        self.liveness.observe_progress(me, at);
         {
             let node = &mut self.nodes[me.0 as usize];
             node.round = node.round.max(round);
@@ -841,6 +851,7 @@ impl DiemBftCluster {
             }
             self.committed_digests.insert(digest);
             self.last_committed_round = info.round;
+            self.liveness.observe_commit(now);
             // Vote tallies are reset on every membership change, so the QC
             // behind this commit formed entirely in the current epoch.
             self.monitor
@@ -878,7 +889,9 @@ impl DiemBftCluster {
         if *votes == self.quorum() {
             // Timeout certificate: the round is dead; the next round's leader
             // proposes from the highest QC. Mark the dead round as proposed
-            // so nobody revives it.
+            // so nobody revives it. The shared tally fires exactly once per
+            // round, so this counts one pacemaker advance cluster-wide.
+            self.liveness.observe_view_change(at);
             self.proposed_rounds.insert(round);
             let next = round + 1;
             // Allow re-proposal chain: treat highest_qc round frontier as `round`.

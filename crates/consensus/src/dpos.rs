@@ -15,6 +15,7 @@ use std::collections::BTreeSet;
 use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{NodeId, SimDuration, SimRng, SimTime};
 
+use crate::liveness::{LivenessMonitor, LivenessReport};
 use crate::{BatchConfig, Command, CommittedBatch, CpuModel, Membership};
 
 /// Base chain-sync time for a joining witness plus a per-produced-block
@@ -27,6 +28,11 @@ const SYNC_PER_BLOCK: SimDuration = SimDuration::from_millis(2);
 enum DposMsg {
     /// Fires at a witness at its production slot.
     SlotTimer { slot: u64 },
+    /// Fires at the node that armed a slot, 0.75 intervals past the slot's
+    /// due time: if the scheduled witness has not produced by then — its
+    /// timers stretched by a gray-slow window — the slot is forfeited and
+    /// the schedule moves on without waiting for the straggler.
+    SlotWatchdog { slot: u64 },
     /// A produced block being gossiped to the other nodes (apply cost only).
     BlockAnnounce,
     /// A joining witness finished replaying the chain.
@@ -112,6 +118,14 @@ impl DposBuilder {
             self.block_interval,
             DposMsg::SlotTimer { slot: 0 },
         );
+        for &guard in schedule.iter().skip(1) {
+            net.timer(
+                guard,
+                self.block_interval.mul_f64(1.75),
+                DposMsg::SlotWatchdog { slot: 0 },
+            );
+        }
+        let slot_due = SimTime::ZERO + self.block_interval;
         DposCluster {
             witnesses: w,
             membership: Membership::new(w, self.standby),
@@ -128,6 +142,9 @@ impl DposBuilder {
             committed: Vec::new(),
             produced: 0,
             missed: 0,
+            slot_due,
+            next_expected: 0,
+            liveness: LivenessMonitor::default(),
         }
     }
 }
@@ -167,6 +184,16 @@ pub struct DposCluster {
     committed: Vec<CommittedBatch>,
     produced: u64,
     missed: u64,
+    /// When the in-flight slot timer was due; a stretched (gray-slow)
+    /// witness fires well past this and forfeits the slot.
+    slot_due: SimTime,
+    /// The lowest slot not yet handled. A slot is handled exactly once —
+    /// by its witness's timer or, if that timer limps past the forfeit
+    /// threshold, by the watchdog that skips it; whichever fires second
+    /// sees `slot < next_expected` and stands down.
+    next_expected: u64,
+    /// Production-cadence and missed-slot liveness tracker.
+    liveness: LivenessMonitor,
 }
 
 impl DposCluster {
@@ -262,6 +289,11 @@ impl DposCluster {
         self.net.stats()
     }
 
+    /// The liveness monitor's verdict as of the current virtual time.
+    pub fn liveness_report(&self) -> LivenessReport {
+        self.liveness.report(self.net.now())
+    }
+
     /// Applies a network-level fault (partition, heal, loss burst, latency
     /// spike) to the cluster's message fabric. Crash/restart events are not
     /// network faults and return `false`.
@@ -311,6 +343,7 @@ impl DposCluster {
     fn dispatch(&mut self, me: NodeId, at: SimTime, msg: DposMsg) {
         match msg {
             DposMsg::SlotTimer { slot } => self.on_slot(me, at, slot),
+            DposMsg::SlotWatchdog { slot } => self.on_watchdog(me, at, slot),
             DposMsg::BlockAnnounce => {
                 // Receiving nodes apply the block; cost only.
                 let _ = self.cpu.process(me, at, SimDuration::from_micros(50));
@@ -331,30 +364,79 @@ impl DposCluster {
         }
     }
 
-    fn on_slot(&mut self, me: NodeId, at: SimTime, slot: u64) {
-        // Schedule the next slot first (the schedule reshuffles each round).
-        let next_slot = slot + 1;
+    /// Arms `next_slot`'s production timer on its scheduled witness
+    /// (reshuffling the schedule at round boundaries) plus a watchdog on
+    /// every *other* scheduled witness — each tracks the slot cadence
+    /// independently, as real DPoS nodes do, so one stretched witness
+    /// timer cannot stall the global schedule (whichever healthy watchdog
+    /// fires first forfeits the slot; the rest stand down).
+    fn arm_next_slot(&mut self, at: SimTime, next_slot: u64) {
         if next_slot.is_multiple_of(self.schedule.len() as u64) {
             let mut schedule = std::mem::take(&mut self.schedule);
             self.rng.shuffle(&mut schedule);
             self.schedule = schedule;
         }
         let next_witness = self.witness_of(next_slot);
+        self.slot_due = at + self.block_interval;
         self.net.timer(
             next_witness,
             self.block_interval,
             DposMsg::SlotTimer { slot: next_slot },
         );
+        for i in 0..self.schedule.len() {
+            let guard = self.schedule[i];
+            if guard != next_witness {
+                self.net.timer(
+                    guard,
+                    self.block_interval.mul_f64(1.75),
+                    DposMsg::SlotWatchdog { slot: next_slot },
+                );
+            }
+        }
+    }
 
-        // A crashed witness misses its slot; so does one removed from the
-        // membership while its slot timer was already in flight.
-        if !self.alive[me.0 as usize] || !self.membership.is_active(me) {
-            self.missed += 1;
+    /// The scheduled witness never produced: its timer is stretched past
+    /// the forfeit threshold by a gray-slow window. Skip the slot — a
+    /// missed beat, like a crash — and keep the cadence going so the rest
+    /// of the network does not wait on one straggler.
+    fn on_watchdog(&mut self, me: NodeId, at: SimTime, slot: u64) {
+        if slot < self.next_expected || !self.alive[me.0 as usize] {
             return;
         }
+        self.next_expected = slot + 1;
+        self.missed += 1;
+        self.liveness.observe_view_change(at);
+        self.arm_next_slot(at, slot + 1);
+    }
+
+    fn on_slot(&mut self, me: NodeId, at: SimTime, slot: u64) {
+        if slot < self.next_expected {
+            // A straggler's stretched timer firing for a slot the watchdog
+            // already forfeited on its behalf; the miss was counted there.
+            return;
+        }
+        // A healthy witness fires exactly at the due time; a gray-slow one
+        // (its timers stretched by the simulator) arrives late. Anything
+        // more than half an interval past due forfeits the slot, as the
+        // rest of the network has moved on.
+        let too_late = at.saturating_since(self.slot_due) > self.block_interval.mul_f64(0.5);
+        self.next_expected = slot + 1;
+        // Schedule the next slot first (the schedule reshuffles each round).
+        self.arm_next_slot(at, slot + 1);
+
+        // A crashed witness misses its slot; so does one removed from the
+        // membership while its slot timer was already in flight, and so
+        // does a straggler that fired too far past its production window.
+        if !self.alive[me.0 as usize] || !self.membership.is_active(me) || too_late {
+            self.missed += 1;
+            self.liveness.observe_view_change(at);
+            return;
+        }
+        self.liveness.observe_progress(me, at);
         if self.pending.is_empty() {
             // Empty block: produced but uninteresting; count it.
             self.produced += 1;
+            self.liveness.observe_commit(at);
             return;
         }
         let take = self.pending.len().min(self.batch.max_commands);
@@ -365,6 +447,7 @@ impl DposCluster {
         self.net
             .broadcast_delayed(me, done - at, bytes, |_| DposMsg::BlockAnnounce);
         self.produced += 1;
+        self.liveness.observe_commit(done);
         self.committed.push(CommittedBatch {
             commands: batch,
             proposer: me,
@@ -600,6 +683,36 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gray_slow_witness_forfeits_slots_but_cadence_survives() {
+        // A gray-slow witness (timers stretched x32) must only cost its own
+        // slots: the watchdog skips them and the schedule keeps its beat,
+        // so the chain reads live-or-degraded, never stalled.
+        let mut c = DposCluster::builder(3)
+            .seed(11)
+            .block_interval(SimDuration::from_secs(1))
+            .build();
+        c.run_until(SimTime::from_secs(5));
+        assert!(c.apply_net_fault(
+            c.now(),
+            &FaultEvent::SlowNode {
+                node: NodeId(2),
+                factor: 32.0,
+                window: SimDuration::from_secs(5),
+            },
+        ));
+        c.run_until(SimTime::from_secs(28));
+        let report = c.liveness_report();
+        assert!(c.slots_missed() > 0, "the straggler's slots are forfeited");
+        assert!(
+            report.verdict.is_at_least_degraded(),
+            "one slow witness must not stall the chain: {} (missed {}, produced {})",
+            report.verdict.label(),
+            c.slots_missed(),
+            c.blocks_produced(),
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::liveness::{LivenessMonitor, LivenessReport};
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
 
@@ -228,6 +229,7 @@ impl IbftBuilder {
             emit_empty_blocks: true,
             byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
+            liveness: LivenessMonitor::default(),
             equiv_sibling: HashMap::new(),
             stale_epoch_rejections: 0,
             committed_txs: BTreeSet::new(),
@@ -272,6 +274,8 @@ pub struct IbftCluster {
     byz: Vec<ByzantineFlags>,
     /// Message-level safety invariant checker.
     monitor: SafetyMonitor,
+    /// Commit-cadence and round-change-storm liveness tracker.
+    liveness: LivenessMonitor,
     /// (height, round) → the conflicting sibling digest an equivocating
     /// proposer broadcast alongside its real proposal.
     equiv_sibling: HashMap<(u64, u64), u64>,
@@ -357,6 +361,11 @@ impl IbftCluster {
     /// The safety monitor's verdict over everything observed so far.
     pub fn safety_report(&self) -> SafetyReport {
         self.monitor.report()
+    }
+
+    /// The liveness monitor's verdict as of the current virtual time.
+    pub fn liveness_report(&self) -> LivenessReport {
+        self.liveness.report(self.net.now())
     }
 
     /// Crashes a validator.
@@ -862,6 +871,7 @@ impl IbftCluster {
         if !locally_committed {
             return;
         }
+        self.liveness.observe_progress(me, now);
         self.monitor
             .observe_quorum(me, VotePhase::Commit, round, height, digest);
         // Vote tallies are reset on every membership change, so the quorum
@@ -889,6 +899,7 @@ impl IbftCluster {
                 .find_map(|n| n.slots.get(&(height, round)).and_then(|s| s.batch.clone()))
                 .unwrap_or_default();
             self.next_height = height + 1;
+            self.liveness.observe_commit(committed_at);
             for c in &batch {
                 self.committed_txs.insert(c.tx.as_u64());
             }
@@ -993,6 +1004,9 @@ impl IbftCluster {
                 }
             }
             if self.proposer_of(height, round) == me {
+                // Exactly one node is the new proposer, so this is counted
+                // once per successful round change across the cluster.
+                self.liveness.observe_view_change(self.net.now());
                 self.net.timer(
                     me,
                     SimDuration::from_millis(10),

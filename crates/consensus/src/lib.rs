@@ -38,11 +38,13 @@
 pub mod diembft;
 pub mod dpos;
 pub mod ibft;
+pub mod liveness;
 pub mod notary;
 pub mod pbft;
 pub mod raft;
 pub mod safety;
 
+pub use liveness::{LivenessConfig, LivenessMonitor, LivenessReport, LivenessVerdict};
 pub use safety::{
     ByzantineFlags, ByzantineObservations, SafetyMonitor, SafetyReport, SafetyViolations, VotePhase,
 };

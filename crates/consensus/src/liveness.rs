@@ -1,0 +1,436 @@
+//! Machine-checked liveness verdicts: the complement of [`crate::safety`].
+//!
+//! The [`SafetyMonitor`](crate::safety::SafetyMonitor) proves a run never
+//! committed conflicting state; this module's [`LivenessMonitor`] proves the
+//! run kept *making progress* — and, when it did not, says how badly it
+//! degraded and since when. Gray failures (slow leaders, half-open links,
+//! flaky NICs) rarely kill a consensus protocol outright; they stretch
+//! commit gaps and trigger view-change storms. The monitor turns those
+//! symptoms into a three-way verdict on the deterministic sim clock:
+//!
+//! * [`LivenessVerdict::Live`] — commits flowed and gaps stayed regular;
+//! * [`LivenessVerdict::Degraded`] — progress continued, but the worst
+//!   commit gap was `factor ×` the mean, or a view-change storm (several
+//!   changes with no commit between them) was observed;
+//! * [`LivenessVerdict::Stalled`] — nothing has committed for at least the
+//!   configured stall gap, counting from the last commit (or from the start
+//!   of the run if nothing ever committed).
+//!
+//! Like the safety monitor, it observes and counts — it never panics and
+//! never influences the protocol. All state is constant-size per node
+//! (progress watermarks) plus a handful of scalars, so it can ride along
+//! every run for free.
+//!
+//! # Example
+//!
+//! ```
+//! use coconut_consensus::liveness::{LivenessMonitor, LivenessVerdict};
+//! use coconut_types::SimTime;
+//!
+//! let mut m = LivenessMonitor::default();
+//! for s in 1..=5 {
+//!     m.observe_commit(SimTime::from_secs(s));
+//! }
+//! assert!(matches!(
+//!     m.report(SimTime::from_secs(6)).verdict,
+//!     LivenessVerdict::Live
+//! ));
+//! // 30 s of silence later the run is stalled, since the last commit:
+//! let r = m.report(SimTime::from_secs(35));
+//! assert_eq!(
+//!     r.verdict,
+//!     LivenessVerdict::Stalled { since: SimTime::from_secs(5) }
+//! );
+//! ```
+
+use std::collections::BTreeMap;
+
+use coconut_types::{NodeId, SimDuration, SimTime};
+
+/// Thresholds for the liveness verdict rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivenessConfig {
+    /// A run is [`LivenessVerdict::Stalled`] when `now - last_commit`
+    /// reaches this gap (and a node is a straggler when its progress
+    /// watermark lags `now` by it).
+    pub stall_gap: SimDuration,
+    /// A run is [`LivenessVerdict::Degraded`] when the worst commit gap is
+    /// at least this multiple of the mean gap.
+    pub degraded_factor: f64,
+    /// Number of view/round/term changes *without an intervening commit*
+    /// that counts as one view-change storm.
+    pub storm_threshold: u64,
+}
+
+impl Default for LivenessConfig {
+    /// 10 s stall gap, 3× degradation factor, 3-change storms.
+    fn default() -> Self {
+        LivenessConfig {
+            stall_gap: SimDuration::from_secs(10),
+            degraded_factor: 3.0,
+            storm_threshold: 3,
+        }
+    }
+}
+
+/// The three-way machine-checked liveness verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LivenessVerdict {
+    /// Commits flowed with regular gaps and no storm.
+    Live,
+    /// Progress continued but was irregular: the worst commit gap was
+    /// `factor ×` the mean, and/or a view-change storm fired.
+    Degraded {
+        /// Worst-gap-to-mean-gap ratio (≥ 1).
+        factor: f64,
+    },
+    /// No commit for at least the configured stall gap.
+    Stalled {
+        /// Time of the last commit ([`SimTime::ZERO`] if nothing ever
+        /// committed).
+        since: SimTime,
+    },
+}
+
+impl LivenessVerdict {
+    /// `true` for [`LivenessVerdict::Live`].
+    pub fn is_live(&self) -> bool {
+        matches!(self, LivenessVerdict::Live)
+    }
+
+    /// `true` for anything better than [`LivenessVerdict::Stalled`] — the
+    /// "Degraded-or-better" acceptance bar of the gray-failure campaign.
+    pub fn is_at_least_degraded(&self) -> bool {
+        !matches!(self, LivenessVerdict::Stalled { .. })
+    }
+
+    /// A compact, deterministic label for reports and goldens:
+    /// `live`, `degraded(x2.41)`, `stalled(since=5.000s)`.
+    pub fn label(&self) -> String {
+        match self {
+            LivenessVerdict::Live => "live".to_string(),
+            LivenessVerdict::Degraded { factor } => format!("degraded(x{factor:.2})"),
+            LivenessVerdict::Stalled { since } => {
+                format!("stalled(since={:.3}s)", since.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// Everything the monitor observed, plus the verdict at report time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivenessReport {
+    /// The three-way verdict under the configured thresholds.
+    pub verdict: LivenessVerdict,
+    /// Cluster-level commits observed.
+    pub commits: u64,
+    /// View/round/term changes (or missed production slots, for DPoS).
+    pub view_changes: u64,
+    /// View-change storms: runs of `storm_threshold` changes with no
+    /// commit between them.
+    pub storms: u64,
+    /// Worst gap between consecutive commits.
+    pub max_gap: SimDuration,
+    /// Mean gap between consecutive commits (zero with fewer than two).
+    pub mean_gap: SimDuration,
+    /// Time from the last commit (or from the start, if none) to the
+    /// report instant.
+    pub tail_gap: SimDuration,
+    /// Nodes whose progress watermark lags the report instant by at least
+    /// the stall gap.
+    pub stragglers: u64,
+    /// Nodes that ever reported progress.
+    pub observed_nodes: u64,
+}
+
+/// Constant-memory liveness observer: commit gaps, per-node progress
+/// watermarks, and view-change-storm counting on the sim clock.
+///
+/// Engines call [`LivenessMonitor::observe_commit`] wherever a quorum
+/// finalizes a batch, [`LivenessMonitor::observe_view_change`] wherever the
+/// protocol abandons a leader/round/view (for DPoS: a missed witness slot),
+/// and [`LivenessMonitor::observe_progress`] when an individual node's
+/// height/round advances. [`LivenessMonitor::report`] is pure with respect
+/// to the observations and never panics.
+#[derive(Debug, Clone)]
+pub struct LivenessMonitor {
+    cfg: LivenessConfig,
+    commits: u64,
+    first_commit: Option<SimTime>,
+    last_commit: Option<SimTime>,
+    max_gap: SimDuration,
+    view_changes: u64,
+    changes_since_commit: u64,
+    storms: u64,
+    watermarks: BTreeMap<NodeId, SimTime>,
+}
+
+impl Default for LivenessMonitor {
+    fn default() -> Self {
+        LivenessMonitor::new(LivenessConfig::default())
+    }
+}
+
+impl LivenessMonitor {
+    /// A monitor with explicit thresholds.
+    pub fn new(cfg: LivenessConfig) -> Self {
+        LivenessMonitor {
+            cfg,
+            commits: 0,
+            first_commit: None,
+            last_commit: None,
+            max_gap: SimDuration::ZERO,
+            view_changes: 0,
+            changes_since_commit: 0,
+            storms: 0,
+            watermarks: BTreeMap::new(),
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> LivenessConfig {
+        self.cfg
+    }
+
+    /// A cluster-level commit at `now`.
+    pub fn observe_commit(&mut self, now: SimTime) {
+        if let Some(last) = self.last_commit {
+            self.max_gap = self.max_gap.max(now.saturating_since(last));
+        } else {
+            self.first_commit = Some(now);
+        }
+        self.last_commit = Some(now);
+        self.commits += 1;
+        self.changes_since_commit = 0;
+    }
+
+    /// A view/round/term change (or missed production slot) at `now`.
+    pub fn observe_view_change(&mut self, _now: SimTime) {
+        self.view_changes += 1;
+        self.changes_since_commit += 1;
+        if self.changes_since_commit == self.cfg.storm_threshold {
+            self.storms += 1;
+        }
+    }
+
+    /// Node-level progress (height/round/term advanced) at `now`. One
+    /// watermark per node — constant memory.
+    pub fn observe_progress(&mut self, node: NodeId, now: SimTime) {
+        self.watermarks.insert(node, now);
+    }
+
+    /// Commits observed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// View changes observed so far.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    /// The verdict and counters as of `now`.
+    ///
+    /// The stall rule flips exactly *at* the threshold: a tail gap of
+    /// `stall_gap` is already stalled. A run with zero commits stalls once
+    /// `now` itself reaches the gap (`since` is then [`SimTime::ZERO`]) — a
+    /// quiescent chain with no demand is indistinguishable from a stalled
+    /// one, so callers gate on offered load.
+    pub fn report(&self, now: SimTime) -> LivenessReport {
+        let last = self.last_commit.unwrap_or(SimTime::ZERO);
+        let tail_gap = now.saturating_since(last);
+        let mean_gap = match (self.first_commit, self.last_commit) {
+            (Some(first), Some(last)) if self.commits >= 2 => {
+                last.saturating_since(first) / (self.commits - 1)
+            }
+            _ => SimDuration::ZERO,
+        };
+        let factor = if mean_gap.is_zero() {
+            1.0
+        } else {
+            (self.max_gap.as_secs_f64() / mean_gap.as_secs_f64()).max(1.0)
+        };
+        let verdict = if tail_gap >= self.cfg.stall_gap {
+            LivenessVerdict::Stalled { since: last }
+        } else if factor >= self.cfg.degraded_factor || self.storms > 0 {
+            LivenessVerdict::Degraded { factor }
+        } else {
+            LivenessVerdict::Live
+        };
+        let stragglers = self
+            .watermarks
+            .values()
+            .filter(|&&t| now.saturating_since(t) >= self.cfg.stall_gap)
+            .count() as u64;
+        LivenessReport {
+            verdict,
+            commits: self.commits,
+            view_changes: self.view_changes,
+            storms: self.storms,
+            max_gap: self.max_gap,
+            mean_gap,
+            tail_gap,
+            stragglers,
+            observed_nodes: self.watermarks.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn steady_commits_are_live() {
+        let mut m = LivenessMonitor::default();
+        for s in 1..=20 {
+            m.observe_commit(secs(s));
+        }
+        let r = m.report(secs(21));
+        assert_eq!(r.verdict, LivenessVerdict::Live);
+        assert_eq!(r.commits, 20);
+        assert_eq!(r.max_gap, SimDuration::from_secs(1));
+        assert_eq!(r.mean_gap, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_commit_run_stalls_only_past_the_gap() {
+        let m = LivenessMonitor::default();
+        // Before the gap elapses the empty run is (vacuously) live.
+        assert_eq!(m.report(secs(9)).verdict, LivenessVerdict::Live);
+        // Exactly at the gap it flips, dated from the start of the run.
+        assert_eq!(
+            m.report(secs(10)).verdict,
+            LivenessVerdict::Stalled {
+                since: SimTime::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn verdict_flips_exactly_at_the_stall_threshold() {
+        let mut m = LivenessMonitor::default();
+        m.observe_commit(secs(5));
+        // One microsecond short of the gap: not stalled.
+        let not_yet = secs(15) - SimDuration::from_micros(1);
+        assert!(m.report(not_yet).verdict.is_at_least_degraded());
+        // Exactly at the gap: stalled, since the last commit.
+        assert_eq!(
+            m.report(secs(15)).verdict,
+            LivenessVerdict::Stalled { since: secs(5) }
+        );
+    }
+
+    #[test]
+    fn irregular_gaps_degrade_with_the_ratio() {
+        let mut m = LivenessMonitor::default();
+        // Nine 1 s gaps, then one 9 s gap: mean 1.8 s, worst 9 s → ×5.
+        for s in 1..=10 {
+            m.observe_commit(secs(s));
+        }
+        m.observe_commit(secs(19));
+        let r = m.report(secs(20));
+        match r.verdict {
+            LivenessVerdict::Degraded { factor } => {
+                assert!((factor - 5.0).abs() < 1e-9, "{factor}");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(r.max_gap, SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn storms_count_changes_without_commits() {
+        let mut m = LivenessMonitor::default();
+        m.observe_commit(secs(1));
+        // Two changes, commit, two changes: never three in a row → no storm.
+        for s in [2, 3] {
+            m.observe_view_change(secs(s));
+        }
+        m.observe_commit(secs(4));
+        for s in [5, 6] {
+            m.observe_view_change(secs(s));
+        }
+        assert_eq!(m.report(secs(7)).storms, 0);
+        // A third change with no commit in between: one storm, counted once
+        // even as the stretch keeps growing.
+        m.observe_view_change(secs(7));
+        m.observe_view_change(secs(8));
+        let r = m.report(secs(9));
+        assert_eq!(r.storms, 1);
+        assert_eq!(r.view_changes, 6);
+        assert!(matches!(r.verdict, LivenessVerdict::Degraded { .. }));
+    }
+
+    #[test]
+    fn single_commit_run_is_live_until_it_stalls() {
+        let mut m = LivenessMonitor::default();
+        m.observe_commit(secs(3));
+        let r = m.report(secs(4));
+        assert_eq!(r.verdict, LivenessVerdict::Live);
+        assert_eq!(r.mean_gap, SimDuration::ZERO, "one commit has no gaps");
+        assert_eq!(r.tail_gap, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn watermarks_count_stragglers() {
+        let mut m = LivenessMonitor::default();
+        m.observe_progress(NodeId(0), secs(19));
+        m.observe_progress(NodeId(1), secs(5));
+        m.observe_progress(NodeId(1), secs(6)); // overwrites, constant memory
+        m.observe_commit(secs(19));
+        let r = m.report(secs(20));
+        assert_eq!(r.observed_nodes, 2);
+        assert_eq!(r.stragglers, 1, "node 1 last progressed 14 s ago");
+    }
+
+    #[test]
+    fn simultaneous_commits_never_divide_by_zero() {
+        let mut m = LivenessMonitor::default();
+        for _ in 0..5 {
+            m.observe_commit(secs(2));
+        }
+        let r = m.report(secs(3));
+        assert_eq!(r.verdict, LivenessVerdict::Live);
+        assert_eq!(r.mean_gap, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn labels_are_deterministic() {
+        assert_eq!(LivenessVerdict::Live.label(), "live");
+        assert_eq!(
+            LivenessVerdict::Degraded { factor: 2.4142 }.label(),
+            "degraded(x2.41)"
+        );
+        assert_eq!(
+            LivenessVerdict::Stalled { since: secs(5) }.label(),
+            "stalled(since=5.000s)"
+        );
+        assert!(LivenessVerdict::Live.is_live());
+        assert!(LivenessVerdict::Degraded { factor: 2.0 }.is_at_least_degraded());
+        assert!(!LivenessVerdict::Stalled { since: secs(0) }.is_at_least_degraded());
+    }
+
+    #[test]
+    fn custom_thresholds_apply() {
+        let mut m = LivenessMonitor::new(LivenessConfig {
+            stall_gap: SimDuration::from_secs(2),
+            degraded_factor: 1.5,
+            storm_threshold: 1,
+        });
+        m.observe_commit(secs(1));
+        assert!(matches!(
+            m.report(secs(3)).verdict,
+            LivenessVerdict::Stalled { .. }
+        ));
+        m.observe_commit(secs(3));
+        m.observe_view_change(secs(4));
+        let r = m.report(secs(4));
+        assert_eq!(r.storms, 1, "threshold 1 makes every change a storm");
+        assert!(matches!(r.verdict, LivenessVerdict::Degraded { .. }));
+    }
+}

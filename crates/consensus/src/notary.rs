@@ -81,6 +81,9 @@ pub struct NotaryService {
     processed: u64,
     conflicts: u64,
     alive: bool,
+    /// Gray-failure window: while `arrival < until`, service time is
+    /// multiplied by `factor` — the notary answers, just slowly.
+    slow: Option<(f64, SimTime)>,
 }
 
 impl NotaryService {
@@ -94,6 +97,7 @@ impl NotaryService {
             processed: 0,
             conflicts: 0,
             alive: true,
+            slow: None,
         }
     }
 
@@ -121,12 +125,29 @@ impl NotaryService {
         self
     }
 
+    /// Arms a gray-slow window: requests arriving before `until` are served
+    /// at `factor`× their normal service time. The notary never stops
+    /// answering — the degradation is silent, unlike a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn slow_down(&mut self, factor: f64, until: SimTime) {
+        assert!(factor >= 1.0, "a slow-down factor must be >= 1");
+        self.slow = Some((factor, until));
+    }
+
     /// Processes a notarization request arriving at `arrival` for `tx`
     /// consuming `inputs`. Requests are served FIFO; the response carries
     /// the completion time including queueing delay.
     pub fn request(&mut self, arrival: SimTime, tx: TxId, inputs: &[StateRef]) -> NotaryResponse {
         let start = arrival.max(self.busy_until);
-        let cost = self.service_time + self.per_input_time * inputs.len() as u64;
+        let mut cost = self.service_time + self.per_input_time * inputs.len() as u64;
+        if let Some((factor, until)) = self.slow {
+            if arrival < until && factor > 1.0 {
+                cost = cost.mul_f64(factor);
+            }
+        }
         let completed_at = start + cost;
         self.busy_until = completed_at;
         self.processed += 1;
@@ -339,6 +360,18 @@ impl NotaryPool {
             .map(|off| members[(home + off) % n].0 as usize)
             .find(|&i| self.notaries[i].is_alive())?;
         Some(self.notaries[shard].request(arrival, tx, inputs))
+    }
+
+    /// Arms a gray-slow window on notary `idx` (see
+    /// [`NotaryService::slow_down`]); `false` if the index is out of range.
+    pub fn slow_down(&mut self, idx: usize, factor: f64, until: SimTime) -> bool {
+        match self.notaries.get_mut(idx) {
+            Some(s) => {
+                s.slow_down(factor, until);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Crashes notary `idx`; `false` if the index is out of range.

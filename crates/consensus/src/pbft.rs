@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{Hasher64, NodeId, SimDuration, SimTime};
 
+use crate::liveness::{LivenessMonitor, LivenessReport};
 use crate::safety::{ByzantineFlags, SafetyMonitor, SafetyReport, VotePhase};
 use crate::{bft_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
 
@@ -238,6 +239,7 @@ impl PbftBuilder {
             commit_quorum_times: HashMap::new(),
             byz: vec![ByzantineFlags::default(); total as usize],
             monitor: SafetyMonitor::new(bft_quorum(n)),
+            liveness: LivenessMonitor::default(),
             equiv_sibling: HashMap::new(),
             stale_epoch_rejections: 0,
             committed_txs: BTreeSet::new(),
@@ -279,6 +281,8 @@ pub struct PbftCluster {
     byz: Vec<ByzantineFlags>,
     /// Message-level safety invariant checker.
     monitor: SafetyMonitor,
+    /// Commit-cadence and view-change-storm liveness tracker.
+    liveness: LivenessMonitor,
     /// (view, seq) → the conflicting sibling digest an equivocating primary
     /// broadcast alongside its real proposal.
     equiv_sibling: HashMap<(u64, u64), u64>,
@@ -363,6 +367,11 @@ impl PbftCluster {
     /// The safety monitor's verdict over everything observed so far.
     pub fn safety_report(&self) -> SafetyReport {
         self.monitor.report()
+    }
+
+    /// The liveness monitor's verdict as of the current virtual time.
+    pub fn liveness_report(&self) -> LivenessReport {
+        self.liveness.report(self.net.now())
     }
 
     /// Crashes a replica (it stops processing messages).
@@ -876,6 +885,7 @@ impl PbftCluster {
         if !locally_committed {
             return;
         }
+        self.liveness.observe_progress(me, now);
         self.monitor
             .observe_quorum(me, VotePhase::Commit, view, seq, digest);
         // Vote tallies are reset on every membership change, so the quorum
@@ -906,6 +916,7 @@ impl PbftCluster {
                 .find_map(|n| n.slots.get(&(view, seq)).and_then(|s| s.batch.clone()))
                 .unwrap_or_default();
             self.next_commit_seq = seq + 1;
+            self.liveness.observe_commit(committed_at);
             for c in &batch {
                 self.committed_txs.insert(c.tx.as_u64());
             }
@@ -982,6 +993,9 @@ impl PbftCluster {
         }
         if reached && is_new_primary {
             let now = self.net.now();
+            // Only the incoming primary reaches this branch, so each
+            // successful view change is counted once cluster-wide.
+            self.liveness.observe_view_change(now);
             let done = self.cpu.process(me, now, self.proc_per_msg);
             self.adopt_view(me, new_view);
             self.net

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use coconut_simnet::{FaultEvent, NetConfig, NetSim, NetStats, Topology};
 use coconut_types::{NodeId, SimDuration, SimTime};
 
+use crate::liveness::{LivenessMonitor, LivenessReport};
 use crate::{majority_quorum, BatchConfig, Command, CommittedBatch, CpuModel, Membership};
 
 /// Base catch-up time a learner spends replicating state before its
@@ -252,6 +253,7 @@ impl RaftBuilder {
             proc_per_msg: self.proc_per_msg,
             proc_per_command: self.proc_per_command,
             round: 0,
+            liveness: LivenessMonitor::default(),
         }
     }
 }
@@ -292,6 +294,8 @@ pub struct RaftCluster {
     proc_per_msg: SimDuration,
     proc_per_command: SimDuration,
     round: u64,
+    /// Commit-cadence and leadership-churn liveness tracker.
+    liveness: LivenessMonitor,
 }
 
 impl RaftCluster {
@@ -401,6 +405,11 @@ impl RaftCluster {
     /// Network counters.
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
+    }
+
+    /// The liveness monitor's verdict as of the current virtual time.
+    pub fn liveness_report(&self) -> LivenessReport {
+        self.liveness.report(self.net.now())
     }
 
     /// Applies a network-level fault (partition, heal, loss burst, latency
@@ -743,6 +752,9 @@ impl RaftCluster {
     }
 
     fn become_leader(&mut self, me: NodeId) {
+        // Every leadership transition — including the initial election —
+        // counts as one cluster-wide view change.
+        self.liveness.observe_view_change(self.net.now());
         let gen;
         {
             let last = self.nodes[me.0 as usize].last_log_index();
@@ -922,6 +934,9 @@ impl RaftCluster {
             }
             reply_term = node.term;
         }
+        if success {
+            self.liveness.observe_progress(me, at);
+        }
         if term == self.nodes[me.0 as usize].term {
             self.arm_election_timer(me);
         }
@@ -1001,6 +1016,10 @@ impl RaftCluster {
         // Emit newly committed batches exactly once, in order; committed
         // config entries take effect here.
         let now = self.net.now();
+        // One commit-index advance is one cadence tick, however many log
+        // entries it covers.
+        self.liveness.observe_commit(now);
+        self.liveness.observe_progress(leader, now);
         while self.emitted_index < new_commit {
             self.emitted_index += 1;
             let entry =

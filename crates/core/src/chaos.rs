@@ -28,7 +28,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use coconut_chains::BlockchainSystem;
-use coconut_consensus::SafetyReport;
+use coconut_consensus::{LivenessReport, SafetyReport};
 use coconut_simnet::{ByzantineBehaviour, FaultEvent, FaultPlan, FaultScheduler};
 use coconut_types::{SeedDeriver, SimDuration, SimRng, SimTime, TxId};
 
@@ -477,11 +477,16 @@ pub struct ChaosRun {
     pub mfls: f64,
     /// 95th-percentile finalization latency (s).
     pub p95: f64,
+    /// 99th-percentile finalization latency (s) — the gray-failure tail.
+    pub p99: f64,
     /// Whether the system still served confirmations at the end.
     pub live: bool,
     /// The consensus safety monitor's verdict, for systems that carry one
     /// (the BFT chains). `None` means safety invariants are not applicable.
     pub safety: Option<SafetyReport>,
+    /// The consensus liveness monitor's verdict at run end, for systems
+    /// that carry one. `None` only for test doubles.
+    pub liveness: Option<LivenessReport>,
 }
 
 impl ChaosRun {
@@ -963,6 +968,7 @@ pub fn run_chaos_with_schedule(
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
     let p95 = percentile(&latencies, 0.95);
+    let p99 = percentile(&latencies, 0.99);
     ChaosRun {
         accounting,
         buckets,
@@ -970,8 +976,10 @@ pub fn run_chaos_with_schedule(
         mtps,
         mfls,
         p95,
+        p99,
         live: system.is_live(),
         safety: system.safety_report(),
+        liveness: system.liveness_report(),
     }
 }
 
@@ -1095,8 +1103,10 @@ mod tests {
             mtps: 0.0,
             mfls: 0.0,
             p95: 0.0,
+            p99: 0.0,
             live: true,
             safety: None,
+            liveness: None,
         };
         let rec = r
             .recovery_secs(SimTime::from_secs(3), SimTime::from_secs(6), 0.7)
@@ -1122,8 +1132,10 @@ mod tests {
             mtps: 0.0,
             mfls: 0.0,
             p95: 0.0,
+            p99: 0.0,
             live: true,
             safety: None,
+            liveness: None,
         }
     }
 

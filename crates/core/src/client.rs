@@ -265,8 +265,7 @@ mod tests {
         let w = Smallbank::new(ContentionKnobs::default());
         let schedule = build_schedule_for(&w, 200.0, 1, Windows::scaled(0.05), 11);
         assert!(!schedule.is_empty());
-        let kinds: std::collections::HashSet<_> =
-            schedule.iter().map(|s| s.tx.kind()).collect();
+        let kinds: std::collections::HashSet<_> = schedule.iter().map(|s| s.tx.kind()).collect();
         assert!(kinds.len() >= 4, "mixed stream, got {kinds:?}");
     }
 

@@ -141,6 +141,21 @@ pub fn contention_cell_seed(
     SeedDeriver::new(root).seed_parts(&["contention", system.label(), workload, cell])
 }
 
+/// The content-addressed seed of one gray-failure cell: a pure function
+/// of `(root, system, kind, severity)` where `kind` names the injected
+/// gray fault ("slow-leader", "flaky-link", …) and `severity` its level
+/// ("low", "mid", "high"; "-" for the fault-free baseline). Filtering
+/// `repro grayfail --systems …` or changing `--jobs` reproduces exactly
+/// the cells of the full campaign.
+pub fn grayfail_cell_seed(
+    root: u64,
+    system: crate::params::SystemKind,
+    kind: &str,
+    severity: &str,
+) -> u64 {
+    SeedDeriver::new(root).seed_parts(&["grayfail", system.label(), kind, severity])
+}
+
 fn seed_of(root: u64, scope: &str, unit: Option<BenchmarkUnit>, spec: &BenchmarkSpec) -> u64 {
     let unit = unit.map_or(String::new(), |u| format!("{u:?}"));
     let nodes = spec
@@ -281,11 +296,51 @@ mod tests {
     #[test]
     fn contention_cell_seed_is_content_addressed() {
         let a = contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "low");
-        assert_eq!(a, contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "low"));
-        assert_ne!(a, contention_cell_seed(7, SystemKind::Quorum, "Smallbank", "low"));
-        assert_ne!(a, contention_cell_seed(7, SystemKind::Fabric, "YCSB", "low"));
-        assert_ne!(a, contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "high"));
-        assert_ne!(a, contention_cell_seed(8, SystemKind::Fabric, "Smallbank", "low"));
+        assert_eq!(
+            a,
+            contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "low")
+        );
+        assert_ne!(
+            a,
+            contention_cell_seed(7, SystemKind::Quorum, "Smallbank", "low")
+        );
+        assert_ne!(
+            a,
+            contention_cell_seed(7, SystemKind::Fabric, "YCSB", "low")
+        );
+        assert_ne!(
+            a,
+            contention_cell_seed(7, SystemKind::Fabric, "Smallbank", "high")
+        );
+        assert_ne!(
+            a,
+            contention_cell_seed(8, SystemKind::Fabric, "Smallbank", "low")
+        );
+    }
+
+    #[test]
+    fn grayfail_cell_seed_is_content_addressed() {
+        let a = grayfail_cell_seed(7, SystemKind::Fabric, "slow-leader", "mid");
+        assert_eq!(
+            a,
+            grayfail_cell_seed(7, SystemKind::Fabric, "slow-leader", "mid")
+        );
+        assert_ne!(
+            a,
+            grayfail_cell_seed(7, SystemKind::Quorum, "slow-leader", "mid")
+        );
+        assert_ne!(
+            a,
+            grayfail_cell_seed(7, SystemKind::Fabric, "flaky-link", "mid")
+        );
+        assert_ne!(
+            a,
+            grayfail_cell_seed(7, SystemKind::Fabric, "slow-leader", "high")
+        );
+        assert_ne!(
+            a,
+            grayfail_cell_seed(8, SystemKind::Fabric, "slow-leader", "mid")
+        );
     }
 
     #[test]

@@ -509,8 +509,10 @@ mod tests {
             mtps: 0.0,
             mfls: 0.0,
             p95: 0.0,
+            p99: 0.0,
             live: true,
             safety: None,
+            liveness: None,
         };
         let (mtps, at) = knee(&run);
         assert_eq!(mtps, 40.0);

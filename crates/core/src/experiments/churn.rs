@@ -251,7 +251,7 @@ fn anchors(cfg: &ExperimentConfig) -> Anchors {
 /// The steady offered load of one system — the chaos campaign's
 /// below-saturation rates, so throughput changes are attributable to the
 /// membership change.
-fn steady_rate(kind: SystemKind) -> f64 {
+pub(crate) fn steady_rate(kind: SystemKind) -> f64 {
     match kind {
         SystemKind::CordaOs | SystemKind::CordaEnterprise => 4.0,
         _ => 50.0,
@@ -261,7 +261,7 @@ fn steady_rate(kind: SystemKind) -> f64 {
 /// Same payload mapping as the chaos campaign: a write workload for the
 /// Cordas (exercising flows and the notary under test), DoNothing
 /// elsewhere.
-fn payload(kind: SystemKind) -> PayloadKind {
+pub(crate) fn payload(kind: SystemKind) -> PayloadKind {
     match kind {
         SystemKind::CordaOs | SystemKind::CordaEnterprise => PayloadKind::KeyValueSet,
         _ => PayloadKind::DoNothing,

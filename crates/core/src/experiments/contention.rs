@@ -173,7 +173,12 @@ fn cell_rate(kind: SystemKind) -> f64 {
 
 /// One cell as a scenario: constant load, default deployment, the named
 /// workload installed over the builder's label payload.
-fn cell_scenario(kind: SystemKind, workload: &'static str, level: ContentionLevel, windows: Windows) -> Timeline {
+fn cell_scenario(
+    kind: SystemKind,
+    workload: &'static str,
+    level: ContentionLevel,
+    windows: Windows,
+) -> Timeline {
     ScenarioBuilder::new(PayloadKind::SendPayment, cell_rate(kind), windows)
         .setup(SystemSetup::default())
         .workload_boxed(workload_named(workload, level.knobs()))
@@ -253,10 +258,7 @@ impl ContentionCell {
             ("busy".into(), Json::Num(self.stats.busy as f64)),
             ("evicted".into(), Json::Num(self.stats.evicted as f64)),
             ("timed_out".into(), Json::Num(a.timed_out as f64)),
-            (
-                "backpressured".into(),
-                Json::Num(a.backpressured as f64),
-            ),
+            ("backpressured".into(), Json::Num(a.backpressured as f64)),
             ("verified".into(), Json::Str(verified_label(&self.verified))),
         ])
     }
@@ -270,8 +272,11 @@ impl Report for ContentionResult {
         let mut out = String::new();
         out.push_str("Contention sweeps — Zipf-skewed Smallbank and YCSB, losses split by cause\n");
         for &workload in WORKLOADS.iter() {
-            let cells: Vec<&ContentionCell> =
-                self.cells.iter().filter(|c| c.workload == workload).collect();
+            let cells: Vec<&ContentionCell> = self
+                .cells
+                .iter()
+                .filter(|c| c.workload == workload)
+                .collect();
             if cells.is_empty() {
                 continue;
             }

@@ -246,11 +246,11 @@ pub fn fig4(cfg: &ExperimentConfig, from_fig3: Option<&Fig3Result>) -> Fig3Resul
             item.system,
             item.unit.benchmarks().next().expect("unit has phases"),
         )
-            .setup(setup)
-            .rate(item.rate)
-            .ops_per_tx(item.ops)
-            .windows(windows)
-            .repetitions(cfg.repetitions);
+        .setup(setup)
+        .rate(item.rate)
+        .ops_per_tx(item.ops)
+        .windows(windows)
+        .repetitions(cfg.repetitions);
         let seed = crate::exec::unit_seed(cfg.seed, "fig4-best", item.unit, &template);
         run_unit(item.system, item.unit, &template, seed)
     });

@@ -14,6 +14,7 @@ pub mod chaos;
 pub mod churn;
 pub mod contention;
 pub mod figures;
+pub mod grayfail;
 pub mod overload;
 pub mod scenarios;
 pub mod tables;
@@ -36,6 +37,7 @@ pub use contention::{
     ACCOUNT_POOL, LEVELS, WORKLOADS,
 };
 pub use figures::{fig3, fig4, fig5, Fig3Result, Fig5Result};
+pub use grayfail::{grayfail, grayfail_for, GrayKind, GrayfailCell, GrayfailResult};
 pub use overload::{
     overload, overload_curves_for, overload_probes_for, tight_limits, MetastableProbe,
     OverloadCell, OverloadCurve, OverloadResult, ProbeArm,

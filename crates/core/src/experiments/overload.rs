@@ -670,8 +670,10 @@ mod tests {
                 mtps: 0.0,
                 mfls: 0.0,
                 p95: 0.0,
+                p99: 0.0,
                 live: true,
                 safety: None,
+                liveness: None,
             },
         };
         let curve = OverloadCurve {

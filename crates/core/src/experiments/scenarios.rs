@@ -24,6 +24,7 @@ use crate::json::Json;
 use crate::params::{SystemKind, SystemSetup};
 use crate::report::Report;
 use crate::scenario::{Check, CheckOutcome, ScenarioBuilder, Timeline};
+use coconut_chains::Stage;
 use coconut_types::{NodeId, PayloadKind, SimDuration, SimTime};
 
 /// Virtual-time anchors shared by every library scenario, derived from the
@@ -295,6 +296,29 @@ fn ramp_to_saturation(k: SystemKind, a: Anchors) -> Timeline {
         .build()
 }
 
+fn slow_leader_flash_crowd(k: SystemKind, a: Anchors) -> Timeline {
+    base(k, a)
+        .probes(true)
+        .at(a.q1)
+        .slow_node(NodeId(0), 32.0, a.mid)
+        .at(a.q1)
+        .flash_crowd(2.0, a.mid)
+        .at(a.listen_end)
+        .assert(Check::RestabilizesBy {
+            fault_from: a.q1,
+            fault_until: a.mid,
+            threshold: 0.7,
+        })
+        .assert(Check::SafetyClean)
+        // The probe-backed check: even with the leader limping under a 2x
+        // crowd, ingress must not hold the majority of residence time.
+        .assert(Check::StageResidenceBelow {
+            stage: Stage::Ingress,
+            max_share: 0.5,
+        })
+        .build()
+}
+
 /// The library, in report order. Names are stable — they are seed scopes
 /// and golden keys; add new scenarios at the end, never rename.
 pub fn scenario_library() -> Vec<NamedScenario> {
@@ -382,6 +406,13 @@ pub fn scenario_library() -> Vec<NamedScenario> {
             timeline: "ramp to 6x over [2 s, send), tight pools; assert early goodput + delivery",
             systems: all_systems,
             build: ramp_to_saturation,
+        },
+        NamedScenario {
+            name: "slow-leader-flash-crowd",
+            about: "a limping leader under a 2x flash crowd (gray composite)",
+            timeline: "slow n0 x32 + flash 2x @[q1,mid), probes; assert restabilize + safety + ingress share",
+            systems: all_systems,
+            build: slow_leader_flash_crowd,
         },
     ]
 }

@@ -37,8 +37,8 @@
 //!    `(at, tx.id())`, and overlay ids carry a per-phase tag bit
 //!    ([`overlay_tag`]) so base and overlay ids can never collide.
 
-use coconut_chains::{StageReport, SystemStats};
-use coconut_simnet::{FaultEvent, FaultPlan};
+use coconut_chains::{Stage, StageReport, SystemStats};
+use coconut_simnet::{FaultEvent, FaultPlan, LatencyModel, RegionMap};
 use coconut_types::{
     ClientId, ClientTx, NodeId, PayloadKind, SeedDeriver, SimDuration, SimTime, ThreadId, TxId,
 };
@@ -152,6 +152,15 @@ pub enum Check {
         /// Required epoch count.
         count: u64,
     },
+    /// Stage-residence ceiling: the probe-reported share of total
+    /// residence time held by `stage` stays below `max_share`. Vacuously
+    /// true when the timeline did not arm [`ScenarioBuilder::probes`].
+    StageResidenceBelow {
+        /// The pipeline stage under the ceiling.
+        stage: Stage,
+        /// Exclusive upper bound on the stage's residence share.
+        max_share: f64,
+    },
 }
 
 impl Check {
@@ -165,11 +174,18 @@ impl Check {
             Check::SafetyViolationsAtLeast { .. } => "safety-violations",
             Check::RestabilizesBy { .. } => "restabilizes-by",
             Check::EpochsAtLeast { .. } => "epochs",
+            Check::StageResidenceBelow { .. } => "stage-residence",
         }
     }
 
     /// Evaluates the check at checkpoint `at` against a finished run.
-    fn evaluate(&self, at: SimTime, run: &ChaosRun, epochs: u64) -> CheckOutcome {
+    fn evaluate(
+        &self,
+        at: SimTime,
+        run: &ChaosRun,
+        epochs: u64,
+        stages: Option<&StageReport>,
+    ) -> CheckOutcome {
         let (pass, observed) = match *self {
             Check::GoodputFloor { since, min_mtps } => {
                 let got = run.window_mtps(since, at);
@@ -208,6 +224,13 @@ impl Check {
             Check::EpochsAtLeast { count } => {
                 (epochs >= count, format!("{epochs} epochs (min {count})"))
             }
+            Check::StageResidenceBelow { stage, max_share } => match stages {
+                None => (true, "n/a (no probes)".to_string()),
+                Some(r) => {
+                    let got = r.residence_share(stage);
+                    (got < max_share, format!("{got:.3} share (max {max_share})"))
+                }
+            },
         };
         CheckOutcome {
             at,
@@ -427,6 +450,59 @@ impl Cursor {
     /// A partition window: isolate `nodes` from the cursor until `until`.
     pub fn partition(mut self, nodes: &[NodeId], until: SimTime) -> Cursor {
         self.b.plan = self.b.plan.partition_window(nodes, self.t, until);
+        self
+    }
+
+    /// A latency-spike window: from the cursor until `until`, inter-server
+    /// delays follow `model` instead of the configured one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` is not after the cursor.
+    pub fn latency_spike(mut self, model: LatencyModel, until: SimTime) -> Cursor {
+        assert!(
+            until > self.t,
+            "the latency-spike window must have positive length"
+        );
+        self.b.plan = self.b.plan.at(
+            self.t,
+            FaultEvent::LatencySpike {
+                model,
+                window: until - self.t,
+            },
+        );
+        self
+    }
+
+    /// A straggler window: from the cursor until `until`, `node`'s timers
+    /// and messages are stretched by `factor` — the limping-but-alive gray
+    /// failure (panics per [`FaultPlan::slow_window`]).
+    pub fn slow_node(mut self, node: NodeId, factor: f64, until: SimTime) -> Cursor {
+        self.b.plan = self.b.plan.slow_window(node, factor, self.t, until);
+        self
+    }
+
+    /// A flaky-link window: from the cursor until `until`, each message on
+    /// `a ↔ b` drops independently with probability `p` (panics per
+    /// [`FaultPlan::flaky_window`]).
+    pub fn flaky_link(mut self, a: NodeId, b: NodeId, p: f64, until: SimTime) -> Cursor {
+        self.b.plan = self.b.plan.flaky_window(a, b, p, self.t, until);
+        self
+    }
+
+    /// A half-open-link window: from the cursor until `until`, every
+    /// `from → to` message is dropped while replies keep flowing; the heal
+    /// is global (panics per [`FaultPlan::asym_partition_window`]).
+    pub fn asym_partition(mut self, from: &[NodeId], to: &[NodeId], until: SimTime) -> Cursor {
+        self.b.plan = self.b.plan.asym_partition_window(from, to, self.t, until);
+        self
+    }
+
+    /// A regioned-WAN window: from the cursor until `until`, the
+    /// [`RegionMap`]'s extra cross-region latency applies on top of the
+    /// configured latency models (panics per [`FaultPlan::region_window`]).
+    pub fn region_latency(mut self, map: RegionMap, until: SimTime) -> Cursor {
+        self.b.plan = self.b.plan.region_window(map, self.t, until);
         self
     }
 
@@ -750,7 +826,7 @@ impl Timeline {
         let checks = self
             .checks
             .iter()
-            .map(|(at, c)| c.evaluate(*at, &run, epochs))
+            .map(|(at, c)| c.evaluate(*at, &run, epochs, stage_report.as_ref()))
             .collect();
         ScenarioRun {
             run,
@@ -841,6 +917,68 @@ mod tests {
     }
 
     #[test]
+    fn gray_fault_verbs_compile_to_the_expected_plan() {
+        let t = SimTime::from_secs(4);
+        let heal = SimTime::from_secs(12);
+        let tl = ScenarioBuilder::new(PayloadKind::DoNothing, 50.0, windows())
+            .at(t)
+            .slow_node(NodeId(0), 16.0, heal)
+            .at(t)
+            .flaky_link(NodeId(0), NodeId(1), 0.3, heal)
+            .at(t)
+            .asym_partition(&[NodeId(0)], &[NodeId(2)], heal)
+            .at(t)
+            .region_latency(
+                RegionMap::round_robin(4, 2, SimDuration::from_millis(80)),
+                heal,
+            )
+            .build();
+        let events = tl.plan().events();
+        assert!(matches!(
+            events[0],
+            (at, FaultEvent::SlowNode { node: NodeId(0), .. }) if at == t
+        ));
+        assert!(matches!(
+            events[1],
+            (at, FaultEvent::FlakyLink { drop_prob, .. }) if at == t && drop_prob == 0.3
+        ));
+        assert!(matches!(events[2], (at, FaultEvent::AsymmetricPartition { .. }) if at == t));
+        // Only the half-open link needs an explicit global heal; the plan
+        // stores insertion order, so it precedes the region event here.
+        assert_eq!(events[3], (heal, FaultEvent::Heal));
+        assert!(matches!(events[4], (at, FaultEvent::RegionLatency { .. }) if at == t));
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn stage_residence_check_reads_the_probe_report() {
+        // With probes armed the check compares the stage's share of total
+        // residence against the ceiling; a share below 1.1 always holds.
+        let sr = ScenarioBuilder::new(PayloadKind::DoNothing, 100.0, windows())
+            .probes(true)
+            .at(SimTime::from_secs(2))
+            .assert(Check::StageResidenceBelow {
+                stage: Stage::Ingress,
+                max_share: 1.1,
+            })
+            .build()
+            .run(SystemKind::Fabric, 7);
+        assert!(sr.checks[0].pass, "{:?}", sr.checks);
+        assert!(sr.checks[0].observed.contains("share"));
+        // Without probes the check is vacuous and says so.
+        let bare = ScenarioBuilder::new(PayloadKind::DoNothing, 100.0, windows())
+            .at(SimTime::from_secs(2))
+            .assert(Check::StageResidenceBelow {
+                stage: Stage::Ingress,
+                max_share: 0.0,
+            })
+            .build()
+            .run(SystemKind::Fabric, 7);
+        assert!(bare.checks[0].pass);
+        assert!(bare.checks[0].observed.contains("n/a"));
+    }
+
+    #[test]
     fn overlapping_fault_windows_compose() {
         // Two overlapping loss windows: both bursts are scheduled; at the
         // client ingress the later burst supersedes the earlier one while
@@ -871,33 +1009,36 @@ mod tests {
             mtps: 0.0,
             mfls: 0.0,
             p95: 0.0,
+            p99: 0.0,
             live: true,
             safety: None,
+            liveness: None,
         };
         // Phase boundary at t = 2 s: [0, 2) sees only the two 10-buckets.
         let c = Check::GoodputFloor {
             since: SimTime::ZERO,
             min_mtps: 10.0,
         };
-        let out = c.evaluate(SimTime::from_secs(2), &run, 0);
+        let out = c.evaluate(SimTime::from_secs(2), &run, 0, None);
         assert!(out.pass, "{}", out.observed);
         // Halted over [2, 4) holds even though bucket 4 is busy again.
         let h = Check::Halted {
             since: SimTime::from_secs(2),
         };
-        assert!(h.evaluate(SimTime::from_secs(4), &run, 0).pass);
+        assert!(h.evaluate(SimTime::from_secs(4), &run, 0, None).pass);
         // A sub-bucket sliver past the boundary covers no full bucket:
         // Halted still holds at t = 4.5 s.
         assert!(
             h.evaluate(
                 SimTime::from_secs(4) + SimDuration::from_millis(500),
                 &run,
-                0
+                0,
+                None
             )
             .pass
         );
         // But one more full bucket flips it.
-        assert!(!h.evaluate(SimTime::from_secs(5), &run, 0).pass);
+        assert!(!h.evaluate(SimTime::from_secs(5), &run, 0, None).pass);
     }
 
     #[test]
@@ -993,7 +1134,7 @@ mod tests {
         let halted = Check::Halted {
             since: SimTime::ZERO,
         };
-        let out = halted.evaluate(SimTime::from_secs(25), &sr.run, sr.epochs);
+        let out = halted.evaluate(SimTime::from_secs(25), &sr.run, sr.epochs, None);
         assert!(!out.pass);
     }
 }

@@ -372,7 +372,11 @@ impl Workload for Smallbank {
             60..=74 => Payload::amalgamate(a, b),
             _ => {
                 let pool = self.knobs.account_pool.max(2);
-                let to = if b == a { AccountId((b.0 + 1) % pool) } else { b };
+                let to = if b == a {
+                    AccountId((b.0 + 1) % pool)
+                } else {
+                    b
+                };
                 Payload::send_payment(a, to, amount)
             }
         }
@@ -710,17 +714,23 @@ mod tests {
         for p in w.preload() {
             state.apply(&p).unwrap();
         }
-        assert!(w.verify(&coconut_iel::LedgerState::of_world(&state)).is_ok());
+        assert!(w
+            .verify(&coconut_iel::LedgerState::of_world(&state))
+            .is_ok());
         // Apply a few hundred generated ops; conservation must hold.
         for s in 0..300u64 {
             let _ = state.apply(&w.payload_at(ClientId(0), ThreadId(0), s));
         }
-        assert!(w.verify(&coconut_iel::LedgerState::of_world(&state)).is_ok());
+        assert!(w
+            .verify(&coconut_iel::LedgerState::of_world(&state))
+            .is_ok());
         // A minted coin breaks it.
         state
             .apply(&Payload::create_account(AccountId(999), 1, 0))
             .unwrap();
-        assert!(w.verify(&coconut_iel::LedgerState::of_world(&state)).is_err());
+        assert!(w
+            .verify(&coconut_iel::LedgerState::of_world(&state))
+            .is_err());
     }
 
     #[test]
@@ -742,7 +752,9 @@ mod tests {
                 .apply(&p)
                 .unwrap_or_else(|e| panic!("payload {s} failed: {e:?}"));
         }
-        assert!(w.verify(&coconut_iel::LedgerState::of_world(&state)).is_ok());
+        assert!(w
+            .verify(&coconut_iel::LedgerState::of_world(&state))
+            .is_ok());
     }
 
     #[test]

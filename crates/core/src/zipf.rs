@@ -38,7 +38,10 @@ impl Zipf {
     /// Panics if `n` is zero or `s` is negative/non-finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut total = 0.0;
         for r in 1..=n {

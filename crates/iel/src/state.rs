@@ -299,14 +299,9 @@ pub struct LedgerState {
 
 impl LedgerState {
     /// Builds a snapshot from unordered account and key/value maps.
-    pub fn from_maps(
-        accounts: HashMap<AccountId, (u64, u64)>,
-        kv: HashMap<u64, u64>,
-    ) -> Self {
-        let mut accounts: Vec<(AccountId, u64, u64)> = accounts
-            .into_iter()
-            .map(|(a, (c, s))| (a, c, s))
-            .collect();
+    pub fn from_maps(accounts: HashMap<AccountId, (u64, u64)>, kv: HashMap<u64, u64>) -> Self {
+        let mut accounts: Vec<(AccountId, u64, u64)> =
+            accounts.into_iter().map(|(a, (c, s))| (a, c, s)).collect();
         accounts.sort_unstable_by_key(|&(a, _, _)| a);
         let mut kv: Vec<(u64, u64)> = kv.into_iter().collect();
         kv.sort_unstable_by_key(|&(k, _)| k);

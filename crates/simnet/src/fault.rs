@@ -35,7 +35,7 @@
 use coconut_types::{NodeId, SimDuration, SimTime};
 
 use crate::latency::LatencyModel;
-use crate::net::NetSim;
+use crate::net::{NetSim, RegionMap};
 
 /// How a Byzantine-flagged node misbehaves while its fault window is open.
 ///
@@ -62,9 +62,59 @@ pub enum FaultEvent {
     RestartNode(NodeId),
     /// Set-based partition: isolate the given set of nodes from the rest of
     /// the network (links within the set and within the complement stay up).
+    ///
+    /// Symmetric partitions compose with
+    /// [`FaultEvent::AsymmetricPartition`] as a union — a direction is
+    /// suppressed if either kind blocks it — and [`FaultEvent::Heal`]
+    /// removes both kinds at once, so overlapping windows can never leave a
+    /// half-open residue after the heal.
     Partition(Vec<NodeId>),
-    /// Remove every active partition.
+    /// Remove every active partition, symmetric *and* directional.
     Heal,
+    /// Directional (gray) partition: every `from → to` message is dropped
+    /// while `to → from` traffic is delivered — a half-open link. Healed by
+    /// [`FaultEvent::Heal`] together with symmetric partitions.
+    AsymmetricPartition {
+        /// Senders whose outbound traffic toward `to` is suppressed.
+        from: Vec<NodeId>,
+        /// Receivers that stop hearing from `from` (their replies still
+        /// flow).
+        to: Vec<NodeId>,
+    },
+    /// Seeded intermittent loss on one (bidirectional) link for the next
+    /// `window`: each message on `a ↔ b` drops independently with
+    /// probability `drop_prob`, drawn from a dedicated RNG stream.
+    FlakyLink {
+        /// One endpoint of the flaky link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Per-message drop probability while the window is open.
+        drop_prob: f64,
+        /// How long the flakiness lasts from its scheduled start.
+        window: SimDuration,
+    },
+    /// A straggler for the next `window`: `node`'s timers and its messages
+    /// (both directions) take `factor ×` as long, but it keeps
+    /// participating — the limping-but-alive regime between healthy and
+    /// crashed.
+    SlowNode {
+        /// The straggling node.
+        node: NodeId,
+        /// Stretch factor (`>= 1.0`) applied to its timers and messages.
+        factor: f64,
+        /// How long the straggle lasts from its scheduled start.
+        window: SimDuration,
+    },
+    /// Regioned-WAN overlay for the next `window`: the [`RegionMap`]'s
+    /// per-region-pair extra latency is added to every cross-region link
+    /// delay, under whatever latency model is already in force.
+    RegionLatency {
+        /// Node→region assignment plus the extra-latency matrix.
+        map: RegionMap,
+        /// How long the overlay lasts from its scheduled start.
+        window: SimDuration,
+    },
     /// Elevated message-loss probability `p` for the next `window`.
     LossBurst {
         /// Drop probability during the burst.
@@ -238,6 +288,95 @@ impl FaultPlan {
             .at(until, FaultEvent::Heal)
     }
 
+    /// A straggler window: from `from` until `until`, `node`'s timers and
+    /// messages are stretched by `factor` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` or `factor < 1.0`.
+    pub fn slow_window(self, node: NodeId, factor: f64, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "the slow window must have positive length");
+        assert!(factor >= 1.0, "a slow-node factor must be >= 1");
+        self.at(
+            from,
+            FaultEvent::SlowNode {
+                node,
+                factor,
+                window: until - from,
+            },
+        )
+    }
+
+    /// A flaky-link window: from `from` until `until`, each message on
+    /// `a ↔ b` drops independently with probability `p` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` or `p` is outside `[0, 1]`.
+    pub fn flaky_window(self, a: NodeId, b: NodeId, p: f64, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "the flaky window must have positive length");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
+        );
+        self.at(
+            from,
+            FaultEvent::FlakyLink {
+                a,
+                b,
+                drop_prob: p,
+                window: until - from,
+            },
+        )
+    }
+
+    /// A half-open-link window: from `from` until `until`, every
+    /// `from_set → to_set` message is dropped while the reverse direction
+    /// keeps flowing; the heal at `until` is global (clears symmetric and
+    /// directional partitions alike, see [`FaultEvent::Heal`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn asym_partition_window(
+        self,
+        from_set: &[NodeId],
+        to_set: &[NodeId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            until > from,
+            "the asymmetric-partition window must have positive length"
+        );
+        self.at(
+            from,
+            FaultEvent::AsymmetricPartition {
+                from: from_set.to_vec(),
+                to: to_set.to_vec(),
+            },
+        )
+        .at(until, FaultEvent::Heal)
+    }
+
+    /// A regioned-WAN window: from `from` until `until`, the [`RegionMap`]'s
+    /// extra cross-region latency applies on top of the configured latency
+    /// models (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn region_window(self, map: RegionMap, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "the region window must have positive length");
+        self.at(
+            from,
+            FaultEvent::RegionLatency {
+                map,
+                window: until - from,
+            },
+        )
+    }
+
     /// A single membership join at `at` (builder style): the standby node
     /// `node` starts catch-up and becomes active once synced.
     pub fn join_at(self, node: NodeId, at: SimTime) -> Self {
@@ -338,6 +477,31 @@ impl<M> NetSim<M> {
             }
             FaultEvent::LatencySpike { model, window } => {
                 self.latency_spike(*model, at + *window);
+                true
+            }
+            FaultEvent::AsymmetricPartition { from, to } => {
+                self.partition_directional(from, to);
+                true
+            }
+            FaultEvent::FlakyLink {
+                a,
+                b,
+                drop_prob,
+                window,
+            } => {
+                self.flaky_link(*a, *b, *drop_prob, at + *window);
+                true
+            }
+            FaultEvent::SlowNode {
+                node,
+                factor,
+                window,
+            } => {
+                self.slow_node(*node, *factor, at + *window);
+                true
+            }
+            FaultEvent::RegionLatency { map, window } => {
+                self.region_latency(map.clone(), at + *window);
                 true
             }
             FaultEvent::CrashNode(_)

@@ -14,7 +14,11 @@
 //!   accounts for bandwidth, and can drop or partition traffic;
 //! * [`FaultPlan`] / [`FaultScheduler`] — declarative, virtual-time-ordered
 //!   fault campaigns (crashes, set-based partitions, loss bursts, latency
-//!   spikes) replayed deterministically inside the event loop.
+//!   spikes) replayed deterministically inside the event loop;
+//! * gray failures — directional [`FaultEvent::AsymmetricPartition`]s,
+//!   seeded [`FaultEvent::FlakyLink`] windows, [`FaultEvent::SlowNode`]
+//!   stragglers whose timers and messages stretch instead of stopping, and a
+//!   [`RegionMap`] WAN-latency overlay — all composable with the same plans.
 //!
 //! Determinism: with the same seed, the same sequence of `schedule`/`send`
 //! calls yields the identical event order. Ties in virtual time are broken
@@ -49,7 +53,7 @@ pub mod topology;
 
 pub use fault::{ByzantineBehaviour, FaultEvent, FaultPlan, FaultScheduler};
 pub use latency::LatencyModel;
-pub use net::{NetConfig, NetSim, NetStats};
+pub use net::{NetConfig, NetSim, NetStats, RegionMap};
 pub use queue::EventQueue;
 pub use sim::{Event, Sim};
 pub use topology::Topology;

@@ -1,6 +1,6 @@
 //! The network overlay: latency, bandwidth, loss, partitions, statistics.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use coconut_types::{NodeId, SimDuration, SimRng, SimTime};
 
@@ -93,6 +93,103 @@ impl Default for NetConfig {
     }
 }
 
+/// A region assignment plus a per-region-pair extra-latency matrix: the
+/// regioned-WAN topology of the gray-failure experiments.
+///
+/// The map composes with — it does not replace — the configured
+/// [`LatencyModel`]s: while active, [`RegionMap::extra`] is *added* to every
+/// sampled link delay, so jitter distributions keep their shape and only the
+/// deterministic cross-region propagation moves. Intra-region links (and
+/// self-sends) gain nothing.
+///
+/// # Example
+///
+/// ```
+/// use coconut_simnet::RegionMap;
+/// use coconut_types::{NodeId, SimDuration};
+///
+/// // Four nodes round-robined over two regions, 80 ms inter-region RTT:
+/// let map = RegionMap::round_robin(4, 2, SimDuration::from_millis(80));
+/// assert_eq!(map.extra(NodeId(0), NodeId(2)), SimDuration::ZERO); // same region
+/// assert_eq!(map.extra(NodeId(0), NodeId(1)), SimDuration::from_millis(40)); // one way
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionMap {
+    /// `assignment[node] = region`.
+    assignment: Vec<u32>,
+    n_regions: u32,
+    /// Row-major `n_regions × n_regions` one-way extra latency in µs.
+    extra_us: Vec<u64>,
+}
+
+impl RegionMap {
+    /// Builds a map from an explicit node→region assignment and a one-way
+    /// extra-latency matrix (`extra_us[a * n_regions + b]`, µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_regions` is zero, any assignment is out of range, or the
+    /// matrix is not `n_regions²` long.
+    pub fn new(assignment: Vec<u32>, n_regions: u32, extra_us: Vec<u64>) -> Self {
+        assert!(n_regions > 0, "a region map needs at least one region");
+        assert!(
+            assignment.iter().all(|&r| r < n_regions),
+            "region assignment out of range"
+        );
+        assert_eq!(
+            extra_us.len(),
+            (n_regions * n_regions) as usize,
+            "latency matrix must be n_regions x n_regions"
+        );
+        RegionMap {
+            assignment,
+            n_regions,
+            extra_us,
+        }
+    }
+
+    /// The common symmetric case: `n_nodes` assigned round-robin over
+    /// `n_regions` regions, every cross-region link adding half the given
+    /// RTT each way and intra-region links adding nothing.
+    pub fn round_robin(n_nodes: u32, n_regions: u32, inter_region_rtt: SimDuration) -> Self {
+        assert!(n_regions > 0, "a region map needs at least one region");
+        let one_way = SimDuration::from_micros(inter_region_rtt.as_micros() / 2);
+        let mut extra_us = vec![0u64; (n_regions * n_regions) as usize];
+        for a in 0..n_regions {
+            for b in 0..n_regions {
+                if a != b {
+                    extra_us[(a * n_regions + b) as usize] = one_way.as_micros();
+                }
+            }
+        }
+        RegionMap {
+            assignment: (0..n_nodes).map(|n| n % n_regions).collect(),
+            n_regions,
+            extra_us,
+        }
+    }
+
+    /// The region `node` lives in (nodes beyond the assignment wrap
+    /// round-robin, so late joiners are still placed deterministically).
+    pub fn region_of(&self, node: NodeId) -> u32 {
+        if self.assignment.is_empty() {
+            return 0;
+        }
+        self.assignment[node.0 as usize % self.assignment.len()]
+    }
+
+    /// One-way extra propagation delay from `src` to `dst`.
+    pub fn extra(&self, src: NodeId, dst: NodeId) -> SimDuration {
+        let (a, b) = (self.region_of(src), self.region_of(dst));
+        SimDuration::from_micros(self.extra_us[(a * self.n_regions + b) as usize])
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> u32 {
+        self.n_regions
+    }
+}
+
 /// Counters kept by [`NetSim`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -136,6 +233,20 @@ pub struct NetSim<M> {
     rng: SimRng,
     stats: NetStats,
     partitioned: HashSet<(NodeId, NodeId)>,
+    /// Directional partitions: `(src, dst)` pairs whose `src → dst` traffic
+    /// is suppressed while the reverse direction keeps flowing.
+    asym_partitioned: HashSet<(NodeId, NodeId)>,
+    /// Per-link flaky windows: unordered link → (drop probability, until).
+    flaky: HashMap<(NodeId, NodeId), (f64, SimTime)>,
+    /// Dedicated RNG stream for flaky-link draws, so arming a flaky window
+    /// never perturbs the main stream's draw order (and therefore never
+    /// shifts latency samples or baseline-loss decisions elsewhere).
+    flaky_rng: SimRng,
+    /// Stragglers: node → (stretch factor, until). While active, the node's
+    /// timers and its messages (in both directions) take `factor ×` as long.
+    slow: HashMap<NodeId, (f64, SimTime)>,
+    /// Regioned-WAN latency overlay active until the given instant.
+    region: Option<(RegionMap, SimTime)>,
     /// Elevated loss probability active until the given instant.
     loss_burst: Option<(f64, SimTime)>,
     /// Inter-server latency override active until the given instant.
@@ -153,6 +264,11 @@ impl<M> NetSim<M> {
             rng: SimRng::seed_from_u64(seed),
             stats: NetStats::default(),
             partitioned: HashSet::new(),
+            asym_partitioned: HashSet::new(),
+            flaky: HashMap::new(),
+            flaky_rng: SimRng::seed_from_u64(seed ^ 0xF1A6_F1A6_F1A6_F1A6),
+            slow: HashMap::new(),
+            region: None,
             loss_burst: None,
             latency_spike: None,
         }
@@ -179,22 +295,7 @@ impl<M> NetSim<M> {
     /// latency, and transmission delay. Self-sends are delivered with
     /// loopback latency and are never lost.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, msg: M) {
-        self.stats.messages_sent += 1;
-        self.stats.bytes_sent += bytes as u64;
-        if src != dst {
-            if self.is_partitioned(src, dst) {
-                self.stats.messages_partitioned += 1;
-                return;
-            }
-            let p_loss = self.effective_loss_probability();
-            if p_loss > 0.0 && self.rng.gen_f64() < p_loss {
-                self.stats.messages_dropped += 1;
-                return;
-            }
-        }
-        let delay = self.link_delay(src, dst, bytes);
-        self.stats.messages_delivered += 1;
-        self.sim.schedule(delay, dst, msg);
+        self.send_delayed(src, dst, SimDuration::ZERO, bytes, msg);
     }
 
     /// Like [`NetSim::send`] but with an additional sender-side delay before
@@ -211,7 +312,7 @@ impl<M> NetSim<M> {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         if src != dst {
-            if self.is_partitioned(src, dst) {
+            if self.is_partitioned(src, dst) || self.asym_partitioned.contains(&(src, dst)) {
                 self.stats.messages_partitioned += 1;
                 return;
             }
@@ -220,8 +321,22 @@ impl<M> NetSim<M> {
                 self.stats.messages_dropped += 1;
                 return;
             }
+            // Flaky-link draws come from a dedicated stream so arming a
+            // window never shifts the main stream's draw order.
+            if !self.flaky.is_empty() {
+                if let Some(&(p, until)) = self.flaky.get(&ordered(src, dst)) {
+                    if self.sim.now() < until && self.flaky_rng.gen_f64() < p {
+                        self.stats.messages_dropped += 1;
+                        return;
+                    }
+                }
+            }
         }
-        let delay = extra + self.link_delay(src, dst, bytes);
+        let mut delay = extra + self.link_delay(src, dst, bytes);
+        let stretch = self.stretch(src).max(self.stretch(dst));
+        if stretch > 1.0 {
+            delay = delay.mul_f64(stretch);
+        }
         self.stats.messages_delivered += 1;
         self.sim.schedule(delay, dst, msg);
     }
@@ -260,12 +375,29 @@ impl<M> NetSim<M> {
     }
 
     /// Schedules a local timer at `dst` after `delay` (no network involved).
+    ///
+    /// A [`NetSim::slow_node`] window stretches the delay: a straggler's
+    /// timers fire late, it does not stop. The stretch is decided at
+    /// scheduling time (timers armed before the window opens fire on time).
     pub fn timer(&mut self, dst: NodeId, delay: SimDuration, msg: M) {
+        let stretch = self.stretch(dst);
+        let delay = if stretch > 1.0 {
+            delay.mul_f64(stretch)
+        } else {
+            delay
+        };
         self.sim.schedule(delay, dst, msg);
     }
 
-    /// Schedules a local event at an absolute time.
+    /// Schedules a local event at an absolute time. Under an active
+    /// [`NetSim::slow_node`] window the *remaining* interval is stretched.
     pub fn timer_at(&mut self, dst: NodeId, at: SimTime, msg: M) {
+        let stretch = self.stretch(dst);
+        let at = if stretch > 1.0 && at > self.sim.now() {
+            self.sim.now() + (at - self.sim.now()).mul_f64(stretch)
+        } else {
+            at
+        };
         self.sim.schedule_at(at, dst, msg);
     }
 
@@ -318,9 +450,75 @@ impl<M> NetSim<M> {
         }
     }
 
-    /// Removes every active partition at once.
+    /// Directional partition: every `from → to` message is suppressed while
+    /// `to → from` traffic keeps flowing (the classic gray failure of a
+    /// half-open link or a broken NIC transmit queue).
+    ///
+    /// Directional and symmetric partitions compose as a union: a link is
+    /// suppressed in a direction if *either* kind blocks it, and
+    /// [`NetSim::heal`] / [`NetSim::heal_all`] clear both kinds, so a heal
+    /// never leaves a half-open residue behind.
+    pub fn partition_directional(&mut self, from: &[NodeId], to: &[NodeId]) {
+        for &a in from {
+            for &b in to {
+                if a != b {
+                    self.asym_partitioned.insert((a, b));
+                }
+            }
+        }
+    }
+
+    /// `true` if `src → dst` traffic is currently suppressed in that
+    /// direction only (symmetric partitions are reported by
+    /// [`NetSim::is_partitioned`]).
+    pub fn is_asym_partitioned(&self, src: NodeId, dst: NodeId) -> bool {
+        self.asym_partitioned.contains(&(src, dst))
+    }
+
+    /// Arms a flaky window on the (bidirectional) link `a ↔ b`: until
+    /// virtual time `until`, each message on the link is independently
+    /// dropped with probability `p`, drawn from a dedicated seeded stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn flaky_link(&mut self, a: NodeId, b: NodeId, p: f64, until: SimTime) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.flaky.insert(ordered(a, b), (p, until));
+    }
+
+    /// Marks `node` as a straggler until virtual time `until`: its timers
+    /// and every message it sends or receives take `factor ×` as long. The
+    /// node keeps participating — gray failure, not a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor >= 1.0`.
+    pub fn slow_node(&mut self, node: NodeId, factor: f64, until: SimTime) {
+        assert!(factor >= 1.0, "a slow-node factor must be >= 1");
+        self.slow.insert(node, (factor, until));
+    }
+
+    /// Applies a regioned-WAN latency overlay until virtual time `until`:
+    /// [`RegionMap::extra`] is added to every cross-region link delay on top
+    /// of whatever latency model is in force.
+    pub fn region_latency(&mut self, map: RegionMap, until: SimTime) {
+        self.region = Some((map, until));
+    }
+
+    /// The active stretch factor for `node` (1.0 when it is healthy).
+    pub fn stretch(&self, node: NodeId) -> f64 {
+        match self.slow.get(&node) {
+            Some(&(factor, until)) if self.sim.now() < until => factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Removes every active partition at once — symmetric and directional —
+    /// so a heal never leaves a half-open link behind.
     pub fn heal_all(&mut self) {
         self.partitioned.clear();
+        self.asym_partitioned.clear();
     }
 
     /// Raises the loss probability to `p` until virtual time `until`
@@ -351,9 +549,12 @@ impl<M> NetSim<M> {
         }
     }
 
-    /// Restores connectivity between `a` and `b`.
+    /// Restores connectivity between `a` and `b` in both directions,
+    /// clearing symmetric and directional suppression alike.
     pub fn heal(&mut self, a: NodeId, b: NodeId) {
         self.partitioned.remove(&ordered(a, b));
+        self.asym_partitioned.remove(&(a, b));
+        self.asym_partitioned.remove(&(b, a));
     }
 
     /// `true` if a partition currently suppresses `a` ↔ `b` traffic.
@@ -376,7 +577,11 @@ impl<M> NetSim<M> {
         let propagation = model.sample(&mut self.rng);
         let transmission_us =
             (bytes as u64 * 8).saturating_mul(1_000_000) / self.config.bandwidth_bps;
-        propagation + SimDuration::from_micros(transmission_us)
+        let regional = match &self.region {
+            Some((map, until)) if self.sim.now() < *until => map.extra(src, dst),
+            _ => SimDuration::ZERO,
+        };
+        propagation + SimDuration::from_micros(transmission_us) + regional
     }
 }
 
@@ -557,6 +762,229 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         let _ = NetConfig::lan().with_bandwidth_bps(0);
+    }
+
+    #[test]
+    fn asym_partition_drops_forward_and_delivers_reverse() {
+        // Property sweep: under AsymmetricPartition{a→b}, every a→b send is
+        // suppressed and every b→a send is delivered, whatever the payload
+        // sizes and interleaving.
+        let mut gen = coconut_types::SimRng::seed_from_u64(77);
+        for case in 0..32 {
+            let mut net: NetSim<u32> = lan_net();
+            net.partition_directional(&[NodeId(0)], &[NodeId(1)]);
+            let n = gen.gen_range_inclusive(1, 40);
+            let mut forward = 0u64;
+            let mut reverse = 0u64;
+            for i in 0..n {
+                let bytes = gen.gen_range_inclusive(0, 2048) as usize;
+                if gen.gen_bool(0.5) {
+                    net.send(NodeId(0), NodeId(1), bytes, i as u32);
+                    forward += 1;
+                } else {
+                    net.send(NodeId(1), NodeId(0), bytes, i as u32);
+                    reverse += 1;
+                }
+            }
+            let mut delivered = 0u64;
+            while let Some(ev) = net.pop_before(SimTime::MAX) {
+                assert_eq!(ev.dst, NodeId(0), "case {case}: only b→a may deliver");
+                delivered += 1;
+            }
+            assert_eq!(delivered, reverse, "case {case}");
+            assert_eq!(net.stats().messages_partitioned, forward, "case {case}");
+        }
+    }
+
+    #[test]
+    fn asym_partition_is_directional_and_heals() {
+        let mut net = lan_net();
+        net.partition_directional(&[NodeId(0)], &[NodeId(1)]);
+        assert!(net.is_asym_partitioned(NodeId(0), NodeId(1)));
+        assert!(!net.is_asym_partitioned(NodeId(1), NodeId(0)));
+        assert!(
+            !net.is_partitioned(NodeId(0), NodeId(1)),
+            "directional suppression is not a symmetric partition"
+        );
+        net.heal(NodeId(0), NodeId(1));
+        net.send(NodeId(0), NodeId(1), 8, 1);
+        assert!(
+            net.pop_before(SimTime::MAX).is_some(),
+            "heal clears the half-open link"
+        );
+    }
+
+    #[test]
+    fn symmetric_and_asym_partitions_union_and_heal_together() {
+        let mut net = lan_net();
+        net.partition(NodeId(0), NodeId(1));
+        net.partition_directional(&[NodeId(0)], &[NodeId(1)]);
+        // Both kinds block 0→1; the symmetric one also blocks 1→0.
+        net.send(NodeId(0), NodeId(1), 8, 1);
+        net.send(NodeId(1), NodeId(0), 8, 2);
+        assert!(net.pop_before(SimTime::MAX).is_none());
+        assert_eq!(net.stats().messages_partitioned, 2);
+        // A global heal removes both kinds at once — no half-open residue.
+        net.heal_all();
+        net.send(NodeId(0), NodeId(1), 8, 3);
+        net.send(NodeId(1), NodeId(0), 8, 4);
+        let mut n = 0;
+        while net.pop_before(SimTime::MAX).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn flaky_link_drops_only_on_that_link_and_expires() {
+        let mut net = lan_net();
+        net.flaky_link(NodeId(0), NodeId(1), 1.0, SimTime::from_secs(1));
+        net.send(NodeId(0), NodeId(1), 8, 1); // dropped (p = 1)
+        net.send(NodeId(1), NodeId(0), 8, 2); // dropped (link is bidirectional)
+        net.send(NodeId(2), NodeId(3), 8, 3); // other link unaffected
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!(ev.msg, 3);
+        assert!(net.pop_before(SimTime::MAX).is_none());
+        assert_eq!(net.stats().messages_dropped, 2);
+        // After the window the link is healthy again.
+        net.advance_to(SimTime::from_secs(2));
+        net.send(NodeId(0), NodeId(1), 8, 4);
+        assert!(net.pop_before(SimTime::MAX).is_some());
+    }
+
+    #[test]
+    fn flaky_draws_never_perturb_the_main_stream() {
+        // Delivery times of traffic on *other* links must be bit-identical
+        // whether or not a flaky window is armed somewhere else: the flaky
+        // stream is separate, so golden runs stay byte-stable.
+        let run = |armed: bool| {
+            let mut net: NetSim<u32> = lan_net();
+            if armed {
+                net.flaky_link(NodeId(0), NodeId(1), 0.9, SimTime::from_secs(60));
+            }
+            let mut log = Vec::new();
+            for i in 0..100 {
+                net.send(NodeId(2), NodeId(3), 64, i);
+            }
+            while let Some(ev) = net.pop_before(SimTime::MAX) {
+                log.push((ev.at, ev.msg));
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn flaky_link_is_seed_deterministic() {
+        let run = || {
+            let mut net: NetSim<u32> = lan_net();
+            net.flaky_link(NodeId(0), NodeId(1), 0.5, SimTime::from_secs(60));
+            let mut got = Vec::new();
+            for i in 0..200 {
+                net.send(NodeId(0), NodeId(1), 8, i);
+            }
+            while let Some(ev) = net.pop_before(SimTime::MAX) {
+                got.push(ev.msg);
+            }
+            (got, net.stats().messages_dropped)
+        };
+        let (a, dropped) = run();
+        assert_eq!(run(), (a, dropped));
+        assert!(
+            (50..150).contains(&dropped),
+            "p = 0.5 should drop roughly half: {dropped}"
+        );
+    }
+
+    #[test]
+    fn slow_node_stretches_timers_and_messages_then_recovers() {
+        let mut net = lan_net();
+        net.slow_node(NodeId(1), 10.0, SimTime::from_secs(5));
+        // A healthy node's timer is untouched; the straggler's stretches.
+        net.timer(NodeId(0), SimDuration::from_millis(10), 1);
+        net.timer(NodeId(1), SimDuration::from_millis(10), 2);
+        let first = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!((first.dst, first.msg), (NodeId(0), 1));
+        assert_eq!(first.at, SimTime::from_millis(10));
+        let second = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!((second.dst, second.msg), (NodeId(1), 2));
+        assert_eq!(second.at, SimTime::from_millis(100), "10× stretch");
+        // Messages to or from the straggler stretch too.
+        net.send(NodeId(0), NodeId(1), 0, 3);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert!(
+            ev.at - second.at >= SimDuration::from_millis(2),
+            "LAN latency (200 µs) stretched 10× = 2 ms: {:?}",
+            ev.at - second.at
+        );
+        // After the window closes the node is healthy again.
+        net.advance_to(SimTime::from_secs(6));
+        assert_eq!(net.stretch(NodeId(1)), 1.0);
+        net.timer(NodeId(1), SimDuration::from_millis(10), 4);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!(ev.at, SimTime::from_secs(6) + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn slow_node_stretches_absolute_timers_by_remaining_interval() {
+        let mut net = lan_net();
+        net.advance_to(SimTime::from_secs(1));
+        net.slow_node(NodeId(0), 3.0, SimTime::from_secs(60));
+        // 500 ms remaining, stretched 3× → fires at 1 s + 1.5 s.
+        net.timer_at(NodeId(0), SimTime::from_millis(1500), 1);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert_eq!(ev.at, SimTime::from_millis(2500));
+    }
+
+    #[test]
+    fn region_map_adds_cross_region_latency_until_expiry() {
+        let map = RegionMap::round_robin(4, 2, SimDuration::from_millis(80));
+        let mut net = lan_net();
+        net.region_latency(map, SimTime::from_secs(1));
+        // Nodes 0 and 2 share a region; 0 and 1 do not.
+        net.send(NodeId(0), NodeId(2), 0, 1);
+        let same = net.pop_before(SimTime::MAX).unwrap();
+        assert!(same.at < SimTime::from_millis(5), "intra-region stays LAN");
+        let before = net.now();
+        net.send(NodeId(0), NodeId(1), 0, 2);
+        let cross = net.pop_before(SimTime::MAX).unwrap();
+        assert!(
+            cross.at - before >= SimDuration::from_millis(40),
+            "one-way inter-region extra is RTT/2"
+        );
+        // Past the window the overlay expires.
+        net.advance_to(SimTime::from_secs(2));
+        let before = net.now();
+        net.send(NodeId(0), NodeId(1), 0, 3);
+        let ev = net.pop_before(SimTime::MAX).unwrap();
+        assert!(ev.at - before < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn region_map_explicit_matrix_is_asymmetric_capable() {
+        // A deliberately asymmetric matrix: region 0 → 1 is slow, 1 → 0 fast.
+        let map = RegionMap::new(vec![0, 1], 2, vec![0, 30_000, 5_000, 0]);
+        assert_eq!(
+            map.extra(NodeId(0), NodeId(1)),
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(map.extra(NodeId(1), NodeId(0)), SimDuration::from_millis(5));
+        assert_eq!(map.regions(), 2);
+        // Nodes beyond the assignment wrap deterministically.
+        assert_eq!(map.region_of(NodeId(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_regions x n_regions")]
+    fn region_map_rejects_bad_matrix() {
+        let _ = RegionMap::new(vec![0, 1], 2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn slow_node_rejects_sub_unit_factor() {
+        let mut net = lan_net();
+        net.slow_node(NodeId(0), 0.5, SimTime::from_secs(1));
     }
 
     #[test]

@@ -456,6 +456,10 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, vec![6, 7, 8, 9], "distinct wire tags past Balance's 5");
+        assert_eq!(
+            tags,
+            vec![6, 7, 8, 9],
+            "distinct wire tags past Balance's 5"
+        );
     }
 }
